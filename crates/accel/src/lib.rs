@@ -1,0 +1,62 @@
+//! # pm-accel — simulated accelerator substrates for PolyMath
+//!
+//! The PolyMath paper evaluates on five physical accelerator targets plus
+//! CPU/GPU baselines; none of that hardware is available here, so this
+//! crate provides faithful simulator substitutes (see DESIGN.md §2 for the
+//! substitution rationale):
+//!
+//! * [`tabla::Tabla`] — scalar-granularity dataflow ML accelerator
+//!   (Data Analytics), with static level scheduling onto PE grids;
+//! * [`deco::Deco`] — DSP-block FPGA overlay (DSP), with MAC fusion and
+//!   stage-pipelined balanced DFGs;
+//! * [`graphicionado::Graphicionado`] — vertex-program pipeline ASIC
+//!   (Graph Analytics) streaming sparse edge lists;
+//! * [`robox::Robox`] — macro-dataflow MPC accelerator (Robotics) with
+//!   vector lanes and nonlinear units;
+//! * [`vta::Vta`] — layer-granularity DNN core (Deep Learning) with a
+//!   16×16 GEMM array;
+//! * [`dnnweaver::DnnWeaver`] — an alternate template-based DL backend,
+//!   demonstrating srDFG retargetability within one domain;
+//! * [`hyperstreams::HyperStreams`] — the paper's Black-Scholes target:
+//!   a spatially unrolled streaming pipeline, assigned per component via
+//!   `TargetMap::set_override`;
+//! * [`cpu::Cpu`] / [`gpu::Gpu`] — analytic roofline models of the Xeon
+//!   E-2176G, Titan Xp and Jetson AGX Xavier baselines;
+//! * [`soc::Soc`] — the multi-acceleration SoC: host manager + cascaded
+//!   accelerators + DMA (paper §V.A.3).
+//!
+//! Every backend implements [`backend::Backend`]: it publishes the
+//! operation set `Ot` the lowering algorithm checks against, and prices a
+//! compiled partition in cycles/seconds/joules. Functional results always
+//! come from executing the lowered srDFG, so simulators and the reference
+//! interpreter can never disagree about values.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod classify;
+pub mod cpu;
+pub mod deco;
+pub mod dnnweaver;
+pub mod gpu;
+pub mod graphicionado;
+pub mod hyperstreams;
+pub mod model;
+pub mod robox;
+pub mod soc;
+pub mod tabla;
+pub mod vta;
+
+pub use backend::{Backend, DmaModel};
+pub use classify::{profile, WorkProfile};
+pub use cpu::Cpu;
+pub use deco::Deco;
+pub use dnnweaver::DnnWeaver;
+pub use gpu::Gpu;
+pub use graphicionado::Graphicionado;
+pub use hyperstreams::HyperStreams;
+pub use model::{HwConfig, PerfEstimate, WorkloadHints};
+pub use robox::Robox;
+pub use soc::{PartitionReport, Soc, SocReport};
+pub use tabla::Tabla;
+pub use vta::Vta;

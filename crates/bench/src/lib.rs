@@ -1,0 +1,13 @@
+//! # pm-bench — the PolyMath evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! (see DESIGN.md §4 for the experiment index):
+//!
+//! * the [`figures`] module prints each table/figure's rows from the
+//!   simulated platforms (`cargo run -p pm-bench --bin figures -- --all`);
+//! * `benches/compiler.rs` holds the Criterion micro-benchmarks of the
+//!   compilation stack itself.
+
+#![warn(missing_docs)]
+
+pub mod figures;

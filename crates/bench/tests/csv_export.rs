@@ -1,0 +1,42 @@
+//! Sanity test for the machine-readable CSV export: a small custom
+//! workload evaluates and the CSV parses back with consistent ratios.
+
+use pm_bench::figures::write_csv;
+use pm_workloads::{SparseHints, Workload};
+use pmlang::Domain;
+
+#[test]
+fn csv_round_trips_a_small_workload() {
+    let w = Workload {
+        benchmark: "LR-csv",
+        algorithm: "Logistic Regression",
+        domain: Domain::DataAnalytics,
+        config: "128 features".into(),
+        source: pm_workloads::programs::logistic(128),
+        invocations: 100,
+        hints: SparseHints::default(),
+        native_hints: None,
+    };
+    let r = polymath::evaluate(&w).unwrap();
+    let dir = std::env::temp_dir().join("pm_csv_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("out.csv");
+    write_csv(std::slice::from_ref(&r), &path).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines = text.lines();
+    let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+    let row: Vec<&str> = lines.next().unwrap().split(',').collect();
+    assert_eq!(header.len(), row.len());
+    assert_eq!(row[0], "LR-csv");
+    assert_eq!(row[1], "DA");
+    assert_eq!(row[2], "TABLA");
+    // Recorded ratio equals the recomputed one.
+    let cpu_s: f64 = row[header.iter().position(|h| *h == "cpu_s").unwrap()].parse().unwrap();
+    let pm_s: f64 =
+        row[header.iter().position(|h| *h == "polymath_s").unwrap()].parse().unwrap();
+    let ratio: f64 =
+        row[header.iter().position(|h| *h == "speedup_vs_cpu").unwrap()].parse().unwrap();
+    assert!((cpu_s / pm_s - ratio).abs() < 2e-3, "{} vs {ratio}", cpu_s / pm_s);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,386 @@
+//! `pmc` — the PolyMath compiler command-line interface.
+//!
+//! ```text
+//! pmc check <file.pm> [--size name=value ...]
+//!     Parse and semantically check a PMLang program.
+//! pmc stats <file.pm> [--size ...]
+//!     Build the srDFG and print graph statistics.
+//! pmc dot <file.pm> [--size ...]
+//!     Emit the srDFG in Graphviz DOT syntax on stdout.
+//! pmc compile <file.pm> [--size ...] [--host-only] [--pin comp=TARGET ...]
+//!     Run the full pipeline (passes, lowering, accelerator IR) and print
+//!     the per-target partition summary with cycle/energy estimates.
+//!     `--pin` overrides one component's target (repeatable), so two
+//!     accelerators can serve the same domain — e.g.
+//!     `--pin blks=HyperStreams` while LR keeps the TABLA default.
+//!     `--fragments` additionally dumps each partition's fragment stream
+//!     (Algorithm 2's load/compute/store sequence).
+//! pmc fmt <file.pm>
+//!     Pretty-print the program (canonical formatting) on stdout.
+//! pmc ir <file.pm> [--size ...] [--target <name>]
+//!     Print the srDFG as a textual listing (nodes, kernels, spaces).
+//!     With --target, print the listing *after* lowering for that
+//!     accelerator instead (the refined scalar/stage-level IR).
+//! pmc lower <file.pm> --target <name> [--size ...]
+//!     Lower for one accelerator (TABLA | DECO | Graphicionado | RoboX |
+//!     TVM-VTA | DnnWeaver | HyperStreams) and print the operation census
+//!     before and after — the paper's granularity-refinement trajectory.
+//! pmc run <file.pm> <feeds.txt> [--size ...] [--iters N]
+//!     Compile cross-domain, execute the lowered program on the given
+//!     feeds, and print the outputs. `feeds.txt` holds one tensor per
+//!     line: `name dim dim ... = v v v ...` (no dims = scalar); prefix a
+//!     line with `state ` to seed a persistent state variable. With
+//!     `--iters`, invokes repeatedly so `state` evolves.
+//! ```
+
+use polymath::{standard_soc, Compiler};
+use srdfg::Bindings;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pmc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let Some(path) = args.get(1) else {
+        return Err(usage());
+    };
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let bindings = parse_sizes(&args[2..])?;
+    let host_only = args.iter().any(|a| a == "--host-only");
+
+    match cmd.as_str() {
+        "check" => {
+            pmlang::frontend(&source).map_err(|e| e.to_string())?;
+            println!("{path}: OK");
+            Ok(())
+        }
+        "stats" => {
+            let compiler = Compiler::host_only();
+            let graph = compiler.build_graph(&source, &bindings).map_err(|e| e.to_string())?;
+            let stats = pm_passes::stats(&graph);
+            println!("graph `{}`", graph.name);
+            println!("  nodes:          {}", stats.nodes);
+            for (kind, count) in {
+                let mut v: Vec<_> = stats.kinds.iter().collect();
+                v.sort();
+                v
+            } {
+                println!("    {kind:<12} {count}");
+            }
+            println!("  scalar ops:     {}", stats.scalar_ops);
+            println!("  boundary bytes: {}", stats.boundary_bytes);
+            println!("  critical path:  {}", pm_passes::critical_path_len(&graph));
+            let domains = pm_passes::domains_used(&graph);
+            if !domains.is_empty() {
+                let names: Vec<_> = domains.iter().map(|d| d.keyword()).collect();
+                println!("  domains:        {}", names.join(", "));
+            }
+            Ok(())
+        }
+        "dot" => {
+            let compiler = Compiler::host_only();
+            let graph = compiler.build_graph(&source, &bindings).map_err(|e| e.to_string())?;
+            print!("{}", srdfg::dot::to_dot(&graph));
+            Ok(())
+        }
+        "compile" => {
+            let mut compiler =
+                if host_only { Compiler::host_only() } else { Compiler::cross_domain() };
+            for (component, target) in parse_pins(&args[2..])? {
+                compiler = compiler.with_target_override(&component, backend_spec(&target)?);
+            }
+            let compiled = compiler.compile(&source, &bindings).map_err(|e| e.to_string())?;
+            let soc = standard_soc();
+            let report = soc.run(&compiled, &HashMap::new());
+            println!("{path}: {} partition(s)", compiled.partitions.len());
+            for (part, pr) in compiled.partitions.iter().zip(&report.partitions) {
+                let domain =
+                    part.domain.map(|d| d.keyword().to_string()).unwrap_or_else(|| "host".into());
+                println!(
+                    "  [{domain:>4}] {:<14} {:>6} fragments  {:>12} ops  {:>10.3e} s  {:>10.3e} J",
+                    pr.target,
+                    part.fragments.len(),
+                    part.compute_ops(),
+                    pr.compute.seconds + pr.dma.seconds,
+                    pr.compute.energy_j + pr.dma.energy_j,
+                );
+            }
+            println!(
+                "  total: {:.3e} s, {:.3e} J per invocation ({:.1}% communication)",
+                report.total.seconds,
+                report.total.energy_j,
+                report.comm_fraction * 100.0
+            );
+            if args.iter().any(|a| a == "--fragments") {
+                for part in &compiled.partitions {
+                    println!("\npartition {} ({} fragments):", part.target, part.fragments.len());
+                    print_fragments(part);
+                }
+            }
+            Ok(())
+        }
+        "fmt" => {
+            let (program, _) = pmlang::frontend(&source).map_err(|e| e.to_string())?;
+            print!("{}", pmlang::print_program(&program));
+            Ok(())
+        }
+        "ir" => {
+            let compiler = Compiler::host_only();
+            let mut graph =
+                compiler.build_graph(&source, &bindings).map_err(|e| e.to_string())?;
+            if let Some(pos) = args.iter().position(|a| a == "--target") {
+                let name = args
+                    .get(pos + 1)
+                    .ok_or_else(|| "--target expects a name".to_string())?;
+                lower_for(&mut graph, name)?;
+            }
+            print!("{}", srdfg::dot::to_text(&graph));
+            Ok(())
+        }
+        "lower" => {
+            let target = args
+                .iter()
+                .position(|a| a == "--target")
+                .and_then(|p| args.get(p + 1))
+                .ok_or_else(|| "lower expects --target <name>".to_string())?;
+            let compiler = Compiler::host_only();
+            let mut graph =
+                compiler.build_graph(&source, &bindings).map_err(|e| e.to_string())?;
+            println!("before lowering:");
+            print_census(&graph);
+            lower_for(&mut graph, target)?;
+            println!("after lowering for {target}:");
+            print_census(&graph);
+            Ok(())
+        }
+        "run" => {
+            let feeds_path = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| "run expects a feeds file".to_string())?;
+            let (feeds, state) = parse_feeds(feeds_path)?;
+            let iters = parse_iters(&args[3..])?;
+            let compiled =
+                Compiler::cross_domain().compile(&source, &bindings).map_err(|e| e.to_string())?;
+            let mut machine = srdfg::Machine::new(compiled.graph.clone());
+            for (name, tensor) in state {
+                machine.set_state(&name, tensor);
+            }
+            let mut outputs = std::collections::HashMap::new();
+            for _ in 0..iters {
+                outputs = machine.invoke(&feeds).map_err(|e| e.to_string())?;
+            }
+            let mut names: Vec<_> = outputs.keys().collect();
+            names.sort();
+            for name in names {
+                println!("{name} = {}", outputs[name]);
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+/// Parses a feeds file: one tensor per line, `name dims... = values...`,
+/// with `state `-prefixed lines seeding persistent state. Returns
+/// `(feeds, state_seeds)`.
+type Feeds = std::collections::HashMap<String, srdfg::Tensor>;
+
+fn parse_feeds(path: &str) -> Result<(Feeds, Vec<(String, srdfg::Tensor)>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut feeds = Feeds::new();
+    let mut state = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let mut line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let is_state = if let Some(rest) = line.strip_prefix("state ") {
+            line = rest.trim_start();
+            true
+        } else {
+            false
+        };
+        let (head, values) = line
+            .split_once('=')
+            .ok_or_else(|| format!("{path}:{}: expected `name dims = values`", lineno + 1))?;
+        let mut head_parts = head.split_whitespace();
+        let name = head_parts
+            .next()
+            .ok_or_else(|| format!("{path}:{}: missing tensor name", lineno + 1))?;
+        let shape: Vec<usize> = head_parts
+            .map(|d| d.parse().map_err(|_| format!("{path}:{}: bad dim `{d}`", lineno + 1)))
+            .collect::<Result<_, _>>()?;
+        let data: Vec<f64> = values
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|_| format!("{path}:{}: bad value `{v}`", lineno + 1)))
+            .collect::<Result<_, _>>()?;
+        let tensor = srdfg::Tensor::from_vec(pmlang::DType::Float, shape, data)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if is_state {
+            state.push((name.to_string(), tensor));
+        } else {
+            feeds.insert(name.to_string(), tensor);
+        }
+    }
+    Ok((feeds, state))
+}
+
+fn parse_iters(args: &[String]) -> Result<u64, String> {
+    if let Some(pos) = args.iter().position(|a| a == "--iters") {
+        args.get(pos + 1)
+            .ok_or_else(|| "--iters expects a count".to_string())?
+            .parse()
+            .map_err(|_| "bad --iters value".to_string())
+    } else {
+        Ok(1)
+    }
+}
+
+/// Lowers a graph for one named accelerator (host for everything else),
+/// then elides interior marshalling — the shared setup of the `lower`
+/// and `ir --target` subcommands. Programs without any domain annotation
+/// are forced onto the target's domain so single-kernel programs lower.
+fn lower_for(graph: &mut srdfg::SrDfg, target: &str) -> Result<(), String> {
+    let spec = backend_spec(target)?;
+    if graph.domain.is_none() && pm_passes::domains_used(graph).is_empty() {
+        graph.domain = Some(spec.domain);
+    }
+    let mut targets = pm_lower::TargetMap::host_only(
+        pm_lower::AcceleratorSpec::general_purpose("CPU", spec.domain),
+    );
+    targets.set(spec);
+    pm_lower::lower(graph, &targets).map_err(|e| e.to_string())?;
+    pm_passes::Pass::run(&pm_passes::ElideMarshalling, graph);
+    Ok(())
+}
+
+/// Prints a partition's fragment stream, run-length-compressed so the
+/// scalar fabrics' long op rows stay readable.
+fn print_fragments(part: &pm_lower::AccProgram) {
+    let label = |f: &pm_lower::Fragment| match f.kind {
+        pm_lower::FragmentKind::Load => format!("load  {}", f.inputs[0].name),
+        pm_lower::FragmentKind::Store => format!("store {}", f.outputs[0].name),
+        pm_lower::FragmentKind::Compute => f.op.clone(),
+    };
+    let mut i = 0;
+    let frags = &part.fragments;
+    let mut shown = 0;
+    while i < frags.len() && shown < 40 {
+        let head = label(&frags[i]);
+        let mut j = i;
+        while j < frags.len() && label(&frags[j]) == head {
+            j += 1;
+        }
+        if j - i > 1 {
+            println!("  {head:<24} x{}", j - i);
+        } else {
+            println!("  {head}");
+        }
+        shown += 1;
+        i = j;
+    }
+    if i < frags.len() {
+        println!("  ... {} more fragments", frags.len() - i);
+    }
+}
+
+/// The operation census of a graph: name → count, sorted by frequency.
+fn print_census(graph: &srdfg::SrDfg) {
+    let mut census: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    fn walk(g: &srdfg::SrDfg, census: &mut std::collections::HashMap<String, usize>) {
+        for (_, node) in g.iter_nodes() {
+            *census.entry(node.name.clone()).or_default() += 1;
+            if let srdfg::NodeKind::Component(sub) = &node.kind {
+                walk(sub, census);
+            }
+        }
+    }
+    walk(graph, &mut census);
+    let mut rows: Vec<_> = census.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let total: usize = rows.iter().map(|r| r.1).sum();
+    for (name, count) in rows.iter().take(12) {
+        println!("  {name:<14} {count}");
+    }
+    if rows.len() > 12 {
+        println!("  ... {} more kinds", rows.len() - 12);
+    }
+    println!("  ({total} nodes total)");
+}
+
+/// Resolves a backend name to its accelerator spec.
+fn backend_spec(name: &str) -> Result<pm_lower::AcceleratorSpec, String> {
+    use pm_accel::Backend as _;
+    Ok(match name.to_ascii_uppercase().as_str() {
+        "TABLA" => pm_accel::Tabla::default().accel_spec(),
+        "DECO" => pm_accel::Deco::default().accel_spec(),
+        "GRAPHICIONADO" => pm_accel::Graphicionado::default().accel_spec(),
+        "ROBOX" => pm_accel::Robox::default().accel_spec(),
+        "TVM-VTA" | "VTA" => pm_accel::Vta::default().accel_spec(),
+        "DNNWEAVER" => pm_accel::DnnWeaver::default().accel_spec(),
+        "HYPERSTREAMS" => pm_accel::HyperStreams::default().accel_spec(),
+        other => return Err(format!("unknown target `{other}`")),
+    })
+}
+
+/// Parses repeated `--pin component=TARGET` overrides.
+fn parse_pins(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut pins = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--pin" {
+            let spec =
+                args.get(i + 1).ok_or_else(|| "--pin expects component=TARGET".to_string())?;
+            let (component, target) =
+                spec.split_once('=').ok_or_else(|| format!("bad --pin `{spec}`"))?;
+            if component.is_empty() || target.is_empty() {
+                return Err(format!("bad --pin `{spec}`"));
+            }
+            pins.push((component.to_string(), target.to_string()));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(pins)
+}
+
+fn parse_sizes(args: &[String]) -> Result<Bindings, String> {
+    let mut bindings = Bindings::default();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--size" {
+            let spec = args
+                .get(i + 1)
+                .ok_or_else(|| "--size expects name=value".to_string())?;
+            let (name, value) =
+                spec.split_once('=').ok_or_else(|| format!("bad --size `{spec}`"))?;
+            let value: i64 =
+                value.parse().map_err(|_| format!("bad --size value `{value}`"))?;
+            bindings.sizes.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(bindings)
+}
+
+fn usage() -> String {
+    "usage: pmc <check|stats|dot|compile|run> <file.pm> [feeds.txt] \
+[--size name=value ...] [--host-only] [--pin comp=TARGET ...] [--iters N]"
+        .to_string()
+}

@@ -1,0 +1,275 @@
+//! The PolyMath compiler driver: PMLang source → checked AST → srDFG →
+//! optimization passes → lowering (Algorithm 1) → accelerator IR
+//! (Algorithm 2).
+
+use pm_accel::{Backend, Cpu, Deco, DnnWeaver, Graphicionado, HyperStreams, Robox, Soc, Tabla, Vta};
+use pm_lower::{compile_program, lower, CompiledProgram, TargetMap};
+use pm_passes::{Pass, PassManager};
+use pmlang::Domain;
+use srdfg::{Bindings, SrDfg};
+use std::fmt;
+
+/// Any error the full compilation pipeline can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolyMathError {
+    /// Lexing, parsing, or semantic analysis failed.
+    Frontend(pmlang::FrontendError),
+    /// srDFG generation failed.
+    Build(srdfg::BuildError),
+    /// Lowering or accelerator-IR compilation failed.
+    Lower(pm_lower::LowerError),
+}
+
+impl fmt::Display for PolyMathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyMathError::Frontend(e) => e.fmt(f),
+            PolyMathError::Build(e) => e.fmt(f),
+            PolyMathError::Lower(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PolyMathError {}
+
+impl From<pmlang::FrontendError> for PolyMathError {
+    fn from(e: pmlang::FrontendError) -> Self {
+        PolyMathError::Frontend(e)
+    }
+}
+
+impl From<srdfg::BuildError> for PolyMathError {
+    fn from(e: srdfg::BuildError) -> Self {
+        PolyMathError::Build(e)
+    }
+}
+
+impl From<pm_lower::LowerError> for PolyMathError {
+    fn from(e: pm_lower::LowerError) -> Self {
+        PolyMathError::Lower(e)
+    }
+}
+
+/// The compiler: owns the target map (which accelerator serves each
+/// domain) and the optimization pipeline.
+pub struct Compiler {
+    targets: TargetMap,
+    optimize: bool,
+    fuse: bool,
+}
+
+impl fmt::Debug for Compiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Compiler")
+            .field("accelerated", &self.targets.accelerated_domains())
+            .field("optimize", &self.optimize)
+            .finish()
+    }
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::host_only()
+    }
+}
+
+impl Compiler {
+    /// A compiler mapping every domain to the host CPU (the baseline).
+    pub fn host_only() -> Self {
+        Compiler {
+            targets: TargetMap::host_only(Cpu::default().accel_spec()),
+            optimize: true,
+            fuse: false,
+        }
+    }
+
+    /// A compiler with the paper's five accelerators attached
+    /// (Table V: RoboX, Graphicionado, TABLA, DECO, TVM-VTA).
+    pub fn cross_domain() -> Self {
+        let mut c = Compiler::host_only();
+        c.targets.set(Robox::default().accel_spec());
+        c.targets.set(Graphicionado::default().accel_spec());
+        c.targets.set(Tabla::default().accel_spec());
+        c.targets.set(Deco::default().accel_spec());
+        c.targets.set(Vta::default().accel_spec());
+        c
+    }
+
+    /// A compiler accelerating only the listed domains (the paper's
+    /// Fig. 10-12 acceleration-combination sweep).
+    pub fn accelerating(domains: &[Domain]) -> Self {
+        let mut c = Compiler::cross_domain();
+        for d in Domain::all() {
+            if !domains.contains(&d) {
+                c.targets.unset(d);
+            }
+        }
+        c
+    }
+
+    /// Disables the optimization pipeline (for ablations).
+    pub fn without_optimizations(mut self) -> Self {
+        self.optimize = false;
+        self
+    }
+
+    /// Enables the cross-granularity algebraic-combination pass
+    /// (paper §IV.B's example pass; off by default so its effect can be
+    /// measured as an ablation).
+    pub fn with_fusion(mut self) -> Self {
+        self.fuse = true;
+        self
+    }
+
+    /// The target map (Algorithm 1's `Om`).
+    pub fn targets(&self) -> &TargetMap {
+        &self.targets
+    }
+
+    /// Pins every instantiation of `component` to a specific accelerator,
+    /// overriding its domain's default target (paper §V.A.3: OptionPricing
+    /// runs LR on TABLA and Black-Scholes on HyperStreams).
+    pub fn with_target_override(
+        mut self,
+        component: &str,
+        spec: pm_lower::AcceleratorSpec,
+    ) -> Self {
+        self.targets.set_override(component, spec);
+        self
+    }
+
+    /// Runs the frontend and srDFG generation only.
+    ///
+    /// # Errors
+    ///
+    /// Returns frontend or build errors.
+    pub fn build_graph(
+        &self,
+        source: &str,
+        bindings: &Bindings,
+    ) -> Result<SrDfg, PolyMathError> {
+        let (program, _) = pmlang::frontend(source)?;
+        let mut graph = srdfg::build(&program, bindings)?;
+        if self.optimize {
+            PassManager::standard().run(&mut graph);
+        }
+        if self.fuse {
+            pm_passes::AlgebraicCombination.run(&mut graph);
+        }
+        Ok(graph)
+    }
+
+    /// Full compilation: frontend → srDFG → passes → lower → per-target IR.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline error.
+    pub fn compile(
+        &self,
+        source: &str,
+        bindings: &Bindings,
+    ) -> Result<CompiledProgram, PolyMathError> {
+        let mut graph = self.build_graph(source, bindings)?;
+        lower(&mut graph, &self.targets)?;
+        pm_passes::ElideMarshalling.run(&mut graph);
+        pm_passes::PruneUnusedInputs.run(&mut graph);
+        Ok(compile_program(&graph, &self.targets)?)
+    }
+}
+
+/// The standard SoC with all five accelerators attached (execution-time
+/// counterpart of [`Compiler::cross_domain`]).
+pub fn standard_soc() -> Soc {
+    let mut soc = Soc::new();
+    soc.attach(Robox::default());
+    soc.attach(Graphicionado::default());
+    soc.attach(Tabla::default());
+    soc.attach(Deco::default());
+    soc.attach(Vta::default());
+    soc.attach(HyperStreams::default());
+    // Not a domain default, but reachable through per-component target
+    // overrides (`--pin comp=DnnWeaver`); partitions are priced by target
+    // name, so attaching it never shadows the VTA.
+    soc.attach(DnnWeaver::default());
+    soc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srdfg::Tensor;
+    use std::collections::HashMap;
+
+    const TWO_DOMAIN: &str = "filt(input float x[64], param float h[64], output float y) {
+         index i[0:63];
+         y = sum[i](h[i]*x[i]);
+     }
+     clas(input float f, param float w[2], output float c) {
+         c = sigmoid(w[0]*f + w[1]);
+     }
+     main(input float sig[64], param float taps[64], param float w[2],
+          output float cls) {
+         float feat;
+         DSP: filt(sig, taps, feat);
+         DA: clas(feat, w, cls);
+     }";
+
+    #[test]
+    fn host_only_compilation_single_partition_family() {
+        let compiled =
+            Compiler::host_only().compile(TWO_DOMAIN, &Bindings::default()).unwrap();
+        for p in &compiled.partitions {
+            assert_eq!(p.target, "CPU");
+        }
+    }
+
+    #[test]
+    fn cross_domain_compilation_partitions_and_executes() {
+        let compiled =
+            Compiler::cross_domain().compile(TWO_DOMAIN, &Bindings::default()).unwrap();
+        let targets: Vec<_> =
+            compiled.partitions.iter().map(|p| p.target.clone()).collect();
+        assert!(targets.contains(&"DECO".to_string()), "{targets:?}");
+        assert!(targets.contains(&"TABLA".to_string()), "{targets:?}");
+
+        // The lowered graph still computes the right thing.
+        let vec_t = |v: Vec<f64>| {
+            Tensor::from_vec(pmlang::DType::Float, vec![v.len()], v).unwrap()
+        };
+        let feeds = HashMap::from([
+            ("sig".to_string(), vec_t(vec![0.1; 64])),
+            ("taps".to_string(), vec_t(vec![1.0; 64])),
+            ("w".to_string(), vec_t(vec![1.0, 0.0])),
+        ]);
+        let mut m = srdfg::Machine::new(compiled.graph.clone());
+        let out = m.invoke(&feeds).unwrap();
+        let expect = 1.0 / (1.0 + (-6.4f64).exp());
+        assert!((out["cls"].scalar_value().unwrap() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accelerating_subset_falls_back_elsewhere() {
+        let c = Compiler::accelerating(&[Domain::Dsp]);
+        let compiled = c.compile(TWO_DOMAIN, &Bindings::default()).unwrap();
+        let dsp = compiled.partition(Some(Domain::Dsp)).unwrap();
+        let da = compiled.partition(Some(Domain::DataAnalytics)).unwrap();
+        assert_eq!(dsp.target, "DECO");
+        assert_eq!(da.target, "CPU");
+    }
+
+    #[test]
+    fn frontend_errors_are_reported() {
+        let err = Compiler::host_only().compile("main(", &Bindings::default()).unwrap_err();
+        assert!(matches!(err, PolyMathError::Frontend(_)));
+    }
+
+    #[test]
+    fn soc_runs_cross_domain_compilation() {
+        let compiled =
+            Compiler::cross_domain().compile(TWO_DOMAIN, &Bindings::default()).unwrap();
+        let soc = standard_soc();
+        let report = soc.run(&compiled, &HashMap::new());
+        assert!(report.total.seconds > 0.0);
+        assert_eq!(report.partitions.len(), compiled.partitions.len());
+    }
+}

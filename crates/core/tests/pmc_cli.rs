@@ -1,0 +1,234 @@
+//! Integration tests for the `pmc` binary: every subcommand driven
+//! through the real executable, pinning exit codes, output formats, and
+//! flag handling.
+
+use std::io::Write;
+use std::process::{Command, Output};
+
+const TWO_DOMAIN: &str = "filt(input float x[16], param float h[16], output float y) {
+    index i[0:15];
+    y = sum[i](h[i]*x[i]);
+}
+clas(input float f, param float w[2], output float c) {
+    c = sigmoid(w[0]*f + w[1]);
+}
+main(input float sig[16], param float taps[16], param float w[2], output float cls) {
+    float feat;
+    DSP: filt(sig, taps, feat);
+    DA: clas(feat, w, cls);
+}";
+
+const TWO_DA: &str = "a(input float x[8], param float w[8], output float y[8]) {
+    index i[0:7];
+    y[i] = w[i]*x[i];
+}
+b(input float y[8], output float z) {
+    index i[0:7];
+    z = sum[i](y[i]*y[i]);
+}
+main(input float x[8], param float w[8], output float z) {
+    float y[8];
+    DA: a(x, w, y);
+    DA: b(y, z);
+}";
+
+/// Writes `content` to a fresh temp file and returns its path.
+fn temp_file(tag: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "pmc_cli_{tag}_{}.pm",
+        std::process::id()
+    ));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn pmc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pmc")).args(args).output().unwrap()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn check_accepts_valid_program() {
+    let f = temp_file("ok", TWO_DOMAIN);
+    let out = pmc(&["check", f.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("OK"));
+}
+
+#[test]
+fn check_rejects_with_located_diagnostic_and_exit_1() {
+    let f = temp_file("bad", "main(input float x, output float y) { y = q; }");
+    let out = pmc(&["check", f.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.starts_with("pmc: "), "{err}");
+    assert!(err.contains("undeclared variable `q`"), "{err}");
+    assert!(err.contains("1:43"), "{err}");
+}
+
+#[test]
+fn compile_partitions_cross_domain() {
+    let f = temp_file("compile", TWO_DOMAIN);
+    let out = pmc(&["compile", f.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("DECO"), "{text}");
+    assert!(text.contains("TABLA"), "{text}");
+    assert!(text.contains("% communication"), "{text}");
+}
+
+#[test]
+fn compile_host_only_uses_the_cpu() {
+    let f = temp_file("host", TWO_DOMAIN);
+    let out = pmc(&["compile", f.to_str().unwrap(), "--host-only"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("Xeon"), "{text}");
+    assert!(!text.contains("DECO"), "{text}");
+}
+
+#[test]
+fn compile_pin_splits_a_domain_across_targets() {
+    let f = temp_file("pin", TWO_DA);
+    let out =
+        pmc(&["compile", f.to_str().unwrap(), "--pin", "a=HyperStreams", "--fragments"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("HyperStreams"), "{text}");
+    assert!(text.contains("TABLA"), "{text}");
+    // The fragment dump shows the cross-accelerator handoff.
+    assert!(text.contains("partition HyperStreams"), "{text}");
+    assert!(text.contains("store"), "{text}");
+    assert!(text.contains("load"), "{text}");
+}
+
+#[test]
+fn compile_pin_rejects_unknown_target() {
+    let f = temp_file("pinbad", TWO_DA);
+    let out = pmc(&["compile", f.to_str().unwrap(), "--pin", "a=NOPE"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown target `NOPE`"));
+}
+
+#[test]
+fn compile_pin_requires_component_and_target() {
+    let f = temp_file("pinarg", TWO_DA);
+    for bad in [vec!["--pin"], vec!["--pin", "=TABLA"], vec!["--pin", "a="]] {
+        let mut args = vec!["compile", f.to_str().unwrap()];
+        args.extend(bad);
+        let out = pmc(&args);
+        assert!(!out.status.success(), "{:?} should fail", args);
+    }
+}
+
+#[test]
+fn lower_prints_the_refinement_trajectory() {
+    let f = temp_file("lower", TWO_DA);
+    let out = pmc(&["lower", f.to_str().unwrap(), "--target", "TABLA"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("before lowering:"), "{text}");
+    assert!(text.contains("after lowering for TABLA:"), "{text}");
+    assert!(text.contains("mul"), "{text}");
+}
+
+#[test]
+fn ir_target_prints_the_lowered_listing() {
+    let f = temp_file("ir", TWO_DA);
+    let coarse = pmc(&["ir", f.to_str().unwrap()]);
+    let fine = pmc(&["ir", f.to_str().unwrap(), "--target", "TABLA"]);
+    assert!(coarse.status.success() && fine.status.success());
+    assert!(stdout(&coarse).contains("component"), "{}", stdout(&coarse));
+    assert!(stdout(&fine).contains("unpack"), "{}", stdout(&fine));
+    assert!(stdout(&fine).len() > stdout(&coarse).len());
+}
+
+#[test]
+fn run_executes_with_feeds_and_state() {
+    let pm = temp_file(
+        "runpm",
+        "main(input float x[4], state float s, output float y) {
+             index i[0:3];
+             s = s + sum[i](x[i]);
+             y = s;
+         }",
+    );
+    let feeds = std::env::temp_dir().join(format!("pmc_cli_feeds_{}.txt", std::process::id()));
+    std::fs::write(&feeds, "x 4 = 1 2 3 4\nstate s = 10\n").unwrap();
+    let out = pmc(&[
+        "run",
+        pm.to_str().unwrap(),
+        feeds.to_str().unwrap(),
+        "--iters",
+        "3",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    // 10 + 3*10 = 40 after three accumulating invocations.
+    assert!(stdout(&out).contains("40"), "{}", stdout(&out));
+}
+
+#[test]
+fn run_reports_missing_feeds() {
+    let pm = temp_file("nofeed", "main(input float x, output float y) { y = x; }");
+    let feeds = std::env::temp_dir().join(format!("pmc_cli_empty_{}.txt", std::process::id()));
+    std::fs::write(&feeds, "").unwrap();
+    let out = pmc(&["run", pm.to_str().unwrap(), feeds.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("missing feed"), "{}", stderr(&out));
+}
+
+#[test]
+fn stats_reports_graph_shape() {
+    let f = temp_file("stats", TWO_DOMAIN);
+    let out = pmc(&["stats", f.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("nodes:"), "{text}");
+    assert!(text.contains("domains:"), "{text}");
+}
+
+#[test]
+fn fmt_roundtrips_through_check() {
+    let f = temp_file("fmt", TWO_DOMAIN);
+    let out = pmc(&["fmt", f.to_str().unwrap()]);
+    assert!(out.status.success());
+    let formatted = temp_file("fmt2", &stdout(&out));
+    let out2 = pmc(&["check", formatted.to_str().unwrap()]);
+    assert!(out2.status.success(), "{}", stderr(&out2));
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let f = temp_file("usage", TWO_DOMAIN);
+    let out = pmc(&["frobnicate", f.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = pmc(&["check", "/nonexistent/path.pm"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+}
+
+#[test]
+fn size_parameters_bind_from_the_command_line() {
+    let f = temp_file(
+        "size",
+        "main(input float x[n], output float y, param int n) {
+             index i[0:n-1];
+             y = sum[i](x[i]);
+         }",
+    );
+    let out = pmc(&["stats", f.to_str().unwrap(), "--size", "n=32"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+}

@@ -1,0 +1,362 @@
+//! Algorithm 2 — compilation from a lowered srDFG to accelerator IR.
+//!
+//! ```text
+//! function CompileProgram(srdfg, AccSpec)
+//!     let πd ← ∅ for d ∈ Domains
+//!     for each n ∈ N do
+//!         let (+d, md) = AccSpec[n.domain]
+//!         let t = md[n.name]
+//!         πd = πd + t(srdfg, n)
+//!         for each in_edge ∈ n: if n.domain ≠ in_edge.src.domain then
+//!             πd = πd + t_load(in_edge, n)
+//!         for each out_edge ∈ n: if n.domain ≠ out_edge.dst.domain then
+//!             πd = πd + t_store(n, out_edge)
+//!     return πd1, …, πdn
+//! ```
+//!
+//! Translation here produces a target-neutral [`Fragment`] per node — the
+//! operation name, typed/shaped argument descriptors derived from edge
+//! metadata (the paper's five argument-assignment steps), and the scalar-op
+//! count — accumulated into one [`AccProgram`] per target. `load`/`store`
+//! fragments are inserted wherever a value crosses a domain boundary; the
+//! accelerator backends (crate `pm-accel`) play the role of the
+//! "accelerator-provided compilers" that turn each fragment stream into an
+//! executable schedule.
+
+use crate::lower::{fully_lowered, LowerError};
+use crate::spec::TargetMap;
+use pmlang::{DType, Domain};
+use srdfg::{EdgeId, Modifier, NodeId, SrDfg};
+use std::collections::HashMap;
+
+/// A typed, shaped argument of a fragment (derived from edge metadata).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgInfo {
+    /// Source-level name.
+    pub name: String,
+    /// Element type (already converted to the accelerator's type system by
+    /// the backend; kept source-typed here).
+    pub dtype: DType,
+    /// Type modifier — drives FIFO vs. on-chip placement (paper §II.A).
+    pub modifier: Modifier,
+    /// Concrete shape.
+    pub shape: Vec<usize>,
+    /// The underlying graph edge.
+    pub edge: EdgeId,
+}
+
+/// What a fragment does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentKind {
+    /// An accelerator compute operation.
+    Compute,
+    /// A DMA load from another domain (or from the host).
+    Load,
+    /// A DMA store toward another domain (or the host).
+    Store,
+}
+
+/// One accelerator-IR fragment: a basic operator and its arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fragment {
+    /// Accelerator operation name.
+    pub op: String,
+    /// Kind of fragment.
+    pub kind: FragmentKind,
+    /// The originating graph node (compute fragments).
+    pub node: Option<NodeId>,
+    /// Input arguments.
+    pub inputs: Vec<ArgInfo>,
+    /// Output arguments.
+    pub outputs: Vec<ArgInfo>,
+    /// Scalar operations this fragment performs (cost-model basis).
+    pub ops: u64,
+}
+
+impl Fragment {
+    /// Bytes moved by a load/store fragment.
+    pub fn bytes(&self) -> u64 {
+        self.inputs
+            .iter()
+            .chain(&self.outputs)
+            .map(|a| {
+                let per = if a.dtype == DType::Complex { 8 } else { 4 };
+                a.shape.iter().product::<usize>() as u64 * per
+            })
+            .sum()
+    }
+}
+
+/// The accumulated IR `πd` for one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccProgram {
+    /// Target accelerator name.
+    pub target: String,
+    /// Primary domain this partition serves (`None` = host glue; a domain
+    /// can spread over several targets under per-component overrides).
+    pub domain: Option<Domain>,
+    /// Fragment stream in dependency (topological) order.
+    pub fragments: Vec<Fragment>,
+}
+
+impl AccProgram {
+    /// Total compute scalar-ops in this partition.
+    pub fn compute_ops(&self) -> u64 {
+        self.fragments
+            .iter()
+            .filter(|f| f.kind == FragmentKind::Compute)
+            .map(|f| f.ops)
+            .sum()
+    }
+
+    /// Total DMA bytes (loads + stores).
+    pub fn dma_bytes(&self) -> u64 {
+        self.fragments
+            .iter()
+            .filter(|f| f.kind != FragmentKind::Compute)
+            .map(Fragment::bytes)
+            .sum()
+    }
+}
+
+/// A fully compiled program: the lowered graph plus per-target IR.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The lowered srDFG (functional ground truth; backends execute it).
+    pub graph: SrDfg,
+    /// One partition per target that received at least one fragment.
+    pub partitions: Vec<AccProgram>,
+}
+
+impl CompiledProgram {
+    /// The first partition for `domain`, if any fragments landed there.
+    pub fn partition(&self, domain: Option<Domain>) -> Option<&AccProgram> {
+        self.partitions.iter().find(|p| p.domain == domain)
+    }
+
+    /// The partition compiled for a specific target name.
+    pub fn partition_by_target(&self, target: &str) -> Option<&AccProgram> {
+        self.partitions.iter().find(|p| p.target == target)
+    }
+}
+
+/// Runs Algorithm 2 over a lowered graph.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] if the graph still contains operations its
+/// targets do not support (run [`crate::lower::lower`] first).
+pub fn compile_program(
+    graph: &SrDfg,
+    targets: &TargetMap,
+) -> Result<CompiledProgram, LowerError> {
+    if !fully_lowered(graph, targets) {
+        return Err(LowerError {
+            message: "graph contains unsupported operations; lower it first".into(),
+        });
+    }
+    let arg_info = |g: &SrDfg, e: EdgeId| -> ArgInfo {
+        let meta = &g.edge(e).meta;
+        ArgInfo {
+            name: meta.name.clone(),
+            dtype: meta.dtype,
+            modifier: meta.modifier,
+            shape: meta.shape.clone(),
+            edge: e,
+        }
+    };
+
+    // Partitions are per *target* (the paper's πd, one per accelerator) —
+    // a domain can host two accelerators under per-component overrides.
+    let mut partitions: HashMap<String, AccProgram> = HashMap::new();
+    // A value is DMA-loaded once per destination accelerator, however many
+    // nodes consume it there.
+    let mut loaded: std::collections::HashSet<(String, EdgeId)> =
+        std::collections::HashSet::new();
+    // Borrowed from `targets`, so per-node/per-edge resolution allocates
+    // nothing (partitions can reach hundreds of thousands of fragments).
+    let resolve = |node: &srdfg::Node| -> (&str, Option<Domain>) {
+        let spec = targets.target_for(node, graph.domain);
+        (spec.name.as_str(), node.domain.or(graph.domain))
+    };
+    let ensure = |partitions: &mut HashMap<String, AccProgram>,
+                  target: &str,
+                  domain: Option<Domain>| {
+        partitions.entry(target.to_string()).or_insert_with(|| AccProgram {
+            target: target.to_string(),
+            domain,
+            fragments: Vec::new(),
+        });
+    };
+    // The host target name (host partitions never pay DMA).
+    let host_name = targets.host().name.as_str();
+
+    for id in graph.topo_order() {
+        let node = graph.node(id);
+        let (target, domain) = resolve(node);
+        ensure(&mut partitions, target, domain);
+
+        // t_load for operands produced on another accelerator (or fed by
+        // the host through the graph boundary).
+        for &e in &node.inputs {
+            let src_target = match graph.edge(e).producer {
+                Some((p, _)) => resolve(graph.node(p)).0,
+                None => host_name, // boundary input: host memory
+            };
+            if src_target != target && loaded.insert((target.to_string(), e)) {
+                let part = partitions.get_mut(target).expect("ensured");
+                part.fragments.push(Fragment {
+                    op: "load".into(),
+                    kind: FragmentKind::Load,
+                    node: None,
+                    inputs: vec![arg_info(graph, e)],
+                    outputs: vec![],
+                    ops: 0,
+                });
+            }
+        }
+
+        // t(srdfg, n): the compute fragment.
+        let fragment = Fragment {
+            op: node.name.clone(),
+            kind: FragmentKind::Compute,
+            node: Some(id),
+            inputs: node.inputs.iter().map(|&e| arg_info(graph, e)).collect(),
+            outputs: node.outputs.iter().map(|&e| arg_info(graph, e)).collect(),
+            ops: srdfg::graph::node_op_count(node),
+        };
+        partitions.get_mut(target).expect("ensured").fragments.push(fragment);
+
+        // t_store for results consumed on another accelerator (or leaving
+        // through the graph boundary toward the host).
+        for &e in &node.outputs {
+            let edge = graph.edge(e);
+            let crosses = edge
+                .consumers
+                .iter()
+                .any(|&(c, _)| resolve(graph.node(c)).0 != target)
+                || (graph.boundary_outputs.contains(&e) && target != host_name);
+            if crosses {
+                let part = partitions.get_mut(target).expect("ensured");
+                part.fragments.push(Fragment {
+                    op: "store".into(),
+                    kind: FragmentKind::Store,
+                    node: None,
+                    inputs: vec![],
+                    outputs: vec![arg_info(graph, e)],
+                    ops: 0,
+                });
+            }
+        }
+    }
+
+    let mut parts: Vec<AccProgram> = partitions.into_values().collect();
+    parts.sort_by_key(|p| (p.domain, p.target.clone()));
+    Ok(CompiledProgram { graph: graph.clone(), partitions: parts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::spec::AcceleratorSpec;
+
+    fn two_domain_graph() -> SrDfg {
+        let prog = pmlang::parse(
+            "filt(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i] * 0.5; }
+             clas(input float x[4], param float w[4], output float y) {
+                 index i[0:3];
+                 y = sigmoid(sum[i](w[i]*x[i]));
+             }
+             main(input float sig[4], param float w[4], output float cls) {
+                 float filtered[4];
+                 DSP: filt(sig, filtered);
+                 DA: clas(filtered, w, cls);
+             }",
+        )
+        .unwrap();
+        srdfg::build(&prog, &srdfg::Bindings::default()).unwrap()
+    }
+
+    fn targets() -> TargetMap {
+        let host = AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics);
+        let mut t = TargetMap::host_only(host);
+        t.set(AcceleratorSpec::new(
+            "DECO",
+            Domain::Dsp,
+            ["add", "sub", "mul", "const", "unpack", "pack"],
+        ));
+        t.set(AcceleratorSpec::new(
+            "TABLA",
+            Domain::DataAnalytics,
+            ["add", "sub", "mul", "sigmoid", "const", "unpack", "pack"],
+        ));
+        t
+    }
+
+    #[test]
+    fn partitions_by_domain_with_dma() {
+        let mut g = two_domain_graph();
+        let t = targets();
+        lower(&mut g, &t).unwrap();
+        let compiled = compile_program(&g, &t).unwrap();
+
+        let dsp = compiled.partition(Some(Domain::Dsp)).expect("dsp partition");
+        let da = compiled.partition(Some(Domain::DataAnalytics)).expect("da partition");
+        assert_eq!(dsp.target, "DECO");
+        assert_eq!(da.target, "TABLA");
+        assert!(dsp.compute_ops() > 0);
+        assert!(da.compute_ops() > 0);
+
+        // The DSP partition loads the host input and stores toward DA.
+        assert!(dsp.fragments.iter().any(|f| f.kind == FragmentKind::Load));
+        assert!(dsp.fragments.iter().any(|f| f.kind == FragmentKind::Store));
+        // The DA partition loads the filtered vector and the host param,
+        // then stores the classification to the host.
+        assert!(da.fragments.iter().filter(|f| f.kind == FragmentKind::Load).count() >= 2);
+        assert!(da.fragments.iter().any(|f| f.kind == FragmentKind::Store));
+        assert!(dsp.dma_bytes() > 0);
+    }
+
+    #[test]
+    fn rejects_unlowered_graph() {
+        let g = two_domain_graph();
+        let t = targets();
+        assert!(compile_program(&g, &t).is_err());
+    }
+
+    #[test]
+    fn single_domain_program_has_one_accel_partition() {
+        let prog = pmlang::parse(
+            "main(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i] + 1.0; }",
+        )
+        .unwrap();
+        let g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let host = AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics);
+        let t = TargetMap::host_only(host);
+        let compiled = compile_program(&g, &t).unwrap();
+        assert_eq!(compiled.partitions.len(), 1);
+        assert_eq!(compiled.partitions[0].target, "CPU");
+        // Host partition needs no DMA fragments.
+        assert_eq!(compiled.partitions[0].dma_bytes(), 0);
+    }
+
+    #[test]
+    fn fragment_args_carry_modifiers_and_shapes() {
+        let prog = pmlang::parse(
+            "main(input float x[4], state float s[4], output float y[4]) {
+                 index i[0:3];
+                 s[i] = s[i] + x[i];
+                 y[i] = s[i];
+             }",
+        )
+        .unwrap();
+        let g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let host = AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics);
+        let t = TargetMap::host_only(host);
+        let compiled = compile_program(&g, &t).unwrap();
+        let frags = &compiled.partitions[0].fragments;
+        let add = frags.iter().find(|f| f.op == "map.add").expect("add fragment");
+        assert!(add.inputs.iter().any(|a| a.modifier == Modifier::State && a.shape == vec![4]));
+    }
+}

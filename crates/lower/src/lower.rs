@@ -1,0 +1,267 @@
+//! Algorithm 1 — srDFG lowering.
+//!
+//! ```text
+//! function Lower(srdfg, Om)
+//!     let (N, E) = srdfg.subDfg
+//!     let Ot = Om[srdfg.domain]
+//!     for each n ∈ N do
+//!         if n.name ∉ Ot then
+//!             let subDfg = Lower(n, Om)
+//!             srdfg ← srdfg[n ↦ subDfg]
+//!     return srdfg
+//! ```
+//!
+//! Every node whose operation name the domain's target does not support is
+//! replaced by its finer-granularity sub-srDFG ([`srdfg::refine`]) until
+//! only supported operations remain. If an unsupported node cannot be
+//! refined further, compilation fails for that accelerator — exactly the
+//! paper's stated behaviour ("if the nodes in the srDFG cannot be lowered
+//! to a specific hardware because of unsupported nodes, the compilation
+//! fails for that accelerator").
+
+use crate::spec::TargetMap;
+use srdfg::expand::{refine, RefineError};
+use srdfg::SrDfg;
+use std::fmt;
+
+/// Why lowering failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<RefineError> for LowerError {
+    fn from(e: RefineError) -> Self {
+        LowerError { message: e.to_string() }
+    }
+}
+
+/// Lowers `graph` in place until every node's operation is supported by
+/// its domain's target in `targets` (paper Algorithm 1, iterated because a
+/// refinement may introduce nodes that need further refinement).
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] when an unsupported node cannot be refined
+/// (already at the finest granularity, too large to expand, or
+/// data-dependent).
+pub fn lower(graph: &mut SrDfg, targets: &TargetMap) -> Result<(), LowerError> {
+    stamp_overrides(graph, targets);
+    // Refinements strictly reduce granularity, so this terminates; the
+    // iteration bound is a defensive backstop.
+    for _ in 0..64 {
+        let mut changed = false;
+        let ids: Vec<_> = graph.node_ids().collect();
+        for id in ids {
+            if !graph.is_live(id) {
+                continue;
+            }
+            let node = graph.node(id);
+            let target = targets.target_for(node, graph.domain);
+            if target.supports(&node.name) {
+                continue;
+            }
+            let sub = refine(graph, id, &target.expand).map_err(|e| LowerError {
+                message: format!(
+                    "`{}` (domain {:?}) is unsupported by {} and cannot refine: {e}",
+                    node.name, node.domain, target.name
+                ),
+            })?;
+            graph.splice(id, &sub);
+            changed = true;
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+    Err(LowerError { message: "lowering did not converge".into() })
+}
+
+/// Stamps per-component target overrides onto component nodes (and,
+/// recursively, their bodies) so the assignment survives splicing.
+fn stamp_overrides(graph: &mut SrDfg, targets: &TargetMap) {
+    let ids: Vec<_> = graph.node_ids().collect();
+    for id in ids {
+        let name = graph.node(id).name.clone();
+        if let Some(spec) = targets.override_for(&name) {
+            let target = spec.name.clone();
+            stamp_node(graph, id, &target);
+        } else if let srdfg::NodeKind::Component(_) = &graph.node(id).kind {
+            // Recurse into nested components.
+            let srdfg::NodeKind::Component(sub) = &mut graph.node_mut(id).kind else {
+                unreachable!()
+            };
+            let mut inner = std::mem::replace(sub.as_mut(), SrDfg::new(""));
+            stamp_overrides(&mut inner, targets);
+            if let srdfg::NodeKind::Component(slot) = &mut graph.node_mut(id).kind {
+                **slot = inner;
+            }
+        }
+    }
+}
+
+/// Marks a node and (for components) its whole body with a target name.
+fn stamp_node(graph: &mut SrDfg, id: srdfg::NodeId, target: &str) {
+    graph.node_mut(id).target = Some(target.to_string());
+    if let srdfg::NodeKind::Component(sub) = &mut graph.node_mut(id).kind {
+        let mut inner = std::mem::replace(sub.as_mut(), SrDfg::new(""));
+        let ids: Vec<_> = inner.node_ids().collect();
+        for nid in ids {
+            stamp_node(&mut inner, nid, target);
+        }
+        if let srdfg::NodeKind::Component(slot) = &mut graph.node_mut(id).kind {
+            **slot = inner;
+        }
+    }
+}
+
+/// Checks (without mutating) whether every node is supported already.
+pub fn fully_lowered(graph: &SrDfg, targets: &TargetMap) -> bool {
+    graph
+        .iter_nodes()
+        .all(|(_, node)| targets.target_for(node, graph.domain).supports(&node.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AcceleratorSpec;
+    use pmlang::Domain;
+    use srdfg::{Bindings, Machine, NodeKind, Tensor};
+    use std::collections::HashMap;
+
+    const MATVEC_SRC: &str = "mvmul(input float A[m][n], input float B[n], output float C[m]) {
+         index i[0:n-1], j[0:m-1];
+         C[j] = sum[i](A[j][i]*B[i]);
+     }
+     main(input float W[2][3], input float x[3], output float y[2]) {
+         DA: mvmul(W, x, y);
+     }";
+
+    fn build_graph(src: &str) -> SrDfg {
+        let prog = pmlang::parse(src).unwrap();
+        pmlang::check(&prog).unwrap();
+        srdfg::build(&prog, &Bindings::default()).unwrap()
+    }
+
+    fn feeds() -> HashMap<String, Tensor> {
+        HashMap::from([
+            (
+                "W".to_string(),
+                Tensor::from_vec(pmlang::DType::Float, vec![2, 3], vec![1., 2., 3., 4., 5., 6.])
+                    .unwrap(),
+            ),
+            (
+                "x".to_string(),
+                Tensor::from_vec(pmlang::DType::Float, vec![3], vec![1., 1., 1.]).unwrap(),
+            ),
+        ])
+    }
+
+    #[test]
+    fn lowering_to_group_granularity() {
+        // Target supports tensor-level matvec: nothing to do but flatten
+        // the component wrapper.
+        let mut g = build_graph(MATVEC_SRC);
+        let host = AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics);
+        let mut targets = TargetMap::host_only(host);
+        targets.set(AcceleratorSpec::new("GROUPY", Domain::DataAnalytics, ["matvec"]));
+        lower(&mut g, &targets).unwrap();
+        assert!(fully_lowered(&g, &targets));
+        assert!(g.iter_nodes().all(|(_, n)| !matches!(n.kind, NodeKind::Component(_))));
+        let out = Machine::new(g).invoke(&feeds()).unwrap();
+        assert_eq!(out["y"].as_real_slice().unwrap(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn lowering_to_scalar_granularity() {
+        // TABLA-style target: only scalar ops + marshalling.
+        let mut g = build_graph(MATVEC_SRC);
+        let host = AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics);
+        let mut targets = TargetMap::host_only(host);
+        targets.set(AcceleratorSpec::new(
+            "SCALARY",
+            Domain::DataAnalytics,
+            ["add", "sub", "mul", "div", "const", "unpack", "pack"],
+        ));
+        lower(&mut g, &targets).unwrap();
+        assert!(fully_lowered(&g, &targets));
+        // All compute is now scalar nodes.
+        let scalar = g
+            .iter_nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Scalar(_)))
+            .count();
+        assert!(scalar >= 10, "expected an expanded mul/add fabric, got {scalar}");
+        let out = Machine::new(g).invoke(&feeds()).unwrap();
+        assert_eq!(out["y"].as_real_slice().unwrap(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn intermediate_granularity_stops_early() {
+        // Target supports group `sum` and elementwise `mul`: lowering stops
+        // at the decomposed level rather than expanding to scalars.
+        let mut g = build_graph(MATVEC_SRC);
+        let host = AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics);
+        let mut targets = TargetMap::host_only(host);
+        targets.set(AcceleratorSpec::new("ROBOXY", Domain::DataAnalytics, ["sum", "map.mul", "map"]));
+        lower(&mut g, &targets).unwrap();
+        assert!(fully_lowered(&g, &targets));
+        let kinds: Vec<_> = g
+            .iter_nodes()
+            .map(|(_, n)| (n.name.clone(), matches!(n.kind, NodeKind::Reduce(_))))
+            .collect();
+        assert!(kinds.iter().any(|(n, is_red)| n == "sum" && *is_red), "{kinds:?}");
+        let out = Machine::new(g).invoke(&feeds()).unwrap();
+        assert_eq!(out["y"].as_real_slice().unwrap(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn unsupported_scalar_fails_compilation() {
+        // Program needs sigmoid; target has no sigmoid unit.
+        let mut g = build_graph(
+            "main(input float x[2], output float y[2]) { index i[0:1]; y[i] = sigmoid(x[i]); }",
+        );
+        // Force everything to the DA accelerator by annotating via graph
+        // domain (main has no annotation; set graph-level domain).
+        g.domain = Some(Domain::DataAnalytics);
+        let host = AcceleratorSpec::new("HOSTLESS", Domain::DataAnalytics, []);
+        let mut targets = TargetMap::host_only(host);
+        targets.set(AcceleratorSpec::new(
+            "NOSIG",
+            Domain::DataAnalytics,
+            ["add", "mul", "unpack", "pack", "const"],
+        ));
+        let err = lower(&mut g, &targets).unwrap_err();
+        assert!(err.message.contains("sigmoid"), "{err}");
+    }
+
+    #[test]
+    fn host_handles_unannotated_glue() {
+        let mut g = build_graph(
+            "f(input float x[2], output float y[2]) { index i[0:1]; y[i] = x[i] * 2.0; }
+             main(input float a[2], output float b[2]) {
+                 index i[0:1];
+                 float t[2];
+                 DSP: f(a, t);
+                 b[i] = t[i] + 1.0;
+             }",
+        );
+        let host = AcceleratorSpec::general_purpose("CPU", Domain::Dsp);
+        let mut targets = TargetMap::host_only(host);
+        targets.set(AcceleratorSpec::new("DECOISH", Domain::Dsp, ["mul", "add", "const", "unpack", "pack"]));
+        lower(&mut g, &targets).unwrap();
+        // The DSP component was flattened; the glue map stayed tensor-level
+        // under the host.
+        assert!(g.iter_nodes().any(|(_, n)| n.domain.is_none() && matches!(n.kind, NodeKind::Map(_))));
+        assert!(fully_lowered(&g, &targets));
+    }
+}

@@ -1,0 +1,162 @@
+//! Accelerator operation-support specifications.
+//!
+//! The paper's Algorithm 1 lowers against a map `Om` from domain names to
+//! the list `Ot` of operation names a domain's target accelerator
+//! supports. [`AcceleratorSpec`] is one such `Ot` (plus expansion limits);
+//! [`TargetMap`] is `Om`, with a default target for un-annotated nodes
+//! (the SoC host).
+
+use pmlang::Domain;
+use srdfg::ExpandOptions;
+use std::collections::{BTreeSet, HashMap};
+
+/// The operation-support contract of one accelerator target.
+#[derive(Debug, Clone)]
+pub struct AcceleratorSpec {
+    /// Target name (e.g. `"TABLA"`).
+    pub name: String,
+    /// The domain this accelerator serves.
+    pub domain: Domain,
+    /// Operation names the target accepts (`Ot`): node names like `add`,
+    /// `sum`, `matvec`, `conv2d`, `map`, `unpack`, …
+    pub supported: BTreeSet<String>,
+    /// When true, every operation is accepted (general-purpose hosts).
+    pub supports_all: bool,
+    /// Scalar-expansion limits used while lowering toward this target.
+    pub expand: ExpandOptions,
+}
+
+impl AcceleratorSpec {
+    /// Creates a spec from an operation-name list.
+    pub fn new(
+        name: impl Into<String>,
+        domain: Domain,
+        ops: impl IntoIterator<Item = &'static str>,
+    ) -> Self {
+        AcceleratorSpec {
+            name: name.into(),
+            domain,
+            supported: ops.into_iter().map(str::to_string).collect(),
+            supports_all: false,
+            expand: ExpandOptions::default(),
+        }
+    }
+
+    /// A spec accepting every operation (general-purpose processor).
+    pub fn general_purpose(name: impl Into<String>, domain: Domain) -> Self {
+        AcceleratorSpec {
+            name: name.into(),
+            domain,
+            supported: BTreeSet::new(),
+            supports_all: true,
+            expand: ExpandOptions::default(),
+        }
+    }
+
+    /// True if the target accepts operation `op` (`n.name ∈ Ot`).
+    pub fn supports(&self, op: &str) -> bool {
+        self.supports_all || self.supported.contains(op)
+    }
+}
+
+/// The paper's `Om`: which accelerator serves each domain, plus the host
+/// target for nodes without a domain annotation.
+#[derive(Debug, Clone)]
+pub struct TargetMap {
+    per_domain: HashMap<Domain, AcceleratorSpec>,
+    /// Per-component target overrides (paper §V.A.3: OptionPricing runs
+    /// logistic regression on TABLA and Black-Scholes on HyperStreams —
+    /// two accelerators within one domain).
+    overrides: HashMap<String, AcceleratorSpec>,
+    host: AcceleratorSpec,
+}
+
+impl TargetMap {
+    /// Creates a map with only a host target.
+    pub fn host_only(host: AcceleratorSpec) -> Self {
+        TargetMap { per_domain: HashMap::new(), overrides: HashMap::new(), host }
+    }
+
+    /// Assigns `spec` to every node descending from instantiations of the
+    /// named component, overriding the domain default.
+    pub fn set_override(&mut self, component: impl Into<String>, spec: AcceleratorSpec) -> &mut Self {
+        self.overrides.insert(component.into(), spec);
+        self
+    }
+
+    /// The override spec for a component name, if any.
+    pub fn override_for(&self, component: &str) -> Option<&AcceleratorSpec> {
+        self.overrides.get(component)
+    }
+
+    /// The spec a node resolves to: its explicit target assignment if one
+    /// was stamped, else its domain's default, else the host.
+    pub fn target_for(&self, node: &srdfg::Node, graph_domain: Option<Domain>) -> &AcceleratorSpec {
+        if let Some(t) = &node.target {
+            if let Some(spec) = self.overrides.values().find(|s| s.name == *t) {
+                return spec;
+            }
+            if let Some(spec) = self.per_domain.values().find(|s| s.name == *t) {
+                return spec;
+            }
+        }
+        self.target(node.domain.or(graph_domain))
+    }
+
+    /// Assigns `spec` as the target for its domain.
+    pub fn set(&mut self, spec: AcceleratorSpec) -> &mut Self {
+        self.per_domain.insert(spec.domain, spec);
+        self
+    }
+
+    /// The target serving `domain` (the host when unassigned or `None`).
+    pub fn target(&self, domain: Option<Domain>) -> &AcceleratorSpec {
+        domain.and_then(|d| self.per_domain.get(&d)).unwrap_or(&self.host)
+    }
+
+    /// The host target.
+    pub fn host(&self) -> &AcceleratorSpec {
+        &self.host
+    }
+
+    /// Domains with a dedicated (non-host) target.
+    pub fn accelerated_domains(&self) -> Vec<Domain> {
+        let mut v: Vec<Domain> = self.per_domain.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Removes the dedicated target for `domain` (its nodes fall back to
+    /// the host), returning the removed spec. Used by the end-to-end case
+    /// study to sweep acceleration combinations (paper Fig. 10-12).
+    pub fn unset(&mut self, domain: Domain) -> Option<AcceleratorSpec> {
+        self.per_domain.remove(&domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_lookup() {
+        let spec = AcceleratorSpec::new("TABLA", Domain::DataAnalytics, ["add", "mul", "sum"]);
+        assert!(spec.supports("add"));
+        assert!(!spec.supports("conv2d"));
+        let host = AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics);
+        assert!(host.supports("anything"));
+    }
+
+    #[test]
+    fn target_map_falls_back_to_host() {
+        let host = AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics);
+        let mut map = TargetMap::host_only(host);
+        map.set(AcceleratorSpec::new("DECO", Domain::Dsp, ["add", "mul"]));
+        assert_eq!(map.target(Some(Domain::Dsp)).name, "DECO");
+        assert_eq!(map.target(Some(Domain::Robotics)).name, "CPU");
+        assert_eq!(map.target(None).name, "CPU");
+        assert_eq!(map.accelerated_domains(), vec![Domain::Dsp]);
+        assert!(map.unset(Domain::Dsp).is_some());
+        assert_eq!(map.target(Some(Domain::Dsp)).name, "CPU");
+    }
+}

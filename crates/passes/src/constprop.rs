@@ -1,0 +1,161 @@
+//! Constant propagation: nodes whose operands are all compile-time
+//! constants are evaluated at compile time and replaced by
+//! [`NodeKind::ConstTensor`] nodes.
+
+use crate::manager::{Pass, PassStats};
+use srdfg::interp::{exec_map, exec_reduce};
+use srdfg::{KExpr, NodeKind, SrDfg, Tensor};
+
+/// Evaluates constant `Map`/`Reduce` nodes at compile time (paper §IV.B
+/// lists constant propagation among the supported traditional passes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantPropagation;
+
+impl Pass for ConstantPropagation {
+    fn name(&self) -> &'static str {
+        "constant-propagation"
+    }
+
+    fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
+        let mut stats = PassStats::default();
+        // Iterate in topological order so constants flow forward in one run.
+        for id in graph.topo_order() {
+            if !graph.is_live(id) {
+                continue;
+            }
+            let node = graph.node(id);
+            let evaluable = matches!(node.kind, NodeKind::Map(_) | NodeKind::Reduce(_))
+                && is_affordable(srdfg::graph::node_op_count(node));
+            if !evaluable {
+                continue;
+            }
+            // All operands must be ConstTensor outputs.
+            let mut consts: Vec<Tensor> = Vec::with_capacity(node.inputs.len());
+            let mut all_const = true;
+            for &e in &node.inputs {
+                match graph.edge(e).producer {
+                    Some((p, _)) => match &graph.node(p).kind {
+                        NodeKind::ConstTensor(t) => consts.push(t.clone()),
+                        _ => {
+                            all_const = false;
+                            break;
+                        }
+                    },
+                    None => {
+                        all_const = false;
+                        break;
+                    }
+                }
+            }
+            // Nodes with no inputs and a constant kernel also qualify
+            // (e.g. the builder's `fill` nodes).
+            if node.inputs.is_empty() {
+                let pure_const = match &node.kind {
+                    NodeKind::Map(m) => matches!(m.kernel, KExpr::Const(_)),
+                    _ => false,
+                };
+                if !pure_const {
+                    continue;
+                }
+            } else if !all_const {
+                continue;
+            }
+
+            let refs: Vec<&Tensor> = consts.iter().collect();
+            let out_meta = graph.edge(node.outputs[0]).meta.clone();
+            let result = match &node.kind {
+                NodeKind::Map(m) => exec_map(m, &refs, out_meta.dtype),
+                NodeKind::Reduce(r) => exec_reduce(r, &refs, out_meta.dtype),
+                _ => unreachable!(),
+            };
+            let Ok(value) = result else { continue };
+            let out_edge = node.outputs[0];
+            graph.remove_node(id);
+            graph.add_node("const", NodeKind::ConstTensor(value), None, vec![], vec![out_edge]);
+            stats.changed = true;
+            stats.rewrites += 1;
+        }
+        stats
+    }
+}
+
+/// Bounds compile-time evaluation so propagation cannot blow up build times.
+fn is_affordable(ops: u64) -> bool {
+    ops <= 1_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dce::DeadNodeElimination;
+    use std::collections::HashMap;
+
+    #[test]
+    fn fill_nodes_become_const_tensors() {
+        // `y[2*j] = 5.0` forces a zero-fill + carried partial write; after
+        // propagation the fill and the write both become ConstTensor.
+        let prog = pmlang::parse(
+            "main(input float x, output float y[4]) {
+                 index j[0:1];
+                 y[2*j] = 5.0;
+                 y[1] = x;
+             }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let stats = ConstantPropagation.run(&mut g);
+        assert!(stats.changed);
+        assert!(stats.rewrites >= 2, "fill + first write, got {}", stats.rewrites);
+        let consts = g
+            .iter_nodes()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::ConstTensor(_)))
+            .count();
+        assert!(consts >= 2);
+
+        // Semantics preserved.
+        let feeds = HashMap::from([(
+            "x".to_string(),
+            srdfg::Tensor::scalar(pmlang::DType::Float, 7.0),
+        )]);
+        let mut m = srdfg::Machine::new(g);
+        let out = m.invoke(&feeds).unwrap();
+        assert_eq!(out["y"].as_real_slice().unwrap(), &[5.0, 7.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn non_const_inputs_block_propagation() {
+        let prog = pmlang::parse(
+            "main(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i] + 1.0; }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let stats = ConstantPropagation.run(&mut g);
+        assert!(!stats.changed);
+    }
+
+    #[test]
+    fn standard_pipeline_cleans_up() {
+        let prog = pmlang::parse(
+            "main(input float x, output float y) {
+                 float a, b;
+                 a = 2.0 * 3.0;
+                 b = a + 4.0;
+                 y = x + b;
+             }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let pm = crate::manager::PassManager::standard();
+        pm.run(&mut g);
+        let _ = DeadNodeElimination; // pipeline includes DCE
+        // After fold + propagation, only the final `x + 10` map (plus its
+        // const operand) should remain.
+        let feeds = HashMap::from([(
+            "x".to_string(),
+            srdfg::Tensor::scalar(pmlang::DType::Float, 1.0),
+        )]);
+        let mut m = srdfg::Machine::new(g.clone());
+        assert_eq!(m.invoke(&feeds).unwrap()["y"].scalar_value().unwrap(), 11.0);
+        assert!(g.node_count() <= 3, "graph still has {} nodes", g.node_count());
+    }
+}

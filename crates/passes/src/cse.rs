@@ -1,0 +1,198 @@
+//! Common-subexpression elimination: merges structurally identical nodes
+//! with identical operand edges.
+
+use crate::manager::{Pass, PassStats};
+use srdfg::{NodeKind, SrDfg};
+
+/// Merges duplicate nodes (same behaviour, same inputs), rewiring the
+/// duplicate's consumers to the surviving node's outputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommonSubexpressionElimination;
+
+impl Pass for CommonSubexpressionElimination {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
+        let mut stats = PassStats::default();
+        loop {
+            let ids: Vec<_> = graph.node_ids().collect();
+            let mut merged = false;
+            'outer: for (i, &a) in ids.iter().enumerate() {
+                if !graph.is_live(a) {
+                    continue;
+                }
+                for &b in &ids[i + 1..] {
+                    if !graph.is_live(b) || !graph.is_live(a) {
+                        continue;
+                    }
+                    let (na, nb) = (graph.node(a), graph.node(b));
+                    // Component graphs are instantiation-unique by design
+                    // (paper §II.A); don't merge them.
+                    if matches!(na.kind, NodeKind::Component(_)) {
+                        continue;
+                    }
+                    if na.kind == nb.kind && na.inputs == nb.inputs {
+                        // The eliminated node's output edges disappear; a
+                        // boundary output's *name* lives on its edge, so a
+                        // node feeding the graph boundary must survive.
+                        // Merge in whichever direction keeps the boundary
+                        // edge; two distinct boundary names can't merge.
+                        let is_boundary = |outs: &[srdfg::EdgeId]| {
+                            outs.iter().any(|e| graph.boundary_outputs.contains(e))
+                        };
+                        let (keep, drop) = if !is_boundary(&nb.outputs) {
+                            (a, b)
+                        } else if !is_boundary(&na.outputs) {
+                            (b, a)
+                        } else {
+                            continue;
+                        };
+                        // Rewire consumers of the dropped outputs to the
+                        // kept node's outputs.
+                        let outs_a = graph.node(keep).outputs.clone();
+                        let outs_b = graph.node(drop).outputs.clone();
+                        graph.remove_node(drop);
+                        for (&ea, &eb) in outs_a.iter().zip(&outs_b) {
+                            let consumers =
+                                std::mem::take(&mut graph.edge_mut(eb).consumers);
+                            for (cnode, cslot) in consumers {
+                                graph.node_mut(cnode).inputs[cslot] = ea;
+                                graph.edge_mut(ea).consumers.push((cnode, cslot));
+                            }
+                        }
+                        stats.rewrites += 1;
+                        merged = true;
+                        continue 'outer;
+                    }
+                }
+            }
+            if !merged {
+                break;
+            }
+            stats.changed = true;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn merges_identical_maps() {
+        let prog = pmlang::parse(
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 float a[4], b[4];
+                 a[i] = x[i] * 2.0;
+                 b[i] = x[i] * 2.0;
+                 y[i] = a[i] + b[i];
+             }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        let stats = CommonSubexpressionElimination.run(&mut g);
+        assert!(stats.changed);
+        assert_eq!(g.node_count(), 2);
+
+        let feeds = HashMap::from([(
+            "x".to_string(),
+            srdfg::Tensor::from_vec(pmlang::DType::Float, vec![4], vec![1.0, 2.0, 3.0, 4.0])
+                .unwrap(),
+        )]);
+        let mut m = srdfg::Machine::new(g);
+        let out = m.invoke(&feeds).unwrap();
+        assert_eq!(out["y"].as_real_slice().unwrap(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn duplicate_boundary_outputs_keep_both_names() {
+        // Two identical maps that BOTH feed program outputs: neither node
+        // may be eliminated, or one output name disappears.
+        let prog = pmlang::parse(
+            "main(input float x[4], output float a[4], output float b[4]) {
+                 index i[0:3];
+                 a[i] = x[i] * 2.0;
+                 b[i] = x[i] * 2.0;
+             }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        CommonSubexpressionElimination.run(&mut g);
+
+        let feeds = HashMap::from([(
+            "x".to_string(),
+            srdfg::Tensor::from_vec(pmlang::DType::Float, vec![4], vec![1.0, 2.0, 3.0, 4.0])
+                .unwrap(),
+        )]);
+        let out = srdfg::Machine::new(g).invoke(&feeds).unwrap();
+        assert_eq!(out["a"].as_real_slice().unwrap(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(out["b"].as_real_slice().unwrap(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn interior_duplicate_merges_into_boundary_producer() {
+        // One duplicate feeds the boundary, the other is interior: the
+        // boundary node must be the survivor whichever order they appear.
+        let prog = pmlang::parse(
+            "main(input float x[4], output float a[4], output float y[4]) {
+                 index i[0:3];
+                 float b[4];
+                 a[i] = x[i] * 2.0;
+                 b[i] = x[i] * 2.0;
+                 y[i] = b[i] + 1.0;
+             }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let stats = CommonSubexpressionElimination.run(&mut g);
+        assert!(stats.changed);
+
+        let feeds = HashMap::from([(
+            "x".to_string(),
+            srdfg::Tensor::from_vec(pmlang::DType::Float, vec![4], vec![1.0, 2.0, 3.0, 4.0])
+                .unwrap(),
+        )]);
+        let out = srdfg::Machine::new(g).invoke(&feeds).unwrap();
+        assert_eq!(out["a"].as_real_slice().unwrap(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(out["y"].as_real_slice().unwrap(), &[3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn different_kernels_not_merged() {
+        let prog = pmlang::parse(
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 float a[4], b[4];
+                 a[i] = x[i] * 2.0;
+                 b[i] = x[i] * 3.0;
+                 y[i] = a[i] + b[i];
+             }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let stats = CommonSubexpressionElimination.run(&mut g);
+        assert!(!stats.changed);
+    }
+
+    #[test]
+    fn components_never_merged() {
+        let prog = pmlang::parse(
+            "f(input float a, output float b) { b = a + 1.0; }
+             main(input float x, output float y, output float z) {
+                 f(x, y);
+                 f(x, z);
+             }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let stats = CommonSubexpressionElimination.run(&mut g);
+        assert!(!stats.changed);
+        assert_eq!(g.node_count(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Dead-node elimination: removes nodes none of whose results reach a
+//! boundary output (directly or transitively).
+
+use crate::manager::{Pass, PassStats};
+use srdfg::SrDfg;
+
+/// Removes nodes whose outputs have no live consumers and are not boundary
+/// outputs, iterating until stable within the graph level.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadNodeElimination;
+
+impl Pass for DeadNodeElimination {
+    fn name(&self) -> &'static str {
+        "dead-node-elimination"
+    }
+
+    fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
+        let mut stats = PassStats::default();
+        loop {
+            let dead: Vec<_> = graph
+                .iter_nodes()
+                .filter(|(_, node)| {
+                    node.outputs.iter().all(|&e| {
+                        let edge = graph.edge(e);
+                        edge.consumers.is_empty() && !graph.boundary_outputs.contains(&e)
+                    })
+                })
+                .map(|(id, _)| id)
+                .collect();
+            if dead.is_empty() {
+                break;
+            }
+            for id in dead {
+                graph.remove_node(id);
+                stats.rewrites += 1;
+            }
+            stats.changed = true;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_unused_chain() {
+        // `t` and its chain feed nothing.
+        let prog = pmlang::parse(
+            "main(input float x, output float y) {
+                 float t, u;
+                 t = x * 2.0;
+                 u = t + 1.0;
+                 y = x;
+             }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        let stats = DeadNodeElimination.run(&mut g);
+        assert!(stats.changed);
+        assert_eq!(stats.rewrites, 2);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn keeps_live_nodes() {
+        let prog = pmlang::parse(
+            "main(input float x, output float y) { float t; t = x * 2.0; y = t + 1.0; }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let stats = DeadNodeElimination.run(&mut g);
+        assert!(!stats.changed);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn keeps_state_producers() {
+        // The state output is a boundary output; its producer must stay.
+        let prog = pmlang::parse(
+            "main(input float x, state float s, output float y) {
+                 s = s + x;
+                 y = x;
+             }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let stats = DeadNodeElimination.run(&mut g);
+        assert!(!stats.changed);
+    }
+}

@@ -1,0 +1,375 @@
+//! Constant folding and algebraic simplification over kernels.
+//!
+//! Both are classic passes the paper lists as supported by the PolyMath
+//! pass infrastructure (§IV.B). They rewrite the scalar kernels carried by
+//! `Map`/`Reduce` nodes; node names are recomputed afterwards so lowering
+//! sees the simplified operation.
+
+use crate::manager::{Pass, PassStats};
+use pmlang::{BinOp, UnOp};
+use srdfg::graph::map_op_name;
+use srdfg::{KExpr, NodeKind, SrDfg};
+
+/// Folds constant subexpressions inside kernels: `2 * 3 + x` → `6 + x`,
+/// `pi()` → `3.14159…`, `-(1)` → `-1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantFold;
+
+impl Pass for ConstantFold {
+    fn name(&self) -> &'static str {
+        "constant-fold"
+    }
+
+    fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
+        rewrite_kernels(graph, &mut fold_kexpr)
+    }
+}
+
+/// Applies identity rewrites: `x*1 → x`, `x*0 → 0`, `x+0 → x`, `x-0 → x`,
+/// `x/1 → x`, `x^1 → x`, `select(const, a, b) → a|b`, `!!x → x`, `--x → x`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlgebraicSimplify;
+
+impl Pass for AlgebraicSimplify {
+    fn name(&self) -> &'static str {
+        "algebraic-simplify"
+    }
+
+    fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
+        rewrite_kernels(graph, &mut simplify_kexpr)
+    }
+}
+
+/// Runs a kernel rewriter over every Map/Reduce node, renaming nodes whose
+/// kernel shape changed.
+fn rewrite_kernels(
+    graph: &mut SrDfg,
+    rewriter: &mut impl FnMut(&KExpr) -> (KExpr, usize),
+) -> PassStats {
+    let mut stats = PassStats::default();
+    let ids: Vec<_> = graph.node_ids().collect();
+    for id in ids {
+        let node = graph.node_mut(id);
+        match &mut node.kind {
+            NodeKind::Map(spec) => {
+                let (k, n) = rewriter(&spec.kernel);
+                if n > 0 {
+                    spec.kernel = k;
+                    node.name = map_op_name(&spec.kernel);
+                    stats.changed = true;
+                    stats.rewrites += n;
+                }
+            }
+            NodeKind::Reduce(spec) => {
+                let (k, n) = rewriter(&spec.body);
+                let mut total = n;
+                if n > 0 {
+                    spec.body = k;
+                }
+                if let Some(c) = &spec.cond {
+                    let (ck, cn) = rewriter(c);
+                    if cn > 0 {
+                        spec.cond = Some(ck);
+                        total += cn;
+                    }
+                }
+                if total > 0 {
+                    stats.changed = true;
+                    stats.rewrites += total;
+                }
+            }
+            _ => {}
+        }
+    }
+    stats
+}
+
+/// Recursively folds constants; returns the rewritten kernel and the number
+/// of folds applied.
+pub fn fold_kexpr(k: &KExpr) -> (KExpr, usize) {
+    match k {
+        KExpr::Const(_) | KExpr::Idx(_) | KExpr::Arg(_) => (k.clone(), 0),
+        KExpr::Operand { slot, indices } => {
+            let mut n = 0;
+            let ixs = indices
+                .iter()
+                .map(|ix| {
+                    let (r, c) = fold_kexpr(ix);
+                    n += c;
+                    r
+                })
+                .collect();
+            (KExpr::Operand { slot: *slot, indices: ixs }, n)
+        }
+        KExpr::Unary(op, e) => {
+            let (e2, mut n) = fold_kexpr(e);
+            if let KExpr::Const(v) = e2 {
+                n += 1;
+                let folded = match op {
+                    UnOp::Neg => -v,
+                    UnOp::Not => {
+                        if v == 0.0 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                return (KExpr::Const(folded), n);
+            }
+            (KExpr::Unary(*op, Box::new(e2)), n)
+        }
+        KExpr::Binary(op, a, b) => {
+            let (a2, na) = fold_kexpr(a);
+            let (b2, nb) = fold_kexpr(b);
+            let mut n = na + nb;
+            if let (KExpr::Const(x), KExpr::Const(y)) = (&a2, &b2) {
+                if let Ok(v) = srdfg::kernel::eval_binary(*op, (*x).into(), (*y).into()) {
+                    if let Ok(r) = v.as_real() {
+                        n += 1;
+                        return (KExpr::Const(r), n);
+                    }
+                }
+            }
+            (KExpr::Binary(*op, Box::new(a2), Box::new(b2)), n)
+        }
+        KExpr::Select(c, a, b) => {
+            let (c2, nc) = fold_kexpr(c);
+            let (a2, na) = fold_kexpr(a);
+            let (b2, nb) = fold_kexpr(b);
+            let n = nc + na + nb;
+            if let KExpr::Const(v) = c2 {
+                return (if v != 0.0 { a2 } else { b2 }, n + 1);
+            }
+            (KExpr::Select(Box::new(c2), Box::new(a2), Box::new(b2)), n)
+        }
+        KExpr::Call(f, args) => {
+            let mut n = 0;
+            let folded: Vec<KExpr> = args
+                .iter()
+                .map(|a| {
+                    let (r, c) = fold_kexpr(a);
+                    n += c;
+                    r
+                })
+                .collect();
+            // Fold calls over all-constant arguments (complex-producing
+            // builtins are left alone — Const is real-only).
+            let all_const = folded.iter().all(|a| matches!(a, KExpr::Const(_)));
+            let produces_real = !matches!(f, pmlang::ScalarFunc::Complex);
+            if all_const && produces_real {
+                let vals: Vec<f64> = folded
+                    .iter()
+                    .map(|a| match a {
+                        KExpr::Const(v) => *v,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                return (KExpr::Const(f.eval_real(&vals)), n + 1);
+            }
+            (KExpr::Call(*f, folded), n)
+        }
+    }
+}
+
+/// Recursively applies identity rewrites; returns the rewritten kernel and
+/// the number of rewrites.
+pub fn simplify_kexpr(k: &KExpr) -> (KExpr, usize) {
+    match k {
+        KExpr::Const(_) | KExpr::Idx(_) | KExpr::Arg(_) => (k.clone(), 0),
+        KExpr::Operand { slot, indices } => {
+            let mut n = 0;
+            let ixs = indices
+                .iter()
+                .map(|ix| {
+                    let (r, c) = simplify_kexpr(ix);
+                    n += c;
+                    r
+                })
+                .collect();
+            (KExpr::Operand { slot: *slot, indices: ixs }, n)
+        }
+        KExpr::Unary(op, e) => {
+            let (e2, n) = simplify_kexpr(e);
+            // --x → x, !!x → x
+            if let KExpr::Unary(inner_op, inner) = &e2 {
+                if inner_op == op && *op == UnOp::Neg {
+                    return ((**inner).clone(), n + 1);
+                }
+            }
+            (KExpr::Unary(*op, Box::new(e2)), n)
+        }
+        KExpr::Binary(op, a, b) => {
+            let (a2, na) = simplify_kexpr(a);
+            let (b2, nb) = simplify_kexpr(b);
+            let n = na + nb;
+            let is_const = |e: &KExpr, v: f64| matches!(e, KExpr::Const(c) if *c == v);
+            match op {
+                BinOp::Mul if is_const(&b2, 1.0) => (a2, n + 1),
+                BinOp::Mul if is_const(&a2, 1.0) => (b2, n + 1),
+                BinOp::Mul if is_const(&a2, 0.0) || is_const(&b2, 0.0) => {
+                    (KExpr::Const(0.0), n + 1)
+                }
+                BinOp::Add if is_const(&b2, 0.0) => (a2, n + 1),
+                BinOp::Add if is_const(&a2, 0.0) => (b2, n + 1),
+                BinOp::Sub if is_const(&b2, 0.0) => (a2, n + 1),
+                BinOp::Div if is_const(&b2, 1.0) => (a2, n + 1),
+                BinOp::Pow if is_const(&b2, 1.0) => (a2, n + 1),
+                _ => (KExpr::Binary(*op, Box::new(a2), Box::new(b2)), n),
+            }
+        }
+        KExpr::Select(c, a, b) => {
+            let (c2, nc) = simplify_kexpr(c);
+            let (a2, na) = simplify_kexpr(a);
+            let (b2, nb) = simplify_kexpr(b);
+            let n = nc + na + nb;
+            if a2 == b2 {
+                return (a2, n + 1);
+            }
+            (KExpr::Select(Box::new(c2), Box::new(a2), Box::new(b2)), n)
+        }
+        KExpr::Call(f, args) => {
+            let mut n = 0;
+            let simplified = args
+                .iter()
+                .map(|a| {
+                    let (r, c) = simplify_kexpr(a);
+                    n += c;
+                    r
+                })
+                .collect();
+            (KExpr::Call(*f, simplified), n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmlang::ScalarFunc;
+
+    fn op0() -> KExpr {
+        KExpr::Operand { slot: 0, indices: vec![KExpr::Idx(0)] }
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        // (2*3) + x → 6 + x
+        let k = KExpr::Binary(
+            BinOp::Add,
+            Box::new(KExpr::Binary(
+                BinOp::Mul,
+                Box::new(KExpr::Const(2.0)),
+                Box::new(KExpr::Const(3.0)),
+            )),
+            Box::new(op0()),
+        );
+        let (r, n) = fold_kexpr(&k);
+        assert_eq!(n, 1);
+        assert_eq!(r, KExpr::Binary(BinOp::Add, Box::new(KExpr::Const(6.0)), Box::new(op0())));
+    }
+
+    #[test]
+    fn folds_function_calls() {
+        let k = KExpr::Call(ScalarFunc::Pi, vec![]);
+        let (r, n) = fold_kexpr(&k);
+        assert_eq!(n, 1);
+        assert!(matches!(r, KExpr::Const(v) if (v - std::f64::consts::PI).abs() < 1e-15));
+    }
+
+    #[test]
+    fn folds_select_with_const_condition() {
+        let k = KExpr::Select(
+            Box::new(KExpr::Const(1.0)),
+            Box::new(op0()),
+            Box::new(KExpr::Const(9.0)),
+        );
+        let (r, n) = fold_kexpr(&k);
+        assert_eq!(r, op0());
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn does_not_fold_complex_constructor() {
+        let k = KExpr::Call(ScalarFunc::Complex, vec![KExpr::Const(1.0), KExpr::Const(2.0)]);
+        let (r, n) = fold_kexpr(&k);
+        assert_eq!(n, 0);
+        assert_eq!(r, k);
+    }
+
+    #[test]
+    fn simplifies_identities() {
+        for (k, expect) in [
+            (KExpr::Binary(BinOp::Mul, Box::new(op0()), Box::new(KExpr::Const(1.0))), op0()),
+            (
+                KExpr::Binary(BinOp::Mul, Box::new(op0()), Box::new(KExpr::Const(0.0))),
+                KExpr::Const(0.0),
+            ),
+            (KExpr::Binary(BinOp::Add, Box::new(KExpr::Const(0.0)), Box::new(op0())), op0()),
+            (KExpr::Binary(BinOp::Sub, Box::new(op0()), Box::new(KExpr::Const(0.0))), op0()),
+            (KExpr::Binary(BinOp::Div, Box::new(op0()), Box::new(KExpr::Const(1.0))), op0()),
+            (KExpr::Binary(BinOp::Pow, Box::new(op0()), Box::new(KExpr::Const(1.0))), op0()),
+        ] {
+            let (r, n) = simplify_kexpr(&k);
+            assert_eq!(r, expect);
+            assert_eq!(n, 1, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn simplifies_double_negation() {
+        let k = KExpr::Unary(UnOp::Neg, Box::new(KExpr::Unary(UnOp::Neg, Box::new(op0()))));
+        let (r, n) = simplify_kexpr(&k);
+        assert_eq!(r, op0());
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn select_same_branches_collapses() {
+        let k = KExpr::Select(Box::new(KExpr::Idx(0)), Box::new(op0()), Box::new(op0()));
+        let (r, _) = simplify_kexpr(&k);
+        assert_eq!(r, op0());
+    }
+
+    #[test]
+    fn pass_renames_simplified_map() {
+        // y[i] = x[i] * 1.0  — a "map" that simplifies to a "copy".
+        let prog = pmlang::parse(
+            "main(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i] * 1.0; }",
+        )
+        .unwrap();
+        let mut g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let before: Vec<_> = g.iter_nodes().map(|(_, n)| n.name.clone()).collect();
+        assert!(before.contains(&"map.mul".to_string()));
+        let stats = AlgebraicSimplify.run(&mut g);
+        assert!(stats.changed);
+        let after: Vec<_> = g.iter_nodes().map(|(_, n)| n.name.clone()).collect();
+        assert!(after.contains(&"map.copy".to_string()), "{after:?}");
+    }
+
+    #[test]
+    fn folding_preserves_semantics() {
+        use std::collections::HashMap;
+        let prog = pmlang::parse(
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 y[i] = (2.0 * 3.0) * x[i] + (1.0 - 1.0);
+             }",
+        )
+        .unwrap();
+        let g0 = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let mut g1 = g0.clone();
+        ConstantFold.run(&mut g1);
+        AlgebraicSimplify.run(&mut g1);
+        let feeds = HashMap::from([(
+            "x".to_string(),
+            srdfg::Tensor::from_vec(pmlang::DType::Float, vec![4], vec![1.0, 2.0, 3.0, 4.0])
+                .unwrap(),
+        )]);
+        let mut m0 = srdfg::Machine::new(g0);
+        let mut m1 = srdfg::Machine::new(g1);
+        let a = m0.invoke(&feeds).unwrap();
+        let b = m1.invoke(&feeds).unwrap();
+        assert_eq!(a["y"], b["y"]);
+    }
+}

@@ -1,0 +1,240 @@
+//! The modular pass framework (paper §IV.B).
+//!
+//! PolyMath "implements a modular framework and set of APIs that enable
+//! custom, target-independent passes over the IR. These passes take an
+//! srDFG as an input and produce a transformed srDFG", composing into
+//! pipelines. Passes recurse into component sub-graphs so a transformation
+//! applies at every granularity level.
+
+use srdfg::{NodeKind, SrDfg};
+use std::fmt;
+
+/// Statistics from one pass execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Whether the pass changed the graph.
+    pub changed: bool,
+    /// Number of individual rewrites applied.
+    pub rewrites: usize,
+}
+
+impl PassStats {
+    /// Merges another run's statistics into this one.
+    pub fn merge(&mut self, other: PassStats) {
+        self.changed |= other.changed;
+        self.rewrites += other.rewrites;
+    }
+}
+
+/// A target-independent srDFG → srDFG transformation.
+pub trait Pass {
+    /// The pass's diagnostic name.
+    fn name(&self) -> &'static str;
+
+    /// Transforms one graph level (no recursion); [`run`](Pass::run)
+    /// handles component sub-graphs.
+    fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats;
+
+    /// Runs the pass on `graph` and every nested component sub-graph.
+    fn run(&self, graph: &mut SrDfg) -> PassStats {
+        let mut stats = self.run_on_graph(graph);
+        let ids: Vec<_> = graph.node_ids().collect();
+        for id in ids {
+            // A previous rewrite at this level may have removed the node.
+            if !graph.is_live(id) {
+                continue;
+            }
+            if let NodeKind::Component(_) = &graph.node(id).kind {
+                // Temporarily detach the sub-graph to avoid aliasing.
+                let mut sub = match &mut graph.node_mut(id).kind {
+                    NodeKind::Component(sub) => std::mem::replace(sub.as_mut(), SrDfg::new("")),
+                    _ => unreachable!(),
+                };
+                stats.merge(self.run(&mut sub));
+                if let NodeKind::Component(slot) = &mut graph.node_mut(id).kind {
+                    **slot = sub;
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// An ordered pipeline of passes (paper: "conveniently enables applying
+/// pipelines of passes on the same IR").
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    /// Iterate the whole pipeline until no pass changes the graph.
+    run_to_fixpoint: bool,
+    /// Safety bound on fixpoint iterations.
+    max_iterations: usize,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field("run_to_fixpoint", &self.run_to_fixpoint)
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        PassManager { passes: Vec::new(), run_to_fixpoint: false, max_iterations: 10 }
+    }
+
+    /// The standard optimization pipeline: constant folding, algebraic
+    /// simplification, constant propagation, input pruning, CSE, and DCE,
+    /// iterated to a fixpoint.
+    pub fn standard() -> Self {
+        let mut pm = PassManager::new();
+        pm.add(crate::fold::ConstantFold)
+            .add(crate::fold::AlgebraicSimplify)
+            .add(crate::constprop::ConstantPropagation)
+            .add(crate::prune::PruneUnusedInputs)
+            .add(crate::cse::CommonSubexpressionElimination)
+            .add(crate::dce::DeadNodeElimination);
+        pm.run_to_fixpoint = true;
+        pm
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Requests fixpoint iteration of the whole pipeline.
+    pub fn set_fixpoint(&mut self, enabled: bool) -> &mut Self {
+        self.run_to_fixpoint = enabled;
+        self
+    }
+
+    /// Pass names in pipeline order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline on `graph`, returning per-pass cumulative stats.
+    pub fn run(&self, graph: &mut SrDfg) -> Vec<(&'static str, PassStats)> {
+        let mut totals: Vec<(&'static str, PassStats)> =
+            self.passes.iter().map(|p| (p.name(), PassStats::default())).collect();
+        for _ in 0..self.max_iterations.max(1) {
+            let mut any = false;
+            for (i, pass) in self.passes.iter().enumerate() {
+                let stats = pass.run(graph);
+                any |= stats.changed;
+                totals[i].1.merge(stats);
+            }
+            if !self.run_to_fixpoint || !any {
+                break;
+            }
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingPass;
+    impl Pass for CountingPass {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn run_on_graph(&self, _graph: &mut SrDfg) -> PassStats {
+            PassStats { changed: false, rewrites: 1 }
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_all_passes() {
+        let mut pm = PassManager::new();
+        pm.add(CountingPass).add(CountingPass);
+        let mut g = SrDfg::new("t");
+        let stats = pm.run(&mut g);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].1.rewrites, 1);
+    }
+
+    #[test]
+    fn recurses_into_components() {
+        use srdfg::{EdgeMeta, Modifier};
+        struct MarkAll;
+        impl Pass for MarkAll {
+            fn name(&self) -> &'static str {
+                "mark"
+            }
+            fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
+                PassStats { changed: false, rewrites: graph.node_count() }
+            }
+        }
+        // Outer graph with one component node wrapping one inner node.
+        let mut inner = SrDfg::new("inner");
+        let ie = inner.add_edge(EdgeMeta {
+            name: "x".into(),
+            dtype: pmlang::DType::Float,
+            modifier: Modifier::Temp,
+            shape: vec![],
+        });
+        let oe = inner.add_edge(EdgeMeta {
+            name: "y".into(),
+            dtype: pmlang::DType::Float,
+            modifier: Modifier::Temp,
+            shape: vec![],
+        });
+        inner.boundary_inputs.push(ie);
+        inner.boundary_outputs.push(oe);
+        inner.add_node(
+            "neg",
+            NodeKind::Scalar(srdfg::ScalarKind::Un(pmlang::UnOp::Neg)),
+            None,
+            vec![ie],
+            vec![oe],
+        );
+        let mut outer = SrDfg::new("outer");
+        let a = outer.add_edge(EdgeMeta {
+            name: "a".into(),
+            dtype: pmlang::DType::Float,
+            modifier: Modifier::Input,
+            shape: vec![],
+        });
+        let b = outer.add_edge(EdgeMeta {
+            name: "b".into(),
+            dtype: pmlang::DType::Float,
+            modifier: Modifier::Output,
+            shape: vec![],
+        });
+        outer.boundary_inputs.push(a);
+        outer.boundary_outputs.push(b);
+        outer.add_node("inner", NodeKind::Component(Box::new(inner)), None, vec![a], vec![b]);
+
+        let stats = MarkAll.run(&mut outer);
+        assert_eq!(stats.rewrites, 2, "outer component node + inner scalar node");
+    }
+
+    #[test]
+    fn fixpoint_stops_when_unchanged() {
+        struct OncePass(std::cell::Cell<bool>);
+        impl Pass for OncePass {
+            fn name(&self) -> &'static str {
+                "once"
+            }
+            fn run_on_graph(&self, _g: &mut SrDfg) -> PassStats {
+                let first = !self.0.get();
+                self.0.set(true);
+                PassStats { changed: first, rewrites: usize::from(first) }
+            }
+        }
+        let mut pm = PassManager::new();
+        pm.add(OncePass(std::cell::Cell::new(false)));
+        pm.set_fixpoint(true);
+        let mut g = SrDfg::new("t");
+        let stats = pm.run(&mut g);
+        assert_eq!(stats[0].1.rewrites, 1);
+    }
+}

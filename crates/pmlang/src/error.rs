@@ -1,0 +1,134 @@
+//! Error types produced by the PMLang frontend.
+
+use crate::span::Span;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// An error raised while lexing PMLang source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Location of the offending text.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl StdError for LexError {}
+
+/// An error raised while parsing a PMLang token stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Location of the offending token.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl StdError for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, span: e.span }
+    }
+}
+
+/// An error raised during semantic analysis (name resolution, shape and
+/// type checking, component signature checks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaError {
+    /// Human-readable description.
+    pub message: String,
+    /// Location of the offending construct.
+    pub span: Span,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error at {}: {}", self.span, self.message)
+    }
+}
+
+impl StdError for SemaError {}
+
+/// Any error the PMLang frontend can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// Lexing failed.
+    Lex(LexError),
+    /// Parsing failed.
+    Parse(ParseError),
+    /// Semantic analysis failed.
+    Sema(SemaError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Lex(e) => e.fmt(f),
+            FrontendError::Parse(e) => e.fmt(f),
+            FrontendError::Sema(e) => e.fmt(f),
+        }
+    }
+}
+
+impl StdError for FrontendError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            FrontendError::Lex(e) => Some(e),
+            FrontendError::Parse(e) => Some(e),
+            FrontendError::Sema(e) => Some(e),
+        }
+    }
+}
+
+impl From<LexError> for FrontendError {
+    fn from(e: LexError) -> Self {
+        FrontendError::Lex(e)
+    }
+}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<SemaError> for FrontendError {
+    fn from(e: SemaError) -> Self {
+        FrontendError::Sema(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_location() {
+        let e = LexError { message: "unexpected character `@`".into(), span: Span::new(4, 5, 2, 1) };
+        assert!(e.to_string().contains("2:1"));
+        let p: ParseError = e.clone().into();
+        assert_eq!(p.message, e.message);
+        let f: FrontendError = p.into();
+        assert!(f.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn frontend_error_sources() {
+        let s = SemaError { message: "unknown variable `q`".into(), span: Span::synthetic() };
+        let f: FrontendError = s.into();
+        assert!(f.source().is_some());
+    }
+}

@@ -1,0 +1,435 @@
+//! Built-in scalar functions and group reductions of PMLang.
+//!
+//! The paper (§II.C) equips PMLang with nonlinear operations commonly used
+//! across its five domains (sine/cosine for DSP and robotics, gaussian,
+//! sigmoid/ReLU for learning, …) plus built-in group reductions (`sum`,
+//! `prod`, `max`, …) and user-defined custom reductions.
+
+use std::fmt;
+
+/// A built-in scalar function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarFunc {
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `tan(x)`
+    Tan,
+    /// `sqrt(x)`
+    Sqrt,
+    /// `exp(x)`
+    Exp,
+    /// `ln(x)` — natural logarithm.
+    Ln,
+    /// `log2(x)`
+    Log2,
+    /// `abs(x)`
+    Abs,
+    /// `sigmoid(x)` = 1 / (1 + e^-x)
+    Sigmoid,
+    /// `relu(x)` = max(0, x)
+    Relu,
+    /// `tanh(x)`
+    Tanh,
+    /// `gaussian(x)` = e^(-x²/2) / √(2π) — the standard normal density.
+    Gaussian,
+    /// `erf(x)` — error function (Abramowitz–Stegun approximation).
+    Erf,
+    /// `phi(x)` — standard normal CDF, used by Black-Scholes.
+    Phi,
+    /// `floor(x)`
+    Floor,
+    /// `ceil(x)`
+    Ceil,
+    /// `sign(x)` ∈ {-1, 0, 1}
+    Sign,
+    /// `pow(x, y)` = x^y
+    Pow,
+    /// `min2(x, y)` — binary minimum.
+    Min2,
+    /// `max2(x, y)` — binary maximum.
+    Max2,
+    /// `bitrev(i, bits)` — bit-reversal of integer `i` over `bits` bits
+    /// (FFT index permutation).
+    Bitrev,
+    /// `complex(re, im)` — constructs a complex number.
+    Complex,
+    /// `creal(z)` — real part.
+    CReal,
+    /// `cimag(z)` — imaginary part.
+    CImag,
+    /// `pi()` — the constant π.
+    Pi,
+}
+
+impl ScalarFunc {
+    /// Looks up a built-in function by its PMLang name.
+    pub fn by_name(name: &str) -> Option<ScalarFunc> {
+        use ScalarFunc::*;
+        Some(match name {
+            "sin" => Sin,
+            "cos" => Cos,
+            "tan" => Tan,
+            "sqrt" => Sqrt,
+            "exp" => Exp,
+            "ln" => Ln,
+            "log2" => Log2,
+            "abs" => Abs,
+            "sigmoid" => Sigmoid,
+            "relu" => Relu,
+            "tanh" => Tanh,
+            "gaussian" => Gaussian,
+            "erf" => Erf,
+            "phi" => Phi,
+            "floor" => Floor,
+            "ceil" => Ceil,
+            "sign" => Sign,
+            "pow" => Pow,
+            "min2" => Min2,
+            "max2" => Max2,
+            "bitrev" => Bitrev,
+            "complex" => Complex,
+            "creal" => CReal,
+            "cimag" => CImag,
+            "pi" => Pi,
+            _ => return None,
+        })
+    }
+
+    /// The PMLang surface name.
+    pub fn name(&self) -> &'static str {
+        use ScalarFunc::*;
+        match self {
+            Sin => "sin",
+            Cos => "cos",
+            Tan => "tan",
+            Sqrt => "sqrt",
+            Exp => "exp",
+            Ln => "ln",
+            Log2 => "log2",
+            Abs => "abs",
+            Sigmoid => "sigmoid",
+            Relu => "relu",
+            Tanh => "tanh",
+            Gaussian => "gaussian",
+            Erf => "erf",
+            Phi => "phi",
+            Floor => "floor",
+            Ceil => "ceil",
+            Sign => "sign",
+            Pow => "pow",
+            Min2 => "min2",
+            Max2 => "max2",
+            Bitrev => "bitrev",
+            Complex => "complex",
+            CReal => "creal",
+            CImag => "cimag",
+            Pi => "pi",
+        }
+    }
+
+    /// Number of arguments the function takes.
+    pub fn arity(&self) -> usize {
+        use ScalarFunc::*;
+        match self {
+            Pi => 0,
+            Pow | Min2 | Max2 | Bitrev | Complex => 2,
+            _ => 1,
+        }
+    }
+
+    /// Evaluates the function on real arguments.
+    ///
+    /// Complex-valued builtins (`complex`, `creal`, `cimag`) are handled
+    /// by the interpreter's value layer; this path treats their inputs as
+    /// reals (`complex(re, im)` has no real-only meaning and returns `re`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != self.arity()`.
+    pub fn eval_real(&self, args: &[f64]) -> f64 {
+        assert_eq!(args.len(), self.arity(), "{} expects {} args", self.name(), self.arity());
+        use ScalarFunc::*;
+        match self {
+            Sin => args[0].sin(),
+            Cos => args[0].cos(),
+            Tan => args[0].tan(),
+            Sqrt => args[0].sqrt(),
+            Exp => args[0].exp(),
+            Ln => args[0].ln(),
+            Log2 => args[0].log2(),
+            Abs => args[0].abs(),
+            Sigmoid => 1.0 / (1.0 + (-args[0]).exp()),
+            Relu => args[0].max(0.0),
+            Tanh => args[0].tanh(),
+            Gaussian => (-args[0] * args[0] / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt(),
+            Erf => erf(args[0]),
+            Phi => 0.5 * (1.0 + erf(args[0] / std::f64::consts::SQRT_2)),
+            Floor => args[0].floor(),
+            Ceil => args[0].ceil(),
+            Sign => {
+                if args[0] > 0.0 {
+                    1.0
+                } else if args[0] < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            Pow => args[0].powf(args[1]),
+            Min2 => args[0].min(args[1]),
+            Max2 => args[0].max(args[1]),
+            Bitrev => bitrev(args[0] as u64, args[1] as u32) as f64,
+            Complex => args[0],
+            CReal => args[0],
+            CImag => 0.0,
+            Pi => std::f64::consts::PI,
+        }
+    }
+
+    /// True for functions a dedicated nonlinear unit would implement on an
+    /// accelerator (used by accelerator operation tables).
+    pub fn is_nonlinear(&self) -> bool {
+        use ScalarFunc::*;
+        matches!(
+            self,
+            Sin | Cos | Tan | Sqrt | Exp | Ln | Log2 | Sigmoid | Relu | Tanh | Gaussian | Erf
+                | Phi | Pow
+        )
+    }
+}
+
+impl fmt::Display for ScalarFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Bit-reverses the low `bits` bits of `v` (FFT index permutation).
+pub fn bitrev(v: u64, bits: u32) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    v.reverse_bits() >> (64 - bits)
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 approximation
+/// (max absolute error ≈ 1.5e-7, ample for our workloads).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// A built-in group reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuiltinReduction {
+    /// `sum` — Σ
+    Sum,
+    /// `prod` — Π
+    Prod,
+    /// `max`
+    Max,
+    /// `min`
+    Min,
+    /// `argmax` — index (row-major position in the iteration space) of the max.
+    Argmax,
+    /// `argmin` — index of the min.
+    Argmin,
+    /// `any` — logical OR over `bin` values.
+    Any,
+    /// `all` — logical AND over `bin` values.
+    All,
+}
+
+impl BuiltinReduction {
+    /// Looks up a built-in reduction by name.
+    pub fn by_name(name: &str) -> Option<BuiltinReduction> {
+        use BuiltinReduction::*;
+        Some(match name {
+            "sum" => Sum,
+            "prod" => Prod,
+            "max" => Max,
+            "min" => Min,
+            "argmax" => Argmax,
+            "argmin" => Argmin,
+            "any" => Any,
+            "all" => All,
+            _ => return None,
+        })
+    }
+
+    /// The PMLang surface name.
+    pub fn name(&self) -> &'static str {
+        use BuiltinReduction::*;
+        match self {
+            Sum => "sum",
+            Prod => "prod",
+            Max => "max",
+            Min => "min",
+            Argmax => "argmax",
+            Argmin => "argmin",
+            Any => "any",
+            All => "all",
+        }
+    }
+
+    /// The identity element for an empty iteration space.
+    pub fn identity(&self) -> f64 {
+        use BuiltinReduction::*;
+        match self {
+            Sum | Any => 0.0,
+            Prod => 1.0,
+            All => 1.0,
+            Max | Argmax => f64::NEG_INFINITY,
+            Min | Argmin => f64::INFINITY,
+            // For arg-reductions the identity is the comparison seed; the
+            // result index defaults to 0 on an empty space.
+        }
+    }
+
+    /// Combines an accumulator with a new element (for non-arg reductions).
+    pub fn combine(&self, acc: f64, elem: f64) -> f64 {
+        use BuiltinReduction::*;
+        match self {
+            Sum => acc + elem,
+            Prod => acc * elem,
+            Max | Argmax => acc.max(elem),
+            Min | Argmin => acc.min(elem),
+            Any => {
+                if acc != 0.0 || elem != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            All => {
+                if acc != 0.0 && elem != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// True for `argmax`/`argmin`, which produce an index rather than a value.
+    pub fn is_arg(&self) -> bool {
+        matches!(self, BuiltinReduction::Argmax | BuiltinReduction::Argmin)
+    }
+}
+
+impl fmt::Display for BuiltinReduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_roundtrip() {
+        for f in [
+            ScalarFunc::Sin,
+            ScalarFunc::Sigmoid,
+            ScalarFunc::Gaussian,
+            ScalarFunc::Bitrev,
+            ScalarFunc::Pi,
+        ] {
+            assert_eq!(ScalarFunc::by_name(f.name()), Some(f));
+        }
+        assert_eq!(ScalarFunc::by_name("fused_madd"), None);
+        for r in [BuiltinReduction::Sum, BuiltinReduction::Argmin, BuiltinReduction::All] {
+            assert_eq!(BuiltinReduction::by_name(r.name()), Some(r));
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_monotone() {
+        let s = |x: f64| ScalarFunc::Sigmoid.eval_real(&[x]);
+        assert!(s(-50.0) < 1e-10);
+        assert!((s(0.0) - 0.5).abs() < 1e-12);
+        assert!(s(50.0) > 1.0 - 1e-10);
+        assert!(s(1.0) > s(0.5));
+    }
+
+    #[test]
+    fn gaussian_peak_at_zero() {
+        let g = |x: f64| ScalarFunc::Gaussian.eval_real(&[x]);
+        assert!((g(0.0) - 0.3989422804014327).abs() < 1e-12);
+        assert!(g(0.0) > g(1.0));
+        assert!((g(1.0) - g(-1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929497149).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095030014).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phi_is_a_cdf() {
+        let p = |x: f64| ScalarFunc::Phi.eval_real(&[x]);
+        assert!((p(0.0) - 0.5).abs() < 1e-9);
+        assert!(p(-6.0) < 1e-6);
+        assert!(p(6.0) > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn bitrev_examples() {
+        assert_eq!(bitrev(0b001, 3), 0b100);
+        assert_eq!(bitrev(0b110, 3), 0b011);
+        assert_eq!(bitrev(1, 13), 1 << 12);
+        assert_eq!(bitrev(0, 0), 0);
+        // Involution: reversing twice is the identity.
+        for v in 0..64u64 {
+            assert_eq!(bitrev(bitrev(v, 6), 6), v);
+        }
+    }
+
+    #[test]
+    fn reduction_identities() {
+        assert_eq!(BuiltinReduction::Sum.identity(), 0.0);
+        assert_eq!(BuiltinReduction::Prod.identity(), 1.0);
+        assert_eq!(BuiltinReduction::Max.identity(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn reduction_combines() {
+        assert_eq!(BuiltinReduction::Sum.combine(3.0, 4.0), 7.0);
+        assert_eq!(BuiltinReduction::Prod.combine(3.0, 4.0), 12.0);
+        assert_eq!(BuiltinReduction::Max.combine(3.0, 4.0), 4.0);
+        assert_eq!(BuiltinReduction::Min.combine(3.0, 4.0), 3.0);
+        assert_eq!(BuiltinReduction::Any.combine(0.0, 0.0), 0.0);
+        assert_eq!(BuiltinReduction::Any.combine(0.0, 2.0), 1.0);
+        assert_eq!(BuiltinReduction::All.combine(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn relu_and_friends() {
+        assert_eq!(ScalarFunc::Relu.eval_real(&[-2.0]), 0.0);
+        assert_eq!(ScalarFunc::Relu.eval_real(&[2.0]), 2.0);
+        assert_eq!(ScalarFunc::Sign.eval_real(&[-3.5]), -1.0);
+        assert_eq!(ScalarFunc::Sign.eval_real(&[0.0]), 0.0);
+        assert_eq!(ScalarFunc::Min2.eval_real(&[1.0, 2.0]), 1.0);
+        assert_eq!(ScalarFunc::Pow.eval_real(&[2.0, 10.0]), 1024.0);
+        assert!((ScalarFunc::Pi.eval_real(&[]) - std::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn wrong_arity_panics() {
+        ScalarFunc::Sin.eval_real(&[1.0, 2.0]);
+    }
+}

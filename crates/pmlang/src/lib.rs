@@ -1,0 +1,107 @@
+//! # PMLang — the PolyMath Cross-Domain Language frontend
+//!
+//! PMLang is the high-level language of the PolyMath stack ("A Computational
+//! Stack for Cross-Domain Acceleration", HPCA 2021). It encapsulates the
+//! mathematical properties shared by Robotics, Graph Analytics, DSP, Data
+//! Analytics, and Deep Learning: operations over multi-dimensional data with
+//! index variables rather than loops, reusable *components* with
+//! `input`/`output`/`state`/`param` type modifiers, built-in and custom group
+//! reductions, and per-instantiation *domain annotations*.
+//!
+//! This crate provides the textual frontend: lexer, parser, AST, built-in
+//! intrinsics, and semantic analysis. The sibling `srdfg` crate turns checked
+//! programs into the simultaneous-recursive dataflow-graph IR.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), pmlang::FrontendError> {
+//! let source = "
+//!     mvmul(input float A[m][n], input float B[n], output float C[m]) {
+//!         index i[0:n-1], j[0:m-1];
+//!         C[j] = sum[i](A[j][i]*B[i]);
+//!     }
+//!     main(input float x[4], param float W[3][4], output float y[3]) {
+//!         DA: mvmul(W, x, y);
+//!     }
+//! ";
+//! let program = pmlang::parse(source)?;
+//! let info = pmlang::check(&program)?;
+//! assert_eq!(info.components["mvmul"].size_params, vec!["m", "n"]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod intrinsics;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod sema;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    ArgDecl, BinOp, Component, DType, Domain, Expr, ExprKind, IndexSpec, Program, ReduceIter,
+    ReductionDef, Stmt, TypeModifier, UnOp,
+};
+pub use error::{FrontendError, LexError, ParseError, SemaError};
+pub use intrinsics::{BuiltinReduction, ScalarFunc};
+pub use parser::parse;
+pub use printer::print_program;
+pub use sema::{check, ComponentInfo, ProgramInfo};
+pub use span::Span;
+
+/// Parses and semantically checks a PMLang program in one step.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] wrapping the first lexical, syntactic, or
+/// semantic problem found.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pmlang::FrontendError> {
+/// let (program, info) =
+///     pmlang::frontend("main(input float x, output float y) { y = 2.0 * x; }")?;
+/// assert!(program.main().is_some());
+/// assert!(info.components.contains_key("main"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn frontend(source: &str) -> Result<(Program, ProgramInfo), FrontendError> {
+    let program = parse(source)?;
+    let info = check(&program)?;
+    Ok((program, info))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn frontend_combines_parse_and_check() {
+        let (prog, info) =
+            super::frontend("main(input float x, output float y) { y = x + 1.0; }").unwrap();
+        assert_eq!(prog.components.len(), 1);
+        assert_eq!(info.components.len(), 1);
+    }
+
+    #[test]
+    fn frontend_propagates_parse_errors() {
+        assert!(matches!(
+            super::frontend("main(").unwrap_err(),
+            super::FrontendError::Parse(_)
+        ));
+    }
+
+    #[test]
+    fn frontend_propagates_sema_errors() {
+        assert!(matches!(
+            super::frontend("main(input float x, output float y) { y = q; }").unwrap_err(),
+            super::FrontendError::Sema(_)
+        ));
+    }
+}

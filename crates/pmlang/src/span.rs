@@ -1,0 +1,89 @@
+//! Source locations and spans used for error reporting throughout the
+//! PMLang frontend.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string, with the
+/// 1-based line/column of its start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)` at the given line/column.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A zero-width placeholder span (used for synthesized nodes).
+    pub fn synthetic() -> Self {
+        Span::default()
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// Line/column information is taken from whichever span starts first.
+    pub fn merge(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// Extracts the source text covered by this span.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_start() {
+        let a = Span::new(0, 3, 1, 1);
+        let b = Span::new(5, 9, 2, 2);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end), (0, 9));
+        assert_eq!((m.line, m.col), (1, 1));
+        let m2 = b.merge(a);
+        assert_eq!((m2.start, m2.end), (0, 9));
+        assert_eq!((m2.line, m2.col), (1, 1));
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "hello world";
+        let s = Span::new(6, 11, 1, 7);
+        assert_eq!(s.slice(src), "world");
+    }
+
+    #[test]
+    fn slice_out_of_bounds_is_empty() {
+        let s = Span::new(3, 100, 1, 4);
+        assert_eq!(s.slice("abc"), "");
+    }
+
+    #[test]
+    fn display_shows_line_col() {
+        assert_eq!(Span::new(0, 1, 4, 7).to_string(), "4:7");
+    }
+}

@@ -1,0 +1,96 @@
+//! Robustness fuzzing: the frontend must return `Ok` or a diagnostic on
+//! *any* input — never panic, never overflow the stack. Three input
+//! distributions: raw bytes, token-soup built from the language's own
+//! vocabulary, and mutations of a valid program (the distribution real
+//! typos live in).
+
+use proptest::prelude::*;
+
+/// Fragments the token-soup generator draws from — every keyword,
+/// operator, and literal form the lexer knows, plus nesting punctuation.
+const VOCAB: &[&str] = &[
+    "main", "input", "output", "state", "param", "float", "int", "bin", "str", "complex",
+    "index", "sum", "prod", "max", "min", "argmax", "argmin", "any", "all", "reduction",
+    "DSP:", "DA:", "RBT:", "GA:", "DL:", "(", ")", "[", "]", "{", "}", ",", ";", "=", "+",
+    "-", "*", "/", "^", "<", "<=", ">", ">=", "==", "!=", "?", ":", "x", "y", "i", "j",
+    "t0", "w", "0", "1", "63", "3.5", "0.0", "1e9", "pi", "sigmoid", "sqrt", "ln", "exp",
+    "abs", "min2", "max2", "\"s\"", "//c\n",
+];
+
+const VALID: &str = "filt(input float x[64], param float h[64], output float y) {
+    index i[0:63];
+    y = sum[i](h[i]*x[i]);
+}
+main(input float sig[64], param float taps[64], output float cls) {
+    float feat;
+    DSP: filt(sig, taps, feat);
+    cls = sigmoid(feat);
+}";
+
+fn soup_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0..VOCAB.len(), 0..120)
+        .prop_map(|picks| picks.iter().map(|&k| VOCAB[k]).collect::<Vec<_>>().join(" "))
+}
+
+/// Mutates the valid program: delete, duplicate, or transpose a span.
+fn mutation_strategy() -> impl Strategy<Value = String> {
+    (0..VALID.len(), 1usize..12, 0..3u8).prop_map(|(at, len, kind)| {
+        let mut s = VALID.to_string();
+        let at = at.min(s.len());
+        // Keep the cut on char boundaries.
+        let start = (0..=at).rev().find(|&p| s.is_char_boundary(p)).unwrap_or(0);
+        let end = (start + len).min(s.len());
+        let end = (end..=s.len()).find(|&p| s.is_char_boundary(p)).unwrap_or(s.len());
+        match kind {
+            0 => {
+                s.replace_range(start..end, "");
+            }
+            1 => {
+                let chunk = s[start..end].to_string();
+                s.insert_str(start, &chunk);
+            }
+            _ => {
+                let chunk: String = s[start..end].chars().rev().collect();
+                s.replace_range(start..end, &chunk);
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: the lexer/parser must diagnose, not crash.
+    #[test]
+    fn frontend_never_panics_on_bytes(input in "\\PC{0,200}") {
+        let _ = pmlang::frontend(&input);
+    }
+
+    /// Token soup from the language's own vocabulary: reaches much deeper
+    /// into the parser and semantic analysis than raw bytes.
+    #[test]
+    fn frontend_never_panics_on_token_soup(input in soup_strategy()) {
+        let _ = pmlang::frontend(&input);
+    }
+
+    /// Mutations of a valid program: the typo distribution. Whatever the
+    /// outcome, a reported error must carry a sane span.
+    #[test]
+    fn frontend_never_panics_on_mutations(input in mutation_strategy()) {
+        if let Err(e) = pmlang::frontend(&input) {
+            // The diagnostic must render (no panics in Display) and its
+            // message must be non-empty.
+            let msg = e.to_string();
+            prop_assert!(!msg.is_empty());
+        }
+    }
+
+    /// Deep nesting must hit the depth limit, not the stack guard.
+    #[test]
+    fn deep_nesting_is_a_diagnostic(depth in 1usize..400) {
+        let expr = format!("{}1.0{}", "(".repeat(depth), ")".repeat(depth));
+        let src = format!("main(input float x, output float y) {{ y = {expr}; }}");
+        let _ = pmlang::frontend(&src);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property test: the pretty-printer round-trips randomly generated
+//! expressions through the parser without changing their structure
+//! (checked via printer-fixpoint equality) or their semantics (checked
+//! by executing both versions).
+
+use pmlang::{parse, print_program};
+use proptest::prelude::*;
+
+/// Random expression source text built from a tree we control.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("i".to_string()),
+        (0i64..100).prop_map(|v| v.to_string()),
+        (0i64..100).prop_map(|v| format!("{v}.5")),
+        Just("a[i]".to_string()),
+        Just("b[i]".to_string()),
+    ];
+    leaf.prop_recursive(5, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just("+"), Just("-"), Just("*"), Just("/"), Just("%"), Just("^"),
+                Just("<"), Just("<="), Just(">"), Just(">="), Just("=="), Just("!="),
+                Just("&&"), Just("||"),
+            ])
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            inner.clone().prop_map(|a| format!("(-{a})")),
+            inner.clone().prop_map(|a| format!("sigmoid({a})")),
+            inner.clone().prop_map(|a| format!("min2({a}, 1.0)")),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| format!("({c} ? {a} : {b})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn printer_is_a_parser_fixpoint(expr in expr_strategy()) {
+        let src = format!(
+            "main(input float x, input float y, input float a[4], input float b[4],
+                  output float z[4]) {{
+                 index i[0:3];
+                 z[i] = {expr};
+             }}"
+        );
+        let Ok(prog) = parse(&src) else {
+            // Over-deep random nesting can trip the depth limit; that is
+            // not a printer property.
+            return Ok(());
+        };
+        let printed = print_program(&prog);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reprinted = print_program(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    #[test]
+    fn printed_programs_evaluate_identically(expr in expr_strategy()) {
+        use std::collections::HashMap;
+        let src = format!(
+            "main(input float x, input float y, input float a[4], input float b[4],
+                  output float z[4]) {{
+                 index i[0:3];
+                 z[i] = {expr};
+             }}"
+        );
+        let Ok(prog) = parse(&src) else { return Ok(()) };
+        if pmlang::check(&prog).is_err() {
+            return Ok(());
+        }
+        let printed = print_program(&prog);
+        let reparsed = parse(&printed).unwrap();
+
+        let build = |p: &pmlang::Program| {
+            srdfg::build(p, &srdfg::Bindings::default()).unwrap()
+        };
+        let t = |v: Vec<f64>| {
+            srdfg::Tensor::from_vec(pmlang::DType::Float, vec![v.len()], v).unwrap()
+        };
+        let feeds = HashMap::from([
+            ("x".to_string(), srdfg::Tensor::scalar(pmlang::DType::Float, 1.25)),
+            ("y".to_string(), srdfg::Tensor::scalar(pmlang::DType::Float, -0.75)),
+            ("a".to_string(), t(vec![0.5, 1.5, -2.0, 3.0])),
+            ("b".to_string(), t(vec![2.0, -1.0, 0.25, 4.0])),
+        ]);
+        let r1 = srdfg::Machine::new(build(&prog)).invoke(&feeds);
+        let r2 = srdfg::Machine::new(build(&reparsed)).invoke(&feeds);
+        match (r1, r2) {
+            (Ok(o1), Ok(o2)) => {
+                let d = o1["z"].max_abs_diff(&o2["z"]).unwrap();
+                prop_assert!(d < 1e-12, "diverged by {d}");
+            }
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "one side failed: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Graphviz (DOT) export for srDFGs, for debugging and documentation.
+
+use crate::graph::{NodeKind, SrDfg};
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax. Component sub-graphs become
+/// clusters, mirroring the paper's Fig. 5 nesting.
+pub fn to_dot(graph: &SrDfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", graph.name);
+    let _ = writeln!(out, "  rankdir=LR; node [shape=box, fontsize=10];");
+    render_into(graph, "", &mut out, 1);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn render_into(graph: &SrDfg, prefix: &str, out: &mut String, depth: usize) {
+    let pad = "  ".repeat(depth);
+    for (id, node) in graph.iter_nodes() {
+        let label = match &node.kind {
+            NodeKind::Component(_) => format!("{} (component)", node.name),
+            NodeKind::Map(_) => format!("{} (map)", node.name),
+            NodeKind::Reduce(_) => format!("{} (reduce)", node.name),
+            NodeKind::Scalar(_) => node.name.clone(),
+            NodeKind::ConstTensor(_) => "const".into(),
+            NodeKind::Load => "load".into(),
+            NodeKind::Store => "store".into(),
+            NodeKind::Unpack => "unpack".into(),
+            NodeKind::Pack => "pack".into(),
+        };
+        let domain = node.domain.map(|d| format!(" [{}]", d.keyword())).unwrap_or_default();
+        let _ = writeln!(out, "{pad}\"{prefix}{id}\" [label=\"{label}{domain}\"];");
+        if let NodeKind::Component(sub) = &node.kind {
+            if depth <= 3 {
+                let _ = writeln!(out, "{pad}subgraph \"cluster_{prefix}{id}\" {{");
+                let _ = writeln!(out, "{pad}  label=\"{}\";", node.name);
+                render_into(sub, &format!("{prefix}{id}."), out, depth + 1);
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+    for eid in graph.edge_ids() {
+        let edge = graph.edge(eid);
+        if let Some((src, _)) = edge.producer {
+            for &(dst, _) in &edge.consumers {
+                let _ = writeln!(
+                    out,
+                    "{pad}\"{prefix}{src}\" -> \"{prefix}{dst}\" [label=\"{} {:?}\", fontsize=8];",
+                    edge.meta.name, edge.meta.shape
+                );
+            }
+        }
+    }
+}
+
+/// Renders a human-readable textual IR listing: one line per node with
+/// its operation, domain, operand/result edges, and iteration spaces.
+/// Component sub-graphs indent beneath their node.
+pub fn to_text(graph: &SrDfg) -> String {
+    let mut out = String::new();
+    render_text(graph, 0, &mut out);
+    out
+}
+
+fn render_text(graph: &SrDfg, depth: usize, out: &mut String) {
+    use crate::graph::{IndexRange, NodeKind};
+    use std::fmt::Write as _;
+    let pad = "  ".repeat(depth);
+    let fmt_space = |space: &[IndexRange]| -> String {
+        space
+            .iter()
+            .map(|r| format!("{}[{}:{}]", r.name, r.lo, r.hi))
+            .collect::<Vec<_>>()
+            .join("")
+    };
+    let fmt_edges = |ids: &[crate::graph::EdgeId]| -> String {
+        ids.iter()
+            .map(|&e| {
+                let m = &graph.edge(e).meta;
+                if m.name.is_empty() {
+                    format!("{e}")
+                } else {
+                    format!("{}:{:?}", m.name, m.shape)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    for (id, node) in graph.iter_nodes() {
+        let domain = node.domain.map(|d| format!(" @{}", d.keyword())).unwrap_or_default();
+        let detail = match &node.kind {
+            NodeKind::Map(m) => format!(" over {}  kernel {}", fmt_space(&m.out_space), m.kernel),
+            NodeKind::Reduce(r) => format!(
+                " over {} reduce {}  body {}",
+                fmt_space(&r.out_space),
+                fmt_space(&r.red_space),
+                r.body
+            ),
+            NodeKind::Component(_) => " (component)".into(),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "{pad}{id} {name}{domain}: ({inputs}) -> ({outputs}){detail}",
+            name = node.name,
+            inputs = fmt_edges(&node.inputs),
+            outputs = fmt_edges(&node.outputs),
+        );
+        if let NodeKind::Component(sub) = &node.kind {
+            render_text(sub, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, Bindings};
+
+    #[test]
+    fn text_ir_lists_nodes_with_kernels() {
+        let prog = pmlang::parse(
+            "main(input float A[2][3], input float B[3], output float C[2]) {
+                 index i[0:2], j[0:1];
+                 C[j] = sum[i](A[j][i]*B[i]);
+             }",
+        )
+        .unwrap();
+        let g = crate::build::build(&prog, &crate::build::Bindings::default()).unwrap();
+        let text = to_text(&g);
+        assert!(text.contains("matvec"), "{text}");
+        assert!(text.contains("j[0:1]"), "{text}");
+        assert!(text.contains("reduce i[0:2]"), "{text}");
+        assert!(text.contains("%0[i0][i1]"), "{text}");
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let prog = pmlang::parse(
+            "f(input float x[2], output float y[2]) { index i[0:1]; y[i] = x[i] + 1.0; }
+             main(input float a[2], output float b[2]) { DSP: f(a, b); }",
+        )
+        .unwrap();
+        let g = build(&prog, &Bindings::default()).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("component"), "{dot}");
+        assert!(dot.contains("DSP"), "{dot}");
+        assert!(dot.contains("cluster"), "{dot}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Errors produced while building or executing srDFGs.
+
+use crate::value::ValueError;
+use pmlang::Span;
+use std::fmt;
+
+/// An error raised while translating a checked PMLang program to srDFG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildError {
+    /// Human-readable description.
+    pub message: String,
+    /// Source location of the offending construct.
+    pub span: Span,
+}
+
+impl BuildError {
+    /// Creates a build error.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        BuildError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "build error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// An error raised while executing an srDFG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ExecError {
+    /// Creates an execution error.
+    pub fn new(message: impl Into<String>) -> Self {
+        ExecError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ValueError> for ExecError {
+    fn from(e: ValueError) -> Self {
+        ExecError { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let b = BuildError::new("unbound size `n`", Span::synthetic());
+        assert!(b.to_string().contains("unbound size"));
+        let e: ExecError = ValueError::ComplexCondition.into();
+        assert!(e.to_string().contains("condition"));
+    }
+}

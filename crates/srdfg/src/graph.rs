@@ -1,0 +1,826 @@
+//! The simultaneous-recursive dataflow graph (srDFG).
+//!
+//! Paper §III: an srDFG is a pair `(N, E)` of nodes and edges. A node is a
+//! pair `(name, srdfg)` — an operation name plus its own lower-granularity
+//! srDFG — and an edge is `(src, dst, md)` where the metadata `md` carries
+//! the operand's type, type modifier, and shape.
+//!
+//! Our representation keeps the paper's semantics with two engineering
+//! choices:
+//!
+//! * Edges are stored as SSA-style *values*: one [`Edge`] records the
+//!   producer and all consumers, which is equivalent to the paper's set of
+//!   `(src, dst, md)` tuples sharing `md`, and more convenient for passes.
+//! * The recursive sub-srDFG of a node is *materialized* for component
+//!   instantiations (inlining, paper §II.A) and *derived on demand* for
+//!   tensor operations via [`crate::expand`] — every granularity remains
+//!   accessible at all times, without eagerly building billions of scalar
+//!   nodes for large tensors.
+
+use crate::kernel::KExpr;
+use crate::value::Tensor;
+use pmlang::{BinOp, BuiltinReduction, DType, Domain, ScalarFunc, UnOp};
+use std::fmt;
+
+/// Identifies a node within one [`SrDfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifies an edge (value) within one [`SrDfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// How a value is used, extending the source-level type modifiers with
+/// `Temp` for compiler-introduced intermediates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modifier {
+    /// Read-once input flow.
+    Input,
+    /// Write-only output flow.
+    Output,
+    /// Persisted across invocations.
+    State,
+    /// Compile-time constant.
+    Param,
+    /// Intermediate SSA value.
+    Temp,
+}
+
+impl fmt::Display for Modifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Modifier::Input => "input",
+            Modifier::Output => "output",
+            Modifier::State => "state",
+            Modifier::Param => "param",
+            Modifier::Temp => "temp",
+        })
+    }
+}
+
+/// Edge metadata: the paper's `md = (type, type modifier, shape)`, plus the
+/// source-level variable name for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeMeta {
+    /// Source-level name (possibly with an SSA suffix like `pred.1`).
+    pub name: String,
+    /// Element type.
+    pub dtype: DType,
+    /// Type modifier.
+    pub modifier: Modifier,
+    /// Concrete shape (empty = scalar).
+    pub shape: Vec<usize>,
+}
+
+impl EdgeMeta {
+    /// Number of elements the edge's value carries.
+    pub fn volume(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Size in bytes, assuming 4-byte reals and 8-byte complex elements
+    /// (the precision the evaluated accelerators use for data transfer).
+    pub fn bytes(&self) -> u64 {
+        let per = if self.dtype == DType::Complex { 8 } else { 4 };
+        (self.volume() as u64) * per
+    }
+}
+
+/// A half-open inclusive index range `name ∈ [lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexRange {
+    /// Source-level index variable name.
+    pub name: String,
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound (`hi < lo` gives an empty range).
+    pub hi: i64,
+}
+
+impl IndexRange {
+    /// Number of points in the range.
+    pub fn size(&self) -> usize {
+        if self.hi < self.lo {
+            0
+        } else {
+            (self.hi - self.lo + 1) as usize
+        }
+    }
+}
+
+/// Total number of points in an index space.
+pub fn space_size(space: &[IndexRange]) -> usize {
+    space.iter().map(IndexRange::size).product()
+}
+
+/// The reduction operator of a [`NodeKind::Reduce`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReduceOp {
+    /// A built-in group reduction (`sum`, `prod`, `max`, …).
+    Builtin(BuiltinReduction),
+    /// A user-defined reduction with its combiner kernel
+    /// (`KExpr::Arg(0)` = accumulator, `KExpr::Arg(1)` = element).
+    Custom {
+        /// Source-level reduction name.
+        name: String,
+        /// The combining kernel.
+        combiner: KExpr,
+    },
+}
+
+impl ReduceOp {
+    /// The reduction's surface name.
+    pub fn name(&self) -> &str {
+        match self {
+            ReduceOp::Builtin(b) => b.name(),
+            ReduceOp::Custom { name, .. } => name,
+        }
+    }
+}
+
+/// Where a node writes its result within the target tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteSpec {
+    /// Shape of the target tensor.
+    pub target_shape: Vec<usize>,
+    /// One index expression per target axis; `KExpr::Idx` positions refer
+    /// to the node's output index space.
+    pub lhs: Vec<KExpr>,
+    /// True when the write covers only part of the target, so the previous
+    /// version of the variable is carried in as input slot 0 and updated.
+    pub carried: bool,
+}
+
+impl WriteSpec {
+    /// An identity write covering an entire tensor of `shape`.
+    pub fn identity(shape: &[usize]) -> WriteSpec {
+        WriteSpec {
+            target_shape: shape.to_vec(),
+            lhs: (0..shape.len()).map(KExpr::Idx).collect(),
+            carried: false,
+        }
+    }
+}
+
+/// An elementwise tensor operation: for every point of `out_space`,
+/// evaluate `kernel` and store at the `write` location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapSpec {
+    /// Output iteration space (the statement's free indices).
+    pub out_space: Vec<IndexRange>,
+    /// Scalar kernel; `KExpr::Idx(i)` is `out_space[i]`.
+    pub kernel: KExpr,
+    /// Write placement.
+    pub write: WriteSpec,
+}
+
+/// A group reduction over `red_space`, producing one element per point of
+/// `out_space`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReduceSpec {
+    /// The reduction operator.
+    pub op: ReduceOp,
+    /// Output (free) iteration space.
+    pub out_space: Vec<IndexRange>,
+    /// Reduced iteration space. `KExpr::Idx(i)` numbering covers
+    /// `out_space` first, then `red_space`.
+    pub red_space: Vec<IndexRange>,
+    /// Optional Boolean guard (paper's conditional index groups); points
+    /// where it evaluates false are skipped.
+    pub cond: Option<KExpr>,
+    /// The reduced element expression.
+    pub body: KExpr,
+    /// Write placement.
+    pub write: WriteSpec,
+}
+
+/// A scalar primitive (the finest granularity; appears in expanded graphs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarKind {
+    /// Binary arithmetic/comparison/logic.
+    Bin(BinOp),
+    /// Unary negation / logical not.
+    Un(UnOp),
+    /// Built-in function application.
+    Func(ScalarFunc),
+    /// Ternary select (inputs: cond, then, else).
+    Select,
+    /// A constant.
+    Const(f64),
+}
+
+/// Recognized compute patterns on `Reduce` nodes, attached at build time so
+/// coarse-granularity accelerators (e.g. the DL backend) can claim them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Inner product of two vectors.
+    Dot,
+    /// Matrix–vector product.
+    MatVec,
+    /// Matrix–matrix product.
+    MatMul,
+    /// 2-D convolution (sliding dot product over spatial dims + channels).
+    Conv2d,
+    /// Window pooling (max/sum over a spatial window).
+    Pool,
+}
+
+impl Pattern {
+    /// The operation name lowering uses for this pattern.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Pattern::Dot => "dot",
+            Pattern::MatVec => "matvec",
+            Pattern::MatMul => "matmul",
+            Pattern::Conv2d => "conv2d",
+            Pattern::Pool => "pool",
+        }
+    }
+}
+
+/// The behavioural payload of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// An inlined component instantiation: the node's sub-srDFG is the
+    /// component body, with boundary edges bound positionally to this
+    /// node's inputs/outputs.
+    Component(Box<SrDfg>),
+    /// Elementwise tensor operation.
+    Map(MapSpec),
+    /// Group reduction.
+    Reduce(ReduceSpec),
+    /// Scalar primitive (expanded graphs only).
+    Scalar(ScalarKind),
+    /// A compile-time constant tensor baked into the graph (params).
+    ConstTensor(Tensor),
+    /// DMA load from another domain's accelerator (inserted by Algorithm 2).
+    Load,
+    /// DMA store toward another domain's accelerator.
+    Store,
+    /// Marshalling: splits one tensor edge into per-element scalar edges
+    /// (row-major). Appears at the boundary of scalar-expanded graphs,
+    /// modelling the streaming of tensor data into a scalar-granularity
+    /// accelerator fabric.
+    Unpack,
+    /// Marshalling: gathers per-element scalar edges (row-major) into one
+    /// tensor edge.
+    Pack,
+}
+
+/// A node of the srDFG: `(name, kind, domain, operands, results)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// The operation name used by the lowering algorithm's support check
+    /// (`n.name ∉ Ot`, paper Algorithm 1).
+    pub name: String,
+    /// Behaviour.
+    pub kind: NodeKind,
+    /// The domain this node executes in (inherited from its component's
+    /// instantiation annotation, paper §II.D).
+    pub domain: Option<Domain>,
+    /// Operand edges, in kernel slot order.
+    pub inputs: Vec<EdgeId>,
+    /// Result edges.
+    pub outputs: Vec<EdgeId>,
+    /// Recognized compute pattern, if any.
+    pub pattern: Option<Pattern>,
+    /// Explicit accelerator assignment (by target name), overriding the
+    /// domain's default target. Set from per-component target overrides
+    /// and inherited through refinement.
+    pub target: Option<String>,
+}
+
+/// An SSA value: the producing port, all consuming ports, and metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Producing `(node, output slot)`, or `None` for a boundary input.
+    pub producer: Option<(NodeId, usize)>,
+    /// Consuming `(node, input slot)` pairs.
+    pub consumers: Vec<(NodeId, usize)>,
+    /// The paper's edge metadata.
+    pub meta: EdgeMeta,
+}
+
+/// A simultaneous-recursive dataflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SrDfg {
+    /// Graph name (component name for component graphs).
+    pub name: String,
+    /// The graph's domain (paper: `srdfg.domain`).
+    pub domain: Option<Domain>,
+    nodes: Vec<Option<Node>>,
+    edges: Vec<Edge>,
+    /// External operands in positional order (includes params and the
+    /// incoming version of every `state` variable).
+    pub boundary_inputs: Vec<EdgeId>,
+    /// External results in positional order (outputs, then the outgoing
+    /// version of every `state` variable).
+    pub boundary_outputs: Vec<EdgeId>,
+}
+
+impl SrDfg {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        SrDfg {
+            name: name.into(),
+            domain: None,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            boundary_inputs: Vec::new(),
+            boundary_outputs: Vec::new(),
+        }
+    }
+
+    /// Adds an edge with no producer or consumers yet.
+    pub fn add_edge(&mut self, meta: EdgeMeta) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge { producer: None, consumers: Vec::new(), meta });
+        id
+    }
+
+    /// Adds a node, wiring its input/output edges' use lists.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+        domain: Option<Domain>,
+        inputs: Vec<EdgeId>,
+        outputs: Vec<EdgeId>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        for (slot, e) in inputs.iter().enumerate() {
+            self.edges[e.0 as usize].consumers.push((id, slot));
+        }
+        for (slot, e) in outputs.iter().enumerate() {
+            debug_assert!(
+                self.edges[e.0 as usize].producer.is_none(),
+                "edge {e} already has a producer"
+            );
+            self.edges[e.0 as usize].producer = Some((id, slot));
+        }
+        self.nodes.push(Some(Node {
+            name: name.into(),
+            kind,
+            domain,
+            inputs,
+            outputs,
+            pattern: None,
+            target: None,
+        }));
+        id
+    }
+
+    /// Returns the node with `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was removed.
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id.0 as usize].as_ref().expect("node was removed")
+    }
+
+    /// Mutable access to the node with `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was removed.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id.0 as usize].as_mut().expect("node was removed")
+    }
+
+    /// True if `id` refers to a live (not removed) node.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes.get(id.0 as usize).is_some_and(Option::is_some)
+    }
+
+    /// Returns the edge with `id`.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0 as usize]
+    }
+
+    /// Mutable access to the edge with `id`.
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut Edge {
+        &mut self.edges[id.0 as usize]
+    }
+
+    /// Iterates over live node ids in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|_| NodeId(i as u32)))
+    }
+
+    /// Iterates over `(id, node)` pairs for live nodes.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|node| (NodeId(i as u32), node)))
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Number of edges (including ones left dangling by node removal).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Removes a node, unlinking it from its edges' use lists.
+    pub fn remove_node(&mut self, id: NodeId) {
+        let Some(node) = self.nodes[id.0 as usize].take() else { return };
+        for e in &node.inputs {
+            self.edges[e.0 as usize].consumers.retain(|(n, _)| *n != id);
+        }
+        for e in &node.outputs {
+            let edge = &mut self.edges[e.0 as usize];
+            if edge.producer.is_some_and(|(n, _)| n == id) {
+                edge.producer = None;
+            }
+        }
+    }
+
+    /// Returns live node ids in a deterministic topological order
+    /// (dependencies before dependents; ties broken by id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle (the builder only produces
+    /// DAGs; state circulation is represented by boundary edge pairs).
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut indeg: Vec<usize> = vec![0; self.nodes.len()];
+        for (id, node) in self.iter_nodes() {
+            let mut preds = std::collections::BTreeSet::new();
+            for e in &node.inputs {
+                if let Some((p, _)) = self.edges[e.0 as usize].producer {
+                    if p != id {
+                        preds.insert(p);
+                    }
+                }
+            }
+            indeg[id.0 as usize] = preds.len();
+        }
+        let mut ready: std::collections::BTreeSet<NodeId> = self
+            .iter_nodes()
+            .filter(|(id, _)| indeg[id.0 as usize] == 0)
+            .map(|(id, _)| id)
+            .collect();
+        let mut order = Vec::with_capacity(self.node_count());
+        let mut done: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        while let Some(&id) = ready.iter().next() {
+            ready.remove(&id);
+            order.push(id);
+            done.insert(id);
+            // A successor may consume several edges/slots from this node;
+            // its in-degree counted unique predecessors, so decrement once.
+            let mut succs = std::collections::BTreeSet::new();
+            for e in &self.node(id).outputs {
+                for &(succ, _) in &self.edges[e.0 as usize].consumers {
+                    if succ != id && !done.contains(&succ) {
+                        succs.insert(succ);
+                    }
+                }
+            }
+            for succ in succs {
+                let d = &mut indeg[succ.0 as usize];
+                *d = d.saturating_sub(1);
+                if *d == 0 {
+                    ready.insert(succ);
+                }
+            }
+        }
+        assert_eq!(order.len(), self.node_count(), "srDFG contains a cycle");
+        order
+    }
+
+    /// Splices `sub` in place of node `id` (the substitution step of the
+    /// paper's Algorithm 1): `sub`'s boundary inputs are identified with
+    /// the node's input edges and its boundary outputs with the node's
+    /// output edges, positionally; interior edges and nodes are copied in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundary arities do not match the node's.
+    pub fn splice(&mut self, id: NodeId, sub: &SrDfg) {
+        let node = self.node(id).clone();
+        assert_eq!(
+            sub.boundary_inputs.len(),
+            node.inputs.len(),
+            "splice: boundary input arity mismatch for `{}`",
+            node.name
+        );
+        assert_eq!(
+            sub.boundary_outputs.len(),
+            node.outputs.len(),
+            "splice: boundary output arity mismatch for `{}`",
+            node.name
+        );
+        self.remove_node(id);
+
+        // Map sub-edge ids to parent edge ids.
+        let mut edge_map: Vec<Option<EdgeId>> = vec![None; sub.edges.len()];
+        for (i, be) in sub.boundary_inputs.iter().enumerate() {
+            edge_map[be.0 as usize] = Some(node.inputs[i]);
+        }
+        for (i, be) in sub.boundary_outputs.iter().enumerate() {
+            // A sub-graph edge can be both boundary input and output (pure
+            // pass-through); splicing then forwards the parent input edge.
+            if let Some(existing) = edge_map[be.0 as usize] {
+                // Forward: rewire consumers of the parent output edge to the
+                // parent input edge, and patch the graph boundary too (a
+                // pass-through state variable may be a boundary output).
+                let out_edge = node.outputs[i];
+                let consumers = std::mem::take(&mut self.edges[out_edge.0 as usize].consumers);
+                for (cnode, cslot) in consumers {
+                    self.edges[existing.0 as usize].consumers.push((cnode, cslot));
+                    let n = self.node_mut(cnode);
+                    n.inputs[cslot] = existing;
+                }
+                for bo in &mut self.boundary_outputs {
+                    if *bo == out_edge {
+                        *bo = existing;
+                    }
+                }
+            } else {
+                edge_map[be.0 as usize] = Some(node.outputs[i]);
+            }
+        }
+        for (i, sedge) in sub.edges.iter().enumerate() {
+            if edge_map[i].is_none() {
+                edge_map[i] = Some(self.add_edge(sedge.meta.clone()));
+            }
+        }
+
+        // Copy sub nodes, remapping edges; inherit the parent node's domain
+        // where the sub node has none (paper: lowered nodes inherit the
+        // srdfg domain).
+        for (_, snode) in sub.iter_nodes() {
+            let inputs: Vec<EdgeId> =
+                snode.inputs.iter().map(|e| edge_map[e.0 as usize].unwrap()).collect();
+            let outputs: Vec<EdgeId> =
+                snode.outputs.iter().map(|e| edge_map[e.0 as usize].unwrap()).collect();
+            let new_id = self.add_node(
+                snode.name.clone(),
+                snode.kind.clone(),
+                snode.domain.or(node.domain),
+                inputs,
+                outputs,
+            );
+            self.node_mut(new_id).pattern = snode.pattern;
+            self.node_mut(new_id).target =
+                snode.target.clone().or_else(|| node.target.clone());
+        }
+    }
+
+    /// Total scalar operations this graph performs per invocation, summing
+    /// map/reduce iteration spaces times kernel op counts and recursing
+    /// into component sub-graphs. The basis of every cost model.
+    pub fn scalar_op_count(&self) -> u64 {
+        let mut total = 0u64;
+        for (_, node) in self.iter_nodes() {
+            total += node_op_count(node);
+        }
+        total
+    }
+}
+
+/// Scalar-op count for one node (see [`SrDfg::scalar_op_count`]).
+///
+/// Counts *datapath* work only: operand-index arithmetic and iteration
+/// guards are address-generation logic that every implementation (loop
+/// bounds on a CPU, AGUs on an accelerator) performs for free relative to
+/// the arithmetic.
+pub fn node_op_count(node: &Node) -> u64 {
+    match &node.kind {
+        NodeKind::Component(sub) => sub.scalar_op_count(),
+        NodeKind::Map(m) => {
+            space_size(&m.out_space) as u64 * m.kernel.compute_op_count().max(1)
+        }
+        NodeKind::Reduce(r) => {
+            let points = (space_size(&r.out_space) * space_size(&r.red_space)) as u64;
+            let per = r.body.compute_op_count() + 1; // + combine
+            points * per.max(1)
+        }
+        NodeKind::Scalar(_) => 1,
+        NodeKind::ConstTensor(_)
+        | NodeKind::Load
+        | NodeKind::Store
+        | NodeKind::Unpack
+        | NodeKind::Pack => 0,
+    }
+}
+
+/// Derives the lowering-facing operation name for a map kernel: a single
+/// binary/unary/function application over plain operand reads gets the op's
+/// own name; anything compound is a generic `map`.
+pub fn map_op_name(kernel: &KExpr) -> String {
+    fn is_leaf(e: &KExpr) -> bool {
+        matches!(e, KExpr::Operand { .. } | KExpr::Const(_) | KExpr::Idx(_))
+    }
+    match kernel {
+        KExpr::Binary(op, a, b) if is_leaf(a) && is_leaf(b) => match op {
+            BinOp::Add => "map.add".into(),
+            BinOp::Sub => "map.sub".into(),
+            BinOp::Mul => "map.mul".into(),
+            BinOp::Div => "map.div".into(),
+            BinOp::Mod => "map.mod".into(),
+            BinOp::Pow => "map.pow".into(),
+            other => format!("map.cmp.{}", other.symbol()),
+        },
+        KExpr::Unary(UnOp::Neg, a) if is_leaf(a) => "map.neg".into(),
+        KExpr::Unary(UnOp::Not, a) if is_leaf(a) => "map.not".into(),
+        KExpr::Call(f, args) if args.iter().all(is_leaf) => format!("map.{}", f.name()),
+        KExpr::Select(c, a, b) if is_leaf(c) && is_leaf(a) && is_leaf(b) => "map.select".into(),
+        KExpr::Operand { .. } | KExpr::Const(_) | KExpr::Idx(_) => "map.copy".into(),
+        _ => "map".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str, shape: Vec<usize>) -> EdgeMeta {
+        EdgeMeta { name: name.into(), dtype: DType::Float, modifier: Modifier::Temp, shape }
+    }
+
+    fn simple_map(out: usize) -> MapSpec {
+        MapSpec {
+            out_space: vec![IndexRange { name: "i".into(), lo: 0, hi: out as i64 - 1 }],
+            kernel: KExpr::Binary(
+                BinOp::Add,
+                Box::new(KExpr::Operand { slot: 0, indices: vec![KExpr::Idx(0)] }),
+                Box::new(KExpr::Const(1.0)),
+            ),
+            write: WriteSpec::identity(&[out]),
+        }
+    }
+
+    #[test]
+    fn build_and_topo() {
+        let mut g = SrDfg::new("t");
+        let a = g.add_edge(meta("a", vec![4]));
+        let b = g.add_edge(meta("b", vec![4]));
+        let c = g.add_edge(meta("c", vec![4]));
+        g.boundary_inputs.push(a);
+        g.boundary_outputs.push(c);
+        let n1 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![a], vec![b]);
+        let n2 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![b], vec![c]);
+        assert_eq!(g.topo_order(), vec![n1, n2]);
+        assert_eq!(g.edge(b).producer, Some((n1, 0)));
+        assert_eq!(g.edge(b).consumers, vec![(n2, 0)]);
+    }
+
+    #[test]
+    fn remove_unlinks() {
+        let mut g = SrDfg::new("t");
+        let a = g.add_edge(meta("a", vec![4]));
+        let b = g.add_edge(meta("b", vec![4]));
+        let n1 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![a], vec![b]);
+        g.remove_node(n1);
+        assert!(!g.is_live(n1));
+        assert!(g.edge(a).consumers.is_empty());
+        assert!(g.edge(b).producer.is_none());
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn index_range_sizes() {
+        assert_eq!(IndexRange { name: "i".into(), lo: 0, hi: 9 }.size(), 10);
+        assert_eq!(IndexRange { name: "i".into(), lo: 5, hi: 4 }.size(), 0);
+        assert_eq!(
+            space_size(&[
+                IndexRange { name: "i".into(), lo: 0, hi: 2 },
+                IndexRange { name: "j".into(), lo: 0, hi: 3 },
+            ]),
+            12
+        );
+    }
+
+    #[test]
+    fn splice_replaces_node() {
+        // Parent: in --[f]--> out. Sub for f: in --[g]--> t --[h]--> out.
+        let mut parent = SrDfg::new("p");
+        let pin = parent.add_edge(meta("in", vec![2]));
+        let pout = parent.add_edge(meta("out", vec![2]));
+        parent.boundary_inputs.push(pin);
+        parent.boundary_outputs.push(pout);
+        let f = parent.add_node("f", NodeKind::Map(simple_map(2)), None, vec![pin], vec![pout]);
+
+        let mut sub = SrDfg::new("f");
+        let sin = sub.add_edge(meta("in", vec![2]));
+        let st = sub.add_edge(meta("t", vec![2]));
+        let sout = sub.add_edge(meta("out", vec![2]));
+        sub.boundary_inputs.push(sin);
+        sub.boundary_outputs.push(sout);
+        sub.add_node("g", NodeKind::Map(simple_map(2)), None, vec![sin], vec![st]);
+        sub.add_node("h", NodeKind::Map(simple_map(2)), None, vec![st], vec![sout]);
+
+        parent.splice(f, &sub);
+        assert_eq!(parent.node_count(), 2);
+        let order = parent.topo_order();
+        assert_eq!(parent.node(order[0]).name, "g");
+        assert_eq!(parent.node(order[1]).name, "h");
+        // Boundary edges unchanged.
+        assert_eq!(parent.boundary_inputs, vec![pin]);
+        assert_eq!(parent.boundary_outputs, vec![pout]);
+        assert_eq!(parent.edge(pout).producer.map(|(n, _)| parent.node(n).name.clone()),
+                   Some("h".to_string()));
+    }
+
+    #[test]
+    fn splice_inherits_domain() {
+        let mut parent = SrDfg::new("p");
+        let pin = parent.add_edge(meta("in", vec![2]));
+        let pout = parent.add_edge(meta("out", vec![2]));
+        let f = parent.add_node(
+            "f",
+            NodeKind::Map(simple_map(2)),
+            Some(Domain::Dsp),
+            vec![pin],
+            vec![pout],
+        );
+        let mut sub = SrDfg::new("f");
+        let sin = sub.add_edge(meta("in", vec![2]));
+        let sout = sub.add_edge(meta("out", vec![2]));
+        sub.boundary_inputs.push(sin);
+        sub.boundary_outputs.push(sout);
+        sub.add_node("g", NodeKind::Map(simple_map(2)), None, vec![sin], vec![sout]);
+        parent.splice(f, &sub);
+        let (_, g) = parent.iter_nodes().next().unwrap();
+        assert_eq!(g.domain, Some(Domain::Dsp));
+    }
+
+    #[test]
+    fn op_count_scales_with_space() {
+        let spec = simple_map(10);
+        let mut g = SrDfg::new("t");
+        let a = g.add_edge(meta("a", vec![10]));
+        let b = g.add_edge(meta("b", vec![10]));
+        g.add_node("add", NodeKind::Map(spec), None, vec![a], vec![b]);
+        assert_eq!(g.scalar_op_count(), 10); // 10 points × 1 add
+    }
+
+    #[test]
+    fn map_op_names() {
+        let add = KExpr::Binary(
+            BinOp::Add,
+            Box::new(KExpr::Operand { slot: 0, indices: vec![] }),
+            Box::new(KExpr::Operand { slot: 1, indices: vec![] }),
+        );
+        assert_eq!(map_op_name(&add), "map.add");
+        let sig = KExpr::Call(
+            ScalarFunc::Sigmoid,
+            vec![KExpr::Operand { slot: 0, indices: vec![KExpr::Idx(0)] }],
+        );
+        assert_eq!(map_op_name(&sig), "map.sigmoid");
+        let compound = KExpr::Binary(BinOp::Mul, Box::new(add.clone()), Box::new(KExpr::Const(2.0)));
+        assert_eq!(map_op_name(&compound), "map");
+        assert_eq!(map_op_name(&KExpr::Operand { slot: 0, indices: vec![] }), "map.copy");
+    }
+
+    #[test]
+    fn edge_meta_bytes() {
+        let m = meta("x", vec![3, 4]);
+        assert_eq!(m.volume(), 12);
+        assert_eq!(m.bytes(), 48);
+        let c = EdgeMeta {
+            name: "z".into(),
+            dtype: DType::Complex,
+            modifier: Modifier::Temp,
+            shape: vec![2],
+        };
+        assert_eq!(c.bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detection_panics() {
+        let mut g = SrDfg::new("t");
+        let a = g.add_edge(meta("a", vec![1]));
+        let b = g.add_edge(meta("b", vec![1]));
+        g.add_node("f", NodeKind::Map(simple_map(1)), None, vec![a], vec![b]);
+        g.add_node("g", NodeKind::Map(simple_map(1)), None, vec![b], vec![a]);
+        g.topo_order();
+    }
+}

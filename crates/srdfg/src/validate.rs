@@ -1,0 +1,160 @@
+//! Structural well-formedness checks for srDFGs.
+
+use crate::graph::{NodeKind, SrDfg};
+use std::fmt;
+
+/// A structural defect found by [`validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateError {
+    /// Description of the defect.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid srDFG: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks graph invariants:
+///
+/// * producer/consumer back-links are consistent;
+/// * boundary outputs have a producer or are boundary inputs (pass-through);
+/// * kernel operand slots stay within each node's input arity;
+/// * component sub-graph boundary arities match their node's;
+/// * the graph is acyclic (checked via `topo_order`);
+/// * sub-graphs validate recursively.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found.
+pub fn validate(graph: &SrDfg) -> Result<(), ValidateError> {
+    for (id, node) in graph.iter_nodes() {
+        for (slot, &e) in node.inputs.iter().enumerate() {
+            let edge = graph.edge(e);
+            if !edge.consumers.contains(&(id, slot)) {
+                return Err(ValidateError {
+                    message: format!("edge {e} missing consumer back-link to {id} slot {slot}"),
+                });
+            }
+        }
+        for (slot, &e) in node.outputs.iter().enumerate() {
+            let edge = graph.edge(e);
+            if edge.producer != Some((id, slot)) {
+                return Err(ValidateError {
+                    message: format!("edge {e} missing producer back-link to {id} slot {slot}"),
+                });
+            }
+        }
+        let max_slot = match &node.kind {
+            NodeKind::Map(m) => m.kernel.max_slot(),
+            NodeKind::Reduce(r) => {
+                r.body.max_slot().max(r.cond.as_ref().and_then(|c| c.max_slot()))
+            }
+            _ => None,
+        };
+        if let Some(ms) = max_slot {
+            if ms >= node.inputs.len() {
+                return Err(ValidateError {
+                    message: format!(
+                        "node `{}` kernel references slot {ms} but has {} inputs",
+                        node.name,
+                        node.inputs.len()
+                    ),
+                });
+            }
+        }
+        if let NodeKind::Component(sub) = &node.kind {
+            if sub.boundary_inputs.len() != node.inputs.len()
+                || sub.boundary_outputs.len() != node.outputs.len()
+            {
+                return Err(ValidateError {
+                    message: format!(
+                        "component `{}` boundary arity mismatch ({}→{} vs {}→{})",
+                        node.name,
+                        sub.boundary_inputs.len(),
+                        sub.boundary_outputs.len(),
+                        node.inputs.len(),
+                        node.outputs.len()
+                    ),
+                });
+            }
+            validate(sub)?;
+        }
+    }
+    for &e in &graph.boundary_outputs {
+        let edge = graph.edge(e);
+        if edge.producer.is_none() && !graph.boundary_inputs.contains(&e) {
+            return Err(ValidateError {
+                message: format!("boundary output `{}` has no producer", edge.meta.name),
+            });
+        }
+    }
+    // Acyclicity (panics on cycle; convert to an error).
+    let count = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| graph.topo_order().len()));
+    match count {
+        Ok(n) if n == graph.node_count() => Ok(()),
+        _ => Err(ValidateError { message: "graph contains a cycle".into() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, Bindings};
+
+    fn assert_valid(src: &str, sizes: Vec<(&str, i64)>) {
+        let prog = pmlang::parse(src).unwrap();
+        pmlang::check(&prog).unwrap();
+        let g = build(&prog, &Bindings::from_sizes(sizes)).unwrap();
+        validate(&g).unwrap();
+    }
+
+    #[test]
+    fn built_graphs_validate() {
+        assert_valid(
+            "mvmul(input float A[m][n], input float B[n], output float C[m]) {
+                 index i[0:n-1], j[0:m-1];
+                 C[j] = sum[i](A[j][i]*B[i]);
+             }
+             main(input float W[3][2], input float x[2], state float s[3], output float y[3]) {
+                 index j[0:2];
+                 DA: mvmul(W, x, y);
+                 s[j] = s[j] + y[j];
+             }",
+            vec![],
+        );
+    }
+
+    #[test]
+    fn refined_graphs_validate() {
+        let prog = pmlang::parse(
+            "main(input float A[2][3], input float B[3], output float C[2]) {
+                 index i[0:2], j[0:1];
+                 C[j] = sum[i](A[j][i]*B[i]);
+             }",
+        )
+        .unwrap();
+        let mut g = build(&prog, &Bindings::default()).unwrap();
+        let ids: Vec<_> = g.node_ids().collect();
+        for id in ids {
+            if let Ok(sub) = crate::expand::refine(&g, id, &Default::default()) {
+                g.splice(id, &sub);
+            }
+        }
+        validate(&g).unwrap();
+    }
+
+    #[test]
+    fn detects_broken_backlink() {
+        let prog =
+            pmlang::parse("main(input float x, output float y) { y = x + 1.0; }").unwrap();
+        let mut g = build(&prog, &Bindings::default()).unwrap();
+        // Corrupt: clear a consumer list behind the node's back.
+        let e = g.boundary_inputs[0];
+        g.edge_mut(e).consumers.clear();
+        assert!(validate(&g).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Structural tests of the AST→srDFG builder: SSA versioning, carry
+//! detection, operand deduplication, boundary layout, and domain
+//! inheritance — asserted on the graph structure itself rather than
+//! through execution.
+
+use srdfg::{Bindings, KExpr, Modifier, NodeKind, SrDfg};
+
+fn build(src: &str) -> SrDfg {
+    let (prog, _) = pmlang::frontend(src).unwrap();
+    srdfg::build(&prog, &Bindings::default()).unwrap()
+}
+
+#[test]
+fn ssa_assignments_create_versions() {
+    let g = build(
+        "main(input float x[4], output float y[4]) {
+             index i[0:3];
+             y[i] = x[i];
+             y[i] = y[i] + 1.0;
+         }",
+    );
+    // Two map nodes; the second consumes the first's output edge.
+    assert_eq!(g.node_count(), 2);
+    let order = g.topo_order();
+    let first_out = g.node(order[0]).outputs[0];
+    assert!(g.node(order[1]).inputs.contains(&first_out));
+    // Edge names carry SSA versions.
+    assert!(g.edge(first_out).meta.name.starts_with("y."));
+}
+
+#[test]
+fn full_identity_writes_are_not_carried() {
+    let g = build(
+        "main(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i] * 2.0; }",
+    );
+    let (_, node) = g.iter_nodes().next().unwrap();
+    let NodeKind::Map(spec) = &node.kind else { panic!("expected map") };
+    assert!(!spec.write.carried);
+    assert_eq!(spec.write.lhs, vec![KExpr::Idx(0)]);
+}
+
+#[test]
+fn partial_writes_carry_the_previous_version() {
+    let g = build(
+        "main(input float x[4], output float y[4]) {
+             index i[0:3], j[0:1];
+             y[i] = x[i];
+             y[2*j] = 0.0;
+         }",
+    );
+    let order = g.topo_order();
+    let partial = g.node(order[1]);
+    let NodeKind::Map(spec) = &partial.kind else { panic!("expected map") };
+    assert!(spec.write.carried);
+    // Carry occupies slot 0 and is the previous version of y.
+    let carry = partial.inputs[0];
+    assert!(g.edge(carry).meta.name.starts_with("y."));
+}
+
+#[test]
+fn repeated_operand_reads_share_one_slot() {
+    let g = build(
+        "main(input float x[4], output float y[4]) {
+             index i[0:3];
+             y[i] = x[i] * x[i] + x[i];
+         }",
+    );
+    let (_, node) = g.iter_nodes().next().unwrap();
+    assert_eq!(node.inputs.len(), 1, "x registered once");
+    let NodeKind::Map(spec) = &node.kind else { panic!() };
+    assert_eq!(spec.kernel.max_slot(), Some(0));
+}
+
+#[test]
+fn boundary_layout_is_signature_ordered() {
+    let g = build(
+        "main(input float a, param float p[2], state float s, input float b,
+              output float y) {
+             y = a + b + p[0] + p[1];
+             s = s + 1.0;
+         }",
+    );
+    let in_names: Vec<(String, Modifier)> = g
+        .boundary_inputs
+        .iter()
+        .map(|&e| (g.edge(e).meta.name.clone(), g.edge(e).meta.modifier))
+        .collect();
+    assert_eq!(
+        in_names,
+        vec![
+            ("a".to_string(), Modifier::Input),
+            ("p".to_string(), Modifier::Param),
+            ("s".to_string(), Modifier::State),
+            ("b".to_string(), Modifier::Input),
+        ]
+    );
+    let out_names: Vec<(String, Modifier)> = g
+        .boundary_outputs
+        .iter()
+        .map(|&e| (g.edge(e).meta.name.clone(), g.edge(e).meta.modifier))
+        .collect();
+    assert_eq!(
+        out_names,
+        vec![("s".to_string(), Modifier::State), ("y".to_string(), Modifier::Output)]
+    );
+}
+
+#[test]
+fn int_params_become_compile_time_constants() {
+    let (prog, _) = pmlang::frontend(
+        "main(input float x[8], param int h, output float y) {
+             y = x[h] * 2.0;
+         }",
+    )
+    .unwrap();
+    let g = srdfg::build(&prog, &Bindings::from_sizes([("h", 3)])).unwrap();
+    // `h` must not appear as a boundary input; it is baked into the kernel.
+    assert!(g
+        .boundary_inputs
+        .iter()
+        .all(|&e| g.edge(e).meta.name != "h"));
+    let (_, node) = g.iter_nodes().next().unwrap();
+    let NodeKind::Map(spec) = &node.kind else { panic!() };
+    let rendered = spec.kernel.to_string();
+    assert!(rendered.contains("%0[3]"), "{rendered}");
+}
+
+#[test]
+fn instantiation_inherits_and_statement_overrides_domain() {
+    let g = build(
+        "f(input float x[2], output float y[2]) { index i[0:1]; y[i] = x[i] + 1.0; }
+         main(input float a[2], output float b[2], output float c[2]) {
+             index i[0:1];
+             DSP: f(a, b);
+             GA: c[i] = a[i] * 2.0;
+         }",
+    );
+    let mut domains = std::collections::BTreeSet::new();
+    for (_, node) in g.iter_nodes() {
+        domains.insert(node.domain);
+        if let NodeKind::Component(sub) = &node.kind {
+            for (_, inner) in sub.iter_nodes() {
+                assert_eq!(inner.domain, Some(pmlang::Domain::Dsp), "inherited");
+            }
+        }
+    }
+    assert!(domains.contains(&Some(pmlang::Domain::Dsp)));
+    assert!(domains.contains(&Some(pmlang::Domain::GraphAnalytics)));
+}
+
+#[test]
+fn each_instantiation_gets_its_own_subgraph() {
+    // Paper Fig. 5 ②: every instantiation is a unique copy.
+    let g = build(
+        "f(input float x[2], output float y[2]) { index i[0:1]; y[i] = x[i] + 1.0; }
+         main(input float a[2], output float b[2], output float c[2]) {
+             f(a, b);
+             f(b, c);
+         }",
+    );
+    let subs: Vec<&SrDfg> = g
+        .iter_nodes()
+        .filter_map(|(_, n)| match &n.kind {
+            NodeKind::Component(sub) => Some(sub.as_ref()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(subs.len(), 2);
+    // Structurally equal bodies, distinct instances.
+    assert_eq!(subs[0].node_count(), subs[1].node_count());
+    assert!(!std::ptr::eq(subs[0], subs[1]));
+}
+
+#[test]
+fn reduce_with_trailing_expression_splits_into_two_nodes() {
+    let g = build(
+        "main(input float x[4], output float y) {
+             index i[0:3];
+             y = sum[i](x[i]) * 0.25;
+         }",
+    );
+    assert_eq!(g.node_count(), 2);
+    let kinds: Vec<bool> = g
+        .topo_order()
+        .iter()
+        .map(|&id| matches!(g.node(id).kind, NodeKind::Reduce(_)))
+        .collect();
+    assert_eq!(kinds, vec![true, false], "reduce feeds the scaling map");
+}
+
+#[test]
+fn whole_statement_reduce_fuses_write_into_the_node() {
+    let g = build(
+        "main(input float A[3][4], output float y[3]) {
+             index i[0:2], j[0:3];
+             y[i] = sum[j](A[i][j]);
+         }",
+    );
+    assert_eq!(g.node_count(), 1, "no copy map after the reduction");
+    let (_, node) = g.iter_nodes().next().unwrap();
+    assert!(matches!(node.kind, NodeKind::Reduce(_)));
+}
+
+#[test]
+fn sizes_infer_through_nested_instantiations() {
+    let g = build(
+        "inner(input float v[n], output float s) {
+             index i[0:n-1];
+             s = sum[i](v[i]);
+         }
+         outer(input float m[r][c], output float t) {
+             index i[0:c-1];
+             float row[c];
+             row[i] = m[0][i];
+             inner(row, t);
+         }
+         main(input float data[5][7], output float total) {
+             outer(data, total);
+         }",
+    );
+    // The inner component's reduce must span exactly 7 elements.
+    fn find_reduce(g: &SrDfg) -> Option<usize> {
+        for (_, node) in g.iter_nodes() {
+            match &node.kind {
+                NodeKind::Reduce(r) => return Some(r.red_space[0].size()),
+                NodeKind::Component(sub) => {
+                    if let Some(n) = find_reduce(sub) {
+                        return Some(n);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    assert_eq!(find_reduce(&g), Some(7));
+}

@@ -1,0 +1,255 @@
+//! The two end-to-end cross-domain applications (paper Table IV).
+//!
+//! * **BrainStimul** — the deep-brain-stimulation study of §II: (1) FFT
+//!   converts raw ECoG signals to the frequency domain (DSP), (2) logistic
+//!   regression classifies the spectrum into biomarkers (DA), (3) model
+//!   predictive control produces the stimulation signal (RBT). Three
+//!   domains per iteration.
+//! * **OptionPricing** — call-option pricing: logistic-regression
+//!   sentiment over news-article features, then Black-Scholes over an
+//!   option book whose volatilities the sentiment scales (both DA; the
+//!   paper runs LR on TABLA and Black-Scholes on HyperStreams
+//!   *simultaneously*, realized here with a per-component target override
+//!   (`Compiler::with_target_override`), see DESIGN.md §2).
+//!
+//! Each application is a *single PMLang program*: "PMLang allows users to
+//! write their application as a single program, thus eliminating the
+//! overhead of stitching together stacks" (paper §II).
+
+use crate::programs;
+use pmlang::Domain;
+
+/// One end-to-end application with its per-kernel composition.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Application name (Table IV).
+    pub name: &'static str,
+    /// The composed PMLang program.
+    pub source: String,
+    /// The kernels it comprises: `(label, domain)` in execution order.
+    pub kernels: Vec<(&'static str, Domain)>,
+    /// Control-loop iterations per benchmark run.
+    pub iterations: u64,
+    /// Native-stack inefficiency of the application's CPU baseline
+    /// (framework/interpreter overhead over our optimized-kernel CPU
+    /// model). End-to-end sweeps apply it to host partitions: code left
+    /// on the CPU runs in the native stack. 1.0 = the native baseline is
+    /// as fast as our CPU model (compiled C/MATLAB); >1 for interpreted
+    /// pipelines (OptionPricing's Python sentiment + pricing stack).
+    pub host_native_factor: f64,
+}
+
+/// Builds the BrainStimul application at the paper's configuration
+/// (FFT-4096, LR with 4096 features, MPC horizon 1024) or scaled down for
+/// functional tests.
+pub fn brain_stimul(fft_n: usize, horizon: usize) -> App {
+    let features = fft_n;
+    let fm = features - 1;
+    let c = 3 * horizon;
+    let b = 2 * horizon;
+    let source = format!(
+        "{fft}
+classify(input float feat[{features}], state float w[{features}], output float prob) {{
+    index i[0:{fm}];
+    prob = sigmoid(sum[i](w[i]*feat[i]));
+}}
+predict_trajectory(input float pos[a], input float ctrl_mdl[b],
+                   param float P[c][a], param float H[c][b],
+                   output float pred[c]) {{
+    index i[0:a-1], j[0:b-1], k[0:c-1];
+    pred[k] = sum[i](P[k][i]*pos[i]);
+    pred[k] = pred[k] + sum[j](H[k][j]*ctrl_mdl[j]);
+}}
+compute_ctrl_grad(input float pos_pred[c], input float ctrl_mdl[b],
+                  param float pos_ref[c], param float HQ_g[b][c],
+                  param float R_g[b][b], output float g[b]) {{
+    index i[0:b-1], j[0:c-1], q[0:b-1];
+    float err[c], P_g[b], H_g[b];
+    err[j] = pos_ref[j] - pos_pred[j];
+    P_g[i] = sum[j](HQ_g[i][j]*err[j]);
+    H_g[i] = sum[q](R_g[i][q]*ctrl_mdl[q]);
+    g[i] = P_g[i] + H_g[i];
+}}
+update_ctrl_model(input float g[b], output float ctrl_mdl[b],
+                  output float stim[s]) {{
+    index i[0:b-1], j[0:s-1];
+    stim[j] = ctrl_mdl[j];
+    ctrl_mdl[i] = ctrl_mdl[i] - 0.01 * g[i];
+}}
+main(input float ecog[{features}], state float w[{features}],
+     state float ctrl_mdl[{b}],
+     param float P[{c}][3], param float H[{c}][{b}],
+     param float pos_ref[{c}], param float HQ_g[{b}][{c}],
+     param float R_g[{b}][{b}], output float stim[2]) {{
+    index i[0:{fm}], p[0:2];
+    complex xc[{features}], Xf[{features}];
+    float feat[{features}], prob, pos[3], pos_pred[{c}], g[{b}];
+    xc[i] = complex(ecog[i], 0.0);
+    DSP: fftc(xc, Xf);
+    feat[i] = creal(Xf[i])*creal(Xf[i]) + cimag(Xf[i])*cimag(Xf[i]);
+    DA: classify(feat, w, prob);
+    pos[p] = prob * (0.5 + 0.25 * p);
+    RBT: predict_trajectory(pos, ctrl_mdl, P, H, pos_pred);
+    RBT: compute_ctrl_grad(pos_pred, ctrl_mdl, pos_ref, HQ_g, R_g, g);
+    RBT: update_ctrl_model(g, ctrl_mdl, stim);
+}}
+",
+        fft = programs::fft_component(fft_n),
+    );
+    App {
+        name: "BrainStimul",
+        source,
+        kernels: vec![
+            ("FFT", Domain::Dsp),
+            ("LR", Domain::DataAnalytics),
+            ("MPC", Domain::Robotics),
+        ],
+        iterations: 1000,
+        host_native_factor: 1.0,
+    }
+}
+
+/// Builds the OptionPricing application (paper: 129549-word sentiment LR +
+/// 8192-option Black-Scholes) or scaled down for functional tests.
+///
+/// Substitution note: the paper's LR consumes a sparse 129549-word
+/// bag-of-words; our formulation stores the same vocabulary densely
+/// (131072 ≈ 2^17 words) on every platform, so the CPU baseline and the
+/// accelerators perform identical work and the sparse-format bookkeeping
+/// drops out of the comparison (see DESIGN.md §2).
+pub fn option_pricing(words: usize, options: usize) -> App {
+    option_pricing_with(words, options, true, true)
+}
+
+/// OptionPricing with per-kernel acceleration control: both kernels live in
+/// the Data Analytics domain, so the paper's Fig. 10b sweep (BLKS / LR /
+/// BLKS+LR) is realized by annotating only the accelerated kernels (the
+/// un-annotated one runs on the host).
+pub fn option_pricing_with(
+    words: usize,
+    options: usize,
+    accel_lr: bool,
+    accel_blks: bool,
+) -> App {
+    let wm = words - 1;
+    let om = options - 1;
+    let lr = if accel_lr { "DA: " } else { "" };
+    let bk = if accel_blks { "DA: " } else { "" };
+    let source = format!(
+        "sentiment(input float wordv[{words}], state float w[{words}], output float prob) {{
+    index i[0:{wm}];
+    prob = sigmoid(sum[i](w[i]*wordv[i]));
+}}
+blks(input float spot[{options}], input float strike[{options}],
+     input float vol[{options}], param float rate, param float tte,
+     output float call[{options}]) {{
+    index i[0:{om}];
+    float d1[{options}], d2[{options}];
+    d1[i] = (ln(spot[i]/strike[i]) + (rate + vol[i]*vol[i]*0.5)*tte)
+            / (vol[i]*sqrt(tte));
+    d2[i] = d1[i] - vol[i]*sqrt(tte);
+    call[i] = spot[i]*phi(d1[i]) - strike[i]*exp(0.0 - rate*tte)*phi(d2[i]);
+}}
+main(input float wordv[{words}], state float w[{words}],
+     input float spot[{options}], input float strike[{options}],
+     input float vol0[{options}], param float rate, param float tte,
+     output float call[{options}]) {{
+    index i[0:{om}];
+    float prob, vol[{options}];
+    {lr}sentiment(wordv, w, prob);
+    vol[i] = vol0[i] * (0.8 + 0.4 * prob);
+    {bk}blks(spot, strike, vol, rate, tte, call);
+}}
+",
+    );
+    App {
+        name: "OptionPricing",
+        source,
+        kernels: vec![("LR", Domain::DataAnalytics), ("BLKS", Domain::DataAnalytics)],
+        iterations: 1000,
+        host_native_factor: 6.0,
+    }
+}
+
+/// Both applications at paper scale.
+pub fn paper_apps() -> Vec<App> {
+    vec![brain_stimul(4096, 1024), option_pricing(131_072, 8192)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apps_pass_the_frontend() {
+        for app in [brain_stimul(16, 4), option_pricing(32, 16)] {
+            let prog = pmlang::parse(&app.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            pmlang::check(&prog).unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        }
+    }
+
+    #[test]
+    fn paper_apps_pass_the_frontend() {
+        for app in paper_apps() {
+            let prog = pmlang::parse(&app.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            pmlang::check(&prog).unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        }
+    }
+
+    #[test]
+    fn brainstim_crosses_three_domains() {
+        let app = brain_stimul(16, 4);
+        let domains: std::collections::BTreeSet<_> =
+            app.kernels.iter().map(|(_, d)| *d).collect();
+        assert_eq!(domains.len(), 3);
+    }
+
+    #[test]
+    fn brainstim_small_executes_functionally() {
+        use std::collections::HashMap;
+        let app = brain_stimul(16, 4);
+        let prog = pmlang::parse(&app.source).unwrap();
+        let g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let mut m = srdfg::Machine::new(g);
+        let t = |shape: Vec<usize>, seed: u64| crate::datagen::normal_tensor(shape, 0.1, seed);
+        let feeds = HashMap::from([
+            ("ecog".to_string(), t(vec![16], 1)),
+            ("P".to_string(), t(vec![12, 3], 2)),
+            ("H".to_string(), t(vec![12, 8], 3)),
+            ("pos_ref".to_string(), t(vec![12], 4)),
+            ("HQ_g".to_string(), t(vec![8, 12], 5)),
+            ("R_g".to_string(), t(vec![8, 8], 6)),
+        ]);
+        let out = m.invoke(&feeds).unwrap();
+        assert_eq!(out["stim"].shape(), &[2]);
+        assert!(out["stim"].as_real_slice().unwrap().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn option_pricing_small_matches_reference() {
+        use std::collections::HashMap;
+        let app = option_pricing(8, 4);
+        let prog = pmlang::parse(&app.source).unwrap();
+        let g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
+        let mut m = srdfg::Machine::new(g);
+        // Zero word vector ⇒ sigmoid(0) = 0.5 ⇒ vol = vol0.
+        let vec_t = |v: Vec<f64>| {
+            srdfg::Tensor::from_vec(pmlang::DType::Float, vec![v.len()], v).unwrap()
+        };
+        let feeds = HashMap::from([
+            ("wordv".to_string(), vec_t(vec![0.0; 8])),
+            ("spot".to_string(), vec_t(vec![100.0, 110.0, 90.0, 100.0])),
+            ("strike".to_string(), vec_t(vec![100.0; 4])),
+            ("vol0".to_string(), vec_t(vec![0.2; 4])),
+            ("rate".to_string(), srdfg::Tensor::scalar(pmlang::DType::Float, 0.05)),
+            ("tte".to_string(), srdfg::Tensor::scalar(pmlang::DType::Float, 1.0)),
+        ]);
+        let out = m.invoke(&feeds).unwrap();
+        let calls = out["call"].as_real_slice().unwrap();
+        let expect = crate::reference::black_scholes_call(100.0, 100.0, 0.2, 0.05, 1.0);
+        assert!((calls[0] - expect).abs() < 1e-6, "{} vs {expect}", calls[0]);
+        assert!(calls[1] > calls[0] && calls[2] < calls[0]);
+    }
+}

@@ -1,0 +1,19 @@
+//! # pm-workloads — the PolyMath benchmark suite
+//!
+//! PMLang sources for every workload in the paper's Table III and the two
+//! end-to-end applications of Table IV, plus the synthetic data generators
+//! and hand-optimized Rust reference implementations that stand in for the
+//! unavailable datasets and native baselines (see DESIGN.md §2).
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod datagen;
+pub mod programs;
+pub mod python;
+pub mod reference;
+pub mod suite;
+
+pub use apps::{paper_apps, App};
+pub use programs::loc;
+pub use suite::{extension_suite, paper_suite, SparseHints, Workload};

@@ -1,0 +1,431 @@
+//! Hand-optimized Rust reference implementations.
+//!
+//! These play two roles: (1) golden outputs for checking the srDFG
+//! interpreter and the lowered accelerator programs, and (2) stand-ins for
+//! the paper's "hand-tuned implementations" — direct, allocation-free code
+//! of the kind an expert writes against a native stack.
+
+/// Iterative radix-2 decimation-in-time FFT. `data` holds `(re, im)`
+/// pairs; length must be a power of two.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [(f64, f64)]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    let log2n = n.trailing_zeros();
+    // Bit-reversal permutation.
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - log2n) as u64;
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    let mut m = 2;
+    while m <= n {
+        let half = m / 2;
+        let step = -std::f64::consts::TAU / m as f64;
+        for start in (0..n).step_by(m) {
+            for j in 0..half {
+                let (wr, wi) = ((step * j as f64).cos(), (step * j as f64).sin());
+                let (ar, ai) = data[start + j];
+                let (br, bi) = data[start + j + half];
+                let (tr, ti) = (wr * br - wi * bi, wr * bi + wi * br);
+                data[start + j] = (ar + tr, ai + ti);
+                data[start + j + half] = (ar - tr, ai - ti);
+            }
+        }
+        m *= 2;
+    }
+}
+
+/// Naive DFT for cross-checking the FFT (O(n²)).
+pub fn dft(input: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0, 0.0);
+            for (t, &(re, im)) in input.iter().enumerate() {
+                let ang = -std::f64::consts::TAU * (k * t) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                acc.0 += re * c - im * s;
+                acc.1 += re * s + im * c;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Blocked 8×8 DCT-II over a square image with stride 8, using the basis
+/// kernel from [`crate::datagen::dct_kernel`]. Returns
+/// `[bi][bj][u][v]`-ordered coefficients.
+pub fn dct(img: &[f64], side: usize, ck: &[f64]) -> Vec<f64> {
+    let blocks = side / 8;
+    let mut out = vec![0.0; blocks * blocks * 64];
+    for bi in 0..blocks {
+        for bj in 0..blocks {
+            for u in 0..8 {
+                for v in 0..8 {
+                    let mut acc = 0.0;
+                    for x in 0..8 {
+                        for y in 0..8 {
+                            acc += img[(bi * 8 + x) * side + bj * 8 + y]
+                                * ck[u * 8 + x]
+                                * ck[v * 8 + y];
+                        }
+                    }
+                    out[((bi * blocks + bj) * 8 + u) * 8 + v] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One logistic-regression SGD step; returns the predicted probability and
+/// updates `w` in place (learning rate 0.1, matching the PMLang program).
+pub fn logistic_step(x: &[f64], label: f64, w: &mut [f64]) -> f64 {
+    let z: f64 = w.iter().zip(x).map(|(a, b)| a * b).sum();
+    let prob = 1.0 / (1.0 + (-z).exp());
+    let mu = (prob - label) * 0.1;
+    for (wi, xi) in w.iter_mut().zip(x) {
+        *wi -= mu * xi;
+    }
+    prob
+}
+
+/// One online-k-means step: assigns `x` to the nearest centroid and moves
+/// it (rate 0.05, matching the PMLang program). Returns the assignment.
+pub fn kmeans_step(x: &[f64], centroids: &mut [Vec<f64>]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (j, c) in centroids.iter().enumerate() {
+        let d: f64 = c.iter().zip(x).map(|(a, b)| (b - a) * (b - a)).sum();
+        if d < best_d {
+            best_d = d;
+            best = j;
+        }
+    }
+    for (ci, xi) in centroids[best].iter_mut().zip(x) {
+        *ci += 0.05 * (xi - *ci);
+    }
+    best
+}
+
+/// One LRMF SGD step over a user row (learning rate 0.002, matching the
+/// PMLang program). Returns the squared error over observed entries.
+pub fn lrmf_step(
+    ratings: &[f64],
+    mask: &[f64],
+    user: &mut [f64],
+    movies: &mut [Vec<f64>],
+) -> f64 {
+    let rank = user.len();
+    let m = ratings.len();
+    let mut e = vec![0.0; m];
+    for j in 0..m {
+        let pred: f64 = (0..rank).map(|t| user[t] * movies[j][t]).sum();
+        e[j] = mask[j] * (ratings[j] - pred);
+    }
+    // u += lr·Σ e·M  (computed against the pre-update movie factors, then
+    // movie factors update against the *new* user factors, matching the
+    // statement order of the PMLang program).
+    for t in 0..rank {
+        let g: f64 = (0..m).map(|j| e[j] * movies[j][t]).sum();
+        user[t] += 0.002 * g;
+    }
+    for j in 0..m {
+        for t in 0..rank {
+            movies[j][t] += 0.002 * e[j] * user[t];
+        }
+    }
+    e.iter().map(|v| v * v).sum()
+}
+
+/// One BFS relaxation sweep over an edge list; `level` updates in place.
+/// Returns true if any level changed.
+pub fn bfs_sweep(vertices: usize, edges: &[(u32, u32, f32)], level: &mut [f64]) -> bool {
+    let mut cand = vec![f64::INFINITY; vertices];
+    for &(s, d, _) in edges {
+        if level[s as usize] < cand[d as usize] {
+            cand[d as usize] = level[s as usize];
+        }
+    }
+    let mut changed = false;
+    for v in 0..vertices {
+        let next = cand[v] + 1.0;
+        if next < level[v] {
+            level[v] = next;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// One Bellman-Ford relaxation sweep; `dist` updates in place.
+pub fn sssp_sweep(vertices: usize, edges: &[(u32, u32, f32)], dist: &mut [f64]) -> bool {
+    let mut cand = vec![f64::INFINITY; vertices];
+    for &(s, d, w) in edges {
+        let c = dist[s as usize] + w as f64;
+        if c < cand[d as usize] {
+            cand[d as usize] = c;
+        }
+    }
+    let mut changed = false;
+    for v in 0..vertices {
+        if cand[v] < dist[v] {
+            dist[v] = cand[v];
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// One damped PageRank sweep over an out-degree-normalized edge list.
+pub fn pagerank_sweep(vertices: usize, edges: &[(u32, u32, f32)], rank: &mut [f64]) {
+    let mut outdeg = vec![0usize; vertices];
+    for &(s, _, _) in edges {
+        outdeg[s as usize] += 1;
+    }
+    let mut contrib = vec![0.0; vertices];
+    for &(s, d, _) in edges {
+        contrib[d as usize] += rank[s as usize] / outdeg[s as usize] as f64;
+    }
+    for v in 0..vertices {
+        rank[v] = 0.15 / vertices as f64 + 0.85 * contrib[v];
+    }
+}
+
+/// Black-Scholes European call price (matching the PMLang program's `phi`).
+pub fn black_scholes_call(spot: f64, strike: f64, vol: f64, rate: f64, tte: f64) -> f64 {
+    let phi = |x: f64| 0.5 * (1.0 + pmlang::intrinsics::erf(x / std::f64::consts::SQRT_2));
+    let d1 = ((spot / strike).ln() + (rate + vol * vol * 0.5) * tte) / (vol * tte.sqrt());
+    let d2 = d1 - vol * tte.sqrt();
+    spot * phi(d1) - strike * (-rate * tte).exp() * phi(d2)
+}
+
+/// One recursive-LQR step (matching `programs::lqr_step`): applies the
+/// steady-state gain to the current state, advances the plant, and
+/// returns the control. `x` is updated in place.
+pub fn lqr_step(
+    x: &mut [f64],
+    d: &[f64],
+    a: &[Vec<f64>],
+    b: &[Vec<f64>],
+    k: &[Vec<f64>],
+) -> Vec<f64> {
+    let n = x.len();
+    let m = k.len();
+    let u: Vec<f64> = (0..m)
+        .map(|r| -(0..n).map(|j| k[r][j] * x[j]).sum::<f64>())
+        .collect();
+    let xn: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..n).map(|j| a[i][j] * x[j]).sum::<f64>()
+                + (0..m).map(|r| b[i][r] * u[r]).sum::<f64>()
+                + d[i]
+        })
+        .collect();
+    x.copy_from_slice(&xn);
+    u
+}
+
+/// One condensed-MPC step (matching `programs::mobile_robot`): predicts,
+/// computes the gradient, updates the control model in place, and returns
+/// the control signal `(ctrl_mdl[0], ctrl_mdl[h])`.
+#[allow(clippy::too_many_arguments)]
+pub fn mpc_step(
+    pos: &[f64],
+    ctrl_mdl: &mut [f64],
+    p: &[Vec<f64>],
+    h: &[Vec<f64>],
+    pos_ref: &[f64],
+    hq_g: &[Vec<f64>],
+    r_g: &[Vec<f64>],
+    hsteps: usize,
+) -> Vec<f64> {
+    let c = p.len();
+    let b = ctrl_mdl.len();
+    let mut pred = vec![0.0; c];
+    for k in 0..c {
+        pred[k] = pos.iter().enumerate().map(|(i, &v)| p[k][i] * v).sum::<f64>()
+            + (0..b).map(|j| h[k][j] * ctrl_mdl[j]).sum::<f64>();
+    }
+    let err: Vec<f64> = (0..c).map(|k| pos_ref[k] - pred[k]).collect();
+    let mut g = vec![0.0; b];
+    for i in 0..b {
+        let pg: f64 = (0..c).map(|j| hq_g[i][j] * err[j]).sum();
+        let hg: f64 = (0..b).map(|q| r_g[i][q] * ctrl_mdl[q]).sum();
+        g[i] = pg + hg;
+    }
+    // Signal is read from the *pre-update* model (statement order).
+    let sgnl = vec![ctrl_mdl[0], ctrl_mdl[hsteps]];
+    for i in 0..b {
+        ctrl_mdl[i] -= 0.01 * g[i];
+    }
+    sgnl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen;
+
+    #[test]
+    fn fft_matches_dft() {
+        let input: Vec<(f64, f64)> =
+            datagen::signal(64, 11).into_iter().map(|v| (v, 0.0)).collect();
+        let mut fast = input.clone();
+        fft(&mut fast);
+        let slow = dft(&input);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        fft(&mut data);
+        for &(re, im) in &data {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dct_energy_preserved() {
+        // Orthonormal transform preserves the Frobenius norm per block.
+        let img = datagen::image(16, 4);
+        let ck = datagen::dct_kernel();
+        let out = dct(&img, 16, &ck);
+        let in_e: f64 = img.iter().map(|v| v * v).sum();
+        let out_e: f64 = out.iter().map(|v| v * v).sum();
+        assert!((in_e - out_e).abs() / in_e < 1e-9);
+    }
+
+    #[test]
+    fn logistic_converges_on_separable_data() {
+        let mut w = vec![0.0; 8];
+        let mut r = datagen::rng(3);
+        use rand::Rng;
+        for _ in 0..3000 {
+            let label = f64::from(r.gen_bool(0.5));
+            let x: Vec<f64> = (0..8)
+                .map(|_| datagen::gaussian(&mut r) + if label > 0.5 { 1.5 } else { -1.5 })
+                .collect();
+            logistic_step(&x, label, &mut w);
+        }
+        // A clearly positive example should classify above 0.9.
+        let pos = vec![1.5; 8];
+        assert!(logistic_step(&pos, 1.0, &mut w.clone()) > 0.9);
+    }
+
+    #[test]
+    fn kmeans_recovers_clusters() {
+        let (samples, labels) = datagen::gaussian_clusters(300, 6, 3, 8);
+        let mut centroids = vec![
+            samples[0].clone(),
+            samples[1].clone(),
+            samples[2].clone(),
+        ];
+        for _ in 0..5 {
+            for s in &samples {
+                kmeans_step(s, &mut centroids);
+            }
+        }
+        // Same-label samples should mostly share an assignment.
+        let assign: Vec<usize> =
+            samples.iter().map(|s| kmeans_step(s, &mut centroids.clone())).collect();
+        let mut agree = 0;
+        let mut total = 0;
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                total += 1;
+                if (labels[i] == labels[j]) == (assign[i] == assign[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.85, "{agree}/{total}");
+    }
+
+    #[test]
+    fn lrmf_reduces_error() {
+        let (ratings, mask) = datagen::low_rank_ratings(20, 30, 4, 0.3, 6);
+        let mut users = vec![vec![0.1; 4]; 20];
+        let mut movies = vec![vec![0.1; 4]; 30];
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..60 {
+            let mut err = 0.0;
+            for u in 0..20 {
+                err += lrmf_step(&ratings[u], &mask[u], &mut users[u], &mut movies);
+            }
+            if epoch == 0 {
+                first = err;
+            }
+            last = err;
+        }
+        assert!(last < first * 0.5, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn bfs_levels_are_shortest_hop_counts() {
+        // Path graph 0→1→2→3 plus shortcut 0→2.
+        let edges = vec![(0u32, 1u32, 1.0f32), (1, 2, 1.0), (2, 3, 1.0), (0, 2, 1.0)];
+        let mut level = vec![f64::INFINITY; 4];
+        level[0] = 0.0;
+        while bfs_sweep(4, &edges, &mut level) {}
+        assert_eq!(level, vec![0.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn sssp_respects_weights() {
+        // 0→1 (1), 1→2 (1), 0→2 (5): the two-hop path wins.
+        let edges = vec![(0u32, 1u32, 1.0f32), (1, 2, 1.0), (0, 2, 5.0)];
+        let mut dist = vec![f64::INFINITY; 3];
+        dist[0] = 0.0;
+        while sssp_sweep(3, &edges, &mut dist) {}
+        assert_eq!(dist, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn black_scholes_known_value() {
+        // S=100, K=100, σ=0.2, r=0.05, T=1 → C ≈ 10.4506.
+        let c = black_scholes_call(100.0, 100.0, 0.2, 0.05, 1.0);
+        assert!((c - 10.4506).abs() < 0.01, "{c}");
+        // Deep in-the-money approaches S - K·e^(-rT).
+        let deep = black_scholes_call(200.0, 100.0, 0.2, 0.05, 1.0);
+        assert!((deep - (200.0 - 100.0 * (-0.05f64).exp())).abs() < 0.05);
+    }
+
+    #[test]
+    fn mpc_drives_toward_reference() {
+        // 1-state, 1-control toy: P = I-ish, H couples control to output.
+        let hsteps = 4usize;
+        let c = 4;
+        let b = 8;
+        let p = vec![vec![1.0]; c];
+        let h: Vec<Vec<f64>> =
+            (0..c).map(|k| (0..b).map(|j| if j == k { 1.0 } else { 0.0 }).collect()).collect();
+        let pos_ref = vec![2.0; c];
+        // Gradient matrices for a simple quadratic cost: HQ_g = -Hᵀ, R_g = λI.
+        let hq_g: Vec<Vec<f64>> =
+            (0..b).map(|i| (0..c).map(|j| if i == j { -1.0 } else { 0.0 }).collect()).collect();
+        let r_g: Vec<Vec<f64>> =
+            (0..b).map(|i| (0..b).map(|j| if i == j { 0.1 } else { 0.0 }).collect()).collect();
+        let mut ctrl = vec![0.0; b];
+        let mut last_err = f64::INFINITY;
+        for _ in 0..500 {
+            let _ = mpc_step(&[0.5], &mut ctrl, &p, &h, &pos_ref, &hq_g, &r_g, hsteps);
+            let pred0 = 0.5 + ctrl[0];
+            let err = (pred0 - 2.0).abs();
+            assert!(err <= last_err + 1e-9);
+            last_err = err;
+        }
+        assert!(last_err < 0.2, "{last_err}");
+    }
+}

@@ -1,0 +1,360 @@
+//! The paper's benchmark suite (Table III): twelve single-domain workloads
+//! across the five domains, at paper-scale configurations.
+//!
+//! Scaling substitutions (documented in DESIGN.md §2):
+//!
+//! * The graph workloads keep the paper's vertex/edge counts for *timing*
+//!   (via the sparse hints) while the dense PMLang adjacency formulation is
+//!   built symbolically — only small test configurations are ever executed
+//!   functionally.
+//! * Streaming workloads (DCT blocks, K-means samples, LRMF user rows, LR
+//!   samples, MPC control steps) follow their accelerators' execution
+//!   model: the compiled graph covers one streaming unit and
+//!   `invocations` counts how many units the benchmark processes.
+
+use crate::programs;
+use pmlang::Domain;
+
+/// Sparse-workload overrides: per-invocation scalar ops / bytes actually
+/// touched by the real (sparse) data structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SparseHints {
+    /// GPU-baseline batching: invocations the native CUDA stack fuses per
+    /// kernel launch (1 = latency-bound).
+    pub gpu_batch: Option<u64>,
+    /// Effective scalar ops per invocation.
+    pub effective_ops: Option<u64>,
+    /// Effective bytes touched per invocation.
+    pub effective_bytes: Option<u64>,
+    /// Real edge count per sweep (graph workloads).
+    pub edges: Option<u64>,
+    /// Real vertex count (graph workloads).
+    pub vertices: Option<u64>,
+}
+
+/// A benchmark entry: the PMLang program plus its execution envelope.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name as in Table III (e.g. `"MobileRobot"`).
+    pub benchmark: &'static str,
+    /// Algorithm name as in Table III.
+    pub algorithm: &'static str,
+    /// The workload's domain.
+    pub domain: Domain,
+    /// Configuration/dataset description.
+    pub config: String,
+    /// The PMLang program at paper scale.
+    pub source: String,
+    /// Invocations constituting the benchmark (samples / iterations /
+    /// control steps / blocks).
+    pub invocations: u64,
+    /// Sparse-data overrides that apply to every platform (the physical
+    /// data structure, e.g. graph sparsity).
+    pub hints: SparseHints,
+    /// Baseline-only overrides modelling the *native stack's algorithmic
+    /// cost* when it differs from the PMLang formulation (e.g. NVIDIA/C
+    /// DCT uses the separable transform; ACADO exploits the condensed QP
+    /// structure; mlpack's factorizer materializes per-step temporaries).
+    /// `None` means the native implementation performs the same work.
+    pub native_hints: Option<SparseHints>,
+}
+
+impl Workload {
+    /// Lines of code of the PMLang source (Table III's LOC column).
+    pub fn loc(&self) -> usize {
+        programs::loc(&self.source)
+    }
+}
+
+/// Edge/vertex scale of a paper graph dataset.
+struct GraphScale {
+    vertices: u64,
+    edges: u64,
+}
+
+/// Builds the sparse hints for a one-reduce + apply vertex program: per
+/// sweep, each edge costs ~5 scalar ops (gather, compare-exchange, index)
+/// and each vertex ~4 more in the apply stage.
+fn graph_hints(scale: &GraphScale) -> SparseHints {
+    SparseHints {
+        effective_ops: Some(scale.edges * 5 + scale.vertices * 4),
+        effective_bytes: Some(scale.edges * 8 + scale.vertices * 8),
+        edges: Some(scale.edges),
+        vertices: Some(scale.vertices),
+        ..SparseHints::default()
+    }
+}
+
+/// The native NVIDIA/C DCT baselines use the separable row-column
+/// transform: 2·8·8·8 MACs per 8×8 block (×2 scalar ops) instead of the
+/// naive 3-factor product.
+fn dct_native() -> Option<SparseHints> {
+    // Row pass + column pass + the transpose/copy between them.
+    Some(SparseHints {
+        effective_ops: Some(2 * (2 * 8 * 8 * 8 * 2)),
+        effective_bytes: Some(512),
+        ..SparseHints::default()
+    })
+}
+
+/// mlpack's collaborative-filtering factorizer materializes dense
+/// temporaries around every SGD step (documented to trail hand-rolled SGD
+/// by ~4×), so the native baseline performs about four times the raw
+/// arithmetic in copies and allocator traffic.
+fn lrmf_native(movies: u64, rank: u64) -> Option<SparseHints> {
+    let raw = 6 * movies * rank + 4 * movies;
+    Some(SparseHints { effective_ops: Some(4 * raw), ..SparseHints::default() })
+}
+
+/// The twelve workloads of Table III at paper-scale configurations.
+///
+/// Graph workloads are *built* at a reduced vertex count (the dense
+/// formulation is quadratic) while their hints and invocation counts carry
+/// the paper-scale costs.
+pub fn paper_suite() -> Vec<Workload> {
+    let mut v = Vec::new();
+
+    // ---- Robotics --------------------------------------------------
+    v.push(Workload {
+        benchmark: "MobileRobot",
+        algorithm: "Model Predictive Control",
+        domain: Domain::Robotics,
+        config: "Trajectory Tracking, Horizon = 1024".into(),
+        source: programs::mobile_robot(1024),
+        invocations: 1000,
+        hints: SparseHints::default(),
+        // ACADO's condensed QP exploits the block-Toeplitz structure of
+        // the horizon matrices: roughly half the dense work of the naive
+        // formulation.
+        native_hints: Some(SparseHints {
+            effective_ops: Some(16_800_000),
+            ..SparseHints::default()
+        }),
+    });
+    v.push(Workload {
+        benchmark: "Hexacopter",
+        algorithm: "Model Predictive Control",
+        domain: Domain::Robotics,
+        config: "Altitude Control, Horizon = 1024".into(),
+        source: programs::hexacopter(1024),
+        invocations: 1000,
+        hints: SparseHints::default(),
+        native_hints: None,
+    });
+
+    // ---- Graph Analytics -------------------------------------------
+    // Built at 2048 vertices; timed at the paper's graph scales.
+    let build_v = 2048usize;
+    let twitter = GraphScale { vertices: 61_570_000, edges: 1_468_360_000 };
+    v.push(Workload {
+        benchmark: "Twitter-BFS",
+        algorithm: "Breadth-First Search",
+        domain: Domain::GraphAnalytics,
+        config: "#Vertices=61.57M, #Edges=1468.36M".into(),
+        source: programs::bfs(build_v),
+        invocations: 16, // relaxation sweeps to the frontier fixpoint
+        hints: graph_hints(&twitter),
+        native_hints: None,
+    });
+    let wiki = GraphScale { vertices: 3_560_000, edges: 84_750_000 };
+    v.push(Workload {
+        benchmark: "Wiki-BFS",
+        algorithm: "Breadth-First Search",
+        domain: Domain::GraphAnalytics,
+        config: "#Vertices=3.56M, #Edges=84.75M".into(),
+        source: programs::bfs(build_v),
+        invocations: 12,
+        hints: graph_hints(&wiki),
+        native_hints: None,
+    });
+    let livejournal = GraphScale { vertices: 4_840_000, edges: 68_990_000 };
+    v.push(Workload {
+        benchmark: "LiveJourn-SSP",
+        algorithm: "Single Source Shortest Path",
+        domain: Domain::GraphAnalytics,
+        config: "#Vertices=4.84M, #Edges=68.99M".into(),
+        source: programs::sssp(build_v),
+        invocations: 24,
+        hints: graph_hints(&livejournal),
+        native_hints: None,
+    });
+
+    // ---- Data Analytics --------------------------------------------
+    v.push(Workload {
+        benchmark: "MovieL-20M",
+        algorithm: "Low Rank Matrix Factorization",
+        domain: Domain::DataAnalytics,
+        config: "40110 movies, 259137 users; 244096 ratings".into(),
+        // Streams one user row over a 4096-movie tile per invocation.
+        source: programs::lrmf(4096, 16),
+        invocations: 259_137 / 26, // one epoch over rating-bearing tiles
+        // SGD is sequential across users; NVBLAS only fuses a few rows.
+        hints: SparseHints { gpu_batch: Some(4), ..SparseHints::default() },
+        native_hints: lrmf_native(4096, 16),
+    });
+    v.push(Workload {
+        benchmark: "MovieL-100K",
+        algorithm: "Low Rank Matrix Factorization",
+        domain: Domain::DataAnalytics,
+        config: "1682 movies, 943 users; 100000 ratings".into(),
+        source: programs::lrmf(1682, 16),
+        invocations: 943 * 20, // twenty epochs of user rows
+        hints: SparseHints { gpu_batch: Some(4), ..SparseHints::default() },
+        native_hints: lrmf_native(1682, 16),
+    });
+    v.push(Workload {
+        benchmark: "DigitCluster",
+        algorithm: "K-Means Clustering",
+        domain: Domain::DataAnalytics,
+        config: "784 features; 120000 images; K=10".into(),
+        source: programs::kmeans(784, 10),
+        invocations: 120_000,
+        // CUDA k-means processes sample minibatches per launch.
+        hints: SparseHints { gpu_batch: Some(64), ..SparseHints::default() },
+        native_hints: None,
+    });
+    v.push(Workload {
+        benchmark: "ElecUse",
+        algorithm: "K-Means Clustering",
+        domain: Domain::DataAnalytics,
+        config: "4 features; 2075259 data points; K=12".into(),
+        source: programs::kmeans(4, 12),
+        invocations: 2_075_259,
+        hints: SparseHints { gpu_batch: Some(256), ..SparseHints::default() },
+        // With 4 features × 12 centroids, mlpack's per-sample dispatch and
+        // distance-object overheads dwarf the arithmetic: the native
+        // baseline spends ~40× the raw op count per sample.
+        native_hints: Some(SparseHints {
+            effective_ops: Some(40 * 144),
+            ..SparseHints::default()
+        }),
+    });
+
+    // ---- DSP ---------------------------------------------------------
+    v.push(Workload {
+        benchmark: "FFT-8192",
+        algorithm: "Fast-Fourier Transform",
+        domain: Domain::Dsp,
+        config: "1D FFT-real; 8192x1 input".into(),
+        source: programs::fft(8192),
+        invocations: 64, // a stream of transform frames
+        hints: SparseHints::default(),
+        native_hints: None,
+    });
+    v.push(Workload {
+        benchmark: "FFT-16384",
+        algorithm: "Fast-Fourier Transform",
+        domain: Domain::Dsp,
+        config: "1D FFT-real; 16384x1 input".into(),
+        source: programs::fft(16384),
+        invocations: 64,
+        hints: SparseHints::default(),
+        native_hints: None,
+    });
+    v.push(Workload {
+        benchmark: "DCT-1024",
+        algorithm: "Discrete Cosine Transform",
+        domain: Domain::Dsp,
+        config: "1024x1024 image; 8x8 kernel, stride=8".into(),
+        // One 8×8 block per invocation (the DECO DFG streams blocks).
+        source: programs::dct_block(),
+        invocations: (1024 / 8) * (1024 / 8),
+        // The NVIDIA DCT kernel transforms the whole image per launch.
+        hints: SparseHints { gpu_batch: Some((1024 / 8) * (1024 / 8)), ..SparseHints::default() },
+        native_hints: dct_native(),
+    });
+    v.push(Workload {
+        benchmark: "DCT-2048",
+        algorithm: "Discrete Cosine Transform",
+        domain: Domain::Dsp,
+        config: "2048x2048 image; 8x8 kernel, stride=8".into(),
+        source: programs::dct_block(),
+        invocations: (2048 / 8) * (2048 / 8),
+        hints: SparseHints { gpu_batch: Some((2048 / 8) * (2048 / 8)), ..SparseHints::default() },
+        native_hints: dct_native(),
+    });
+
+    // ---- Deep Learning ----------------------------------------------
+    v.push(Workload {
+        benchmark: "ResNet-18",
+        algorithm: "Deep Neural Network",
+        domain: Domain::DeepLearning,
+        config: "Batch Size = 1, ImageNet".into(),
+        source: programs::resnet18(224),
+        invocations: 16,
+        hints: SparseHints::default(),
+        native_hints: None,
+    });
+    v.push(Workload {
+        benchmark: "MobileNet",
+        algorithm: "Deep Neural Network",
+        domain: Domain::DeepLearning,
+        config: "Batch Size = 1, ImageNet".into(),
+        source: programs::mobilenet(224),
+        invocations: 16,
+        hints: SparseHints::default(),
+        native_hints: None,
+    });
+
+    v
+}
+
+/// Extension workloads beyond the paper's Table III (future-work items the
+/// stack supports out of the box).
+pub fn extension_suite() -> Vec<Workload> {
+    let wiki = GraphScale { vertices: 3_560_000, edges: 84_750_000 };
+    vec![Workload {
+        benchmark: "Wiki-PageRank",
+        algorithm: "PageRank",
+        domain: Domain::GraphAnalytics,
+        config: "#Vertices=3.56M, #Edges=84.75M, 20 iterations".into(),
+        source: programs::pagerank(2048),
+        invocations: 20,
+        hints: graph_hints(&wiki),
+        native_hints: None,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_benchmarks_across_five_domains() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 15); // Table III has 15 config rows
+        let mut domains: Vec<Domain> = suite.iter().map(|w| w.domain).collect();
+        domains.sort();
+        domains.dedup();
+        assert_eq!(domains.len(), 5);
+    }
+
+    #[test]
+    fn every_source_passes_the_frontend() {
+        for w in paper_suite() {
+            let prog = pmlang::parse(&w.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.benchmark));
+            pmlang::check(&prog).unwrap_or_else(|e| panic!("{}: {e}", w.benchmark));
+        }
+    }
+
+    #[test]
+    fn loc_is_in_the_papers_ballpark() {
+        // Table III LOC: 12-197 per benchmark. Our implementations should
+        // be the same order of magnitude.
+        for w in paper_suite() {
+            let loc = w.loc();
+            assert!((4..=320).contains(&loc), "{}: {loc}", w.benchmark);
+        }
+    }
+
+    #[test]
+    fn graph_hints_scale_with_dataset() {
+        let suite = paper_suite();
+        let twitter = suite.iter().find(|w| w.benchmark == "Twitter-BFS").unwrap();
+        let wiki = suite.iter().find(|w| w.benchmark == "Wiki-BFS").unwrap();
+        assert!(
+            twitter.hints.effective_ops.unwrap() > wiki.hints.effective_ops.unwrap() * 10
+        );
+    }
+}

@@ -1,0 +1,6 @@
+// Stateful accumulation: `acc` persists across invocations (run with
+// --iters N to watch it grow).
+main(input float x, state float acc, output float total) {
+    acc = acc + x;
+    total = acc;
+}

@@ -1,0 +1,18 @@
+// A DSP moving-average filter feeding a Data Analytics anomaly score —
+// the two-domain pipeline from the README, runnable with:
+//   pmc compile examples/pm/moving_average.pm
+//   pmc run examples/pm/moving_average.pm examples/pm/moving_average.feeds
+smooth(input float x[16], param float h[4], output float y[13]) {
+    index i[0:12], k[0:3];
+    y[i] = sum[k](h[k]*x[i+k]);
+}
+classify(input float f[13], param float w[13], output float prob) {
+    index i[0:12];
+    prob = sigmoid(sum[i](w[i]*f[i]));
+}
+main(input float signal[16], param float taps[4], param float w[13],
+     output float anomaly) {
+    float filtered[13];
+    DSP: smooth(signal, taps, filtered);
+    DA:  classify(filtered, w, anomaly);
+}

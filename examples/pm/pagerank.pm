@@ -1,0 +1,9 @@
+// Damped PageRank over a tiny 4-vertex graph; run a few power iterations:
+//   pmc run examples/pm/pagerank.pm examples/pm/pagerank.feeds --iters 30
+main(input float adj_norm[4][4], state float rank[4], output float out[4]) {
+    index u[0:3], v[0:3];
+    float contrib[4];
+    GA: contrib[v] = sum[u](adj_norm[u][v] * rank[u]);
+    GA: rank[v] = 0.15 / 4.0 + 0.85 * contrib[v];
+    GA: out[v] = rank[v];
+}

@@ -1,0 +1,8 @@
+//! Runnable examples for the PolyMath stack — see `src/bin/`:
+//!
+//! * `quickstart` — compile, execute, and price a two-domain program;
+//! * `robot_tracking` — closed-loop MPC trajectory tracking (paper §II);
+//! * `brain_stimulation` — the BrainStimul end-to-end app with the
+//!   acceleration-combination sweep (paper Fig. 10a);
+//! * `option_pricing` — the OptionPricing end-to-end app (paper Fig. 10b);
+//! * `graph_analytics` — BFS as a vertex program on Graphicionado.

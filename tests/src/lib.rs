@@ -1,0 +1,1 @@
+//! Cross-crate integration tests for the PolyMath stack (see `tests/`).

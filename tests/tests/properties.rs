@@ -1,0 +1,277 @@
+//! Property-based tests over the whole stack: randomly generated PMLang
+//! expressions and programs must (1) evaluate exactly as a direct Rust
+//! evaluation of the same tree, (2) be invariant under the optimization
+//! pipeline, and (3) be invariant under lowering + marshalling elision.
+
+use pm_lower::{compile_program, lower, AcceleratorSpec, TargetMap};
+use pm_passes::{Pass, PassManager};
+use pmlang::Domain;
+use proptest::prelude::*;
+use srdfg::{Bindings, Machine, Tensor};
+use std::collections::HashMap;
+
+/// A random scalar expression over `x[i]`, `y[i]`, the index `i`, and
+/// literals — with its own direct evaluator.
+#[derive(Debug, Clone)]
+enum TExpr {
+    X,
+    Y,
+    Idx,
+    Lit(f64),
+    Add(Box<TExpr>, Box<TExpr>),
+    Sub(Box<TExpr>, Box<TExpr>),
+    Mul(Box<TExpr>, Box<TExpr>),
+    Min(Box<TExpr>, Box<TExpr>),
+    Max(Box<TExpr>, Box<TExpr>),
+    Neg(Box<TExpr>),
+    Sigmoid(Box<TExpr>),
+    Abs(Box<TExpr>),
+    Select(Box<TExpr>, Box<TExpr>, Box<TExpr>),
+}
+
+impl TExpr {
+    fn to_pmlang(&self) -> String {
+        match self {
+            TExpr::X => "x[i]".into(),
+            TExpr::Y => "y[i]".into(),
+            TExpr::Idx => "i".into(),
+            TExpr::Lit(v) => format!("{v:?}"),
+            TExpr::Add(a, b) => format!("({} + {})", a.to_pmlang(), b.to_pmlang()),
+            TExpr::Sub(a, b) => format!("({} - {})", a.to_pmlang(), b.to_pmlang()),
+            TExpr::Mul(a, b) => format!("({} * {})", a.to_pmlang(), b.to_pmlang()),
+            TExpr::Min(a, b) => format!("min2({}, {})", a.to_pmlang(), b.to_pmlang()),
+            TExpr::Max(a, b) => format!("max2({}, {})", a.to_pmlang(), b.to_pmlang()),
+            TExpr::Neg(a) => format!("(0.0 - {})", a.to_pmlang()),
+            TExpr::Sigmoid(a) => format!("sigmoid({})", a.to_pmlang()),
+            TExpr::Abs(a) => format!("abs({})", a.to_pmlang()),
+            TExpr::Select(c, a, b) => format!(
+                "({} > 0.0 ? {} : {})",
+                c.to_pmlang(),
+                a.to_pmlang(),
+                b.to_pmlang()
+            ),
+        }
+    }
+
+    fn eval(&self, x: f64, y: f64, i: f64) -> f64 {
+        match self {
+            TExpr::X => x,
+            TExpr::Y => y,
+            TExpr::Idx => i,
+            TExpr::Lit(v) => *v,
+            TExpr::Add(a, b) => a.eval(x, y, i) + b.eval(x, y, i),
+            TExpr::Sub(a, b) => a.eval(x, y, i) - b.eval(x, y, i),
+            TExpr::Mul(a, b) => a.eval(x, y, i) * b.eval(x, y, i),
+            TExpr::Min(a, b) => a.eval(x, y, i).min(b.eval(x, y, i)),
+            TExpr::Max(a, b) => a.eval(x, y, i).max(b.eval(x, y, i)),
+            TExpr::Neg(a) => -a.eval(x, y, i),
+            TExpr::Sigmoid(a) => 1.0 / (1.0 + (-a.eval(x, y, i)).exp()),
+            TExpr::Abs(a) => a.eval(x, y, i).abs(),
+            TExpr::Select(c, a, b) => {
+                if c.eval(x, y, i) > 0.0 {
+                    a.eval(x, y, i)
+                } else {
+                    b.eval(x, y, i)
+                }
+            }
+        }
+    }
+}
+
+fn texpr_strategy() -> impl Strategy<Value = TExpr> {
+    let leaf = prop_oneof![
+        Just(TExpr::X),
+        Just(TExpr::Y),
+        Just(TExpr::Idx),
+        (-4.0..4.0f64).prop_map(|v| TExpr::Lit((v * 16.0).round() / 16.0)),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| TExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| TExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| TExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| TExpr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| TExpr::Max(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| TExpr::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| TExpr::Sigmoid(Box::new(a))),
+            inner.clone().prop_map(|a| TExpr::Abs(Box::new(a))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| TExpr::Select(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn program_for(expr: &TExpr, n: usize) -> String {
+    format!(
+        "main(input float x[{n}], input float y[{n}], output float z[{n}], output float total) {{
+             index i[0:{m}];
+             z[i] = {body};
+             total = sum[i](z[i]);
+         }}",
+        m = n - 1,
+        body = expr.to_pmlang(),
+    )
+}
+
+fn feeds_for(x: &[f64], y: &[f64]) -> HashMap<String, Tensor> {
+    HashMap::from([
+        (
+            "x".to_string(),
+            Tensor::from_vec(pmlang::DType::Float, vec![x.len()], x.to_vec()).unwrap(),
+        ),
+        (
+            "y".to_string(),
+            Tensor::from_vec(pmlang::DType::Float, vec![y.len()], y.to_vec()).unwrap(),
+        ),
+    ])
+}
+
+fn scalar_target() -> TargetMap {
+    let host = AcceleratorSpec::general_purpose("CPU", Domain::Dsp);
+    let mut t = TargetMap::host_only(host);
+    t.set(AcceleratorSpec::new(
+        "SCALAR",
+        Domain::Dsp,
+        [
+            "add", "sub", "mul", "div", "neg", "not", "select", "const", "min2", "max2",
+            "sigmoid", "abs", "cmp.<", "cmp.<=", "cmp.>", "cmp.>=", "cmp.==", "cmp.!=",
+            "unpack", "pack",
+        ],
+    ));
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compiled evaluation equals direct evaluation of the same tree.
+    #[test]
+    fn interpreter_matches_direct_eval(
+        expr in texpr_strategy(),
+        xs in proptest::collection::vec(-3.0..3.0f64, 6),
+        ys in proptest::collection::vec(-3.0..3.0f64, 6),
+    ) {
+        let src = program_for(&expr, 6);
+        let (prog, _) = pmlang::frontend(&src).unwrap();
+        let graph = srdfg::build(&prog, &Bindings::default()).unwrap();
+        let out = Machine::new(graph).invoke(&feeds_for(&xs, &ys)).unwrap();
+        let z = out["z"].as_real_slice().unwrap();
+        let mut total = 0.0;
+        for i in 0..6 {
+            let expect = expr.eval(xs[i], ys[i], i as f64);
+            prop_assert!(
+                (z[i] - expect).abs() <= 1e-9 * (1.0 + expect.abs()),
+                "i={i}: {} vs {expect}", z[i]
+            );
+            total += z[i];
+        }
+        let got = out["total"].scalar_value().unwrap();
+        prop_assert!((got - total).abs() <= 1e-9 * (1.0 + total.abs()));
+    }
+
+    /// The standard pass pipeline never changes observable results.
+    #[test]
+    fn passes_preserve_semantics(
+        expr in texpr_strategy(),
+        xs in proptest::collection::vec(-3.0..3.0f64, 6),
+        ys in proptest::collection::vec(-3.0..3.0f64, 6),
+    ) {
+        let src = program_for(&expr, 6);
+        let (prog, _) = pmlang::frontend(&src).unwrap();
+        let graph = srdfg::build(&prog, &Bindings::default()).unwrap();
+        let feeds = feeds_for(&xs, &ys);
+        let base = Machine::new(graph.clone()).invoke(&feeds).unwrap();
+
+        let mut optimized = graph;
+        PassManager::standard().run(&mut optimized);
+        pm_passes::AlgebraicCombination.run(&mut optimized);
+        srdfg::validate::validate(&optimized).unwrap();
+        let opt = Machine::new(optimized).invoke(&feeds).unwrap();
+        for (k, v) in &base {
+            let d = v.max_abs_diff(&opt[k]).unwrap();
+            prop_assert!(d <= 1e-9, "output {k} diverged by {d}");
+        }
+    }
+
+    /// Lowering to scalar granularity (plus marshalling elision) never
+    /// changes observable results, and leaves only supported ops.
+    #[test]
+    fn lowering_preserves_semantics(
+        expr in texpr_strategy(),
+        xs in proptest::collection::vec(-3.0..3.0f64, 5),
+        ys in proptest::collection::vec(-3.0..3.0f64, 5),
+    ) {
+        let src = format!(
+            "kern(input float x[5], input float y[5], output float z[5], output float total) {{
+                 index i[0:4];
+                 z[i] = {body};
+                 total = sum[i](z[i]);
+             }}
+             main(input float x[5], input float y[5], output float z[5], output float total) {{
+                 DSP: kern(x, y, z, total);
+             }}",
+            body = expr.to_pmlang(),
+        );
+        let (prog, _) = pmlang::frontend(&src).unwrap();
+        let graph = srdfg::build(&prog, &Bindings::default()).unwrap();
+        let feeds = feeds_for(&xs, &ys);
+        let base = Machine::new(graph.clone()).invoke(&feeds).unwrap();
+
+        let targets = scalar_target();
+        let mut lowered = graph;
+        lower(&mut lowered, &targets).unwrap();
+        pm_passes::ElideMarshalling.run(&mut lowered);
+        srdfg::validate::validate(&lowered).unwrap();
+        prop_assert!(pm_lower::fully_lowered(&lowered, &targets));
+        let compiled = compile_program(&lowered, &targets).unwrap();
+        prop_assert!(compiled.partition(Some(Domain::Dsp)).is_some());
+
+        let low = Machine::new(lowered).invoke(&feeds).unwrap();
+        for (k, v) in &base {
+            let d = v.max_abs_diff(&low[k]).unwrap();
+            prop_assert!(d <= 1e-9, "output {k} diverged by {d}");
+        }
+    }
+
+    /// Tensor element access round-trips and flat indexing is row-major.
+    #[test]
+    fn tensor_roundtrip(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        vals in proptest::collection::vec(-100.0..100.0f64, 36),
+    ) {
+        let mut t = Tensor::zeros(pmlang::DType::Float, vec![rows, cols]);
+        for r in 0..rows {
+            for c in 0..cols {
+                t.set(&[r as i64, c as i64], srdfg::Scalar::Real(vals[r * cols + c])).unwrap();
+            }
+        }
+        for r in 0..rows {
+            for c in 0..cols {
+                let got = t.get(&[r as i64, c as i64]).unwrap().as_real().unwrap();
+                prop_assert_eq!(got, vals[r * cols + c]);
+                prop_assert_eq!(t.flat_index(&[r as i64, c as i64]).unwrap(), r * cols + c);
+            }
+        }
+    }
+
+    /// Synthetic graphs always have in-range endpoints, no self loops, and
+    /// deterministic regeneration.
+    #[test]
+    fn datagen_graph_invariants(v in 8usize..128, deg in 1usize..6, seed in 0u64..1000) {
+        let g = pm_workloads::datagen::power_law_graph(v, deg, seed);
+        prop_assert_eq!(g.vertices, v);
+        for &(s, d, w) in &g.edges {
+            prop_assert!((s as usize) < v && (d as usize) < v);
+            prop_assert!(s != d, "self loop at {s}");
+            prop_assert!(w >= 1.0);
+        }
+        let g2 = pm_workloads::datagen::power_law_graph(v, deg, seed);
+        prop_assert_eq!(g.edges, g2.edges);
+    }
+}
