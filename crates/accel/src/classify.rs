@@ -86,9 +86,7 @@ pub fn classify_node(graph: &SrDfg, node: &Node, p: &mut WorkProfile) {
             let short_red = srdfg::graph::space_size(&r.red_space) < 32;
             match node.pattern {
                 Some(Pattern::MatMul) | Some(Pattern::Conv2d) => p.dense_ops += ops,
-                Some(Pattern::MatVec) | Some(Pattern::Dot) | Some(Pattern::Pool)
-                    if !short_red =>
-                {
+                Some(Pattern::MatVec) | Some(Pattern::Dot) | Some(Pattern::Pool) if !short_red => {
                     p.streaming_ops += ops
                 }
                 Some(_) => p.irregular_ops += ops,

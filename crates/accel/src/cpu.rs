@@ -43,13 +43,13 @@ pub struct Cpu {
 impl Default for Cpu {
     fn default() -> Self {
         Cpu {
-            dense_flops: 9.0e10,      // 90 GFLOP/s cache-blocked GEMM/conv
-            streaming_flops: 1.0e10,  // 10 GFLOP/s BLAS-2 (bandwidth bound)
-            vector_flops: 1.4e10,     // 14 GFLOP/s streaming maps
-            irregular_flops: 3.0e9,   // 3 Gop/s branchy reductions
-            scalar_flops: 1.5e9,      // 1.5 Gop/s pointer-chasing dataflow
-            nonlinear_flops: 1.2e9,   // 1.2 Gop/s libm transcendentals
-            mem_bandwidth: 3.5e10,    // 35 GB/s dual-channel DDR4
+            dense_flops: 9.0e10,       // 90 GFLOP/s cache-blocked GEMM/conv
+            streaming_flops: 1.0e10,   // 10 GFLOP/s BLAS-2 (bandwidth bound)
+            vector_flops: 1.4e10,      // 14 GFLOP/s streaming maps
+            irregular_flops: 3.0e9,    // 3 Gop/s branchy reductions
+            scalar_flops: 1.5e9,       // 1.5 Gop/s pointer-chasing dataflow
+            nonlinear_flops: 1.2e9,    // 1.2 Gop/s libm transcendentals
+            mem_bandwidth: 3.5e10,     // 35 GB/s dual-channel DDR4
             kernel_overhead_s: 4.0e-8, // 40 ns per loop-nest dispatch
         }
     }
@@ -186,7 +186,11 @@ mod tests {
         let sparse = cpu.estimate(
             &compiled.partitions[0],
             &g,
-            &WorkloadHints { effective_ops: Some(200), effective_bytes: Some(2048), ..Default::default() },
+            &WorkloadHints {
+                effective_ops: Some(200),
+                effective_bytes: Some(2048),
+                ..Default::default()
+            },
         );
         assert!(sparse.seconds < dense.seconds);
     }

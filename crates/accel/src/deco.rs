@@ -157,8 +157,8 @@ impl Backend for Deco {
                 // DSP-block primitive ops (single-op granularity, paper §V.A.3).
                 // `mod`/`floor` are index-manipulation ops the overlay's
                 // address generators provide (butterfly indexing).
-                "add", "sub", "mul", "div", "mod", "floor", "neg", "select", "const",
-                "cmp.==", "cmp.!=", "cmp.<", "cmp.<=", "cmp.>", "cmp.>=",
+                "add", "sub", "mul", "div", "mod", "floor", "neg", "select", "const", "cmp.==",
+                "cmp.!=", "cmp.<", "cmp.<=", "cmp.>", "cmp.>=",
                 // CORDIC-style units for transcendental factors.
                 "sin", "cos", "sqrt", "abs", "complex", "creal", "cimag", "min2", "max2",
                 // Marshalling.

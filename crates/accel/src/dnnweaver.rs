@@ -66,8 +66,7 @@ impl DnnWeaver {
                         // layer shape, so utilization is flat rather than
                         // channel-dependent.
                         let macs = out * red;
-                        ((macs as f64)
-                            / (self.macs_per_cycle() as f64 * self.conv_efficiency))
+                        ((macs as f64) / (self.macs_per_cycle() as f64 * self.conv_efficiency))
                             .ceil() as u64
                     }
                     _ => (out * red).div_ceil(self.pus as u64),
@@ -97,11 +96,32 @@ impl Backend for DnnWeaver {
             Domain::DeepLearning,
             [
                 // Layer granularity, like VTA.
-                "conv2d", "matmul", "matvec", "dot", "pool", "sum", "max", "min",
-                "argmax", "argmin",
-                "map", "map.add", "map.sub", "map.mul", "map.relu", "map.max2", "map.min2",
-                "map.copy", "map.fill", "map.select", "map.sigmoid", "map.tanh", "map.exp",
-                "map.div", "map.cmp.<", "map.cmp.>",
+                "conv2d",
+                "matmul",
+                "matvec",
+                "dot",
+                "pool",
+                "sum",
+                "max",
+                "min",
+                "argmax",
+                "argmin",
+                "map",
+                "map.add",
+                "map.sub",
+                "map.mul",
+                "map.relu",
+                "map.max2",
+                "map.min2",
+                "map.copy",
+                "map.fill",
+                "map.select",
+                "map.sigmoid",
+                "map.tanh",
+                "map.exp",
+                "map.div",
+                "map.cmp.<",
+                "map.cmp.>",
             ],
         )
     }
@@ -154,9 +174,8 @@ mod tests {
         assert_eq!(p_dw.target, "DnnWeaver");
         assert_eq!(p_vta.target, "TVM-VTA");
         // Both stay at layer granularity with the same layer count.
-        let count = |p: &pm_lower::AccProgram, op: &str| {
-            p.fragments.iter().filter(|f| f.op == op).count()
-        };
+        let count =
+            |p: &pm_lower::AccProgram, op: &str| p.fragments.iter().filter(|f| f.op == op).count();
         assert_eq!(count(p_dw, "conv2d"), count(p_vta, "conv2d"));
         assert!(count(p_dw, "conv2d") >= 17);
     }
@@ -206,9 +225,8 @@ mod tests {
         let cs = dw
             .estimate(small.partition(Some(Domain::DeepLearning)).unwrap(), &small.graph, &h)
             .cycles;
-        let cb = dw
-            .estimate(big.partition(Some(Domain::DeepLearning)).unwrap(), &big.graph, &h)
-            .cycles;
+        let cb =
+            dw.estimate(big.partition(Some(Domain::DeepLearning)).unwrap(), &big.graph, &h).cycles;
         assert!(cb > cs * 2, "{cb} vs {cs}");
     }
 }

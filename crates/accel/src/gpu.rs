@@ -43,8 +43,8 @@ impl Gpu {
     pub fn titan_xp() -> Self {
         Gpu {
             hw: HwConfig::titan_xp(),
-            peak_dense_flops: 1.05e13,     // ~10.5 TFLOP/s fp32
-            peak_streaming_flops: 1.3e11,  // bound by 547 GB/s
+            peak_dense_flops: 1.05e13,    // ~10.5 TFLOP/s fp32
+            peak_streaming_flops: 1.3e11, // bound by 547 GB/s
             irregular_flops: 2.0e10,
             scalar_flops: 1.0e9,
             mem_bandwidth: 5.47e11,
@@ -57,8 +57,8 @@ impl Gpu {
     pub fn jetson_xavier() -> Self {
         Gpu {
             hw: HwConfig::jetson_xavier(),
-            peak_dense_flops: 1.3e12,      // ~1.3 TFLOP/s fp32
-            peak_streaming_flops: 3.0e10,  // bound by 137 GB/s
+            peak_dense_flops: 1.3e12,     // ~1.3 TFLOP/s fp32
+            peak_streaming_flops: 3.0e10, // bound by 137 GB/s
             irregular_flops: 6.0e9,
             scalar_flops: 4.0e8,
             mem_bandwidth: 1.37e11,
@@ -206,14 +206,15 @@ mod tests {
         let part = &compiled.partitions[0];
         let gpu = Gpu::titan_xp();
         let unbatched = gpu.estimate(part, &g, &WorkloadHints::default());
-        let batched = gpu.estimate(
-            part,
-            &g,
-            &WorkloadHints { gpu_batch: Some(16384), ..Default::default() },
-        );
+        let batched =
+            gpu.estimate(part, &g, &WorkloadHints { gpu_batch: Some(16384), ..Default::default() });
         // A whole-image launch is orders of magnitude cheaper per block.
-        assert!(batched.seconds * 100.0 < unbatched.seconds,
-            "batched {} vs {}", batched.seconds, unbatched.seconds);
+        assert!(
+            batched.seconds * 100.0 < unbatched.seconds,
+            "batched {} vs {}",
+            batched.seconds,
+            unbatched.seconds
+        );
     }
 
     #[test]

@@ -78,8 +78,7 @@ impl Graphicionado {
                 }
                 NodeKind::Map(m) => {
                     p.apply_blocks += 1;
-                    p.vertices =
-                        p.vertices.max(srdfg::graph::space_size(&m.out_space) as u64);
+                    p.vertices = p.vertices.max(srdfg::graph::space_size(&m.out_space) as u64);
                 }
                 _ => {}
             }
@@ -115,11 +114,32 @@ impl Backend for Graphicionado {
             Domain::GraphAnalytics,
             [
                 // Group-granularity pipeline blocks: edge reduce + vertex apply.
-                "sum", "min", "max", "prod", "any", "all", "argmin", "argmax",
+                "sum",
+                "min",
+                "max",
+                "prod",
+                "any",
+                "all",
+                "argmin",
+                "argmax",
                 // Apply-stage elementwise ops over vertex properties.
-                "map", "map.add", "map.sub", "map.mul", "map.select", "map.min2", "map.max2",
-                "map.copy", "map.fill", "map.cmp.<", "map.cmp.<=", "map.cmp.>", "map.cmp.>=",
-                "map.cmp.==", "map.cmp.!=", "map.cmp.&&", "map.cmp.||",
+                "map",
+                "map.add",
+                "map.sub",
+                "map.mul",
+                "map.select",
+                "map.min2",
+                "map.max2",
+                "map.copy",
+                "map.fill",
+                "map.cmp.<",
+                "map.cmp.<=",
+                "map.cmp.>",
+                "map.cmp.>=",
+                "map.cmp.==",
+                "map.cmp.!=",
+                "map.cmp.&&",
+                "map.cmp.||",
             ],
         )
     }
@@ -163,8 +183,7 @@ impl Backend for Graphicionado {
         let spill = if vertices * 8 > self.scratchpad_bytes { 1.5 } else { 1.0 };
         let edge_throughput = self.streams as f64 * self.edges_per_cycle_per_stream / spill;
         let apply_throughput = self.streams as f64 * self.applies_per_cycle_per_stream;
-        let cycles = ((edges as f64 / edge_throughput)
-            .max(vertices as f64 / apply_throughput))
+        let cycles = ((edges as f64 / edge_throughput).max(vertices as f64 / apply_throughput))
             .ceil() as u64;
         let mut est = PerfEstimate::from_cycles(cycles.max(1), &self.hw());
         est.dma_bytes = prog.dma_bytes();

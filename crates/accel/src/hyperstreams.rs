@@ -34,11 +34,7 @@ pub struct HyperStreams {
 
 impl Default for HyperStreams {
     fn default() -> Self {
-        HyperStreams {
-            max_operators: 4096,
-            elements_per_cycle: 1.0,
-            stream_bytes_per_cycle: 64,
-        }
+        HyperStreams { max_operators: 4096, elements_per_cycle: 1.0, stream_bytes_per_cycle: 64 }
     }
 }
 
@@ -113,20 +109,17 @@ impl Backend for HyperStreams {
     }
 
     fn accel_spec(&self) -> AcceleratorSpec {
-        AcceleratorSpec::new(
-            "HyperStreams",
-            Domain::DataAnalytics,
-            [
-                // Spatially unrolled scalar FP operators.
-                "add", "sub", "mul", "div", "neg", "select", "const",
-                "cmp.==", "cmp.!=", "cmp.<", "cmp.<=", "cmp.>", "cmp.>=",
-                // Pipelined transcendental operator cores.
-                "ln", "exp", "sqrt", "phi", "erf", "sigmoid", "abs", "pow",
-                "min2", "max2", "floor",
-                // Marshalling.
-                "unpack", "pack",
-            ],
-        )
+        #[rustfmt::skip]
+        let ops = [
+            // Spatially unrolled scalar FP operators.
+            "add", "sub", "mul", "div", "neg", "select", "const",
+            "cmp.==", "cmp.!=", "cmp.<", "cmp.<=", "cmp.>", "cmp.>=",
+            // Pipelined transcendental operator cores.
+            "ln", "exp", "sqrt", "phi", "erf", "sigmoid", "abs", "pow", "min2", "max2", "floor",
+            // Marshalling.
+            "unpack", "pack",
+        ];
+        AcceleratorSpec::new("HyperStreams", Domain::DataAnalytics, ops)
     }
 
     fn hw(&self) -> HwConfig {
@@ -137,11 +130,9 @@ impl Backend for HyperStreams {
         let plan = self.plan(prog, graph);
         // Steady-state throughput: `copies` elements per cycle once the
         // pipeline fills; fill depth amortizes across the stream.
-        let mut compute = ((plan.elements as f64)
-            / (self.elements_per_cycle * plan.copies as f64))
-            .ceil() as u64;
-        compute =
-            ((compute as f64) * hints.effective_scale(prog.compute_ops())).ceil() as u64;
+        let mut compute =
+            ((plan.elements as f64) / (self.elements_per_cycle * plan.copies as f64)).ceil() as u64;
+        compute = ((compute as f64) * hints.effective_scale(prog.compute_ops())).ceil() as u64;
         let stream = plan.streamed_bytes.div_ceil(self.stream_bytes_per_cycle);
         let cycles = compute.max(stream) + plan.ops_per_element + 8; // fill + control
         let mut est = PerfEstimate::from_cycles(cycles, &self.hw());
@@ -158,14 +149,14 @@ impl Backend for HyperStreams {
         // A hand-tuned HyperStreams design balances its pipeline stages
         // perfectly (the FPL paper's point) — no control epilogue.
         let plan = self.plan(prog, graph);
-        let mut compute = ((plan.elements as f64)
-            / (self.elements_per_cycle * plan.copies as f64))
-            .ceil() as u64;
-        compute =
-            ((compute as f64) * hints.effective_scale(prog.compute_ops())).ceil() as u64;
+        let mut compute =
+            ((plan.elements as f64) / (self.elements_per_cycle * plan.copies as f64)).ceil() as u64;
+        compute = ((compute as f64) * hints.effective_scale(prog.compute_ops())).ceil() as u64;
         let stream = plan.streamed_bytes.div_ceil(self.stream_bytes_per_cycle);
-        let mut est =
-            PerfEstimate::from_cycles(compute.max(stream).max(1) + plan.ops_per_element, &self.hw());
+        let mut est = PerfEstimate::from_cycles(
+            compute.max(stream).max(1) + plan.ops_per_element,
+            &self.hw(),
+        );
         est.dma_bytes = prog.dma_bytes();
         est
     }

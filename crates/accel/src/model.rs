@@ -182,8 +182,10 @@ mod tests {
 
     #[test]
     fn perf_per_watt_ratio_behaviour() {
-        let fast_low_power = PerfEstimate { cycles: 0, seconds: 1e-3, energy_j: 1e-3, dma_bytes: 0 };
-        let slow_high_power = PerfEstimate { cycles: 0, seconds: 1e-2, energy_j: 1.0, dma_bytes: 0 };
+        let fast_low_power =
+            PerfEstimate { cycles: 0, seconds: 1e-3, energy_j: 1e-3, dma_bytes: 0 };
+        let slow_high_power =
+            PerfEstimate { cycles: 0, seconds: 1e-2, energy_j: 1.0, dma_bytes: 0 };
         assert!(fast_low_power.perf_per_watt() > slow_high_power.perf_per_watt());
     }
 }

@@ -79,15 +79,48 @@ impl Backend for Robox {
             Domain::Robotics,
             [
                 // Group operations of the macro dataflow graph.
-                "matvec", "matmul", "dot", "sum", "prod", "max", "min", "argmax", "argmin",
+                "matvec",
+                "matmul",
+                "dot",
+                "sum",
+                "prod",
+                "max",
+                "min",
+                "argmax",
+                "argmin",
                 // Vector operations (elementwise maps, incl. compound ones).
-                "map", "map.add", "map.sub", "map.mul", "map.div", "map.neg", "map.select",
-                "map.copy", "map.fill", "map.cmp.<", "map.cmp.<=", "map.cmp.>", "map.cmp.>=",
-                "map.cmp.==", "map.cmp.!=", "map.min2", "map.max2", "map.abs",
+                "map",
+                "map.add",
+                "map.sub",
+                "map.mul",
+                "map.div",
+                "map.neg",
+                "map.select",
+                "map.copy",
+                "map.fill",
+                "map.cmp.<",
+                "map.cmp.<=",
+                "map.cmp.>",
+                "map.cmp.>=",
+                "map.cmp.==",
+                "map.cmp.!=",
+                "map.min2",
+                "map.max2",
+                "map.abs",
                 // Nonlinear vector evaluations for dynamics models.
-                "map.sin", "map.cos", "map.tan", "map.sqrt", "map.exp", "map.pow",
+                "map.sin",
+                "map.cos",
+                "map.tan",
+                "map.sqrt",
+                "map.exp",
+                "map.pow",
                 // Scalar glue.
-                "add", "sub", "mul", "div", "select", "const",
+                "add",
+                "sub",
+                "mul",
+                "div",
+                "select",
+                "const",
             ],
         )
     }
@@ -173,11 +206,11 @@ mod tests {
         let compiled = compile_program(&g, &targets).unwrap();
         let part = compiled.partition(Some(Domain::Robotics)).unwrap();
         // Matrix-vector products must stay whole (no scalar explosion).
-        assert!(part
-            .fragments
-            .iter()
-            .any(|f| f.op == "matvec" || f.op == "sum"), "ops: {:?}",
-            part.fragments.iter().map(|f| f.op.clone()).collect::<Vec<_>>());
+        assert!(
+            part.fragments.iter().any(|f| f.op == "matvec" || f.op == "sum"),
+            "ops: {:?}",
+            part.fragments.iter().map(|f| f.op.clone()).collect::<Vec<_>>()
+        );
         assert!(part.fragments.iter().all(|f| f.op != "unpack"));
     }
 

@@ -97,10 +97,7 @@ impl Soc {
 
     /// The backend with the given target name, if attached.
     pub fn backend_by_name(&self, name: &str) -> Option<&dyn Backend> {
-        self.backends
-            .iter()
-            .find(|b| b.accel_spec().name == name)
-            .map(|b| b.as_ref())
+        self.backends.iter().find(|b| b.accel_spec().name == name).map(|b| b.as_ref())
     }
 
     /// The host CPU model.
@@ -146,15 +143,11 @@ impl Soc {
             // The partition records which target its fragments were
             // compiled for; pick the matching backend, else the host (an
             // unaccelerated domain compiles against the host spec).
-            let backend = self
-                .backends
-                .iter()
-                .find(|b| b.accel_spec().name == part.target);
+            let backend = self.backends.iter().find(|b| b.accel_spec().name == part.target);
             let (target, compute) = match backend {
-                Some(backend) if expert => (
-                    backend.name().to_string(),
-                    backend.estimate_expert(part, &compiled.graph, h),
-                ),
+                Some(backend) if expert => {
+                    (backend.name().to_string(), backend.estimate_expert(part, &compiled.graph, h))
+                }
                 Some(backend) => {
                     (backend.name().to_string(), backend.estimate(part, &compiled.graph, h))
                 }
@@ -187,10 +180,7 @@ impl Soc {
                     // `input`/`output`/intermediate flows cross the DMA
                     // per invocation.
                     let resident = frag.inputs.iter().chain(&frag.outputs).all(|a| {
-                        matches!(
-                            a.modifier,
-                            srdfg::Modifier::Param | srdfg::Modifier::State
-                        )
+                        matches!(a.modifier, srdfg::Modifier::Param | srdfg::Modifier::State)
                     });
                     if resident {
                         continue;
@@ -205,12 +195,7 @@ impl Soc {
             }
             total = total.then(&compute).then(&dma);
             dma_seconds += dma.seconds;
-            partitions.push(PartitionReport {
-                target,
-                domain: part.domain,
-                compute,
-                dma,
-            });
+            partitions.push(PartitionReport { target, domain: part.domain, compute, dma });
         }
         let comm_fraction = if total.seconds > 0.0 { dma_seconds / total.seconds } else { 0.0 };
         SocReport { partitions, total, comm_fraction }
@@ -271,8 +256,7 @@ mod tests {
         let hints = HashMap::new();
         let none = s.run(&compiled_two_domain(&[]), &hints);
         let dsp_only = s.run(&compiled_two_domain(&[Domain::Dsp]), &hints);
-        let both =
-            s.run(&compiled_two_domain(&[Domain::Dsp, Domain::DataAnalytics]), &hints);
+        let both = s.run(&compiled_two_domain(&[Domain::Dsp, Domain::DataAnalytics]), &hints);
         // Fully accelerated is fastest in energy (the paper's headline
         // cross-domain claim).
         assert!(both.total.energy_j < none.total.energy_j);
@@ -283,11 +267,8 @@ mod tests {
     fn unaccelerated_partition_falls_back_to_host() {
         let s = soc();
         let report = s.run(&compiled_two_domain(&[Domain::Dsp]), &HashMap::new());
-        let da = report
-            .partitions
-            .iter()
-            .find(|p| p.domain == Some(Domain::DataAnalytics))
-            .unwrap();
+        let da =
+            report.partitions.iter().find(|p| p.domain == Some(Domain::DataAnalytics)).unwrap();
         assert_eq!(da.target, "Xeon E-2176G");
         assert_eq!(da.dma.dma_bytes, 0, "host partitions need no DMA");
         let dsp = report.partitions.iter().find(|p| p.domain == Some(Domain::Dsp)).unwrap();
@@ -325,11 +306,8 @@ mod tests {
         let compiled = compile_program(&g, &targets).unwrap();
         let s = soc();
         let report = s.run(&compiled, &HashMap::new());
-        let da = report
-            .partitions
-            .iter()
-            .find(|p| p.domain == Some(Domain::DataAnalytics))
-            .unwrap();
+        let da =
+            report.partitions.iter().find(|p| p.domain == Some(Domain::DataAnalytics)).unwrap();
         // x (256 B) + y (1 KiB) cross the DMA; W (64 KiB) must not.
         assert!(da.dma.dma_bytes <= 2048, "moved {} bytes", da.dma.dma_bytes);
         assert!(da.dma.dma_bytes >= 256 + 1024, "moved {} bytes", da.dma.dma_bytes);

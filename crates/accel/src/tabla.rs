@@ -157,15 +157,14 @@ impl Backend for Tabla {
             Domain::DataAnalytics,
             [
                 // Scalar ALU ops.
-                "add", "sub", "mul", "div", "mod", "pow", "neg", "not", "select", "const",
-                "cmp.==", "cmp.!=", "cmp.<", "cmp.<=", "cmp.>", "cmp.>=", "cmp.&&", "cmp.||", "or", "and",
+                "add", "sub", "mul", "div", "mod", "pow", "neg", "not", "select", "const", "cmp.==",
+                "cmp.!=", "cmp.<", "cmp.<=", "cmp.>", "cmp.>=", "cmp.&&", "cmp.||", "or", "and",
                 // Nonlinear units.
-                "sigmoid", "gaussian", "exp", "ln", "sqrt", "tanh", "relu", "abs", "sign",
-                "min2", "max2", "erf", "phi", "floor", "ceil",
+                "sigmoid", "gaussian", "exp", "ln", "sqrt", "tanh", "relu", "abs", "sign", "min2",
+                "max2", "erf", "phi", "floor", "ceil",
                 // Group comparators (argmin/argmax trees exist in TABLA's
                 // template library for k-means style models).
-                "argmin", "argmax", "max", "min",
-                // Marshalling.
+                "argmin", "argmax", "max", "min", // Marshalling.
                 "unpack", "pack",
             ],
         )
@@ -205,8 +204,8 @@ impl Backend for Tabla {
         // An expert TABLA template packs ops with no per-level waste: the
         // bound is total work over the PE count plus the dataflow depth.
         let sched = self.schedule(prog, graph);
-        let mut compute = (sched.total_ops as u64).div_ceil(self.pes() as u64)
-            + sched.levels.len() as u64;
+        let mut compute =
+            (sched.total_ops as u64).div_ceil(self.pes() as u64) + sched.levels.len() as u64;
         compute = ((compute as f64) * hints.effective_scale(prog.compute_ops())).ceil() as u64;
         let stream = sched.streamed_bytes.div_ceil(self.stream_bytes_per_cycle);
         let mut est = PerfEstimate::from_cycles(compute.max(stream).max(1), &self.hw());

@@ -110,12 +110,33 @@ impl Backend for Vta {
             Domain::DeepLearning,
             [
                 // Layer granularity (coarse DNN layers, paper §V.A.3).
-                "conv2d", "matmul", "matvec", "dot", "pool", "sum", "max", "min",
-                "argmax", "argmin",
+                "conv2d",
+                "matmul",
+                "matvec",
+                "dot",
+                "pool",
+                "sum",
+                "max",
+                "min",
+                "argmax",
+                "argmin",
                 // Vector-ALU maps (activation, scale/shift, residual add).
-                "map", "map.add", "map.sub", "map.mul", "map.relu", "map.max2", "map.min2",
-                "map.copy", "map.fill", "map.select", "map.sigmoid", "map.tanh", "map.exp",
-                "map.div", "map.cmp.<", "map.cmp.>",
+                "map",
+                "map.add",
+                "map.sub",
+                "map.mul",
+                "map.relu",
+                "map.max2",
+                "map.min2",
+                "map.copy",
+                "map.fill",
+                "map.select",
+                "map.sigmoid",
+                "map.tanh",
+                "map.exp",
+                "map.div",
+                "map.cmp.<",
+                "map.cmp.>",
             ],
         )
     }

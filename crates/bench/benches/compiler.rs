@@ -106,10 +106,7 @@ fn bench_interpreter(c: &mut Criterion) {
             "A".to_string(),
             Tensor::from_vec(pmlang::DType::Float, vec![64, 64], vec![0.5; 4096]).unwrap(),
         ),
-        (
-            "x".to_string(),
-            Tensor::from_vec(pmlang::DType::Float, vec![64], vec![1.0; 64]).unwrap(),
-        ),
+        ("x".to_string(), Tensor::from_vec(pmlang::DType::Float, vec![64], vec![1.0; 64]).unwrap()),
     ]);
     c.bench_function("interp/matvec-64", |b| {
         let mut m = Machine::new(graph.clone());

@@ -68,11 +68,7 @@ fn bench_ablation_elision(c: &mut Criterion) {
         .estimate(with.partition(Some(Domain::DataAnalytics)).unwrap(), &with.graph, &hints)
         .cycles;
     let cwo = tabla
-        .estimate(
-            without.partition(Some(Domain::DataAnalytics)).unwrap(),
-            &without.graph,
-            &hints,
-        )
+        .estimate(without.partition(Some(Domain::DataAnalytics)).unwrap(), &without.graph, &hints)
         .cycles;
     println!("[ablation] marshalling elision: {cwo} -> {cw} TABLA cycles");
     assert!(cw <= cwo);
@@ -80,8 +76,7 @@ fn bench_ablation_elision(c: &mut Criterion) {
     // Keep a measurable benchmark too: the pass's own runtime.
     let (prog, _) = pmlang::frontend(&programs::logistic(1024)).unwrap();
     let mut graph = srdfg::build(&prog, &Bindings::default()).unwrap();
-    let mut targets =
-        TargetMap::host_only(Backend::accel_spec(&pm_accel::Cpu::default()));
+    let mut targets = TargetMap::host_only(Backend::accel_spec(&pm_accel::Cpu::default()));
     targets.set(tabla.accel_spec());
     lower(&mut graph, &targets).unwrap();
     c.bench_function("ablation/elide-marshalling/lr-1024", |b| {
@@ -104,17 +99,12 @@ fn bench_ablation_fusion(c: &mut Criterion) {
         if fuse {
             pm_passes::AlgebraicCombination.run(&mut graph);
         }
-        let mut targets =
-            TargetMap::host_only(Backend::accel_spec(&pm_accel::Cpu::default()));
+        let mut targets = TargetMap::host_only(Backend::accel_spec(&pm_accel::Cpu::default()));
         targets.set(robox.accel_spec());
         lower(&mut graph, &targets).unwrap();
         let compiled = compile_program(&graph, &targets).unwrap();
         robox
-            .estimate(
-                compiled.partition(Some(Domain::Robotics)).unwrap(),
-                &compiled.graph,
-                &hints,
-            )
+            .estimate(compiled.partition(Some(Domain::Robotics)).unwrap(), &compiled.graph, &hints)
             .cycles
     };
     let plain = estimate(false);

@@ -26,9 +26,16 @@ pub fn evaluate_suite() -> Vec<PlatformResults> {
 pub fn table1() {
     println!("Table I: PMLang keywords");
     println!("  {:<12} {:<22} description", "construct", "keyword");
-    println!("  {:<12} {:<22} takes input, produces output, reads/writes state", "Component", "<name>(args) {…}");
+    println!(
+        "  {:<12} {:<22} takes input, produces output, reads/writes state",
+        "Component", "<name>(args) {…}"
+    );
     let domains: Vec<&str> = Domain::all().iter().map(|d| d.keyword()).collect();
-    println!("  {:<12} {:<22} a component's (or statement's) target domain", "Domain", domains.join(", "));
+    println!(
+        "  {:<12} {:<22} a component's (or statement's) target domain",
+        "Domain",
+        domains.join(", ")
+    );
     for (kw, desc) in [
         ("input", "flow of data, read-only within a component"),
         ("output", "flow of data, write-only within a component"),
@@ -52,7 +59,11 @@ pub fn table1() {
     .iter()
     .map(|r| r.name())
     .collect();
-    println!("  {:<12} {:<22} built-in group reductions (+ `reduction` defs)", "Reductions", reds.join(", "));
+    println!(
+        "  {:<12} {:<22} built-in group reductions (+ `reduction` defs)",
+        "Reductions",
+        reds.join(", ")
+    );
 }
 
 /// Table II — the computational-stack comparison matrix (static).
@@ -273,8 +284,8 @@ pub fn sweep_app(app: &App) -> Vec<ComboRow> {
             // Black-Scholes on HyperStreams via a per-component override.
             let mut compiler = Compiler::accelerating(&all);
             if blks {
-                compiler = compiler
-                    .with_target_override("blks", HyperStreams::default().accel_spec());
+                compiler =
+                    compiler.with_target_override("blks", HyperStreams::default().accel_spec());
             }
             price(label.to_string(), compiler, &variant.source)
         })
@@ -282,9 +293,7 @@ pub fn sweep_app(app: &App) -> Vec<ComboRow> {
     }
     app_combinations(app)
         .into_iter()
-        .map(|(label, domains)| {
-            price(label, Compiler::accelerating(&domains), &app.source)
-        })
+        .map(|(label, domains)| price(label, Compiler::accelerating(&domains), &app.source))
         .collect()
 }
 
@@ -315,9 +324,8 @@ pub fn fig11() {
     for app in apps::paper_apps() {
         println!("Fig 11 ({}): end-to-end improvement over GPUs", app.name);
         // GPU baselines run the whole app (all partitions).
-        let host = Compiler::host_only()
-            .compile(&app.source, &Bindings::default())
-            .expect("host compile");
+        let host =
+            Compiler::host_only().compile(&app.source, &Bindings::default()).expect("host compile");
         let h = WorkloadHints::default();
         let titan = polymath::evaluate::estimate_all(&Gpu::titan_xp(), &host, &h);
         let jetson = polymath::evaluate::estimate_all(&Gpu::jetson_xavier(), &host, &h);
@@ -393,8 +401,7 @@ pub fn portability() {
         let graph = srdfg::build(&prog, &Bindings::default()).unwrap();
         let price = |backend: &dyn Backend| -> f64 {
             let mut g = graph.clone();
-            let mut targets =
-                TargetMap::host_only(Backend::accel_spec(&Cpu::default()));
+            let mut targets = TargetMap::host_only(Backend::accel_spec(&Cpu::default()));
             targets.set(backend.accel_spec());
             lower(&mut g, &targets).unwrap();
             let compiled = compile_program(&g, &targets).unwrap();
@@ -443,24 +450,22 @@ pub fn mpc_formulations() {
         ("recursive-LQR", pm_workloads::programs::lqr_step(12, 6)),
     ] {
         let compiled = compile_single_target(&robox, &src, true);
-        let part = compiled
-            .partition_by_target("RoboX")
-            .expect("RoboX partition");
+        let part = compiled.partition_by_target("RoboX").expect("RoboX partition");
         let est = robox.estimate(part, &compiled.graph, &hints);
         // Steady-state DMA: `param`/`state` tensors are uploaded once and
         // stay resident (the SoC model's residency rule), so the per-step
         // traffic is the non-resident load/store bytes only.
-        let steady: u64 = part
-            .fragments
-            .iter()
-            .filter(|f| f.kind != pm_lower::FragmentKind::Compute)
-            .filter(|f| {
-                f.inputs.iter().chain(&f.outputs).any(|a| {
-                    !matches!(a.modifier, srdfg::Modifier::Param | srdfg::Modifier::State)
+        let steady: u64 =
+            part.fragments
+                .iter()
+                .filter(|f| f.kind != pm_lower::FragmentKind::Compute)
+                .filter(|f| {
+                    f.inputs.iter().chain(&f.outputs).any(|a| {
+                        !matches!(a.modifier, srdfg::Modifier::Param | srdfg::Modifier::State)
+                    })
                 })
-            })
-            .map(pm_lower::Fragment::bytes)
-            .sum();
+                .map(pm_lower::Fragment::bytes)
+                .sum();
         println!(
             "  {label:<16} {:>10.2} us compute   {:>9} B DMA/step (steady state)",
             est.seconds * 1e6,
@@ -502,8 +507,7 @@ pub fn dse() -> Vec<(String, u64, u64)> {
     }
 
     println!("DSE: HyperStreams operator budget on BLKS-8192 (stream-balanced: 128 ops)");
-    let blks =
-        compiled_for(&HyperStreams::default(), &pm_workloads::programs::black_scholes(8192));
+    let blks = compiled_for(&HyperStreams::default(), &pm_workloads::programs::black_scholes(8192));
     let part = blks.partition_by_target("HyperStreams").unwrap();
     for ops in [64usize, 128, 256, 1024, 4096] {
         let h = HyperStreams { max_operators: ops, ..Default::default() };
@@ -525,8 +529,7 @@ pub fn compile_single_target(
     use pm_accel::Backend as _;
     let (prog, _) = pmlang::frontend(src).unwrap();
     let mut graph = srdfg::build(&prog, &Bindings::default()).unwrap();
-    let mut targets =
-        pm_lower::TargetMap::host_only(Cpu::default().accel_spec());
+    let mut targets = pm_lower::TargetMap::host_only(Cpu::default().accel_spec());
     targets.set(backend.accel_spec());
     pm_lower::lower(&mut graph, &targets).unwrap();
     if elide {

@@ -33,8 +33,7 @@ fn csv_round_trips_a_small_workload() {
     assert_eq!(row[2], "TABLA");
     // Recorded ratio equals the recomputed one.
     let cpu_s: f64 = row[header.iter().position(|h| *h == "cpu_s").unwrap()].parse().unwrap();
-    let pm_s: f64 =
-        row[header.iter().position(|h| *h == "polymath_s").unwrap()].parse().unwrap();
+    let pm_s: f64 = row[header.iter().position(|h| *h == "polymath_s").unwrap()].parse().unwrap();
     let ratio: f64 =
         row[header.iter().position(|h| *h == "speedup_vs_cpu").unwrap()].parse().unwrap();
     assert!((cpu_s / pm_s - ratio).abs() < 2e-3, "{} vs {ratio}", cpu_s / pm_s);

@@ -15,6 +15,13 @@
 //!     `--pin blks=HyperStreams` while LR keeps the TABLA default.
 //!     `--fragments` additionally dumps each partition's fragment stream
 //!     (Algorithm 2's load/compute/store sequence).
+//! pmc lint <file.pm> [--size ...] [--host-only] [--deny-warnings] [--format json]
+//!     Run the cross-layer static-analysis lints (unused declarations,
+//!     state carry notes, edge-metadata consistency, reduction races,
+//!     unmarshaled domain crossings, lowering feasibility) against the
+//!     cross-domain target map (or the host with --host-only). Exits
+//!     non-zero on errors, or on warnings under --deny-warnings.
+//!     `--format json` emits one JSON array instead of caret renderings.
 //! pmc fmt <file.pm>
 //!     Pretty-print the program (canonical formatting) on stdout.
 //! pmc ir <file.pm> [--size ...] [--target <name>]
@@ -131,6 +138,35 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "lint" => {
+            let (program, _) = pmlang::frontend(&source).map_err(|e| e.to_string())?;
+            // No optimization passes: lints should see the graph exactly as
+            // the source wrote it, with every span intact.
+            let graph = srdfg::build(&program, &bindings).map_err(|e| e.to_string())?;
+            let compiler = if host_only { Compiler::host_only() } else { Compiler::cross_domain() };
+            let cx = pm_lint::LintContext {
+                program: &program,
+                graph: &graph,
+                targets: compiler.targets(),
+            };
+            let diags = pm_lint::LintRegistry::standard().run(&cx);
+            if parse_format(args)? == "json" {
+                println!("{}", pm_lint::render_json(&diags));
+            } else {
+                print!("{}", pm_lint::render_text(&diags, &source, path));
+            }
+            let errors = diags.iter().filter(|d| d.severity == pm_lint::Severity::Error).count();
+            let warnings =
+                diags.iter().filter(|d| d.severity == pm_lint::Severity::Warning).count();
+            let deny = args.iter().any(|a| a == "--deny-warnings");
+            if errors > 0 {
+                return Err(format!("lint found {errors} error(s)"));
+            }
+            if deny && warnings > 0 {
+                return Err(format!("lint found {warnings} warning(s) (--deny-warnings)"));
+            }
+            Ok(())
+        }
         "fmt" => {
             let (program, _) = pmlang::frontend(&source).map_err(|e| e.to_string())?;
             print!("{}", pmlang::print_program(&program));
@@ -138,12 +174,10 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "ir" => {
             let compiler = Compiler::host_only();
-            let mut graph =
-                compiler.build_graph(&source, &bindings).map_err(|e| e.to_string())?;
+            let mut graph = compiler.build_graph(&source, &bindings).map_err(|e| e.to_string())?;
             if let Some(pos) = args.iter().position(|a| a == "--target") {
-                let name = args
-                    .get(pos + 1)
-                    .ok_or_else(|| "--target expects a name".to_string())?;
+                let name =
+                    args.get(pos + 1).ok_or_else(|| "--target expects a name".to_string())?;
                 lower_for(&mut graph, name)?;
             }
             print!("{}", srdfg::dot::to_text(&graph));
@@ -156,8 +190,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .and_then(|p| args.get(p + 1))
                 .ok_or_else(|| "lower expects --target <name>".to_string())?;
             let compiler = Compiler::host_only();
-            let mut graph =
-                compiler.build_graph(&source, &bindings).map_err(|e| e.to_string())?;
+            let mut graph = compiler.build_graph(&source, &bindings).map_err(|e| e.to_string())?;
             println!("before lowering:");
             print_census(&graph);
             lower_for(&mut graph, target)?;
@@ -258,9 +291,10 @@ fn lower_for(graph: &mut srdfg::SrDfg, target: &str) -> Result<(), String> {
     if graph.domain.is_none() && pm_passes::domains_used(graph).is_empty() {
         graph.domain = Some(spec.domain);
     }
-    let mut targets = pm_lower::TargetMap::host_only(
-        pm_lower::AcceleratorSpec::general_purpose("CPU", spec.domain),
-    );
+    let mut targets = pm_lower::TargetMap::host_only(pm_lower::AcceleratorSpec::general_purpose(
+        "CPU",
+        spec.domain,
+    ));
     targets.set(spec);
     pm_lower::lower(graph, &targets).map_err(|e| e.to_string())?;
     pm_passes::Pass::run(&pm_passes::ElideMarshalling, graph);
@@ -363,13 +397,10 @@ fn parse_sizes(args: &[String]) -> Result<Bindings, String> {
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--size" {
-            let spec = args
-                .get(i + 1)
-                .ok_or_else(|| "--size expects name=value".to_string())?;
+            let spec = args.get(i + 1).ok_or_else(|| "--size expects name=value".to_string())?;
             let (name, value) =
                 spec.split_once('=').ok_or_else(|| format!("bad --size `{spec}`"))?;
-            let value: i64 =
-                value.parse().map_err(|_| format!("bad --size value `{value}`"))?;
+            let value: i64 = value.parse().map_err(|_| format!("bad --size value `{value}`"))?;
             bindings.sizes.insert(name.to_string(), value);
             i += 2;
         } else {
@@ -379,8 +410,21 @@ fn parse_sizes(args: &[String]) -> Result<Bindings, String> {
     Ok(bindings)
 }
 
+/// Parses `--format <text|json>` (defaulting to text).
+fn parse_format(args: &[String]) -> Result<&str, String> {
+    match args.iter().position(|a| a == "--format") {
+        None => Ok("text"),
+        Some(pos) => match args.get(pos + 1).map(String::as_str) {
+            Some(f @ ("text" | "json")) => Ok(f),
+            Some(other) => Err(format!("unknown --format `{other}` (expected text or json)")),
+            None => Err("--format expects text or json".to_string()),
+        },
+    }
+}
+
 fn usage() -> String {
-    "usage: pmc <check|stats|dot|compile|run> <file.pm> [feeds.txt] \
-[--size name=value ...] [--host-only] [--pin comp=TARGET ...] [--iters N]"
+    "usage: pmc <check|stats|dot|compile|lint|run> <file.pm> [feeds.txt] \
+[--size name=value ...] [--host-only] [--pin comp=TARGET ...] [--iters N] \
+[--deny-warnings] [--format json]"
         .to_string()
 }

@@ -2,7 +2,9 @@
 //! optimization passes → lowering (Algorithm 1) → accelerator IR
 //! (Algorithm 2).
 
-use pm_accel::{Backend, Cpu, Deco, DnnWeaver, Graphicionado, HyperStreams, Robox, Soc, Tabla, Vta};
+use pm_accel::{
+    Backend, Cpu, Deco, DnnWeaver, Graphicionado, HyperStreams, Robox, Soc, Tabla, Vta,
+};
 use pm_lower::{compile_program, lower, CompiledProgram, TargetMap};
 use pm_passes::{Pass, PassManager};
 use pmlang::Domain;
@@ -143,11 +145,7 @@ impl Compiler {
     /// # Errors
     ///
     /// Returns frontend or build errors.
-    pub fn build_graph(
-        &self,
-        source: &str,
-        bindings: &Bindings,
-    ) -> Result<SrDfg, PolyMathError> {
+    pub fn build_graph(&self, source: &str, bindings: &Bindings) -> Result<SrDfg, PolyMathError> {
         let (program, _) = pmlang::frontend(source)?;
         let mut graph = srdfg::build(&program, bindings)?;
         if self.optimize {
@@ -216,8 +214,7 @@ mod tests {
 
     #[test]
     fn host_only_compilation_single_partition_family() {
-        let compiled =
-            Compiler::host_only().compile(TWO_DOMAIN, &Bindings::default()).unwrap();
+        let compiled = Compiler::host_only().compile(TWO_DOMAIN, &Bindings::default()).unwrap();
         for p in &compiled.partitions {
             assert_eq!(p.target, "CPU");
         }
@@ -225,17 +222,13 @@ mod tests {
 
     #[test]
     fn cross_domain_compilation_partitions_and_executes() {
-        let compiled =
-            Compiler::cross_domain().compile(TWO_DOMAIN, &Bindings::default()).unwrap();
-        let targets: Vec<_> =
-            compiled.partitions.iter().map(|p| p.target.clone()).collect();
+        let compiled = Compiler::cross_domain().compile(TWO_DOMAIN, &Bindings::default()).unwrap();
+        let targets: Vec<_> = compiled.partitions.iter().map(|p| p.target.clone()).collect();
         assert!(targets.contains(&"DECO".to_string()), "{targets:?}");
         assert!(targets.contains(&"TABLA".to_string()), "{targets:?}");
 
         // The lowered graph still computes the right thing.
-        let vec_t = |v: Vec<f64>| {
-            Tensor::from_vec(pmlang::DType::Float, vec![v.len()], v).unwrap()
-        };
+        let vec_t = |v: Vec<f64>| Tensor::from_vec(pmlang::DType::Float, vec![v.len()], v).unwrap();
         let feeds = HashMap::from([
             ("sig".to_string(), vec_t(vec![0.1; 64])),
             ("taps".to_string(), vec_t(vec![1.0; 64])),
@@ -265,8 +258,7 @@ mod tests {
 
     #[test]
     fn soc_runs_cross_domain_compilation() {
-        let compiled =
-            Compiler::cross_domain().compile(TWO_DOMAIN, &Bindings::default()).unwrap();
+        let compiled = Compiler::cross_domain().compile(TWO_DOMAIN, &Bindings::default()).unwrap();
         let soc = standard_soc();
         let report = soc.run(&compiled, &HashMap::new());
         assert!(report.total.seconds > 0.0);

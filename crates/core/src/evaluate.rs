@@ -121,8 +121,7 @@ pub fn evaluate(workload: &Workload) -> Result<PlatformResults, PolyMathError> {
     let host = Compiler::host_only().compile(&workload.source, &bindings)?;
     let cpu = estimate_all(&Cpu::default(), &host, &flat).scaled(workload.invocations);
     let titan = estimate_all(&Gpu::titan_xp(), &host, &flat).scaled(workload.invocations);
-    let jetson =
-        estimate_all(&Gpu::jetson_xavier(), &host, &flat).scaled(workload.invocations);
+    let jetson = estimate_all(&Gpu::jetson_xavier(), &host, &flat).scaled(workload.invocations);
 
     // PolyMath compiles cross-domain and runs on the SoC.
     let compiled = Compiler::cross_domain().compile(&workload.source, &bindings)?;

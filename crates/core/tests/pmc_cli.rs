@@ -34,10 +34,7 @@ main(input float x[8], param float w[8], output float z) {
 
 /// Writes `content` to a fresh temp file and returns its path.
 fn temp_file(tag: &str, content: &str) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!(
-        "pmc_cli_{tag}_{}.pm",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("pmc_cli_{tag}_{}.pm", std::process::id()));
     let mut f = std::fs::File::create(&path).unwrap();
     f.write_all(content.as_bytes()).unwrap();
     path
@@ -98,8 +95,7 @@ fn compile_host_only_uses_the_cpu() {
 #[test]
 fn compile_pin_splits_a_domain_across_targets() {
     let f = temp_file("pin", TWO_DA);
-    let out =
-        pmc(&["compile", f.to_str().unwrap(), "--pin", "a=HyperStreams", "--fragments"]);
+    let out = pmc(&["compile", f.to_str().unwrap(), "--pin", "a=HyperStreams", "--fragments"]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("HyperStreams"), "{text}");
@@ -163,13 +159,7 @@ fn run_executes_with_feeds_and_state() {
     );
     let feeds = std::env::temp_dir().join(format!("pmc_cli_feeds_{}.txt", std::process::id()));
     std::fs::write(&feeds, "x 4 = 1 2 3 4\nstate s = 10\n").unwrap();
-    let out = pmc(&[
-        "run",
-        pm.to_str().unwrap(),
-        feeds.to_str().unwrap(),
-        "--iters",
-        "3",
-    ]);
+    let out = pmc(&["run", pm.to_str().unwrap(), feeds.to_str().unwrap(), "--iters", "3"]);
     assert!(out.status.success(), "{}", stderr(&out));
     // 10 + 3*10 = 40 after three accumulating invocations.
     assert!(stdout(&out).contains("40"), "{}", stdout(&out));

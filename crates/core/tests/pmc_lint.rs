@@ -1,0 +1,98 @@
+//! Golden-file tests for `pmc lint` over the shipped examples: the full
+//! caret-rendered output of each example is pinned under `tests/golden/`.
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p polymath --test pmc_lint`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Repository root (the examples live at `<root>/examples/pm`).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+/// Runs `pmc` from the repo root so example paths render relatively.
+fn pmc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pmc")).args(args).current_dir(repo_root()).output().unwrap()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Compares `pmc lint <example>` output against its golden file.
+fn check_golden(example: &str) -> Output {
+    let out = pmc(&["lint", &format!("examples/pm/{example}")]);
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{example}.lint.txt"));
+    let actual = stdout(&out);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", golden_path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "lint output for {example} diverged from {} \
+         (rerun with UPDATE_GOLDEN=1 to bless)",
+        golden_path.display()
+    );
+    out
+}
+
+#[test]
+fn lint_demo_matches_golden_and_reports_four_codes() {
+    let out = check_golden("lint_demo.pm");
+    // Warnings alone do not fail the build without --deny-warnings.
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for code in ["PM-W001", "PM-N002", "PM-W004", "PM-W006"] {
+        assert!(text.contains(code), "missing {code} in:\n{text}");
+    }
+    // Every finding carries a real source location (file:line:col arrow).
+    let findings = text.matches("warning[").count() + text.matches("note[").count();
+    let arrows = text.matches("--> examples/pm/lint_demo.pm:").count();
+    assert_eq!(arrows, findings, "{text}");
+}
+
+#[test]
+fn lint_demo_fails_under_deny_warnings() {
+    let out = pmc(&["lint", "examples/pm/lint_demo.pm", "--deny-warnings"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--deny-warnings"), "{err}");
+}
+
+#[test]
+fn clean_examples_have_no_errors_or_warnings() {
+    for example in ["accumulator.pm", "moving_average.pm", "pagerank.pm"] {
+        let out = check_golden(example);
+        assert!(out.status.success(), "{example}");
+        let text = stdout(&out);
+        assert!(text.contains("0 error(s), 0 warning(s)"), "{example}:\n{text}");
+        // Clean examples also survive --deny-warnings (notes are fine).
+        let strict = pmc(&["lint", &format!("examples/pm/{example}"), "--deny-warnings"]);
+        assert!(strict.status.success(), "{example} under --deny-warnings");
+    }
+}
+
+#[test]
+fn json_format_emits_machine_readable_diagnostics() {
+    let out = pmc(&["lint", "examples/pm/lint_demo.pm", "--format", "json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let line = text.trim();
+    assert!(line.starts_with('[') && line.ends_with(']'), "{line}");
+    for field in ["\"code\":\"PM-W006\"", "\"severity\":\"warning\"", "\"line\":", "\"notes\":"] {
+        assert!(line.contains(field), "missing {field} in:\n{line}");
+    }
+    // srDFG-level diagnostics still carry PMLang spans: no null spans here.
+    assert!(!line.contains("\"span\":null"), "{line}");
+}
+
+#[test]
+fn lint_rejects_unknown_format() {
+    let out = pmc(&["lint", "examples/pm/lint_demo.pm", "--format", "yaml"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --format"));
+}

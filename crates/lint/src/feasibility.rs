@@ -1,0 +1,133 @@
+//! `PM-W006` — static lowering-feasibility analysis.
+//!
+//! Replays the paper's Algorithm 1 (granularity refinement against each
+//! target's supported-op set) on a scratch copy of the graph and proves it
+//! either terminates with every node supported, or gets stuck. A stuck
+//! node means compilation for that accelerator *will* fail later in the
+//! pipeline; the lint reports it up front, with the source span of the
+//! statement the stuck operation came from.
+
+use crate::diagnostic::Diagnostic;
+use crate::{Lint, LintContext};
+use srdfg::SrDfg;
+
+/// Mirrors `pm_lower::lower`'s defensive iteration bound.
+const MAX_ROUNDS: usize = 64;
+
+/// `PM-W006` — the lowering-feasibility check (see module docs).
+pub struct LoweringFeasibility;
+
+impl Lint for LoweringFeasibility {
+    fn code(&self) -> &'static str {
+        "PM-W006"
+    }
+    fn name(&self) -> &'static str {
+        "lowering-feasibility"
+    }
+    fn description(&self) -> &'static str {
+        "Algorithm 1 gets stuck lowering the program for its targets"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        // Algorithm 1 on a scratch graph, keeping node identity so a stuck
+        // op can be traced back to its source span.
+        let mut graph: SrDfg = cx.graph.clone();
+        for _ in 0..MAX_ROUNDS {
+            let mut changed = false;
+            let ids: Vec<_> = graph.node_ids().collect();
+            for id in ids {
+                if !graph.is_live(id) {
+                    continue;
+                }
+                let node = graph.node(id);
+                let target = cx.targets.target_for(node, graph.domain);
+                if target.supports(&node.name) {
+                    continue;
+                }
+                match srdfg::refine(&graph, id, &target.expand) {
+                    Ok(sub) => {
+                        graph.splice(id, &sub);
+                        changed = true;
+                    }
+                    Err(e) => {
+                        let domain = node
+                            .domain
+                            .or(graph.domain)
+                            .map_or("unannotated".to_string(), |d| d.keyword().to_string());
+                        out.push(
+                            Diagnostic::warning(
+                                self.code(),
+                                format!(
+                                    "`{}` (domain {domain}) is not supported by target \
+                                     `{}` and cannot be refined: {e}",
+                                    node.name, target.name
+                                ),
+                            )
+                            .at(node.span)
+                            .with_note(
+                                "Algorithm 1 will get stuck here; compilation for this \
+                                 accelerator fails",
+                            ),
+                        );
+                        return;
+                    }
+                }
+            }
+            if !changed {
+                return; // fixpoint: every remaining node is supported
+            }
+        }
+        out.push(Diagnostic::warning(
+            self.code(),
+            format!("lowering did not converge within {MAX_ROUNDS} refinement rounds"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::lint_with_targets;
+    use pm_lower::{AcceleratorSpec, TargetMap};
+    use pmlang::Domain;
+
+    fn deco_like_targets() -> TargetMap {
+        let mut targets =
+            TargetMap::host_only(AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics));
+        targets.set(AcceleratorSpec::new(
+            "DECOISH",
+            Domain::Dsp,
+            ["add", "sub", "mul", "div", "const", "unpack", "pack"],
+        ));
+        targets
+    }
+
+    #[test]
+    fn feasible_program_is_quiet() {
+        let diags = lint_with_targets(
+            &LoweringFeasibility,
+            "f(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i] * 2.0; }
+             main(input float a[4], output float b[4]) { DSP: f(a, b); }",
+            &deco_like_targets(),
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn stuck_op_is_reported_with_source_span() {
+        // `argmax` has no scalar expansion and the DSP target does not
+        // support it, so Algorithm 1 gets stuck on it.
+        let diags = lint_with_targets(
+            &LoweringFeasibility,
+            "pick(input float x[4], output float y) { index i[0:3]; y = argmax[i](x[i]); }
+             main(input float a[4], output float b) { DSP: pick(a, b); }",
+            &deco_like_targets(),
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "PM-W006");
+        assert!(diags[0].message.contains("argmax"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("DECOISH"), "{}", diags[0].message);
+        // The span points at the argmax statement inside `pick` (line 1).
+        let span = diags[0].span.expect("stuck node span");
+        assert_eq!(span.line, 1);
+    }
+}

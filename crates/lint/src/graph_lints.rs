@@ -1,0 +1,587 @@
+//! Graph-level lints over the srDFG.
+//!
+//! These exploit the span provenance threaded through `srdfg::build` and
+//! `srdfg::expand`: every node and edge carries the PMLang span of the
+//! statement or declaration that introduced it, so a defect found deep in
+//! the IR still renders with a caret into the original source.
+
+use crate::diagnostic::Diagnostic;
+use crate::{Lint, LintContext};
+use pmlang::{BinOp, DType, Domain, UnOp};
+use srdfg::{IndexRange, KExpr, NodeKind, Scalar, SrDfg};
+use std::collections::HashMap;
+
+/// Visits `graph` and every nested component sub-graph, passing the
+/// effective domain at each level (a sub-graph inherits its instantiating
+/// node's domain when it has none of its own).
+fn for_each_graph<'g>(
+    graph: &'g SrDfg,
+    inherited: Option<Domain>,
+    f: &mut impl FnMut(&'g SrDfg, Option<Domain>),
+) {
+    let eff = graph.domain.or(inherited);
+    f(graph, eff);
+    for (_, node) in graph.iter_nodes() {
+        if let NodeKind::Component(sub) = &node.kind {
+            for_each_graph(sub, node.domain.or(eff), f);
+        }
+    }
+}
+
+/// Largest iteration space the race detector enumerates exhaustively.
+const MAX_RACE_POINTS: usize = 4096;
+
+/// Calls `f` with every point of `space` (row-major order). An empty space
+/// is the scalar case: one empty point.
+fn for_each_point(space: &[IndexRange], mut f: impl FnMut(&[i64])) {
+    if space.iter().any(|r| r.size() == 0) {
+        return;
+    }
+    let mut point: Vec<i64> = space.iter().map(|r| r.lo).collect();
+    loop {
+        f(&point);
+        let mut axis = space.len();
+        loop {
+            if axis == 0 {
+                return;
+            }
+            axis -= 1;
+            if point[axis] < space[axis].hi {
+                point[axis] += 1;
+                for (p, r) in point.iter_mut().zip(space.iter()).skip(axis + 1) {
+                    *p = r.lo;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// The highest `KExpr::Idx` position referenced, if any.
+fn max_idx(k: &KExpr) -> Option<usize> {
+    match k {
+        KExpr::Const(_) | KExpr::Arg(_) => None,
+        KExpr::Idx(i) => Some(*i),
+        KExpr::Operand { indices, .. } => indices.iter().filter_map(max_idx).max(),
+        KExpr::Unary(_, e) => max_idx(e),
+        KExpr::Binary(_, a, b) => max_idx(a).max(max_idx(b)),
+        KExpr::Select(c, a, b) => max_idx(c).max(max_idx(a)).max(max_idx(b)),
+        KExpr::Call(_, args) => args.iter().filter_map(max_idx).max(),
+    }
+}
+
+/// True for kernels built purely from constants, indices, operand reads,
+/// negation, and `+ - * /` — the fragment of the kernel language whose
+/// result dtype is fully determined by operand dtypes (complex promotion).
+fn is_pure_arith(k: &KExpr) -> bool {
+    match k {
+        KExpr::Const(_) | KExpr::Idx(_) => true,
+        KExpr::Arg(_) => false,
+        KExpr::Operand { indices, .. } => indices.iter().all(is_pure_arith),
+        KExpr::Unary(op, e) => *op == UnOp::Neg && is_pure_arith(e),
+        KExpr::Binary(op, a, b) => {
+            matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+                && is_pure_arith(a)
+                && is_pure_arith(b)
+        }
+        KExpr::Select(..) | KExpr::Call(..) => false,
+    }
+}
+
+/// `PM-E003` — edge metadata consistency. Re-infers each Map/Reduce node's
+/// output shape (and, for pure-arithmetic kernels, its dtype) from the
+/// node's spec and producer-side metadata, and diffs the result against
+/// what the edge claims. Component boundary edges are checked against the
+/// outer edges they are positionally bound to.
+pub struct EdgeConsistency;
+
+impl Lint for EdgeConsistency {
+    fn code(&self) -> &'static str {
+        "PM-E003"
+    }
+    fn name(&self) -> &'static str {
+        "edge-consistency"
+    }
+    fn description(&self) -> &'static str {
+        "edge dtype/shape metadata disagrees with what its producer computes"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for_each_graph(cx.graph, None, &mut |graph, _| {
+            for (_, node) in graph.iter_nodes() {
+                let expected_shape = match &node.kind {
+                    NodeKind::Map(m) => Some(&m.write.target_shape),
+                    NodeKind::Reduce(r) => Some(&r.write.target_shape),
+                    _ => None,
+                };
+                if let Some(expected) = expected_shape {
+                    for &oe in &node.outputs {
+                        let meta = &graph.edge(oe).meta;
+                        if &meta.shape != expected {
+                            out.push(
+                                Diagnostic::error(
+                                    self.code(),
+                                    format!(
+                                        "edge `{}` claims shape {:?} but its producer \
+                                         `{}` writes shape {:?}",
+                                        meta.name, meta.shape, node.name, expected
+                                    ),
+                                )
+                                .at(meta.span)
+                                .with_note("edge metadata was corrupted after graph construction"),
+                            );
+                        }
+                    }
+                }
+                // Complex-promotion dtype check for elementwise maps whose
+                // kernel stays in the pure-arithmetic fragment.
+                if let NodeKind::Map(m) = &node.kind {
+                    if is_pure_arith(&m.kernel) {
+                        let mut any_complex = false;
+                        let mut all_numeric = true;
+                        let mut referenced = false;
+                        m.kernel.for_each_operand(&mut |slot, _| {
+                            referenced = true;
+                            match node.inputs.get(slot).map(|&e| graph.edge(e).meta.dtype) {
+                                Some(DType::Complex) => any_complex = true,
+                                Some(DType::Float) | Some(DType::Int) => {}
+                                _ => all_numeric = false,
+                            }
+                        });
+                        if referenced && all_numeric {
+                            let inferred = if any_complex { DType::Complex } else { DType::Float };
+                            for &oe in &node.outputs {
+                                let meta = &graph.edge(oe).meta;
+                                let claims_complex = meta.dtype == DType::Complex;
+                                if claims_complex != (inferred == DType::Complex) {
+                                    out.push(
+                                        Diagnostic::error(
+                                            self.code(),
+                                            format!(
+                                                "edge `{}` claims dtype {:?} but its \
+                                                 producer `{}` computes {:?}",
+                                                meta.name, meta.dtype, node.name, inferred
+                                            ),
+                                        )
+                                        .at(meta.span),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                // Component boundaries: the inner boundary edge and the
+                // outer edge it is bound to must agree on shape.
+                if let NodeKind::Component(sub) = &node.kind {
+                    let pairs = sub
+                        .boundary_inputs
+                        .iter()
+                        .zip(&node.inputs)
+                        .chain(sub.boundary_outputs.iter().zip(&node.outputs));
+                    for (&inner, &outer) in pairs {
+                        let im = &sub.edge(inner).meta;
+                        let om = &graph.edge(outer).meta;
+                        if im.shape != om.shape {
+                            out.push(
+                                Diagnostic::error(
+                                    self.code(),
+                                    format!(
+                                        "component `{}` boundary edge `{}` has shape {:?} \
+                                         but is bound to `{}` of shape {:?}",
+                                        node.name, im.name, im.shape, om.name, om.shape
+                                    ),
+                                )
+                                .at(om.span),
+                            );
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Scalar sample values for probing custom combiners. Chosen to break
+/// symmetry: distinct magnitudes and signs expose non-commutativity and
+/// non-associativity of anything that is not genuinely order-insensitive.
+const SAMPLES: [f64; 5] = [-2.5, -1.0, 0.5, 1.5, 3.0];
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Evaluates a combiner kernel on `(acc, elem)`, returning `None` when the
+/// kernel leaves the scalar-real fragment (operand reads, complex values).
+fn combine(combiner: &KExpr, a: f64, b: f64) -> Option<f64> {
+    match combiner.eval(&[], &[], &[Scalar::Real(a), Scalar::Real(b)]) {
+        Ok(Scalar::Real(v)) => Some(v),
+        _ => None,
+    }
+}
+
+/// `PM-W004` — reduction/write races. Two shapes of hazard:
+///
+/// 1. an indexed assignment whose left-hand-side index expressions are not
+///    injective over the iteration space, so several iteration points write
+///    the same element (the result then depends on evaluation order);
+/// 2. a custom reduction whose combiner is not associative/commutative, so
+///    a parallel or reassociated reduction tree changes the result.
+pub struct ReductionRace;
+
+impl Lint for ReductionRace {
+    fn code(&self) -> &'static str {
+        "PM-W004"
+    }
+    fn name(&self) -> &'static str {
+        "reduction-race"
+    }
+    fn description(&self) -> &'static str {
+        "non-injective indexed writes and non-associative custom reductions"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for_each_graph(cx.graph, None, &mut |graph, _| {
+            for (_, node) in graph.iter_nodes() {
+                let (out_space, write) = match &node.kind {
+                    NodeKind::Map(m) => (&m.out_space, &m.write),
+                    NodeKind::Reduce(r) => {
+                        if let srdfg::ReduceOp::Custom { name, combiner } = &r.op {
+                            check_combiner(self.code(), node, name, combiner, out);
+                        }
+                        (&r.out_space, &r.write)
+                    }
+                    _ => continue,
+                };
+                // Identity writes are injective by construction.
+                let identity = write.lhs.iter().enumerate().all(|(i, k)| *k == KExpr::Idx(i));
+                if identity || srdfg::graph::space_size(out_space) > MAX_RACE_POINTS {
+                    continue;
+                }
+                // The lhs may only address the output space; anything else
+                // is structurally broken and validate's territory.
+                if write.lhs.iter().filter_map(max_idx).max() >= Some(out_space.len()) {
+                    continue;
+                }
+                let mut writes: HashMap<Vec<i64>, usize> = HashMap::new();
+                for_each_point(out_space, |point| {
+                    let coord: Option<Vec<i64>> =
+                        write.lhs.iter().map(|k| k.eval_index(point).ok()).collect();
+                    if let Some(coord) = coord {
+                        *writes.entry(coord).or_insert(0) += 1;
+                    }
+                });
+                // Tie-break on the coordinate so the report is deterministic.
+                if let Some((coord, count)) = writes
+                    .iter()
+                    .filter(|(_, &c)| c > 1)
+                    .max_by(|(ca, a), (cb, b)| a.cmp(b).then(cb.cmp(ca)))
+                {
+                    let target = graph
+                        .edge(node.outputs[0])
+                        .meta
+                        .name
+                        .split('.')
+                        .next()
+                        .unwrap_or("")
+                        .to_string();
+                    out.push(
+                        Diagnostic::warning(
+                            self.code(),
+                            format!(
+                                "indexed assignment to `{target}` writes element {coord:?} \
+                                 from {count} iteration points; the stored value depends \
+                                 on iteration order"
+                            ),
+                        )
+                        .at(node.span)
+                        .with_note(
+                            "left-hand-side index expressions are not injective over \
+                             the iteration space, so a parallel lowering may race",
+                        ),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// Probes a custom combiner for commutativity and associativity on the
+/// sample set, reporting the first counterexample of each kind.
+fn check_combiner(
+    code: &'static str,
+    node: &srdfg::Node,
+    name: &str,
+    combiner: &KExpr,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut broken: Vec<String> = Vec::new();
+    'comm: for &a in &SAMPLES {
+        for &b in &SAMPLES {
+            let (Some(ab), Some(ba)) = (combine(combiner, a, b), combine(combiner, b, a)) else {
+                return; // leaves the scalar-real fragment; nothing to probe
+            };
+            if !close(ab, ba) {
+                broken.push(format!(
+                    "not commutative: {name}({a}, {b}) = {ab} but {name}({b}, {a}) = {ba}"
+                ));
+                break 'comm;
+            }
+        }
+    }
+    'assoc: for &a in &SAMPLES {
+        for &b in &SAMPLES {
+            for &c in &SAMPLES {
+                let left = combine(combiner, a, b).and_then(|ab| combine(combiner, ab, c));
+                let right = combine(combiner, b, c).and_then(|bc| combine(combiner, a, bc));
+                let (Some(l), Some(r)) = (left, right) else { return };
+                if !close(l, r) {
+                    broken.push(format!(
+                        "not associative: {name}({name}({a}, {b}), {c}) = {l} but \
+                         {name}({a}, {name}({b}, {c})) = {r}"
+                    ));
+                    break 'assoc;
+                }
+            }
+        }
+    }
+    if !broken.is_empty() {
+        let mut d = Diagnostic::warning(
+            code,
+            format!(
+                "custom reduction `{name}` is not safe to reorder; a parallel \
+                 reduction tree gives an unspecified result"
+            ),
+        )
+        .at(node.span);
+        for b in broken {
+            d = d.with_note(b);
+        }
+        out.push(d);
+    }
+}
+
+/// `PM-W005` — cross-domain edges that reach Algorithm 2 without a
+/// marshaling load/store pair. Algorithm 2 inserts DMA fragments when an
+/// edge crosses *targets*; the paper's marshaling requirement is stated
+/// over *domains*. When two different domains resolve to the same
+/// accelerator (per-component overrides, shared backends), a domain
+/// crossing slips through with no load/store pair — this lint flags it.
+pub struct CrossDomainMarshal;
+
+impl Lint for CrossDomainMarshal {
+    fn code(&self) -> &'static str {
+        "PM-W005"
+    }
+    fn name(&self) -> &'static str {
+        "cross-domain-marshal"
+    }
+    fn description(&self) -> &'static str {
+        "domain-crossing edges Algorithm 2 will not wrap in a load/store pair"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let host = cx.targets.host().name.clone();
+        for_each_graph(cx.graph, None, &mut |graph, eff| {
+            for e in graph.edge_ids() {
+                let edge = graph.edge(e);
+                let Some((p, _)) = edge.producer else { continue };
+                let pn = graph.node(p);
+                if is_marshalling(&pn.kind) {
+                    continue;
+                }
+                let pd = pn.domain.or(eff);
+                for &(c, _) in &edge.consumers {
+                    let cn = graph.node(c);
+                    let cd = cn.domain.or(eff);
+                    let (Some(pd), Some(cd)) = (pd, cd) else { continue };
+                    if pd == cd || is_marshalling(&cn.kind) {
+                        continue;
+                    }
+                    let pt = cx.targets.target_for(pn, eff).name.clone();
+                    let ct = cx.targets.target_for(cn, eff).name.clone();
+                    if pt == ct && pt != host {
+                        out.push(
+                            Diagnostic::warning(
+                                self.code(),
+                                format!(
+                                    "edge `{}` crosses the {}:→{}: domain boundary but \
+                                     both endpoints compile to `{pt}`; Algorithm 2 will \
+                                     not insert a marshaling load/store pair",
+                                    edge.meta.name,
+                                    pd.keyword(),
+                                    cd.keyword()
+                                ),
+                            )
+                            .at(edge.meta.span)
+                            .with_note(
+                                "data crossing a domain boundary inside one accelerator \
+                                 bypasses DMA marshaling; verify the layout contract",
+                            ),
+                        );
+                        break; // one report per edge is enough
+                    }
+                }
+            }
+        });
+    }
+}
+
+fn is_marshalling(kind: &NodeKind) -> bool {
+    matches!(kind, NodeKind::Load | NodeKind::Store | NodeKind::Pack | NodeKind::Unpack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{host_targets, lint_one, lint_with_targets};
+    use pm_lower::{AcceleratorSpec, TargetMap};
+
+    #[test]
+    fn clean_program_has_consistent_edges() {
+        let diags = lint_one(
+            &EdgeConsistency,
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 y[i] = x[i] * 2.0;
+             }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn detects_corrupted_shape_metadata() {
+        let (program, mut graph) = crate::test_util::build(
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 y[i] = x[i] * 2.0;
+             }",
+        );
+        // Corrupt: shrink the output edge's claimed shape.
+        let oe = graph.boundary_outputs[0];
+        graph.edge_mut(oe).meta.shape = vec![2];
+        let targets = host_targets();
+        let cx = LintContext { program: &program, graph: &graph, targets: &targets };
+        let mut out = Vec::new();
+        EdgeConsistency.check(&cx, &mut out);
+        assert!(!out.is_empty());
+        assert_eq!(out[0].code, "PM-E003");
+        assert_eq!(out[0].severity, crate::Severity::Error);
+        assert!(out[0].message.contains("[2]"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn detects_corrupted_dtype_metadata() {
+        let (program, mut graph) = crate::test_util::build(
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 y[i] = x[i] * 2.0;
+             }",
+        );
+        let oe = graph.boundary_outputs[0];
+        graph.edge_mut(oe).meta.dtype = DType::Complex;
+        let targets = host_targets();
+        let cx = LintContext { program: &program, graph: &graph, targets: &targets };
+        let mut out = Vec::new();
+        EdgeConsistency.check(&cx, &mut out);
+        assert!(out.iter().any(|d| d.message.contains("dtype")), "{out:?}");
+    }
+
+    #[test]
+    fn non_injective_write_is_a_race() {
+        let diags = lint_one(
+            &ReductionRace,
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 y[i % 2] = x[i];
+             }",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "PM-W004");
+        assert!(diags[0].message.contains("2 iteration points"), "{}", diags[0].message);
+        assert!(!diags[0].span.unwrap().is_synthetic());
+    }
+
+    #[test]
+    fn injective_writes_are_quiet() {
+        let diags = lint_one(
+            &ReductionRace,
+            "main(input float x[4], output float y[8]) {
+                 index i[0:3];
+                 y[2 * i] = x[i];
+             }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn non_associative_custom_reduction_is_flagged() {
+        let diags = lint_one(
+            &ReductionRace,
+            "reduction diff(a, b) = a - b;
+             main(input float x[4], output float y) {
+                 index i[0:3];
+                 y = diff[i](x[i]);
+             }",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`diff`"), "{}", diags[0].message);
+        assert!(diags[0].notes.iter().any(|n| n.contains("not commutative")), "{diags:?}");
+        assert!(diags[0].notes.iter().any(|n| n.contains("not associative")), "{diags:?}");
+    }
+
+    #[test]
+    fn associative_custom_reduction_is_quiet() {
+        let diags = lint_one(
+            &ReductionRace,
+            "reduction smax(a, b) = a > b ? a : b;
+             main(input float x[4], output float y) {
+                 index i[0:3];
+                 y = smax[i](x[i]);
+             }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn shared_target_domain_crossing_is_flagged() {
+        // Both DSP and DA resolve to the same accelerator: the DSP→DA edge
+        // gets no load/store pair from Algorithm 2.
+        let mut targets =
+            TargetMap::host_only(AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics));
+        targets.set(AcceleratorSpec::new("SHARED", Domain::Dsp, ["matvec", "dot", "sum"]));
+        let mut shared_da = AcceleratorSpec::new("SHARED", Domain::DataAnalytics, ["sum", "dot"]);
+        shared_da.supports_all = true;
+        targets.set(shared_da);
+        let diags = lint_with_targets(
+            &CrossDomainMarshal,
+            "f(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i] * 0.5; }
+             g(input float x[4], output float y) { index i[0:3]; y = sum[i](x[i]); }
+             main(input float a[4], output float b) {
+                 float t[4];
+                 DSP: f(a, t);
+                 DA: g(t, b);
+             }",
+            &targets,
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "PM-W005");
+        assert!(diags[0].message.contains("SHARED"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn distinct_targets_get_their_dma_pair_quietly() {
+        let mut targets =
+            TargetMap::host_only(AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics));
+        targets.set(AcceleratorSpec::new("DECOISH", Domain::Dsp, ["mul"]));
+        targets.set(AcceleratorSpec::new("TABLAISH", Domain::DataAnalytics, ["sum"]));
+        let diags = lint_with_targets(
+            &CrossDomainMarshal,
+            "f(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i] * 0.5; }
+             g(input float x[4], output float y) { index i[0:3]; y = sum[i](x[i]); }
+             main(input float a[4], output float b) {
+                 float t[4];
+                 DSP: f(a, t);
+                 DA: g(t, b);
+             }",
+            &targets,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

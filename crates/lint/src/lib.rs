@@ -1,0 +1,287 @@
+//! # pm-lint — cross-layer diagnostics and static analysis for PMLang/srDFG
+//!
+//! A [`Lint`] inspects a checked PMLang [`Program`], its generated
+//! [`SrDfg`], and the active [`TargetMap`], and reports structured
+//! [`Diagnostic`]s: a stable machine-readable code, a severity class, a
+//! PMLang source [`Span`](pmlang::Span), and supplementary notes. The
+//! span provenance threaded through `srdfg::build`/`srdfg::expand` means
+//! graph-level findings still render with a caret into the original
+//! source line.
+//!
+//! ## Shipped lints
+//!
+//! | code | name | severity | checks |
+//! |------|------|----------|--------|
+//! | `PM-W001` | `unused-decl` | warning | `input`/`param`/`state` declarations never referenced |
+//! | `PM-N002` | `state-read-before-write` | note | state read before its first write (carried value) |
+//! | `PM-E003` | `edge-consistency` | error | edge dtype/shape metadata vs. what producers compute |
+//! | `PM-W004` | `reduction-race` | warning | non-injective indexed writes; non-associative custom reductions |
+//! | `PM-W005` | `cross-domain-marshal` | warning | domain crossings Algorithm 2 won't wrap in a load/store pair |
+//! | `PM-W006` | `lowering-feasibility` | warning | Algorithm 1 provably gets stuck for a target |
+//!
+//! ## Registering a new lint
+//!
+//! Implement [`Lint`] and add it to a registry:
+//!
+//! ```
+//! use pm_lint::{Diagnostic, Lint, LintContext, LintRegistry};
+//!
+//! struct NoEmptyMain;
+//! impl Lint for NoEmptyMain {
+//!     fn code(&self) -> &'static str { "PM-W900" }
+//!     fn name(&self) -> &'static str { "no-empty-main" }
+//!     fn description(&self) -> &'static str { "main must contain statements" }
+//!     fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+//!         for comp in &cx.program.components {
+//!             if comp.name == "main" && comp.body.is_empty() {
+//!                 out.push(Diagnostic::warning(self.code(), "empty main").at(comp.span));
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut registry = LintRegistry::standard();
+//! registry.register(NoEmptyMain);
+//! assert!(registry.lints().any(|l| l.code() == "PM-W900"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast_lints;
+pub mod diagnostic;
+pub mod feasibility;
+pub mod graph_lints;
+
+pub use ast_lints::{StateReadBeforeWrite, UnusedDecl};
+pub use diagnostic::{render_json, render_text, Diagnostic, Severity};
+pub use feasibility::LoweringFeasibility;
+pub use graph_lints::{CrossDomainMarshal, EdgeConsistency, ReductionRace};
+
+use pm_lower::TargetMap;
+use pmlang::Program;
+use srdfg::SrDfg;
+use std::fmt;
+
+/// Everything a lint can look at: the checked AST, the srDFG generated
+/// from it (un-optimized, so spans map one-to-one onto statements), and
+/// the accelerator targets the program is being compiled against.
+pub struct LintContext<'a> {
+    /// The checked PMLang program.
+    pub program: &'a Program,
+    /// The srDFG built from `program` (before optimization passes).
+    pub graph: &'a SrDfg,
+    /// The accelerator target map (Algorithm 1's `Om`).
+    pub targets: &'a TargetMap,
+}
+
+/// One static check producing zero or more [`Diagnostic`]s.
+pub trait Lint {
+    /// Stable machine-readable code (`PM-W001`, …). One code per lint.
+    fn code(&self) -> &'static str;
+    /// Short kebab-case name (`unused-decl`, …).
+    fn name(&self) -> &'static str;
+    /// One-line description of what the lint checks.
+    fn description(&self) -> &'static str;
+    /// Runs the lint, appending findings to `out`.
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of lints run as one batch.
+#[derive(Default)]
+pub struct LintRegistry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl fmt::Debug for LintRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LintRegistry")
+            .field("lints", &self.lints.iter().map(|l| l.code()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl LintRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        LintRegistry::default()
+    }
+
+    /// All six shipped lints, in code order.
+    pub fn standard() -> Self {
+        let mut r = LintRegistry::new();
+        r.register(UnusedDecl)
+            .register(StateReadBeforeWrite)
+            .register(EdgeConsistency)
+            .register(ReductionRace)
+            .register(CrossDomainMarshal)
+            .register(LoweringFeasibility);
+        r
+    }
+
+    /// Appends a lint to the batch.
+    pub fn register(&mut self, lint: impl Lint + 'static) -> &mut Self {
+        self.lints.push(Box::new(lint));
+        self
+    }
+
+    /// The registered lints, in registration order.
+    pub fn lints(&self) -> impl Iterator<Item = &dyn Lint> {
+        self.lints.iter().map(|l| l.as_ref())
+    }
+
+    /// Runs every lint and returns the findings sorted by source position
+    /// (spanless diagnostics last), then severity (most severe first).
+    pub fn run(&self, cx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for lint in &self.lints {
+            lint.check(cx, &mut out);
+        }
+        out.sort_by(|a, b| {
+            let ka = a.span.map_or((usize::MAX, 0), |s| (s.start, s.end));
+            let kb = b.span.map_or((usize::MAX, 0), |s| (s.start, s.end));
+            ka.cmp(&kb).then(b.severity.cmp(&a.severity)).then(a.code.cmp(b.code))
+        });
+        out
+    }
+}
+
+/// An error in the frontend/build pipeline that feeds the lints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LintPipelineError {
+    /// Lexing, parsing, or semantic analysis failed.
+    Frontend(pmlang::FrontendError),
+    /// srDFG generation failed.
+    Build(srdfg::BuildError),
+}
+
+impl fmt::Display for LintPipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintPipelineError::Frontend(e) => e.fmt(f),
+            LintPipelineError::Build(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LintPipelineError {}
+
+/// Front door: runs the frontend and srDFG generation on `source`, then
+/// the standard lint batch against `targets`.
+///
+/// The graph is built *without* optimization passes so that every node
+/// still corresponds to a statement the user wrote.
+///
+/// # Errors
+///
+/// Returns [`LintPipelineError`] when the program does not parse, check,
+/// or build — lints only run on well-formed programs (build errors carry
+/// their own spans through `pmlang`'s error types).
+pub fn lint_source(
+    source: &str,
+    bindings: &srdfg::Bindings,
+    targets: &TargetMap,
+) -> Result<Vec<Diagnostic>, LintPipelineError> {
+    let (program, _) = pmlang::frontend(source).map_err(LintPipelineError::Frontend)?;
+    let graph = srdfg::build(&program, bindings).map_err(LintPipelineError::Build)?;
+    let cx = LintContext { program: &program, graph: &graph, targets };
+    Ok(LintRegistry::standard().run(&cx))
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use pm_lower::AcceleratorSpec;
+    use pmlang::Domain;
+
+    /// Host-only target map for lints that do not care about targets.
+    pub fn host_targets() -> TargetMap {
+        TargetMap::host_only(AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics))
+    }
+
+    /// Frontend + build (no optimization), panicking on bad test input.
+    pub fn build(source: &str) -> (Program, SrDfg) {
+        let (program, _) = pmlang::frontend(source).expect("test source must check");
+        let graph =
+            srdfg::build(&program, &srdfg::Bindings::default()).expect("test source must build");
+        (program, graph)
+    }
+
+    /// Runs one lint over `source` with a host-only target map.
+    pub fn lint_one(lint: &dyn Lint, source: &str) -> Vec<Diagnostic> {
+        lint_with_targets(lint, source, &host_targets())
+    }
+
+    /// Like [`lint_one`], with size-parameter bindings for the build.
+    pub fn lint_one_sized(
+        lint: &dyn Lint,
+        source: &str,
+        sizes: Vec<(&str, i64)>,
+    ) -> Vec<Diagnostic> {
+        let (program, _) = pmlang::frontend(source).expect("test source must check");
+        let graph = srdfg::build(&program, &srdfg::Bindings::from_sizes(sizes))
+            .expect("test source must build");
+        let targets = host_targets();
+        let cx = LintContext { program: &program, graph: &graph, targets: &targets };
+        let mut out = Vec::new();
+        lint.check(&cx, &mut out);
+        out
+    }
+
+    /// Runs one lint over `source` with the given targets.
+    pub fn lint_with_targets(
+        lint: &dyn Lint,
+        source: &str,
+        targets: &TargetMap,
+    ) -> Vec<Diagnostic> {
+        let (program, graph) = build(source);
+        let cx = LintContext { program: &program, graph: &graph, targets };
+        let mut out = Vec::new();
+        lint.check(&cx, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::host_targets;
+
+    #[test]
+    fn standard_registry_has_six_lints_with_distinct_codes() {
+        let r = LintRegistry::standard();
+        let codes: Vec<&str> = r.lints().map(|l| l.code()).collect();
+        assert_eq!(codes, vec!["PM-W001", "PM-N002", "PM-E003", "PM-W004", "PM-W005", "PM-W006"]);
+        let mut dedup = codes.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6);
+    }
+
+    #[test]
+    fn lint_source_sorts_by_span_position() {
+        let diags = lint_source(
+            "main(input float x[4], param float dead, state float s, output float y[4]) {
+                 index i[0:3];
+                 s = s + x[0];
+                 y[i % 2] = x[i];
+             }",
+            &srdfg::Bindings::default(),
+            &host_targets(),
+        )
+        .unwrap();
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        // Two decl warnings (line 1), the state note (line 3), the race
+        // warning (line 4) — in source order.
+        assert_eq!(codes, vec!["PM-W001", "PM-N002", "PM-W004"], "{diags:?}");
+        let starts: Vec<usize> = diags.iter().map(|d| d.span.expect("all spanned").start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn lint_source_reports_frontend_errors() {
+        let err =
+            lint_source("not a program", &srdfg::Bindings::default(), &host_targets()).unwrap_err();
+        assert!(matches!(err, LintPipelineError::Frontend(_)), "{err}");
+    }
+}

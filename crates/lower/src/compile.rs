@@ -102,20 +102,12 @@ pub struct AccProgram {
 impl AccProgram {
     /// Total compute scalar-ops in this partition.
     pub fn compute_ops(&self) -> u64 {
-        self.fragments
-            .iter()
-            .filter(|f| f.kind == FragmentKind::Compute)
-            .map(|f| f.ops)
-            .sum()
+        self.fragments.iter().filter(|f| f.kind == FragmentKind::Compute).map(|f| f.ops).sum()
     }
 
     /// Total DMA bytes (loads + stores).
     pub fn dma_bytes(&self) -> u64 {
-        self.fragments
-            .iter()
-            .filter(|f| f.kind != FragmentKind::Compute)
-            .map(Fragment::bytes)
-            .sum()
+        self.fragments.iter().filter(|f| f.kind != FragmentKind::Compute).map(Fragment::bytes).sum()
     }
 }
 
@@ -146,10 +138,7 @@ impl CompiledProgram {
 ///
 /// Returns a [`LowerError`] if the graph still contains operations its
 /// targets do not support (run [`crate::lower::lower`] first).
-pub fn compile_program(
-    graph: &SrDfg,
-    targets: &TargetMap,
-) -> Result<CompiledProgram, LowerError> {
+pub fn compile_program(graph: &SrDfg, targets: &TargetMap) -> Result<CompiledProgram, LowerError> {
     if !fully_lowered(graph, targets) {
         return Err(LowerError {
             message: "graph contains unsupported operations; lower it first".into(),
@@ -171,23 +160,21 @@ pub fn compile_program(
     let mut partitions: HashMap<String, AccProgram> = HashMap::new();
     // A value is DMA-loaded once per destination accelerator, however many
     // nodes consume it there.
-    let mut loaded: std::collections::HashSet<(String, EdgeId)> =
-        std::collections::HashSet::new();
+    let mut loaded: std::collections::HashSet<(String, EdgeId)> = std::collections::HashSet::new();
     // Borrowed from `targets`, so per-node/per-edge resolution allocates
     // nothing (partitions can reach hundreds of thousands of fragments).
     let resolve = |node: &srdfg::Node| -> (&str, Option<Domain>) {
         let spec = targets.target_for(node, graph.domain);
         (spec.name.as_str(), node.domain.or(graph.domain))
     };
-    let ensure = |partitions: &mut HashMap<String, AccProgram>,
-                  target: &str,
-                  domain: Option<Domain>| {
-        partitions.entry(target.to_string()).or_insert_with(|| AccProgram {
-            target: target.to_string(),
-            domain,
-            fragments: Vec::new(),
-        });
-    };
+    let ensure =
+        |partitions: &mut HashMap<String, AccProgram>, target: &str, domain: Option<Domain>| {
+            partitions.entry(target.to_string()).or_insert_with(|| AccProgram {
+                target: target.to_string(),
+                domain,
+                fragments: Vec::new(),
+            });
+        };
     // The host target name (host partitions never pay DMA).
     let host_name = targets.host().name.as_str();
 
@@ -231,10 +218,7 @@ pub fn compile_program(
         // through the graph boundary toward the host).
         for &e in &node.outputs {
             let edge = graph.edge(e);
-            let crosses = edge
-                .consumers
-                .iter()
-                .any(|&(c, _)| resolve(graph.node(c)).0 != target)
+            let crosses = edge.consumers.iter().any(|&(c, _)| resolve(graph.node(c)).0 != target)
                 || (graph.boundary_outputs.contains(&e) && target != host_name);
             if crosses {
                 let part = partitions.get_mut(target).expect("ensured");

@@ -126,9 +126,7 @@ fn stamp_node(graph: &mut SrDfg, id: srdfg::NodeId, target: &str) {
 
 /// Checks (without mutating) whether every node is supported already.
 pub fn fully_lowered(graph: &SrDfg, targets: &TargetMap) -> bool {
-    graph
-        .iter_nodes()
-        .all(|(_, node)| targets.target_for(node, graph.domain).supports(&node.name))
+    graph.iter_nodes().all(|(_, node)| targets.target_for(node, graph.domain).supports(&node.name))
 }
 
 #[cfg(test)]
@@ -196,10 +194,7 @@ mod tests {
         lower(&mut g, &targets).unwrap();
         assert!(fully_lowered(&g, &targets));
         // All compute is now scalar nodes.
-        let scalar = g
-            .iter_nodes()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::Scalar(_)))
-            .count();
+        let scalar = g.iter_nodes().filter(|(_, n)| matches!(n.kind, NodeKind::Scalar(_))).count();
         assert!(scalar >= 10, "expected an expanded mul/add fabric, got {scalar}");
         let out = Machine::new(g).invoke(&feeds()).unwrap();
         assert_eq!(out["y"].as_real_slice().unwrap(), &[6.0, 15.0]);
@@ -212,7 +207,11 @@ mod tests {
         let mut g = build_graph(MATVEC_SRC);
         let host = AcceleratorSpec::general_purpose("CPU", Domain::DataAnalytics);
         let mut targets = TargetMap::host_only(host);
-        targets.set(AcceleratorSpec::new("ROBOXY", Domain::DataAnalytics, ["sum", "map.mul", "map"]));
+        targets.set(AcceleratorSpec::new(
+            "ROBOXY",
+            Domain::DataAnalytics,
+            ["sum", "map.mul", "map"],
+        ));
         lower(&mut g, &targets).unwrap();
         assert!(fully_lowered(&g, &targets));
         let kinds: Vec<_> = g
@@ -257,11 +256,17 @@ mod tests {
         );
         let host = AcceleratorSpec::general_purpose("CPU", Domain::Dsp);
         let mut targets = TargetMap::host_only(host);
-        targets.set(AcceleratorSpec::new("DECOISH", Domain::Dsp, ["mul", "add", "const", "unpack", "pack"]));
+        targets.set(AcceleratorSpec::new(
+            "DECOISH",
+            Domain::Dsp,
+            ["mul", "add", "const", "unpack", "pack"],
+        ));
         lower(&mut g, &targets).unwrap();
         // The DSP component was flattened; the glue map stayed tensor-level
         // under the host.
-        assert!(g.iter_nodes().any(|(_, n)| n.domain.is_none() && matches!(n.kind, NodeKind::Map(_))));
+        assert!(g
+            .iter_nodes()
+            .any(|(_, n)| n.domain.is_none() && matches!(n.kind, NodeKind::Map(_))));
         assert!(fully_lowered(&g, &targets));
     }
 }

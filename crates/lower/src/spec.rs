@@ -79,7 +79,11 @@ impl TargetMap {
 
     /// Assigns `spec` to every node descending from instantiations of the
     /// named component, overriding the domain default.
-    pub fn set_override(&mut self, component: impl Into<String>, spec: AcceleratorSpec) -> &mut Self {
+    pub fn set_override(
+        &mut self,
+        component: impl Into<String>,
+        spec: AcceleratorSpec,
+    ) -> &mut Self {
         self.overrides.insert(component.into(), spec);
         self
     }

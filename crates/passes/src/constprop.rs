@@ -106,17 +106,13 @@ mod tests {
         let stats = ConstantPropagation.run(&mut g);
         assert!(stats.changed);
         assert!(stats.rewrites >= 2, "fill + first write, got {}", stats.rewrites);
-        let consts = g
-            .iter_nodes()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::ConstTensor(_)))
-            .count();
+        let consts =
+            g.iter_nodes().filter(|(_, n)| matches!(n.kind, NodeKind::ConstTensor(_))).count();
         assert!(consts >= 2);
 
         // Semantics preserved.
-        let feeds = HashMap::from([(
-            "x".to_string(),
-            srdfg::Tensor::scalar(pmlang::DType::Float, 7.0),
-        )]);
+        let feeds =
+            HashMap::from([("x".to_string(), srdfg::Tensor::scalar(pmlang::DType::Float, 7.0))]);
         let mut m = srdfg::Machine::new(g);
         let out = m.invoke(&feeds).unwrap();
         assert_eq!(out["y"].as_real_slice().unwrap(), &[5.0, 7.0, 5.0, 0.0]);
@@ -148,12 +144,10 @@ mod tests {
         let pm = crate::manager::PassManager::standard();
         pm.run(&mut g);
         let _ = DeadNodeElimination; // pipeline includes DCE
-        // After fold + propagation, only the final `x + 10` map (plus its
-        // const operand) should remain.
-        let feeds = HashMap::from([(
-            "x".to_string(),
-            srdfg::Tensor::scalar(pmlang::DType::Float, 1.0),
-        )]);
+                                     // After fold + propagation, only the final `x + 10` map (plus its
+                                     // const operand) should remain.
+        let feeds =
+            HashMap::from([("x".to_string(), srdfg::Tensor::scalar(pmlang::DType::Float, 1.0))]);
         let mut m = srdfg::Machine::new(g.clone());
         assert_eq!(m.invoke(&feeds).unwrap()["y"].scalar_value().unwrap(), 11.0);
         assert!(g.node_count() <= 3, "graph still has {} nodes", g.node_count());

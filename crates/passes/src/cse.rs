@@ -55,8 +55,7 @@ impl Pass for CommonSubexpressionElimination {
                         let outs_b = graph.node(drop).outputs.clone();
                         graph.remove_node(drop);
                         for (&ea, &eb) in outs_a.iter().zip(&outs_b) {
-                            let consumers =
-                                std::mem::take(&mut graph.edge_mut(eb).consumers);
+                            let consumers = std::mem::take(&mut graph.edge_mut(eb).consumers);
                             for (cnode, cslot) in consumers {
                                 graph.node_mut(cnode).inputs[cslot] = ea;
                                 graph.edge_mut(ea).consumers.push((cnode, cslot));

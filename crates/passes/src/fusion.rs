@@ -48,8 +48,8 @@ fn find_candidate(graph: &SrDfg) -> Option<Candidate> {
         let NodeKind::Map(mspec) = &node.kind else { continue };
         // Kernel must be exactly %a[identity] + %b[identity].
         let KExpr::Binary(BinOp::Add, lhs, rhs) = &mspec.kernel else { continue };
-        let (Some(sa), Some(sb)) = (identity_read(lhs, mspec.out_space.len()),
-                                    identity_read(rhs, mspec.out_space.len()))
+        let (Some(sa), Some(sb)) =
+            (identity_read(lhs, mspec.out_space.len()), identity_read(rhs, mspec.out_space.len()))
         else {
             continue;
         };
@@ -102,11 +102,9 @@ fn same_space(a: &[IndexRange], b: &[IndexRange]) -> bool {
 /// If `k` reads an operand at exactly `Idx(0..rank)`, returns its slot.
 fn identity_read(k: &KExpr, rank: usize) -> Option<usize> {
     match k {
-        KExpr::Operand { slot, indices } if indices.len() == rank => indices
-            .iter()
-            .enumerate()
-            .all(|(i, ix)| *ix == KExpr::Idx(i))
-            .then_some(*slot),
+        KExpr::Operand { slot, indices } if indices.len() == rank => {
+            indices.iter().enumerate().all(|(i, ix)| *ix == KExpr::Idx(i)).then_some(*slot)
+        }
         _ => None,
     }
 }
@@ -116,8 +114,7 @@ fn apply_fusion(graph: &mut SrDfg, c: Candidate) {
     let NodeKind::Map(mspec) = &map_node.kind else { unreachable!() };
     let node_a = graph.node(c.red_a).clone();
     let node_b = graph.node(c.red_b).clone();
-    let (NodeKind::Reduce(spec_a), NodeKind::Reduce(spec_b)) = (&node_a.kind, &node_b.kind)
-    else {
+    let (NodeKind::Reduce(spec_a), NodeKind::Reduce(spec_b)) = (&node_a.kind, &node_b.kind) else {
         unreachable!()
     };
 
@@ -136,18 +133,10 @@ fn apply_fusion(graph: &mut SrDfg, c: Candidate) {
     // [0, n1+n2); A sees `f + lo_a`, B sees `f - n1 + lo_b`.
     let fused_idx = KExpr::Idx(out_rank);
     let body_a = substitute_red_idx(&spec_a.body, out_rank, &offset_expr(&fused_idx, lo_a), 0);
-    let body_b = substitute_red_idx(
-        &spec_b.body,
-        out_rank,
-        &offset_expr(&fused_idx, lo_b - n1),
-        b_offset,
-    );
+    let body_b =
+        substitute_red_idx(&spec_b.body, out_rank, &offset_expr(&fused_idx, lo_b - n1), b_offset);
     let body = KExpr::Select(
-        Box::new(KExpr::Binary(
-            BinOp::Lt,
-            Box::new(fused_idx),
-            Box::new(KExpr::Const(n1 as f64)),
-        )),
+        Box::new(KExpr::Binary(BinOp::Lt, Box::new(fused_idx), Box::new(KExpr::Const(n1 as f64)))),
         Box::new(body_a),
         Box::new(body_b),
     );
@@ -178,12 +167,7 @@ fn offset_expr(base: &KExpr, offset: i64) -> KExpr {
 
 /// Replaces `Idx(red_pos)` with `replacement` and shifts operand slots by
 /// `slot_offset` (indices below `red_pos` — the shared output space — stay).
-fn substitute_red_idx(
-    k: &KExpr,
-    red_pos: usize,
-    replacement: &KExpr,
-    slot_offset: usize,
-) -> KExpr {
+fn substitute_red_idx(k: &KExpr, red_pos: usize, replacement: &KExpr, slot_offset: usize) -> KExpr {
     match k {
         KExpr::Idx(p) if *p == red_pos => replacement.clone(),
         KExpr::Idx(p) => KExpr::Idx(*p),
@@ -211,9 +195,7 @@ fn substitute_red_idx(
         ),
         KExpr::Call(f, args) => KExpr::Call(
             *f,
-            args.iter()
-                .map(|a| substitute_red_idx(a, red_pos, replacement, slot_offset))
-                .collect(),
+            args.iter().map(|a| substitute_red_idx(a, red_pos, replacement, slot_offset)).collect(),
         ),
     }
 }

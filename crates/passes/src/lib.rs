@@ -56,7 +56,7 @@ pub use cse::CommonSubexpressionElimination;
 pub use dce::DeadNodeElimination;
 pub use fold::{AlgebraicSimplify, ConstantFold};
 pub use fusion::AlgebraicCombination;
-pub use manager::{Pass, PassManager, PassStats};
+pub use manager::{Pass, PassManager, PassStats, PassVerifyError};
 pub use mapfusion::MapFusion;
 pub use marshal::ElideMarshalling;
 pub use prune::PruneUnusedInputs;

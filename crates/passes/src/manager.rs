@@ -6,8 +6,29 @@
 //! pipelines. Passes recurse into component sub-graphs so a transformation
 //! applies at every granularity level.
 
-use srdfg::{NodeKind, SrDfg};
+use srdfg::{NodeKind, SrDfg, ValidateError};
 use std::fmt;
+
+/// A pass left the graph structurally invalid (caught by the verifier).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassVerifyError {
+    /// Name of the offending pass.
+    pub pass: &'static str,
+    /// The structural defect it introduced.
+    pub error: ValidateError,
+}
+
+impl fmt::Display for PassVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass `{}` produced an invalid srDFG: {}", self.pass, self.error)
+    }
+}
+
+impl std::error::Error for PassVerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// Statistics from one pass execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -119,7 +140,37 @@ impl PassManager {
     }
 
     /// Runs the pipeline on `graph`, returning per-pass cumulative stats.
+    ///
+    /// In debug builds this verifies the graph after every pass (see
+    /// [`run_checked`](PassManager::run_checked)) and panics naming the
+    /// offending pass; release builds skip the verifier for speed.
     pub fn run(&self, graph: &mut SrDfg) -> Vec<(&'static str, PassStats)> {
+        match self.run_inner(graph, cfg!(debug_assertions)) {
+            Ok(totals) => totals,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the pipeline with the pass verifier always on: after each pass,
+    /// `srdfg::validate` re-checks every graph invariant, and the first
+    /// violation is reported with the name of the pass that introduced it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PassVerifyError`] naming the offending pass. The graph is
+    /// left in its (invalid) post-pass state for inspection.
+    pub fn run_checked(
+        &self,
+        graph: &mut SrDfg,
+    ) -> Result<Vec<(&'static str, PassStats)>, PassVerifyError> {
+        self.run_inner(graph, true)
+    }
+
+    fn run_inner(
+        &self,
+        graph: &mut SrDfg,
+        verify: bool,
+    ) -> Result<Vec<(&'static str, PassStats)>, PassVerifyError> {
         let mut totals: Vec<(&'static str, PassStats)> =
             self.passes.iter().map(|p| (p.name(), PassStats::default())).collect();
         for _ in 0..self.max_iterations.max(1) {
@@ -128,12 +179,16 @@ impl PassManager {
                 let stats = pass.run(graph);
                 any |= stats.changed;
                 totals[i].1.merge(stats);
+                if verify && stats.changed {
+                    srdfg::validate(graph)
+                        .map_err(|error| PassVerifyError { pass: pass.name(), error })?;
+                }
             }
             if !self.run_to_fixpoint || !any {
                 break;
             }
         }
-        totals
+        Ok(totals)
     }
 }
 
@@ -175,18 +230,8 @@ mod tests {
         }
         // Outer graph with one component node wrapping one inner node.
         let mut inner = SrDfg::new("inner");
-        let ie = inner.add_edge(EdgeMeta {
-            name: "x".into(),
-            dtype: pmlang::DType::Float,
-            modifier: Modifier::Temp,
-            shape: vec![],
-        });
-        let oe = inner.add_edge(EdgeMeta {
-            name: "y".into(),
-            dtype: pmlang::DType::Float,
-            modifier: Modifier::Temp,
-            shape: vec![],
-        });
+        let ie = inner.add_edge(EdgeMeta::new("x", pmlang::DType::Float, Modifier::Temp, vec![]));
+        let oe = inner.add_edge(EdgeMeta::new("y", pmlang::DType::Float, Modifier::Temp, vec![]));
         inner.boundary_inputs.push(ie);
         inner.boundary_outputs.push(oe);
         inner.add_node(
@@ -197,24 +242,55 @@ mod tests {
             vec![oe],
         );
         let mut outer = SrDfg::new("outer");
-        let a = outer.add_edge(EdgeMeta {
-            name: "a".into(),
-            dtype: pmlang::DType::Float,
-            modifier: Modifier::Input,
-            shape: vec![],
-        });
-        let b = outer.add_edge(EdgeMeta {
-            name: "b".into(),
-            dtype: pmlang::DType::Float,
-            modifier: Modifier::Output,
-            shape: vec![],
-        });
+        let a = outer.add_edge(EdgeMeta::new("a", pmlang::DType::Float, Modifier::Input, vec![]));
+        let b = outer.add_edge(EdgeMeta::new("b", pmlang::DType::Float, Modifier::Output, vec![]));
         outer.boundary_inputs.push(a);
         outer.boundary_outputs.push(b);
         outer.add_node("inner", NodeKind::Component(Box::new(inner)), None, vec![a], vec![b]);
 
         let stats = MarkAll.run(&mut outer);
         assert_eq!(stats.rewrites, 2, "outer component node + inner scalar node");
+    }
+
+    #[test]
+    fn verifier_names_corrupting_pass() {
+        use srdfg::{EdgeMeta, Modifier};
+        /// Deliberately severs a consumer back-link, leaving the graph
+        /// structurally invalid.
+        struct CorruptingPass;
+        impl Pass for CorruptingPass {
+            fn name(&self) -> &'static str {
+                "corruptor"
+            }
+            fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
+                let edges: Vec<_> = graph.edge_ids().collect();
+                for e in edges {
+                    if !graph.edge(e).consumers.is_empty() {
+                        graph.edge_mut(e).consumers.clear();
+                        return PassStats { changed: true, rewrites: 1 };
+                    }
+                }
+                PassStats::default()
+            }
+        }
+        let mut g = SrDfg::new("t");
+        let a = g.add_edge(EdgeMeta::new("a", pmlang::DType::Float, Modifier::Input, vec![]));
+        let b = g.add_edge(EdgeMeta::new("b", pmlang::DType::Float, Modifier::Output, vec![]));
+        g.boundary_inputs.push(a);
+        g.boundary_outputs.push(b);
+        g.add_node(
+            "neg",
+            NodeKind::Scalar(srdfg::ScalarKind::Un(pmlang::UnOp::Neg)),
+            None,
+            vec![a],
+            vec![b],
+        );
+
+        let mut pm = PassManager::new();
+        pm.add(CountingPass).add(CorruptingPass);
+        let err = pm.run_checked(&mut g).unwrap_err();
+        assert_eq!(err.pass, "corruptor");
+        assert!(err.to_string().contains("corruptor"), "{err}");
     }
 
     #[test]

@@ -80,18 +80,14 @@ fn is_identity(spec: &MapSpec) -> bool {
 
 fn same_space(a: &MapSpec, b: &MapSpec) -> bool {
     a.out_space.len() == b.out_space.len()
-        && a.out_space
-            .iter()
-            .zip(&b.out_space)
-            .all(|(x, y)| x.lo == y.lo && x.hi == y.hi)
+        && a.out_space.iter().zip(&b.out_space).all(|(x, y)| x.lo == y.lo && x.hi == y.hi)
 }
 
 /// True if every `Operand { slot }` read uses exactly `[Idx(0..rank)]`.
 fn reads_identity_only(k: &KExpr, slot: usize, rank: usize) -> bool {
     match k {
         KExpr::Operand { slot: s, indices } if *s == slot => {
-            indices.len() == rank
-                && indices.iter().enumerate().all(|(i, ix)| *ix == KExpr::Idx(i))
+            indices.len() == rank && indices.iter().enumerate().all(|(i, ix)| *ix == KExpr::Idx(i))
         }
         KExpr::Operand { indices, .. } => {
             indices.iter().all(|ix| reads_identity_only(ix, slot, rank))
@@ -138,11 +134,8 @@ fn fuse(graph: &mut SrDfg, producer: NodeId, consumer: NodeId, slot: usize) {
     // and other slots renumbered.
     let fused = substitute(&cspec.kernel, slot, &pk, &cmap);
 
-    let spec = MapSpec {
-        out_space: cspec.out_space.clone(),
-        kernel: fused,
-        write: cspec.write.clone(),
-    };
+    let spec =
+        MapSpec { out_space: cspec.out_space.clone(), kernel: fused, write: cspec.write.clone() };
     let name = srdfg::graph::map_op_name(&spec.kernel);
     let out = cnode.outputs[0];
     let domain = cnode.domain.or(pnode.domain);
@@ -158,17 +151,11 @@ fn remap(k: &KExpr, f: &impl Fn(usize) -> usize) -> KExpr {
             indices: indices.iter().map(|ix| remap(ix, f)).collect(),
         },
         KExpr::Unary(op, e) => KExpr::Unary(*op, Box::new(remap(e, f))),
-        KExpr::Binary(op, a, b) => {
-            KExpr::Binary(*op, Box::new(remap(a, f)), Box::new(remap(b, f)))
+        KExpr::Binary(op, a, b) => KExpr::Binary(*op, Box::new(remap(a, f)), Box::new(remap(b, f))),
+        KExpr::Select(c, a, b) => {
+            KExpr::Select(Box::new(remap(c, f)), Box::new(remap(a, f)), Box::new(remap(b, f)))
         }
-        KExpr::Select(c, a, b) => KExpr::Select(
-            Box::new(remap(c, f)),
-            Box::new(remap(a, f)),
-            Box::new(remap(b, f)),
-        ),
-        KExpr::Call(func, args) => {
-            KExpr::Call(*func, args.iter().map(|a| remap(a, f)).collect())
-        }
+        KExpr::Call(func, args) => KExpr::Call(*func, args.iter().map(|a| remap(a, f)).collect()),
         leaf => leaf.clone(),
     }
 }
@@ -182,9 +169,7 @@ fn substitute(k: &KExpr, slot: usize, replacement: &KExpr, cmap: &[usize]) -> KE
             slot: cmap[*s],
             indices: indices.iter().map(|ix| substitute(ix, slot, replacement, cmap)).collect(),
         },
-        KExpr::Unary(op, e) => {
-            KExpr::Unary(*op, Box::new(substitute(e, slot, replacement, cmap)))
-        }
+        KExpr::Unary(op, e) => KExpr::Unary(*op, Box::new(substitute(e, slot, replacement, cmap))),
         KExpr::Binary(op, a, b) => KExpr::Binary(
             *op,
             Box::new(substitute(a, slot, replacement, cmap)),

@@ -137,9 +137,8 @@ mod tests {
              y = sum[i](a[i]*b[i]) * 2.0;
          }";
         let mut g = scalar_lowered(src);
-        let t = |v: Vec<f64>| {
-            srdfg::Tensor::from_vec(pmlang::DType::Float, vec![v.len()], v).unwrap()
-        };
+        let t =
+            |v: Vec<f64>| srdfg::Tensor::from_vec(pmlang::DType::Float, vec![v.len()], v).unwrap();
         let feeds = HashMap::from([
             ("a".to_string(), t((1..=8).map(f64::from).collect())),
             ("b".to_string(), t(vec![1.0; 8])),

@@ -10,23 +10,26 @@ fn kexpr_strategy() -> impl Strategy<Value = KExpr> {
     let leaf = prop_oneof![
         (-4.0..4.0f64).prop_map(|v| KExpr::Const((v * 8.0).round() / 8.0)),
         (0usize..2).prop_map(KExpr::Idx),
-        (0usize..2, 0usize..2).prop_map(|(slot, ix)| KExpr::Operand {
-            slot,
-            indices: vec![KExpr::Idx(ix)],
-        }),
+        (0usize..2, 0usize..2)
+            .prop_map(|(slot, ix)| KExpr::Operand { slot, indices: vec![KExpr::Idx(ix)] }),
     ];
     leaf.prop_recursive(5, 40, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
-                Just(BinOp::Lt), Just(BinOp::Ge),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Ge),
+                ]
+            )
                 .prop_map(|(a, b, op)| KExpr::Binary(op, Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| KExpr::Unary(UnOp::Neg, Box::new(a))),
             inner.clone().prop_map(|a| KExpr::Call(ScalarFunc::Abs, vec![a])),
-            inner
-                .clone()
-                .prop_map(|a| KExpr::Call(ScalarFunc::Sigmoid, vec![a])),
+            inner.clone().prop_map(|a| KExpr::Call(ScalarFunc::Sigmoid, vec![a])),
             (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| KExpr::Select(
                 Box::new(c),
                 Box::new(a),

@@ -483,12 +483,8 @@ mod tests {
 
     #[test]
     fn program_lookup() {
-        let comp = Component {
-            name: "main".into(),
-            args: vec![],
-            body: vec![],
-            span: Span::synthetic(),
-        };
+        let comp =
+            Component { name: "main".into(), args: vec![], body: vec![], span: Span::synthetic() };
         let prog = Program { components: vec![comp], reductions: vec![] };
         assert!(prog.main().is_some());
         assert!(prog.component("other").is_none());

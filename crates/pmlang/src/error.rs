@@ -117,7 +117,8 @@ mod tests {
 
     #[test]
     fn errors_display_location() {
-        let e = LexError { message: "unexpected character `@`".into(), span: Span::new(4, 5, 2, 1) };
+        let e =
+            LexError { message: "unexpected character `@`".into(), span: Span::new(4, 5, 2, 1) };
         assert!(e.to_string().contains("2:1"));
         let p: ParseError = e.clone().into();
         assert_eq!(p.message, e.message);

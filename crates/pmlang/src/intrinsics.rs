@@ -194,8 +194,19 @@ impl ScalarFunc {
         use ScalarFunc::*;
         matches!(
             self,
-            Sin | Cos | Tan | Sqrt | Exp | Ln | Log2 | Sigmoid | Relu | Tanh | Gaussian | Erf
-                | Phi | Pow
+            Sin | Cos
+                | Tan
+                | Sqrt
+                | Exp
+                | Ln
+                | Log2
+                | Sigmoid
+                | Relu
+                | Tanh
+                | Gaussian
+                | Erf
+                | Phi
+                | Pow
         )
     }
 }

@@ -37,10 +37,7 @@ impl<'a> Lexer<'a> {
             let start = self.pos;
             let (line, col) = (self.line, self.col);
             let Some(c) = self.peek() else {
-                out.push(Token {
-                    kind: TokenKind::Eof,
-                    span: Span::new(start, start, line, col),
-                });
+                out.push(Token { kind: TokenKind::Eof, span: Span::new(start, start, line, col) });
                 return Ok(out);
             };
             let kind = match c {
@@ -294,7 +291,10 @@ mod tests {
     #[test]
     fn lexes_numbers() {
         use TokenKind::*;
-        assert_eq!(kinds("3 2.5 1e3 1.5e-2"), vec![Int(3), Float(2.5), Float(1e3), Float(1.5e-2), Eof]);
+        assert_eq!(
+            kinds("3 2.5 1e3 1.5e-2"),
+            vec![Int(3), Float(2.5), Float(1e3), Float(1.5e-2), Eof]
+        );
     }
 
     #[test]

@@ -91,10 +91,7 @@ mod tests {
 
     #[test]
     fn frontend_propagates_parse_errors() {
-        assert!(matches!(
-            super::frontend("main(").unwrap_err(),
-            super::FrontendError::Parse(_)
-        ));
+        assert!(matches!(super::frontend("main(").unwrap_err(), super::FrontendError::Parse(_)));
     }
 
     #[test]

@@ -306,9 +306,9 @@ impl Parser {
         self.depth += 1;
         if self.depth > MAX_EXPR_DEPTH {
             self.depth -= 1;
-            return Err(self.err(format!(
-                "expression nesting exceeds the {MAX_EXPR_DEPTH}-level limit"
-            )));
+            return Err(
+                self.err(format!("expression nesting exceeds the {MAX_EXPR_DEPTH}-level limit"))
+            );
         }
         let result = self.ternary();
         self.depth -= 1;
@@ -421,12 +421,18 @@ impl Parser {
         if self.eat(TokenKind::Minus) {
             let operand = self.unary()?;
             let span = span.merge(operand.span);
-            return Ok(Expr::new(ExprKind::Unary { op: UnOp::Neg, operand: Box::new(operand) }, span));
+            return Ok(Expr::new(
+                ExprKind::Unary { op: UnOp::Neg, operand: Box::new(operand) },
+                span,
+            ));
         }
         if self.eat(TokenKind::Not) {
             let operand = self.unary()?;
             let span = span.merge(operand.span);
-            return Ok(Expr::new(ExprKind::Unary { op: UnOp::Not, operand: Box::new(operand) }, span));
+            return Ok(Expr::new(
+                ExprKind::Unary { op: UnOp::Not, operand: Box::new(operand) },
+                span,
+            ));
         }
         self.postfix()
     }
@@ -498,11 +504,9 @@ impl Parser {
                 // Conditional form: only valid as a reduce iter.
                 let cond = self.expr()?;
                 match &inner.kind {
-                    ExprKind::Var(iname) => Some(ReduceIter {
-                        index: iname.clone(),
-                        cond: Some(cond),
-                        span: gstart,
-                    }),
+                    ExprKind::Var(iname) => {
+                        Some(ReduceIter { index: iname.clone(), cond: Some(cond), span: gstart })
+                    }
                     _ => {
                         return Err(self.err(
                             "conditional index group requires a plain index variable before `:`"
@@ -523,8 +527,7 @@ impl Parser {
         }
         if *self.peek_kind() == TokenKind::LParen {
             // Group reduction.
-            let iters: Option<Vec<ReduceIter>> =
-                groups.iter().map(|(_, it)| it.clone()).collect();
+            let iters: Option<Vec<ReduceIter>> = groups.iter().map(|(_, it)| it.clone()).collect();
             let Some(iters) = iters else {
                 return Err(self.err(format!(
                     "reduction `{name}` requires plain index variables in its bracket groups"
@@ -540,9 +543,8 @@ impl Parser {
         }
         // Indexed access. Conditional groups are not valid here.
         if groups.iter().any(|(_, it)| it.as_ref().is_some_and(|i| i.cond.is_some())) {
-            return Err(self.err(format!(
-                "conditional index group on `{name}` is only valid in a reduction"
-            )));
+            return Err(self
+                .err(format!("conditional index group on `{name}` is only valid in a reduction")));
         }
         let indices = groups.into_iter().map(|(e, _)| e).collect();
         Ok(Expr::new(ExprKind::Access { name, indices }, span.merge(end)))
@@ -675,10 +677,8 @@ mod tests {
 
     #[test]
     fn var_decl_multiple() {
-        let prog = parse(
-            "main(input float x, output float y) { float P_g[4], H_g[4]; y = x; }",
-        )
-        .unwrap();
+        let prog =
+            parse("main(input float x, output float y) { float P_g[4], H_g[4]; y = x; }").unwrap();
         match &prog.main().unwrap().body[0] {
             Stmt::VarDecl { dtype, vars, .. } => {
                 assert_eq!(*dtype, DType::Float);

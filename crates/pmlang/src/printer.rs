@@ -12,14 +12,8 @@ use std::fmt::Write as _;
 pub fn print_program(prog: &Program) -> String {
     let mut out = String::new();
     for r in &prog.reductions {
-        let _ = writeln!(
-            out,
-            "reduction {}({}, {}) = {};",
-            r.name,
-            r.acc,
-            r.elem,
-            print_expr(&r.body)
-        );
+        let _ =
+            writeln!(out, "reduction {}({}, {}) = {};", r.name, r.acc, r.elem, print_expr(&r.body));
     }
     for c in &prog.components {
         out.push_str(&print_component(c));
@@ -129,8 +123,7 @@ fn print_prec(e: &Expr, parent: u8) -> String {
             // Left-associative levels need the right child one notch
             // tighter; `^` is right-associative, so mirror it.
             let (lp, rp) = if *op == BinOp::Pow { (prec + 1, prec) } else { (prec, prec + 1) };
-            let text =
-                format!("{} {op} {}", print_prec(lhs, lp), print_prec(rhs, rp));
+            let text = format!("{} {op} {}", print_prec(lhs, lp), print_prec(rhs, rp));
             if prec < parent {
                 format!("({text})")
             } else {
@@ -177,8 +170,7 @@ mod tests {
     fn assert_roundtrip(src: &str) {
         let prog = parse(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
         let printed = print_program(&prog);
-        let reparsed =
-            parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         let reprinted = print_program(&reparsed);
         assert_eq!(printed, reprinted, "printer not a fixpoint");
         crate::sema::check(&reparsed).unwrap_or_else(|e| panic!("{e}\n{printed}"));

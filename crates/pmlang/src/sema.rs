@@ -157,8 +157,7 @@ struct Scope {
 }
 
 fn check_component(prog: &Program, comp: &Component) -> Result<ComponentInfo, SemaError> {
-    let mut scope =
-        Scope { vars: HashMap::new(), ranks: HashMap::new(), written: HashSet::new() };
+    let mut scope = Scope { vars: HashMap::new(), ranks: HashMap::new(), written: HashSet::new() };
     let mut ci = ComponentInfo::default();
 
     // Arguments.
@@ -168,7 +167,10 @@ fn check_component(prog: &Program, comp: &Component) -> Result<ComponentInfo, Se
             return Err(err(a.span, format!("duplicate argument `{}`", a.name)));
         }
         if a.dtype == DType::Str && !a.dims.is_empty() {
-            return Err(err(a.span, format!("argument `{}`: str arrays are not supported", a.name)));
+            return Err(err(
+                a.span,
+                format!("argument `{}`: str arrays are not supported", a.name),
+            ));
         }
     }
     // Implicit size parameters: identifiers in argument dims that are not
@@ -227,7 +229,10 @@ fn check_component(prog: &Program, comp: &Component) -> Result<ComponentInfo, Se
                 match scope.vars.get(target.as_str()) {
                     None => return Err(err(*span, format!("assignment to undeclared `{target}`"))),
                     Some(VarClass::IndexVar) => {
-                        return Err(err(*span, format!("cannot assign to index variable `{target}`")))
+                        return Err(err(
+                            *span,
+                            format!("cannot assign to index variable `{target}`"),
+                        ))
                     }
                     Some(VarClass::Arg(TypeModifier::Input)) => {
                         return Err(err(*span, format!("cannot assign to input `{target}`")))
@@ -260,7 +265,10 @@ fn check_component(prog: &Program, comp: &Component) -> Result<ComponentInfo, Se
                     err(*span, format!("instantiation of unknown component `{component}`"))
                 })?;
                 if callee.name == comp.name {
-                    return Err(err(*span, format!("component `{}` instantiates itself", comp.name)));
+                    return Err(err(
+                        *span,
+                        format!("component `{}` instantiates itself", comp.name),
+                    ));
                 }
                 if args.len() != callee.args.len() {
                     return Err(err(
@@ -296,17 +304,26 @@ fn check_component(prog: &Program, comp: &Component) -> Result<ComponentInfo, Se
                                 {
                                     return Err(err(
                                         actual.span,
-                                        format!("cannot bind read-only `{name}` to output `{}`", formal.name),
+                                        format!(
+                                            "cannot bind read-only `{name}` to output `{}`",
+                                            formal.name
+                                        ),
                                     ))
                                 }
                                 Some(VarClass::IndexVar) => {
                                     return Err(err(
                                         actual.span,
-                                        format!("cannot bind index variable `{name}` to `{}`", formal.name),
+                                        format!(
+                                            "cannot bind index variable `{name}` to `{}`",
+                                            formal.name
+                                        ),
                                     ))
                                 }
                                 None => {
-                                    return Err(err(actual.span, format!("undeclared variable `{name}`")))
+                                    return Err(err(
+                                        actual.span,
+                                        format!("undeclared variable `{name}`"),
+                                    ))
                                 }
                                 _ => {}
                             }
@@ -417,7 +434,10 @@ fn check_expr_depth(
                         ))
                     }
                     None => {
-                        return Err(err(it.span, format!("undeclared index variable `{}`", it.index)))
+                        return Err(err(
+                            it.span,
+                            format!("undeclared index variable `{}`", it.index),
+                        ))
                     }
                 }
                 if let Some(c) = &it.cond {
@@ -580,8 +600,8 @@ mod tests {
 
     #[test]
     fn rejects_unknown_function() {
-        let e = check_src("main(input float x, output float y) { y = frobnicate(x); }")
-            .unwrap_err();
+        let e =
+            check_src("main(input float x, output float y) { y = frobnicate(x); }").unwrap_err();
         assert!(e.message.contains("unknown function"), "{e}");
     }
 
@@ -611,10 +631,9 @@ mod tests {
 
     #[test]
     fn rejects_reduction_over_non_index() {
-        let e = check_src(
-            "main(input float A[n], param int k, output float y) { y = sum[k](A[k]); }",
-        )
-        .unwrap_err();
+        let e =
+            check_src("main(input float A[n], param int k, output float y) { y = sum[k](A[k]); }")
+                .unwrap_err();
         assert!(e.message.contains("not an index variable"), "{e}");
     }
 
@@ -671,10 +690,8 @@ mod tests {
 
     #[test]
     fn duplicate_local_rejected() {
-        let e = check_src(
-            "main(input float x, output float y) { float t; float t; y = x; }",
-        )
-        .unwrap_err();
+        let e = check_src("main(input float x, output float y) { float t; float t; y = x; }")
+            .unwrap_err();
         assert!(e.message.contains("duplicate name"), "{e}");
     }
 

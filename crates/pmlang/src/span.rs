@@ -28,6 +28,11 @@ impl Span {
         Span::default()
     }
 
+    /// True for placeholder spans that do not point into real source text.
+    pub fn is_synthetic(&self) -> bool {
+        *self == Span::default()
+    }
+
     /// Returns the smallest span covering both `self` and `other`.
     ///
     /// Line/column information is taken from whichever span starts first.

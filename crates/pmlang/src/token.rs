@@ -119,10 +119,7 @@ impl TokenKind {
 
     /// True if this token starts a type-modifier (`input`/`output`/`state`/`param`).
     pub fn is_modifier(&self) -> bool {
-        matches!(
-            self,
-            TokenKind::Input | TokenKind::Output | TokenKind::State | TokenKind::Param
-        )
+        matches!(self, TokenKind::Input | TokenKind::Output | TokenKind::State | TokenKind::Param)
     }
 
     /// True if this token names a data type.
@@ -220,12 +217,8 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        for k in [
-            TokenKind::Ident("x".into()),
-            TokenKind::Int(3),
-            TokenKind::EqEq,
-            TokenKind::Eof,
-        ] {
+        for k in [TokenKind::Ident("x".into()), TokenKind::Int(3), TokenKind::EqEq, TokenKind::Eof]
+        {
             assert!(!k.to_string().is_empty());
         }
     }

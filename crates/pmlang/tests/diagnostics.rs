@@ -9,10 +9,7 @@ fn rejects(src: &str, what: &str, where_: &str) {
     let err = pmlang::frontend(src).expect_err("should be rejected");
     let msg = err.to_string();
     assert!(msg.contains(what), "expected `{what}` in: {msg}");
-    assert!(
-        msg.contains(where_),
-        "expected location `{where_}` in: {msg}"
-    );
+    assert!(msg.contains(where_), "expected location `{where_}` in: {msg}");
 }
 
 #[test]

@@ -9,12 +9,75 @@ use proptest::prelude::*;
 /// Fragments the token-soup generator draws from — every keyword,
 /// operator, and literal form the lexer knows, plus nesting punctuation.
 const VOCAB: &[&str] = &[
-    "main", "input", "output", "state", "param", "float", "int", "bin", "str", "complex",
-    "index", "sum", "prod", "max", "min", "argmax", "argmin", "any", "all", "reduction",
-    "DSP:", "DA:", "RBT:", "GA:", "DL:", "(", ")", "[", "]", "{", "}", ",", ";", "=", "+",
-    "-", "*", "/", "^", "<", "<=", ">", ">=", "==", "!=", "?", ":", "x", "y", "i", "j",
-    "t0", "w", "0", "1", "63", "3.5", "0.0", "1e9", "pi", "sigmoid", "sqrt", "ln", "exp",
-    "abs", "min2", "max2", "\"s\"", "//c\n",
+    "main",
+    "input",
+    "output",
+    "state",
+    "param",
+    "float",
+    "int",
+    "bin",
+    "str",
+    "complex",
+    "index",
+    "sum",
+    "prod",
+    "max",
+    "min",
+    "argmax",
+    "argmin",
+    "any",
+    "all",
+    "reduction",
+    "DSP:",
+    "DA:",
+    "RBT:",
+    "GA:",
+    "DL:",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "^",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "==",
+    "!=",
+    "?",
+    ":",
+    "x",
+    "y",
+    "i",
+    "j",
+    "t0",
+    "w",
+    "0",
+    "1",
+    "63",
+    "3.5",
+    "0.0",
+    "1e9",
+    "pi",
+    "sigmoid",
+    "sqrt",
+    "ln",
+    "exp",
+    "abs",
+    "min2",
+    "max2",
+    "\"s\"",
+    "//c\n",
 ];
 
 const VALID: &str = "filt(input float x[64], param float h[64], output float y) {

@@ -19,11 +19,26 @@ fn expr_strategy() -> impl Strategy<Value = String> {
     ];
     leaf.prop_recursive(5, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("/"), Just("%"), Just("^"),
-                Just("<"), Just("<="), Just(">"), Just(">="), Just("=="), Just("!="),
-                Just("&&"), Just("||"),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("%"),
+                    Just("^"),
+                    Just("<"),
+                    Just("<="),
+                    Just(">"),
+                    Just(">="),
+                    Just("=="),
+                    Just("!="),
+                    Just("&&"),
+                    Just("||"),
+                ]
+            )
                 .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
             inner.clone().prop_map(|a| format!("(-{a})")),
             inner.clone().prop_map(|a| format!("sigmoid({a})")),

@@ -141,9 +141,7 @@ impl<'a> ComponentBuilder<'a> {
         let args = self.comp.args.clone();
         for arg in &args {
             // Compile-time int params were pre-bound by the caller.
-            if arg.modifier == TypeModifier::Param
-                && arg.dtype == DType::Int
-                && arg.dims.is_empty()
+            if arg.modifier == TypeModifier::Param && arg.dtype == DType::Int && arg.dims.is_empty()
             {
                 if !self.sizes.contains_key(&arg.name) {
                     return Err(BuildError::new(
@@ -151,8 +149,7 @@ impl<'a> ComponentBuilder<'a> {
                         arg.span,
                     ));
                 }
-                self.scope
-                    .insert(arg.name.clone(), Value::ConstInt(self.sizes[&arg.name]));
+                self.scope.insert(arg.name.clone(), Value::ConstInt(self.sizes[&arg.name]));
                 continue;
             }
             let shape = self.resolve_dims(&arg.dims, arg.span)?;
@@ -171,12 +168,9 @@ impl<'a> ComponentBuilder<'a> {
             };
             // Inputs, state, and runtime params arrive via boundary edges.
             if modifier != Modifier::Output {
-                let e = self.graph.add_edge(EdgeMeta {
-                    name: arg.name.clone(),
-                    dtype: arg.dtype,
-                    modifier,
-                    shape,
-                });
+                let e = self.graph.add_edge(
+                    EdgeMeta::new(arg.name.clone(), arg.dtype, modifier, shape).at(arg.span),
+                );
                 self.graph.boundary_inputs.push(e);
                 slot.current = Some(e);
             }
@@ -189,13 +183,14 @@ impl<'a> ComponentBuilder<'a> {
     /// passes an already-written variable, whose value the component may
     /// read before overwriting — the paper's `update_ctrl_model` does this
     /// with `ctrl_mdl`).
-    fn bind_output_incoming(&mut self, name: &str, dtype: DType, shape: Vec<usize>) -> EdgeId {
-        let e = self.graph.add_edge(EdgeMeta {
-            name: name.to_string(),
-            dtype,
-            modifier: Modifier::Input,
-            shape,
-        });
+    fn bind_output_incoming(
+        &mut self,
+        name: &str,
+        dtype: DType,
+        shape: Vec<usize>,
+        span: Span,
+    ) -> EdgeId {
+        let e = self.graph.add_edge(EdgeMeta::new(name, dtype, Modifier::Input, shape).at(span));
         self.graph.boundary_inputs.push(e);
         if let Some(Value::Var(slot)) = self.scope.get_mut(name) {
             slot.current = Some(e);
@@ -253,10 +248,9 @@ impl<'a> ComponentBuilder<'a> {
             ExprKind::FloatLit(v) => Ok(*v),
             ExprKind::Var(name) => match self.scope.get(name) {
                 Some(Value::ConstInt(v)) => Ok(*v as f64),
-                _ => Err(BuildError::new(
-                    format!("`{name}` is not a compile-time constant"),
-                    e.span,
-                )),
+                _ => {
+                    Err(BuildError::new(format!("`{name}` is not a compile-time constant"), e.span))
+                }
             },
             ExprKind::Unary { op, operand } => {
                 let v = self.const_real(operand)?;
@@ -309,12 +303,9 @@ impl<'a> ComponentBuilder<'a> {
             let slot = self.var_slot(name, span)?;
             (slot.dtype, slot.shape.clone(), slot.version + 1)
         };
-        let e = self.graph.add_edge(EdgeMeta {
-            name: format!("{name}.{version}"),
-            dtype,
-            modifier: Modifier::Temp,
-            shape,
-        });
+        let e = self.graph.add_edge(
+            EdgeMeta::new(format!("{name}.{version}"), dtype, Modifier::Temp, shape).at(span),
+        );
         if let Some(Value::Var(slot)) = self.scope.get_mut(name) {
             slot.current = Some(e);
             slot.version = version;
@@ -408,20 +399,14 @@ impl<'a> ComponentBuilder<'a> {
             .map(|ix| self.kexpr(ix, &index_pos, &mut ops, &mut Vec::new()))
             .collect::<Result<_, _>>()?;
         if !ops.edges.is_empty() {
-            return Err(BuildError::new(
-                "left-hand-side indices may not read tensors",
-                span,
-            ));
+            return Err(BuildError::new("left-hand-side indices may not read tensors", span));
         }
 
         // Identity write ⇔ LHS is exactly the free indices in order, each
         // range starting at 0 and spanning the full axis.
         let identity = lhs.len() == free.len()
             && lhs.iter().enumerate().all(|(i, k)| *k == KExpr::Idx(i))
-            && free
-                .iter()
-                .zip(&target_shape)
-                .all(|(r, &dim)| r.lo == 0 && r.size() == dim);
+            && free.iter().zip(&target_shape).all(|(r, &dim)| r.lo == 0 && r.size() == dim);
         let carried = !identity;
 
         // RHS: pull out reductions into their own nodes first.
@@ -446,12 +431,13 @@ impl<'a> ComponentBuilder<'a> {
             let out = self.new_version(target, span)?;
             let name = spec.op.name().to_string();
             let pattern = detect_pattern(&spec);
-            let id = self.graph.add_node(
+            let id = self.graph.add_node_at(
                 pattern.map_or(name, |p| p.op_name().to_string()),
                 NodeKind::Reduce(spec),
                 self.domain,
                 node_inputs,
                 vec![out],
+                span,
             );
             self.graph.node_mut(id).pattern = pattern;
             return Ok(());
@@ -467,7 +453,7 @@ impl<'a> ComponentBuilder<'a> {
         let out = self.new_version(target, span)?;
         let spec = MapSpec { out_space: free, kernel, write };
         let name = map_op_name(&spec.kernel);
-        self.graph.add_node(name, NodeKind::Map(spec), self.domain, ops.edges, vec![out]);
+        self.graph.add_node_at(name, NodeKind::Map(spec), self.domain, ops.edges, vec![out], span);
         Ok(())
     }
 
@@ -484,33 +470,23 @@ impl<'a> ComponentBuilder<'a> {
             return Ok(e);
         }
         // Zero-initialize: Map filling the whole tensor with 0.
-        let e = self.graph.add_edge(EdgeMeta {
-            name: format!("{name}.init"),
-            dtype,
-            modifier: Modifier::Temp,
-            shape: shape.to_vec(),
-        });
+        let e = self.graph.add_edge(
+            EdgeMeta::new(format!("{name}.init"), dtype, Modifier::Temp, shape.to_vec()).at(span),
+        );
         let out_space: Vec<IndexRange> = shape
             .iter()
             .enumerate()
             .map(|(i, &d)| IndexRange { name: format!("z{i}"), lo: 0, hi: d as i64 - 1 })
             .collect();
-        let spec = MapSpec {
-            out_space,
-            kernel: KExpr::Const(0.0),
-            write: WriteSpec::identity(shape),
-        };
-        self.graph.add_node("map.fill", NodeKind::Map(spec), self.domain, vec![], vec![e]);
+        let spec =
+            MapSpec { out_space, kernel: KExpr::Const(0.0), write: WriteSpec::identity(shape) };
+        self.graph.add_node_at("map.fill", NodeKind::Map(spec), self.domain, vec![], vec![e], span);
         Ok(e)
     }
 
     /// Collects index variables referenced by `e` into `out` (preserving
     /// first-appearance order).
-    fn collect_index_vars(
-        &self,
-        e: &Expr,
-        out: &mut Vec<IndexRange>,
-    ) -> Result<(), BuildError> {
+    fn collect_index_vars(&self, e: &Expr, out: &mut Vec<IndexRange>) -> Result<(), BuildError> {
         match &e.kind {
             ExprKind::Var(name) => {
                 if let Some(Value::Index(r)) = self.scope.get(name) {
@@ -603,18 +579,17 @@ impl<'a> ComponentBuilder<'a> {
                 let ck = self.kexpr(c, &red_pos, &mut ops, &mut Vec::new())?;
                 cond = Some(match cond {
                     None => ck,
-                    Some(prev) => {
-                        KExpr::Binary(pmlang::BinOp::And, Box::new(prev), Box::new(ck))
-                    }
+                    Some(prev) => KExpr::Binary(pmlang::BinOp::And, Box::new(prev), Box::new(ck)),
                 });
             }
         }
         let rop = if let Some(b) = BuiltinReduction::by_name(op) {
             ReduceOp::Builtin(b)
         } else {
-            let def = self.program.reduction(op).ok_or_else(|| {
-                BuildError::new(format!("unknown reduction `{op}`"), e.span)
-            })?;
+            let def = self
+                .program
+                .reduction(op)
+                .ok_or_else(|| BuildError::new(format!("unknown reduction `{op}`"), e.span))?;
             ReduceOp::Custom { name: op.clone(), combiner: combiner_kernel(def)? }
         };
         let out_shape: Vec<usize> = free.iter().map(IndexRange::size).collect();
@@ -674,7 +649,10 @@ impl<'a> ComponentBuilder<'a> {
                 };
                 if indices.len() != rank {
                     return Err(BuildError::new(
-                        format!("`{name}` has rank {rank} but is accessed with {} indices", indices.len()),
+                        format!(
+                            "`{name}` has rank {rank} but is accessed with {} indices",
+                            indices.len()
+                        ),
                         e.span,
                     ));
                 }
@@ -686,10 +664,9 @@ impl<'a> ComponentBuilder<'a> {
                     .collect::<Result<_, _>>()?;
                 Ok(KExpr::Operand { slot, indices: ixs })
             }
-            ExprKind::Unary { op, operand } => Ok(KExpr::Unary(
-                *op,
-                Box::new(self.kexpr(operand, index_pos, ops, temps)?),
-            )),
+            ExprKind::Unary { op, operand } => {
+                Ok(KExpr::Unary(*op, Box::new(self.kexpr(operand, index_pos, ops, temps)?)))
+            }
             ExprKind::Binary { op, lhs, rhs } => Ok(KExpr::Binary(
                 *op,
                 Box::new(self.kexpr(lhs, index_pos, ops, temps)?),
@@ -726,20 +703,24 @@ impl<'a> ComponentBuilder<'a> {
                 };
                 let (spec, inputs) = self.build_reduce(e, &free, index_pos)?;
                 let out_shape: Vec<usize> = free.iter().map(IndexRange::size).collect();
-                let temp = self.graph.add_edge(EdgeMeta {
-                    name: format!("red.{}", self.graph.edge_count()),
-                    dtype: DType::Float,
-                    modifier: Modifier::Temp,
-                    shape: out_shape,
-                });
+                let temp = self.graph.add_edge(
+                    EdgeMeta::new(
+                        format!("red.{}", self.graph.edge_count()),
+                        DType::Float,
+                        Modifier::Temp,
+                        out_shape,
+                    )
+                    .at(e.span),
+                );
                 let name = spec.op.name().to_string();
                 let pattern = detect_pattern(&spec);
-                let id = self.graph.add_node(
+                let id = self.graph.add_node_at(
                     pattern.map_or(name, |p| p.op_name().to_string()),
                     NodeKind::Reduce(spec),
                     self.domain,
                     inputs,
                     vec![temp],
+                    e.span,
                 );
                 self.graph.node_mut(id).pattern = pattern;
                 temps.push(temp);
@@ -804,7 +785,7 @@ impl<'a> ComponentBuilder<'a> {
                             let s = self.var_slot(vn, actual.span)?;
                             (s.dtype, s.shape.clone())
                         };
-                        sub_builder.bind_output_incoming(&formal.name, dtype, shape);
+                        sub_builder.bind_output_incoming(&formal.name, dtype, shape, actual.span);
                         extra_inputs.push((i, formal.name.clone()));
                     }
                 }
@@ -856,12 +837,13 @@ impl<'a> ComponentBuilder<'a> {
 
         debug_assert_eq!(node_inputs.len(), sub.boundary_inputs.len());
         debug_assert_eq!(node_outputs.len(), sub.boundary_outputs.len());
-        self.graph.add_node(
+        self.graph.add_node_at(
             name.to_string(),
             NodeKind::Component(Box::new(sub)),
             callee_domain,
             node_inputs,
             node_outputs,
+            span,
         );
         Ok(())
     }
@@ -899,18 +881,28 @@ impl<'a> ComponentBuilder<'a> {
             }
             _ => {
                 let v = self.const_real(actual)?;
-                let e = self.graph.add_edge(EdgeMeta {
-                    name: format!("const.{}", self.graph.edge_count()),
-                    dtype: formal.dtype,
-                    modifier: Modifier::Temp,
-                    shape: vec![],
-                });
+                let e = self.graph.add_edge(
+                    EdgeMeta::new(
+                        format!("const.{}", self.graph.edge_count()),
+                        formal.dtype,
+                        Modifier::Temp,
+                        vec![],
+                    )
+                    .at(actual.span),
+                );
                 let spec = MapSpec {
                     out_space: vec![],
                     kernel: KExpr::Const(v),
                     write: WriteSpec::identity(&[]),
                 };
-                self.graph.add_node("map.fill", NodeKind::Map(spec), self.domain, vec![], vec![e]);
+                self.graph.add_node_at(
+                    "map.fill",
+                    NodeKind::Map(spec),
+                    self.domain,
+                    vec![],
+                    vec![e],
+                    actual.span,
+                );
                 Ok(e)
             }
         }
@@ -973,23 +965,18 @@ fn combiner_kernel(def: &pmlang::ReductionDef) -> Result<KExpr, BuildError> {
             ExprKind::FloatLit(v) => Ok(KExpr::Const(*v)),
             ExprKind::Var(n) if *n == def.acc => Ok(KExpr::Arg(0)),
             ExprKind::Var(n) if *n == def.elem => Ok(KExpr::Arg(1)),
-            ExprKind::Unary { op, operand } => {
-                Ok(KExpr::Unary(*op, Box::new(walk(operand, def)?)))
+            ExprKind::Unary { op, operand } => Ok(KExpr::Unary(*op, Box::new(walk(operand, def)?))),
+            ExprKind::Binary { op, lhs, rhs } => {
+                Ok(KExpr::Binary(*op, Box::new(walk(lhs, def)?), Box::new(walk(rhs, def)?)))
             }
-            ExprKind::Binary { op, lhs, rhs } => Ok(KExpr::Binary(
-                *op,
-                Box::new(walk(lhs, def)?),
-                Box::new(walk(rhs, def)?),
-            )),
             ExprKind::Ternary { cond, then, otherwise } => Ok(KExpr::Select(
                 Box::new(walk(cond, def)?),
                 Box::new(walk(then, def)?),
                 Box::new(walk(otherwise, def)?),
             )),
             ExprKind::Call { name, args } => {
-                let f = ScalarFunc::by_name(name).ok_or_else(|| {
-                    BuildError::new(format!("unknown function `{name}`"), e.span)
-                })?;
+                let f = ScalarFunc::by_name(name)
+                    .ok_or_else(|| BuildError::new(format!("unknown function `{name}`"), e.span))?;
                 let ks: Result<Vec<KExpr>, _> = args.iter().map(|a| walk(a, def)).collect();
                 Ok(KExpr::Call(f, ks?))
             }
@@ -1042,10 +1029,7 @@ fn unify_dims(
             },
             _ => {
                 let v = const_eval_with(d, sizes).ok_or_else(|| {
-                    BuildError::new(
-                        format!("cannot evaluate dimension of `{}`", formal.name),
-                        span,
-                    )
+                    BuildError::new(format!("cannot evaluate dimension of `{}`", formal.name), span)
                 })?;
                 if v != actual as i64 {
                     return Err(BuildError::new(

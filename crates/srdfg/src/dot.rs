@@ -67,11 +67,7 @@ fn render_text(graph: &SrDfg, depth: usize, out: &mut String) {
     use std::fmt::Write as _;
     let pad = "  ".repeat(depth);
     let fmt_space = |space: &[IndexRange]| -> String {
-        space
-            .iter()
-            .map(|r| format!("{}[{}:{}]", r.name, r.lo, r.hi))
-            .collect::<Vec<_>>()
-            .join("")
+        space.iter().map(|r| format!("{}[{}:{}]", r.name, r.lo, r.hi)).collect::<Vec<_>>().join("")
     };
     let fmt_edges = |ids: &[crate::graph::EdgeId]| -> String {
         ids.iter()

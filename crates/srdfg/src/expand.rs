@@ -26,7 +26,7 @@ use crate::graph::{
 };
 use crate::interp::for_each_point;
 use crate::kernel::KExpr;
-use pmlang::{BinOp, BuiltinReduction, DType, ScalarFunc};
+use pmlang::{BinOp, BuiltinReduction, DType, ScalarFunc, Span};
 use std::fmt;
 
 /// Limits for scalar expansion.
@@ -69,10 +69,9 @@ impl fmt::Display for RefineError {
             RefineError::AtFinestGranularity(n) => {
                 write!(f, "node `{n}` is already at the finest granularity")
             }
-            RefineError::TooLarge { name, estimated, limit } => write!(
-                f,
-                "expanding `{name}` would create ~{estimated} nodes (limit {limit})"
-            ),
+            RefineError::TooLarge { name, estimated, limit } => {
+                write!(f, "expanding `{name}` would create ~{estimated} nodes (limit {limit})")
+            }
             RefineError::DataDependent(n) => {
                 write!(f, "node `{n}` has data-dependent indexing and cannot expand statically")
             }
@@ -90,10 +89,13 @@ impl std::error::Error for RefineError {}
 /// # Errors
 ///
 /// See [`RefineError`].
-pub fn refine(graph: &SrDfg, id: crate::graph::NodeId, opts: &ExpandOptions) -> Result<SrDfg, RefineError> {
+pub fn refine(
+    graph: &SrDfg,
+    id: crate::graph::NodeId,
+    opts: &ExpandOptions,
+) -> Result<SrDfg, RefineError> {
     let node = graph.node(id);
-    let in_metas: Vec<EdgeMeta> =
-        node.inputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
+    let in_metas: Vec<EdgeMeta> = node.inputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
     let out_metas: Vec<EdgeMeta> =
         node.outputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
     refine_node(node, &in_metas, &out_metas, opts)
@@ -146,15 +148,17 @@ fn decompose_reduce(
     g.boundary_inputs = ins.clone();
     g.boundary_outputs = vec![out];
 
-    let combined: Vec<IndexRange> =
-        spec.out_space.iter().chain(&spec.red_space).cloned().collect();
+    let combined: Vec<IndexRange> = spec.out_space.iter().chain(&spec.red_space).cloned().collect();
     let combined_shape: Vec<usize> = combined.iter().map(IndexRange::size).collect();
-    let temp = g.add_edge(EdgeMeta {
-        name: format!("{}.elems", node.name),
-        dtype: element_dtype(in_metas),
-        modifier: Modifier::Temp,
-        shape: combined_shape.clone(),
-    });
+    let temp = g.add_edge(
+        EdgeMeta::new(
+            format!("{}.elems", node.name),
+            element_dtype(in_metas),
+            Modifier::Temp,
+            combined_shape.clone(),
+        )
+        .at(node.span),
+    );
 
     // Zero-based identity write even when ranges start above zero.
     let lhs: Vec<KExpr> = combined
@@ -164,7 +168,11 @@ fn decompose_reduce(
             if r.lo == 0 {
                 KExpr::Idx(d)
             } else {
-                KExpr::Binary(BinOp::Sub, Box::new(KExpr::Idx(d)), Box::new(KExpr::Const(r.lo as f64)))
+                KExpr::Binary(
+                    BinOp::Sub,
+                    Box::new(KExpr::Idx(d)),
+                    Box::new(KExpr::Const(r.lo as f64)),
+                )
             }
         })
         .collect();
@@ -174,7 +182,14 @@ fn decompose_reduce(
         write: WriteSpec { target_shape: combined_shape, lhs: lhs.clone(), carried: false },
     };
     let map_name = map_op_name(&map_spec.kernel);
-    g.add_node(map_name, NodeKind::Map(map_spec), node.domain, ins.clone(), vec![temp]);
+    g.add_node_at(
+        map_name,
+        NodeKind::Map(map_spec),
+        node.domain,
+        ins.clone(),
+        vec![temp],
+        node.span,
+    );
 
     // Pure reduce over the element tensor; the original inputs stay
     // available for the condition (and carry slot 0, if any).
@@ -189,12 +204,13 @@ fn decompose_reduce(
     };
     let mut red_inputs = ins;
     red_inputs.push(temp);
-    g.add_node(
+    g.add_node_at(
         spec.op.name().to_string(),
         NodeKind::Reduce(red_spec),
         node.domain,
         red_inputs,
         vec![out],
+        node.span,
     );
     g
 }
@@ -207,12 +223,7 @@ fn decompose_reduce(
 /// ternary to guard out-of-range accesses should use reduction conditions
 /// instead (as the conv/pooling generators do); the interpreter's lazy
 /// ternary is a convenience of the reference semantics.
-fn split_map(
-    node: &Node,
-    spec: &MapSpec,
-    in_metas: &[EdgeMeta],
-    out_metas: &[EdgeMeta],
-) -> SrDfg {
+fn split_map(node: &Node, spec: &MapSpec, in_metas: &[EdgeMeta], out_metas: &[EdgeMeta]) -> SrDfg {
     let mut g = SrDfg::new(format!("{}.split", node.name));
     g.domain = node.domain;
     let ins: Vec<EdgeId> = in_metas.iter().map(|m| g.add_edge(m.clone())).collect();
@@ -231,6 +242,7 @@ fn split_map(
         out_dims: &'a [usize],
         domain: Option<pmlang::Domain>,
         temp_counter: &'a mut u32,
+        span: Span,
     }
     fn is_leaf(k: &KExpr) -> bool {
         matches!(k, KExpr::Const(_) | KExpr::Idx(_) | KExpr::Operand { .. })
@@ -244,11 +256,9 @@ fn split_map(
         // Make children leaves first.
         let rebuilt = match k {
             KExpr::Unary(op, e) => KExpr::Unary(*op, Box::new(emit(ctx, e, extra))),
-            KExpr::Binary(op, a, b) => KExpr::Binary(
-                *op,
-                Box::new(emit(ctx, a, extra)),
-                Box::new(emit(ctx, b, extra)),
-            ),
+            KExpr::Binary(op, a, b) => {
+                KExpr::Binary(*op, Box::new(emit(ctx, a, extra)), Box::new(emit(ctx, b, extra)))
+            }
             KExpr::Select(c, a, b) => KExpr::Select(
                 Box::new(emit(ctx, c, extra)),
                 Box::new(emit(ctx, a, extra)),
@@ -261,12 +271,15 @@ fn split_map(
         };
         // Emit this single op into a temp.
         *ctx.temp_counter += 1;
-        let temp = ctx.g.add_edge(EdgeMeta {
-            name: format!("t{}", ctx.temp_counter),
-            dtype: DType::Float,
-            modifier: Modifier::Temp,
-            shape: ctx.out_dims.to_vec(),
-        });
+        let temp = ctx.g.add_edge(
+            EdgeMeta::new(
+                format!("t{}", ctx.temp_counter),
+                DType::Float,
+                Modifier::Temp,
+                ctx.out_dims.to_vec(),
+            )
+            .at(ctx.span),
+        );
         // Kernel operands: the node's inputs are the boundary operands the
         // leaves reference plus temps read at identity indices. We keep slot
         // numbering equal to the *global* boundary slots, then append temps.
@@ -299,7 +312,7 @@ fn split_map(
             },
         };
         let name = map_op_name(&ms.kernel);
-        ctx.g.add_node(name, NodeKind::Map(ms), ctx.domain, node_inputs, vec![temp]);
+        ctx.g.add_node_at(name, NodeKind::Map(ms), ctx.domain, node_inputs, vec![temp], ctx.span);
         extra.push(temp);
         // Read the temp back at zero-based identity positions.
         KExpr::Operand { slot: ctx.ins.len() + extra.len() - 1, indices: lhs }
@@ -313,6 +326,7 @@ fn split_map(
         out_dims: &out_dims,
         domain: node.domain,
         temp_counter: &mut temp_counter,
+        span: node.span,
     };
     // Rebuild the kernel so its root children are leaves, then emit the
     // final op with the original write spec.
@@ -335,9 +349,13 @@ fn split_map(
     };
     let mut node_inputs = ins.clone();
     node_inputs.extend(extra.iter().copied());
-    let ms = MapSpec { out_space: spec.out_space.clone(), kernel: final_kernel, write: spec.write.clone() };
+    let ms = MapSpec {
+        out_space: spec.out_space.clone(),
+        kernel: final_kernel,
+        write: spec.write.clone(),
+    };
     let name = map_op_name(&ms.kernel);
-    g.add_node(name, NodeKind::Map(ms), node.domain, node_inputs, vec![out]);
+    g.add_node_at(name, NodeKind::Map(ms), node.domain, node_inputs, vec![out], node.span);
     g
 }
 
@@ -362,6 +380,10 @@ struct Expander<'a> {
     nodes_created: usize,
     limit: usize,
     name: String,
+    /// Source span of the node being expanded, inherited by every scalar
+    /// node/edge so diagnostics on the expanded graph still point at the
+    /// originating statement.
+    span: Span,
 }
 
 impl<'a> Expander<'a> {
@@ -379,6 +401,7 @@ impl<'a> Expander<'a> {
             nodes_created: 0,
             limit,
             name: node.name.clone(),
+            span: node.span,
         }
     }
 
@@ -396,12 +419,7 @@ impl<'a> Expander<'a> {
     }
 
     fn scalar_edge(&mut self, _label: &str, dtype: DType) -> EdgeId {
-        self.g.add_edge(EdgeMeta {
-            name: String::new(),
-            dtype,
-            modifier: Modifier::Temp,
-            shape: vec![],
-        })
+        self.g.add_edge(EdgeMeta::new(String::new(), dtype, Modifier::Temp, vec![]).at(self.span))
     }
 
     /// Element edge `flat` of operand `slot`, materializing its Unpack node
@@ -413,22 +431,22 @@ impl<'a> Expander<'a> {
             self.budget(1)?;
             // Element edges are unnamed: at FFT-scale expansions (10⁶+
             // edges) per-element name strings would dominate memory.
+            let span = self.span;
+            let dtype = meta.dtype;
             let elems: Vec<EdgeId> = (0..n)
                 .map(|_| {
-                    self.g.add_edge(EdgeMeta {
-                        name: String::new(),
-                        dtype: meta.dtype,
-                        modifier: Modifier::Temp,
-                        shape: vec![],
-                    })
+                    self.g.add_edge(
+                        EdgeMeta::new(String::new(), dtype, Modifier::Temp, vec![]).at(span),
+                    )
                 })
                 .collect();
-            self.g.add_node(
+            self.g.add_node_at(
                 "unpack",
                 NodeKind::Unpack,
                 self.domain,
                 vec![self.ins[slot]],
                 elems.clone(),
+                span,
             );
             self.unpacked[slot] = Some(elems);
         }
@@ -438,12 +456,13 @@ impl<'a> Expander<'a> {
     fn const_node(&mut self, v: f64) -> Result<EdgeId, RefineError> {
         self.budget(1)?;
         let e = self.scalar_edge("c", DType::Float);
-        self.g.add_node(
+        self.g.add_node_at(
             "const",
             NodeKind::Scalar(ScalarKind::Const(v)),
             self.domain,
             vec![],
             vec![e],
+            self.span,
         );
         Ok(e)
     }
@@ -499,10 +518,8 @@ impl<'a> Expander<'a> {
                 self.op_node(NodeKind::Scalar(ScalarKind::Select), "select", vec![ec, ea, eb])
             }
             KExpr::Call(f, args) => {
-                let es: Vec<EdgeId> = args
-                    .iter()
-                    .map(|a| self.expand_expr(a, point))
-                    .collect::<Result<_, _>>()?;
+                let es: Vec<EdgeId> =
+                    args.iter().map(|a| self.expand_expr(a, point)).collect::<Result<_, _>>()?;
                 self.op_node(NodeKind::Scalar(ScalarKind::Func(*f)), f.name(), es)
             }
         }
@@ -516,7 +533,7 @@ impl<'a> Expander<'a> {
     ) -> Result<EdgeId, RefineError> {
         self.budget(1)?;
         let out = self.scalar_edge(name, DType::Float);
-        self.g.add_node(name.to_string(), kind, self.domain, inputs, vec![out]);
+        self.g.add_node_at(name.to_string(), kind, self.domain, inputs, vec![out], self.span);
         Ok(out)
     }
 
@@ -524,7 +541,7 @@ impl<'a> Expander<'a> {
     /// into the boundary output.
     fn finish(mut self, out_meta: &EdgeMeta, elements: Vec<EdgeId>) -> SrDfg {
         let out = self.g.add_edge(out_meta.clone());
-        self.g.add_node("pack", NodeKind::Pack, self.domain, elements, vec![out]);
+        self.g.add_node_at("pack", NodeKind::Pack, self.domain, elements, vec![out], self.span);
         self.g.boundary_outputs = vec![out];
         self.g
     }
@@ -592,9 +609,8 @@ fn expand_map(
             // Static LHS position.
             let mut flat = 0usize;
             for (l, &dim) in spec.write.lhs.iter().zip(&out_meta.shape) {
-                let v = l
-                    .eval_index(idx)
-                    .map_err(|_| RefineError::DataDependent(node.name.clone()))?;
+                let v =
+                    l.eval_index(idx).map_err(|_| RefineError::DataDependent(node.name.clone()))?;
                 flat = flat * dim + v as usize;
             }
             elements[flat] = Some(val);
@@ -812,10 +828,8 @@ impl Expander<'_> {
                 self.op_node(NodeKind::Scalar(ScalarKind::Select), "select", vec![ec, ex_, ey])
             }
             KExpr::Call(f, args) => {
-                let es: Vec<EdgeId> = args
-                    .iter()
-                    .map(|x| self.expand_combiner(x, a, b))
-                    .collect::<Result<_, _>>()?;
+                let es: Vec<EdgeId> =
+                    args.iter().map(|x| self.expand_combiner(x, a, b)).collect::<Result<_, _>>()?;
                 self.op_node(NodeKind::Scalar(ScalarKind::Func(*f)), f.name(), es)
             }
         }
@@ -894,10 +908,8 @@ mod tests {
                  C[j] = sum[i](A[j][i]*B[i]);
              }",
         );
-        let (id, node) = g
-            .iter_nodes()
-            .find(|(_, n)| matches!(n.kind, NodeKind::Reduce(_)))
-            .unwrap();
+        let (id, node) =
+            g.iter_nodes().find(|(_, n)| matches!(n.kind, NodeKind::Reduce(_))).unwrap();
         assert_eq!(node.name, "matvec");
         // Level 1: decompose into Map(mul) + pure sum.
         let sub = refine(&g, id, &ExpandOptions::default()).unwrap();
@@ -905,10 +917,8 @@ mod tests {
         assert!(names.contains(&"map.mul".to_string()), "{names:?}");
         assert!(names.contains(&"sum".to_string()), "{names:?}");
         // Level 2: the pure sum expands to an adder tree.
-        let (rid, _) = sub
-            .iter_nodes()
-            .find(|(_, n)| matches!(n.kind, NodeKind::Reduce(_)))
-            .unwrap();
+        let (rid, _) =
+            sub.iter_nodes().find(|(_, n)| matches!(n.kind, NodeKind::Reduce(_))).unwrap();
         let scal = refine(&sub, rid, &ExpandOptions::default()).unwrap();
         let adds = scal
             .iter_nodes()
@@ -946,10 +956,7 @@ mod tests {
                  index i[0:3];
                  z[i] = (x[i] + y[i]) * x[i] - 2.0;
              }",
-            vec![
-                ("x", vec_t(vec![1.0, 2.0, 3.0, 4.0])),
-                ("y", vec_t(vec![0.5, 0.5, 0.5, 0.5])),
-            ],
+            vec![("x", vec_t(vec![1.0, 2.0, 3.0, 4.0])), ("y", vec_t(vec![0.5, 0.5, 0.5, 0.5]))],
         );
     }
 
@@ -1016,10 +1023,8 @@ mod tests {
         );
         let (id, _) = g.iter_nodes().find(|(_, n)| matches!(n.kind, NodeKind::Map(_))).unwrap();
         let scal = refine(&g, id, &ExpandOptions::default()).unwrap();
-        let (sid, _) = scal
-            .iter_nodes()
-            .find(|(_, n)| matches!(n.kind, NodeKind::Scalar(_)))
-            .unwrap();
+        let (sid, _) =
+            scal.iter_nodes().find(|(_, n)| matches!(n.kind, NodeKind::Scalar(_))).unwrap();
         assert!(matches!(
             refine(&scal, sid, &ExpandOptions::default()),
             Err(RefineError::AtFinestGranularity(_))
@@ -1034,8 +1039,7 @@ mod tests {
         );
         let (id, _) = g.iter_nodes().find(|(_, n)| matches!(n.kind, NodeKind::Map(_))).unwrap();
         let scal = refine(&g, id, &ExpandOptions::default()).unwrap();
-        let outs =
-            exec_graph(&scal, vec![Some(vec_t(vec![1.0, 2.0, 3.0]))]).unwrap();
+        let outs = exec_graph(&scal, vec![Some(vec_t(vec![1.0, 2.0, 3.0]))]).unwrap();
         assert_eq!(outs[0].as_real_slice().unwrap(), &[3.0, 6.0, 9.0]);
     }
 
@@ -1044,8 +1048,7 @@ mod tests {
         let g = program_graph(
             "main(input float x[4], output float y) { index i[0:3]; y = argmax[i](x[i]); }",
         );
-        let (id, _) =
-            g.iter_nodes().find(|(_, n)| matches!(n.kind, NodeKind::Reduce(_))).unwrap();
+        let (id, _) = g.iter_nodes().find(|(_, n)| matches!(n.kind, NodeKind::Reduce(_))).unwrap();
         assert!(matches!(
             refine(&g, id, &ExpandOptions::default()),
             Err(RefineError::Unsupported(_))

@@ -19,7 +19,7 @@
 
 use crate::kernel::KExpr;
 use crate::value::Tensor;
-use pmlang::{BinOp, BuiltinReduction, DType, Domain, ScalarFunc, UnOp};
+use pmlang::{BinOp, BuiltinReduction, DType, Domain, ScalarFunc, Span, UnOp};
 use std::fmt;
 
 /// Identifies a node within one [`SrDfg`].
@@ -71,7 +71,7 @@ impl fmt::Display for Modifier {
 }
 
 /// Edge metadata: the paper's `md = (type, type modifier, shape)`, plus the
-/// source-level variable name for diagnostics.
+/// source-level variable name and provenance span for diagnostics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EdgeMeta {
     /// Source-level name (possibly with an SSA suffix like `pred.1`).
@@ -82,9 +82,28 @@ pub struct EdgeMeta {
     pub modifier: Modifier,
     /// Concrete shape (empty = scalar).
     pub shape: Vec<usize>,
+    /// PMLang source location of the declaration or statement that
+    /// introduced this value ([`Span::synthetic`] for compiler-made edges).
+    pub span: Span,
 }
 
 impl EdgeMeta {
+    /// Metadata with no source provenance (compiler-introduced values).
+    pub fn new(
+        name: impl Into<String>,
+        dtype: DType,
+        modifier: Modifier,
+        shape: Vec<usize>,
+    ) -> EdgeMeta {
+        EdgeMeta { name: name.into(), dtype, modifier, shape, span: Span::synthetic() }
+    }
+
+    /// Attaches a source span, builder-style.
+    pub fn at(mut self, span: Span) -> EdgeMeta {
+        self.span = span;
+        self
+    }
+
     /// Number of elements the edge's value carries.
     pub fn volume(&self) -> usize {
         self.shape.iter().product()
@@ -300,6 +319,11 @@ pub struct Node {
     /// domain's default target. Set from per-component target overrides
     /// and inherited through refinement.
     pub target: Option<String>,
+    /// PMLang source location of the statement this node was built from
+    /// ([`Span::synthetic`] when the node has no single source statement).
+    /// Refinement and splicing propagate it so every granularity keeps its
+    /// provenance.
+    pub span: Span,
 }
 
 /// An SSA value: the producing port, all consuming ports, and metadata.
@@ -378,7 +402,23 @@ impl SrDfg {
             outputs,
             pattern: None,
             target: None,
+            span: Span::synthetic(),
         }));
+        id
+    }
+
+    /// Adds a node carrying a PMLang source span (see [`SrDfg::add_node`]).
+    pub fn add_node_at(
+        &mut self,
+        name: impl Into<String>,
+        kind: NodeKind,
+        domain: Option<Domain>,
+        inputs: Vec<EdgeId>,
+        outputs: Vec<EdgeId>,
+        span: Span,
+    ) -> NodeId {
+        let id = self.add_node(name, kind, domain, inputs, outputs);
+        self.node_mut(id).span = span;
         id
     }
 
@@ -417,10 +457,7 @@ impl SrDfg {
 
     /// Iterates over live node ids in creation order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.as_ref().map(|_| NodeId(i as u32)))
+        self.nodes.iter().enumerate().filter_map(|(i, n)| n.as_ref().map(|_| NodeId(i as u32)))
     }
 
     /// Iterates over `(id, node)` pairs for live nodes.
@@ -467,7 +504,27 @@ impl SrDfg {
     ///
     /// Panics if the graph contains a cycle (the builder only produces
     /// DAGs; state circulation is represented by boundary edge pairs).
+    /// Callers that must not panic use [`SrDfg::try_topo_order`].
     pub fn topo_order(&self) -> Vec<NodeId> {
+        match self.try_topo_order() {
+            Ok(order) => order,
+            Err(stuck) => panic!(
+                "srDFG contains a cycle through {} node(s): {}",
+                stuck.len(),
+                stuck
+                    .iter()
+                    .take(8)
+                    .map(|id| self.node(*id).name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            ),
+        }
+    }
+
+    /// Non-panicking topological sort: `Ok(order)` for a DAG, or
+    /// `Err(stuck)` listing the live nodes caught in cycles (every node
+    /// whose in-degree never reached zero), in id order.
+    pub fn try_topo_order(&self) -> Result<Vec<NodeId>, Vec<NodeId>> {
         let mut indeg: Vec<usize> = vec![0; self.nodes.len()];
         for (id, node) in self.iter_nodes() {
             let mut preds = std::collections::BTreeSet::new();
@@ -509,8 +566,10 @@ impl SrDfg {
                 }
             }
         }
-        assert_eq!(order.len(), self.node_count(), "srDFG contains a cycle");
-        order
+        if order.len() != self.node_count() {
+            return Err(self.node_ids().filter(|id| !done.contains(id)).collect());
+        }
+        Ok(order)
     }
 
     /// Splices `sub` in place of node `id` (the substitution step of the
@@ -587,8 +646,11 @@ impl SrDfg {
                 outputs,
             );
             self.node_mut(new_id).pattern = snode.pattern;
-            self.node_mut(new_id).target =
-                snode.target.clone().or_else(|| node.target.clone());
+            self.node_mut(new_id).target = snode.target.clone().or_else(|| node.target.clone());
+            // Provenance: refined nodes keep their own span when they have
+            // one (component bodies), else inherit the replaced node's.
+            self.node_mut(new_id).span =
+                if snode.span.is_synthetic() { node.span } else { snode.span };
         }
     }
 
@@ -613,9 +675,7 @@ impl SrDfg {
 pub fn node_op_count(node: &Node) -> u64 {
     match &node.kind {
         NodeKind::Component(sub) => sub.scalar_op_count(),
-        NodeKind::Map(m) => {
-            space_size(&m.out_space) as u64 * m.kernel.compute_op_count().max(1)
-        }
+        NodeKind::Map(m) => space_size(&m.out_space) as u64 * m.kernel.compute_op_count().max(1),
         NodeKind::Reduce(r) => {
             let points = (space_size(&r.out_space) * space_size(&r.red_space)) as u64;
             let per = r.body.compute_op_count() + 1; // + combine
@@ -661,7 +721,7 @@ mod tests {
     use super::*;
 
     fn meta(name: &str, shape: Vec<usize>) -> EdgeMeta {
-        EdgeMeta { name: name.into(), dtype: DType::Float, modifier: Modifier::Temp, shape }
+        EdgeMeta::new(name, DType::Float, Modifier::Temp, shape)
     }
 
     fn simple_map(out: usize) -> MapSpec {
@@ -744,8 +804,10 @@ mod tests {
         // Boundary edges unchanged.
         assert_eq!(parent.boundary_inputs, vec![pin]);
         assert_eq!(parent.boundary_outputs, vec![pout]);
-        assert_eq!(parent.edge(pout).producer.map(|(n, _)| parent.node(n).name.clone()),
-                   Some("h".to_string()));
+        assert_eq!(
+            parent.edge(pout).producer.map(|(n, _)| parent.node(n).name.clone()),
+            Some("h".to_string())
+        );
     }
 
     #[test]
@@ -794,7 +856,8 @@ mod tests {
             vec![KExpr::Operand { slot: 0, indices: vec![KExpr::Idx(0)] }],
         );
         assert_eq!(map_op_name(&sig), "map.sigmoid");
-        let compound = KExpr::Binary(BinOp::Mul, Box::new(add.clone()), Box::new(KExpr::Const(2.0)));
+        let compound =
+            KExpr::Binary(BinOp::Mul, Box::new(add.clone()), Box::new(KExpr::Const(2.0)));
         assert_eq!(map_op_name(&compound), "map");
         assert_eq!(map_op_name(&KExpr::Operand { slot: 0, indices: vec![] }), "map.copy");
     }
@@ -804,12 +867,7 @@ mod tests {
         let m = meta("x", vec![3, 4]);
         assert_eq!(m.volume(), 12);
         assert_eq!(m.bytes(), 48);
-        let c = EdgeMeta {
-            name: "z".into(),
-            dtype: DType::Complex,
-            modifier: Modifier::Temp,
-            shape: vec![2],
-        };
+        let c = EdgeMeta::new("z", DType::Complex, Modifier::Temp, vec![2]);
         assert_eq!(c.bytes(), 16);
     }
 

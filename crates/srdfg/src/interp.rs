@@ -111,11 +111,9 @@ pub fn exec_graph(
 ) -> Result<Vec<Tensor>, ExecError> {
     let mut values: Vec<Option<Tensor>> = vec![None; graph.edge_count()];
     for (i, &e) in graph.boundary_inputs.iter().enumerate() {
-        values[e.0 as usize] = boundary_values
-            .get(i)
-            .cloned()
-            .flatten()
-            .or_else(|| Some(Tensor::zeros(graph.edge(e).meta.dtype, graph.edge(e).meta.shape.clone())));
+        values[e.0 as usize] = boundary_values.get(i).cloned().flatten().or_else(|| {
+            Some(Tensor::zeros(graph.edge(e).meta.dtype, graph.edge(e).meta.shape.clone()))
+        });
     }
     for id in graph.topo_order() {
         exec_node(graph, id, &mut values)?;
@@ -363,20 +361,13 @@ pub fn exec_reduce(
 fn combine_builtin(b: BuiltinReduction, prev: Scalar, elem: Scalar) -> Result<Scalar, ExecError> {
     // Sum/prod work on complex values (FFT); the rest require reals.
     match (b, prev, elem) {
-        (BuiltinReduction::Sum, a, e) => {
-            Ok(crate::kernel::eval_binary(pmlang::BinOp::Add, a, e)?)
-        }
-        (BuiltinReduction::Prod, a, e) => {
-            Ok(crate::kernel::eval_binary(pmlang::BinOp::Mul, a, e)?)
-        }
+        (BuiltinReduction::Sum, a, e) => Ok(crate::kernel::eval_binary(pmlang::BinOp::Add, a, e)?),
+        (BuiltinReduction::Prod, a, e) => Ok(crate::kernel::eval_binary(pmlang::BinOp::Mul, a, e)?),
         (b, a, e) => Ok(Scalar::Real(b.combine(a.as_real()?, e.as_real()?))),
     }
 }
 
-fn exec_scalar(
-    kind: &crate::graph::ScalarKind,
-    operands: &[&Tensor],
-) -> Result<Tensor, ExecError> {
+fn exec_scalar(kind: &crate::graph::ScalarKind, operands: &[&Tensor]) -> Result<Tensor, ExecError> {
     use crate::graph::ScalarKind;
     let get = |i: usize| -> Result<Scalar, ExecError> {
         operands
@@ -394,8 +385,7 @@ fn exec_scalar(
         ScalarKind::Func(f) => {
             let args: Vec<KExpr> = (0..f.arity()).map(KExpr::Arg).collect();
             let k = KExpr::Call(*f, args);
-            let vals: Vec<Scalar> =
-                (0..f.arity()).map(&get).collect::<Result<_, _>>()?;
+            let vals: Vec<Scalar> = (0..f.arity()).map(&get).collect::<Result<_, _>>()?;
             k.eval(&[], &[], &vals)?
         }
         ScalarKind::Select => {
@@ -564,10 +554,7 @@ mod tests {
                  y[k] = a[k];
                  y[k] = y[k] + b[k];
              }",
-            vec![
-                ("a", vec_t(vec![1.0, 2.0, 3.0])),
-                ("b", vec_t(vec![10.0, 20.0, 30.0])),
-            ],
+            vec![("a", vec_t(vec![1.0, 2.0, 3.0])), ("b", vec_t(vec![10.0, 20.0, 30.0]))],
             vec![],
         );
         assert_eq!(out["y"].as_real_slice().unwrap(), &[11.0, 22.0, 33.0]);
@@ -583,10 +570,7 @@ mod tests {
              main(input float W[2][2], input float x[2], output float y[2]) {
                  DA: mvmul(W, x, y);
              }",
-            vec![
-                ("W", mat_t(2, 2, vec![1.0, 2.0, 3.0, 4.0])),
-                ("x", vec_t(vec![1.0, 10.0])),
-            ],
+            vec![("W", mat_t(2, 2, vec![1.0, 2.0, 3.0, 4.0])), ("x", vec_t(vec![1.0, 10.0]))],
             vec![],
         );
         assert_eq!(out["y"].as_real_slice().unwrap(), &[21.0, 43.0]);
@@ -604,8 +588,7 @@ mod tests {
         let graph = build(&prog, &Bindings::default()).unwrap();
         let mut m = Machine::new(graph);
         for (step, expect) in [(1.0, 1.0), (2.0, 3.0), (3.0, 6.0)] {
-            let feeds =
-                HashMap::from([("x".to_string(), Tensor::scalar(DType::Float, step))]);
+            let feeds = HashMap::from([("x".to_string(), Tensor::scalar(DType::Float, step))]);
             let out = m.invoke(&feeds).unwrap();
             assert_eq!(out["y"].scalar_value().unwrap(), expect);
         }
@@ -650,9 +633,10 @@ mod tests {
 
     #[test]
     fn feed_shape_mismatch_rejected() {
-        let prog =
-            pmlang::parse("main(input float x[3], output float y[3]) { index i[0:2]; y[i] = x[i]; }")
-                .unwrap();
+        let prog = pmlang::parse(
+            "main(input float x[3], output float y[3]) { index i[0:2]; y[i] = x[i]; }",
+        )
+        .unwrap();
         let graph = build(&prog, &Bindings::default()).unwrap();
         let mut m = Machine::new(graph);
         let feeds = HashMap::from([("x".to_string(), vec_t(vec![1.0, 2.0]))]);
@@ -704,10 +688,7 @@ mod tests {
                  index i[0:3], j[0:3];
                  y = sum[i](a[i]) * sum[j](b[j]);
              }",
-            vec![
-                ("a", vec_t(vec![1.0, 2.0, 3.0, 4.0])),
-                ("b", vec_t(vec![1.0, 1.0, 1.0, 1.0])),
-            ],
+            vec![("a", vec_t(vec![1.0, 2.0, 3.0, 4.0])), ("b", vec_t(vec![1.0, 1.0, 1.0, 1.0]))],
             vec![],
         );
         assert_eq!(out["y"].scalar_value().unwrap(), 40.0);
@@ -734,10 +715,7 @@ mod tests {
                  y[0] = x[0] + x[1];
                  y[1] = x[0] - x[1];
              }",
-            vec![(
-                "x",
-                Tensor::from_complex_vec(vec![2], vec![(1.0, 2.0), (3.0, -1.0)]).unwrap(),
-            )],
+            vec![("x", Tensor::from_complex_vec(vec![2], vec![(1.0, 2.0), (3.0, -1.0)]).unwrap())],
             vec![],
         );
         let y = out["y"].as_complex_slice().unwrap();
@@ -755,10 +733,7 @@ mod tests {
             vec![("x", vec_t(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]))],
             vec![],
         );
-        assert_eq!(
-            out["y"].as_real_slice().unwrap(),
-            &[0.0, 4.0, 2.0, 6.0, 1.0, 5.0, 3.0, 7.0]
-        );
+        assert_eq!(out["y"].as_real_slice().unwrap(), &[0.0, 4.0, 2.0, 6.0, 1.0, 5.0, 3.0, 7.0]);
     }
 
     #[test]

@@ -78,9 +78,7 @@ impl KExpr {
             KExpr::Call(f, args) => f.is_nonlinear() || args.iter().any(KExpr::has_nonlinear),
             KExpr::Unary(_, e) => e.has_nonlinear(),
             KExpr::Binary(_, a, b) => a.has_nonlinear() || b.has_nonlinear(),
-            KExpr::Select(c, a, b) => {
-                c.has_nonlinear() || a.has_nonlinear() || b.has_nonlinear()
-            }
+            KExpr::Select(c, a, b) => c.has_nonlinear() || a.has_nonlinear() || b.has_nonlinear(),
             KExpr::Operand { indices, .. } => indices.iter().any(KExpr::has_nonlinear),
             KExpr::Const(_) | KExpr::Idx(_) | KExpr::Arg(_) => false,
         }
@@ -162,18 +160,22 @@ impl KExpr {
                     if !lhs {
                         return Ok(Scalar::Real(0.0));
                     }
-                    return Ok(Scalar::Real(
-                        if b.eval(indices, operands, args)?.as_bool()? { 1.0 } else { 0.0 },
-                    ));
+                    return Ok(Scalar::Real(if b.eval(indices, operands, args)?.as_bool()? {
+                        1.0
+                    } else {
+                        0.0
+                    }));
                 }
                 if *op == BinOp::Or {
                     let lhs = a.eval(indices, operands, args)?.as_bool()?;
                     if lhs {
                         return Ok(Scalar::Real(1.0));
                     }
-                    return Ok(Scalar::Real(
-                        if b.eval(indices, operands, args)?.as_bool()? { 1.0 } else { 0.0 },
-                    ));
+                    return Ok(Scalar::Real(if b.eval(indices, operands, args)?.as_bool()? {
+                        1.0
+                    } else {
+                        0.0
+                    }));
                 }
                 let lhs = a.eval(indices, operands, args)?;
                 let rhs = b.eval(indices, operands, args)?;
@@ -267,9 +269,7 @@ fn as_complex(s: Scalar) -> (f64, f64) {
 /// Applies a built-in scalar function, handling the complex-aware builtins.
 fn eval_call(f: ScalarFunc, args: &[Scalar]) -> Result<Scalar, ValueError> {
     match f {
-        ScalarFunc::Complex => {
-            Ok(Scalar::Complex(args[0].as_real()?, args[1].as_real()?))
-        }
+        ScalarFunc::Complex => Ok(Scalar::Complex(args[0].as_real()?, args[1].as_real()?)),
         ScalarFunc::CReal => Ok(Scalar::Real(as_complex(args[0]).0)),
         ScalarFunc::CImag => Ok(Scalar::Real(as_complex(args[0]).1)),
         ScalarFunc::Abs => match args[0] {
@@ -476,11 +476,7 @@ mod tests {
     fn arg_slots_for_combiners() {
         // acc < elem ? acc : elem (the custom `min` from the paper)
         let k = KExpr::Select(
-            Box::new(KExpr::Binary(
-                BinOp::Lt,
-                Box::new(KExpr::Arg(0)),
-                Box::new(KExpr::Arg(1)),
-            )),
+            Box::new(KExpr::Binary(BinOp::Lt, Box::new(KExpr::Arg(0)), Box::new(KExpr::Arg(1)))),
             Box::new(KExpr::Arg(0)),
             Box::new(KExpr::Arg(1)),
         );

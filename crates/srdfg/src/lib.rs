@@ -71,4 +71,5 @@ pub use graph::{
 };
 pub use interp::Machine;
 pub use kernel::KExpr;
+pub use validate::{validate, ValidateError};
 pub use value::{Scalar, Tensor, ValueError};

@@ -182,20 +182,14 @@ mod tests {
         let spec = sum_spec(
             vec![range("j", 4)],
             vec![range("i", 8)],
-            mul(
-                op(0, vec![KExpr::Idx(0), KExpr::Idx(1)]),
-                op(1, vec![KExpr::Idx(1)]),
-            ),
+            mul(op(0, vec![KExpr::Idx(0), KExpr::Idx(1)]), op(1, vec![KExpr::Idx(1)])),
         );
         assert_eq!(detect_pattern(&spec), Some(Pattern::MatVec));
         // Transposed layout A[i][j].
         let spec_t = sum_spec(
             vec![range("j", 4)],
             vec![range("i", 8)],
-            mul(
-                op(0, vec![KExpr::Idx(1), KExpr::Idx(0)]),
-                op(1, vec![KExpr::Idx(1)]),
-            ),
+            mul(op(0, vec![KExpr::Idx(1), KExpr::Idx(0)]), op(1, vec![KExpr::Idx(1)])),
         );
         assert_eq!(detect_pattern(&spec_t), Some(Pattern::MatVec));
     }
@@ -260,16 +254,10 @@ mod tests {
         let mut spec = sum_spec(
             vec![range("j", 4)],
             vec![range("i", 8)],
-            mul(
-                op(0, vec![KExpr::Idx(0), KExpr::Idx(1)]),
-                op(1, vec![KExpr::Idx(1)]),
-            ),
+            mul(op(0, vec![KExpr::Idx(0), KExpr::Idx(1)]), op(1, vec![KExpr::Idx(1)])),
         );
-        spec.cond = Some(KExpr::Binary(
-            BinOp::Ne,
-            Box::new(KExpr::Idx(1)),
-            Box::new(KExpr::Idx(0)),
-        ));
+        spec.cond =
+            Some(KExpr::Binary(BinOp::Ne, Box::new(KExpr::Idx(1)), Box::new(KExpr::Idx(0))));
         assert_eq!(detect_pattern(&spec), Some(Pattern::MatVec));
     }
 

@@ -8,11 +8,31 @@ use std::fmt;
 pub struct ValidateError {
     /// Description of the defect.
     pub message: String,
+    /// Component names from the root graph down to the graph containing the
+    /// offending node/edge (empty when the defect is in the root itself).
+    pub path: Vec<String>,
+}
+
+impl ValidateError {
+    /// A defect in the graph currently being checked.
+    pub fn new(message: impl Into<String>) -> ValidateError {
+        ValidateError { message: message.into(), path: Vec::new() }
+    }
+
+    /// Prepends one enclosing component name to the breadcrumb path.
+    pub fn inside(mut self, component: impl Into<String>) -> ValidateError {
+        self.path.insert(0, component.into());
+        self
+    }
 }
 
 impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid srDFG: {}", self.message)
+        write!(f, "invalid srDFG")?;
+        if !self.path.is_empty() {
+            write!(f, " (in {})", self.path.join(" -> "))?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -24,28 +44,29 @@ impl std::error::Error for ValidateError {}
 /// * boundary outputs have a producer or are boundary inputs (pass-through);
 /// * kernel operand slots stay within each node's input arity;
 /// * component sub-graph boundary arities match their node's;
-/// * the graph is acyclic (checked via `topo_order`);
+/// * the graph is acyclic (checked via [`SrDfg::try_topo_order`]);
 /// * sub-graphs validate recursively.
 ///
 /// # Errors
 ///
-/// Returns the first [`ValidateError`] found.
+/// Returns the first [`ValidateError`] found, with [`ValidateError::path`]
+/// naming the chain of component nodes leading to the offending sub-graph.
 pub fn validate(graph: &SrDfg) -> Result<(), ValidateError> {
     for (id, node) in graph.iter_nodes() {
         for (slot, &e) in node.inputs.iter().enumerate() {
             let edge = graph.edge(e);
             if !edge.consumers.contains(&(id, slot)) {
-                return Err(ValidateError {
-                    message: format!("edge {e} missing consumer back-link to {id} slot {slot}"),
-                });
+                return Err(ValidateError::new(format!(
+                    "edge {e} missing consumer back-link to {id} slot {slot}"
+                )));
             }
         }
         for (slot, &e) in node.outputs.iter().enumerate() {
             let edge = graph.edge(e);
             if edge.producer != Some((id, slot)) {
-                return Err(ValidateError {
-                    message: format!("edge {e} missing producer back-link to {id} slot {slot}"),
-                });
+                return Err(ValidateError::new(format!(
+                    "edge {e} missing producer back-link to {id} slot {slot}"
+                )));
             }
         }
         let max_slot = match &node.kind {
@@ -57,47 +78,48 @@ pub fn validate(graph: &SrDfg) -> Result<(), ValidateError> {
         };
         if let Some(ms) = max_slot {
             if ms >= node.inputs.len() {
-                return Err(ValidateError {
-                    message: format!(
-                        "node `{}` kernel references slot {ms} but has {} inputs",
-                        node.name,
-                        node.inputs.len()
-                    ),
-                });
+                return Err(ValidateError::new(format!(
+                    "node `{}` kernel references slot {ms} but has {} inputs",
+                    node.name,
+                    node.inputs.len()
+                )));
             }
         }
         if let NodeKind::Component(sub) = &node.kind {
             if sub.boundary_inputs.len() != node.inputs.len()
                 || sub.boundary_outputs.len() != node.outputs.len()
             {
-                return Err(ValidateError {
-                    message: format!(
-                        "component `{}` boundary arity mismatch ({}→{} vs {}→{})",
-                        node.name,
-                        sub.boundary_inputs.len(),
-                        sub.boundary_outputs.len(),
-                        node.inputs.len(),
-                        node.outputs.len()
-                    ),
-                });
+                return Err(ValidateError::new(format!(
+                    "component `{}` boundary arity mismatch ({}→{} vs {}→{})",
+                    node.name,
+                    sub.boundary_inputs.len(),
+                    sub.boundary_outputs.len(),
+                    node.inputs.len(),
+                    node.outputs.len()
+                )));
             }
-            validate(sub)?;
+            validate(sub).map_err(|e| e.inside(node.name.clone()))?;
         }
     }
     for &e in &graph.boundary_outputs {
         let edge = graph.edge(e);
         if edge.producer.is_none() && !graph.boundary_inputs.contains(&e) {
-            return Err(ValidateError {
-                message: format!("boundary output `{}` has no producer", edge.meta.name),
-            });
+            return Err(ValidateError::new(format!(
+                "boundary output `{}` has no producer",
+                edge.meta.name
+            )));
         }
     }
-    // Acyclicity (panics on cycle; convert to an error).
-    let count = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| graph.topo_order().len()));
-    match count {
-        Ok(n) if n == graph.node_count() => Ok(()),
-        _ => Err(ValidateError { message: "graph contains a cycle".into() }),
-    }
+    // Acyclicity, without panicking on malformed graphs.
+    graph.try_topo_order().map(|_| ()).map_err(|stuck| {
+        let names: Vec<String> =
+            stuck.iter().take(8).map(|&id| format!("`{}`", graph.node(id).name)).collect();
+        ValidateError::new(format!(
+            "graph contains a cycle through {} node(s): {}",
+            stuck.len(),
+            names.join(", ")
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -149,12 +171,71 @@ mod tests {
 
     #[test]
     fn detects_broken_backlink() {
-        let prog =
-            pmlang::parse("main(input float x, output float y) { y = x + 1.0; }").unwrap();
+        let prog = pmlang::parse("main(input float x, output float y) { y = x + 1.0; }").unwrap();
         let mut g = build(&prog, &Bindings::default()).unwrap();
         // Corrupt: clear a consumer list behind the node's back.
         let e = g.boundary_inputs[0];
         g.edge_mut(e).consumers.clear();
         assert!(validate(&g).is_err());
+    }
+
+    #[test]
+    fn detects_cycle_without_panicking() {
+        use crate::graph::{EdgeMeta, Modifier, ScalarKind};
+        // Two scalar nodes consuming each other's outputs: a genuine cycle
+        // with consistent back-links (self-loops are legal SSA carries and
+        // are deliberately ignored by the topo sort).
+        let mut g = SrDfg::new("cyclic");
+        let e1 = g.add_edge(EdgeMeta::new("e1", pmlang::DType::Float, Modifier::Temp, vec![]));
+        let e2 = g.add_edge(EdgeMeta::new("e2", pmlang::DType::Float, Modifier::Temp, vec![]));
+        g.add_node(
+            "a",
+            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            None,
+            vec![e2],
+            vec![e1],
+        );
+        g.add_node(
+            "b",
+            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            None,
+            vec![e1],
+            vec![e2],
+        );
+        let err = validate(&g).unwrap_err();
+        assert!(err.message.contains("cycle"), "{err}");
+        assert!(g.try_topo_order().is_err());
+    }
+
+    #[test]
+    fn error_breadcrumb_names_component_path() {
+        let prog = pmlang::parse(
+            "f(input float x, output float y) { y = x * 2.0; }
+             g(input float x, output float y) { f(x, y); }
+             main(input float a, output float b) { g(a, b); }",
+        )
+        .unwrap();
+        let mut graph = build(&prog, &Bindings::default()).unwrap();
+        // Corrupt the innermost sub-graph (main -> g -> f).
+        fn corrupt_innermost(g: &mut SrDfg) -> bool {
+            let ids: Vec<_> = g.node_ids().collect();
+            for id in ids {
+                let is_comp = matches!(g.node(id).kind, NodeKind::Component(_));
+                if is_comp {
+                    if let NodeKind::Component(sub) = &mut g.node_mut(id).kind {
+                        if !corrupt_innermost(sub) {
+                            let e = sub.boundary_inputs[0];
+                            sub.edge_mut(e).consumers.clear();
+                        }
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        assert!(corrupt_innermost(&mut graph));
+        let err = validate(&graph).unwrap_err();
+        assert_eq!(err.path, vec!["g".to_string(), "f".to_string()]);
+        assert!(err.to_string().contains("in g -> f"), "{err}");
     }
 }

@@ -152,10 +152,7 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`ValueError::LengthMismatch`] if the lengths disagree.
-    pub fn from_complex_vec(
-        shape: Vec<usize>,
-        data: Vec<(f64, f64)>,
-    ) -> Result<Self, ValueError> {
+    pub fn from_complex_vec(shape: Vec<usize>, data: Vec<(f64, f64)>) -> Result<Self, ValueError> {
         let expected: usize = shape.iter().product();
         if data.len() != expected {
             return Err(ValueError::LengthMismatch { expected, got: data.len() });
@@ -292,9 +289,7 @@ impl Tensor {
                 data[flat] = (re, im);
                 Ok(())
             }
-            (TensorData::Real(_), Scalar::Complex(..)) => {
-                Err(ValueError::ComplexWhereRealExpected)
-            }
+            (TensorData::Real(_), Scalar::Complex(..)) => Err(ValueError::ComplexWhereRealExpected),
         }
     }
 
@@ -397,8 +392,8 @@ mod tests {
 
     #[test]
     fn construct_and_index() {
-        let t = Tensor::from_vec(DType::Float, vec![2, 3], (0..6).map(|v| v as f64).collect())
-            .unwrap();
+        let t =
+            Tensor::from_vec(DType::Float, vec![2, 3], (0..6).map(|v| v as f64).collect()).unwrap();
         assert_eq!(t.get(&[0, 0]).unwrap(), Scalar::Real(0.0));
         assert_eq!(t.get(&[1, 2]).unwrap(), Scalar::Real(5.0));
         assert_eq!(t.flat_index(&[1, 0]).unwrap(), 3);

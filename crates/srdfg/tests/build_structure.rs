@@ -30,9 +30,7 @@ fn ssa_assignments_create_versions() {
 
 #[test]
 fn full_identity_writes_are_not_carried() {
-    let g = build(
-        "main(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i] * 2.0; }",
-    );
+    let g = build("main(input float x[4], output float y[4]) { index i[0:3]; y[i] = x[i] * 2.0; }");
     let (_, node) = g.iter_nodes().next().unwrap();
     let NodeKind::Map(spec) = &node.kind else { panic!("expected map") };
     assert!(!spec.write.carried);
@@ -115,10 +113,7 @@ fn int_params_become_compile_time_constants() {
     .unwrap();
     let g = srdfg::build(&prog, &Bindings::from_sizes([("h", 3)])).unwrap();
     // `h` must not appear as a boundary input; it is baked into the kernel.
-    assert!(g
-        .boundary_inputs
-        .iter()
-        .all(|&e| g.edge(e).meta.name != "h"));
+    assert!(g.boundary_inputs.iter().all(|&e| g.edge(e).meta.name != "h"));
     let (_, node) = g.iter_nodes().next().unwrap();
     let NodeKind::Map(spec) = &node.kind else { panic!() };
     let rendered = spec.kernel.to_string();
@@ -180,11 +175,8 @@ fn reduce_with_trailing_expression_splits_into_two_nodes() {
          }",
     );
     assert_eq!(g.node_count(), 2);
-    let kinds: Vec<bool> = g
-        .topo_order()
-        .iter()
-        .map(|&id| matches!(g.node(id).kind, NodeKind::Reduce(_)))
-        .collect();
+    let kinds: Vec<bool> =
+        g.topo_order().iter().map(|&id| matches!(g.node(id).kind, NodeKind::Reduce(_))).collect();
     assert_eq!(kinds, vec![true, false], "reduce feeds the scaling map");
 }
 

@@ -125,12 +125,7 @@ pub fn option_pricing(words: usize, options: usize) -> App {
 /// the Data Analytics domain, so the paper's Fig. 10b sweep (BLKS / LR /
 /// BLKS+LR) is realized by annotating only the accelerated kernels (the
 /// un-annotated one runs on the host).
-pub fn option_pricing_with(
-    words: usize,
-    options: usize,
-    accel_lr: bool,
-    accel_blks: bool,
-) -> App {
+pub fn option_pricing_with(words: usize, options: usize, accel_lr: bool, accel_blks: bool) -> App {
     let wm = words - 1;
     let om = options - 1;
     let lr = if accel_lr { "DA: " } else { "" };
@@ -183,8 +178,7 @@ mod tests {
     #[test]
     fn apps_pass_the_frontend() {
         for app in [brain_stimul(16, 4), option_pricing(32, 16)] {
-            let prog = pmlang::parse(&app.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            let prog = pmlang::parse(&app.source).unwrap_or_else(|e| panic!("{}: {e}", app.name));
             pmlang::check(&prog).unwrap_or_else(|e| panic!("{}: {e}", app.name));
         }
     }
@@ -192,8 +186,7 @@ mod tests {
     #[test]
     fn paper_apps_pass_the_frontend() {
         for app in paper_apps() {
-            let prog = pmlang::parse(&app.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            let prog = pmlang::parse(&app.source).unwrap_or_else(|e| panic!("{}: {e}", app.name));
             pmlang::check(&prog).unwrap_or_else(|e| panic!("{}: {e}", app.name));
         }
     }
@@ -201,8 +194,7 @@ mod tests {
     #[test]
     fn brainstim_crosses_three_domains() {
         let app = brain_stimul(16, 4);
-        let domains: std::collections::BTreeSet<_> =
-            app.kernels.iter().map(|(_, d)| *d).collect();
+        let domains: std::collections::BTreeSet<_> = app.kernels.iter().map(|(_, d)| *d).collect();
         assert_eq!(domains.len(), 3);
     }
 
@@ -235,9 +227,8 @@ mod tests {
         let g = srdfg::build(&prog, &srdfg::Bindings::default()).unwrap();
         let mut m = srdfg::Machine::new(g);
         // Zero word vector ⇒ sigmoid(0) = 0.5 ⇒ vol = vol0.
-        let vec_t = |v: Vec<f64>| {
-            srdfg::Tensor::from_vec(pmlang::DType::Float, vec![v.len()], v).unwrap()
-        };
+        let vec_t =
+            |v: Vec<f64>| srdfg::Tensor::from_vec(pmlang::DType::Float, vec![v.len()], v).unwrap();
         let feeds = HashMap::from([
             ("wordv".to_string(), vec_t(vec![0.0; 8])),
             ("spot".to_string(), vec_t(vec![100.0, 110.0, 90.0, 100.0])),

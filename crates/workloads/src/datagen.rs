@@ -115,20 +115,14 @@ pub fn gaussian_clusters(
     seed: u64,
 ) -> (Vec<Vec<f64>>, Vec<usize>) {
     let mut r = rng(seed);
-    let centers: Vec<Vec<f64>> = (0..k)
-        .map(|_| (0..features).map(|_| r.gen_range(-5.0..5.0)).collect())
-        .collect();
+    let centers: Vec<Vec<f64>> =
+        (0..k).map(|_| (0..features).map(|_| r.gen_range(-5.0..5.0)).collect()).collect();
     let mut samples = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {
         let c = r.gen_range(0..k);
         labels.push(c);
-        samples.push(
-            centers[c]
-                .iter()
-                .map(|&m| m + gaussian(&mut r) * 0.6)
-                .collect(),
-        );
+        samples.push(centers[c].iter().map(|&m| m + gaussian(&mut r) * 0.6).collect());
     }
     (samples, labels)
 }
@@ -143,12 +137,10 @@ pub fn low_rank_ratings(
     seed: u64,
 ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     let mut r = rng(seed);
-    let u: Vec<Vec<f64>> = (0..users)
-        .map(|_| (0..rank).map(|_| gaussian(&mut r) * 0.8).collect())
-        .collect();
-    let m: Vec<Vec<f64>> = (0..movies)
-        .map(|_| (0..rank).map(|_| gaussian(&mut r) * 0.8).collect())
-        .collect();
+    let u: Vec<Vec<f64>> =
+        (0..users).map(|_| (0..rank).map(|_| gaussian(&mut r) * 0.8).collect()).collect();
+    let m: Vec<Vec<f64>> =
+        (0..movies).map(|_| (0..rank).map(|_| gaussian(&mut r) * 0.8).collect()).collect();
     let mut ratings = vec![vec![0.0; movies]; users];
     let mut mask = vec![vec![0.0; movies]; users];
     for i in 0..users {
@@ -170,8 +162,8 @@ pub fn signal(n: usize, seed: u64) -> Vec<f64> {
     let comps: Vec<(f64, f64, f64)> = (0..4)
         .map(|_| {
             (
-                r.gen_range(0.5..2.0),            // amplitude
-                r.gen_range(1.0..(n as f64 / 8.0)), // frequency bin
+                r.gen_range(0.5..2.0),                   // amplitude
+                r.gen_range(1.0..(n as f64 / 8.0)),      // frequency bin
                 r.gen_range(0.0..std::f64::consts::TAU), // phase
             )
         })
@@ -191,12 +183,13 @@ pub fn signal(n: usize, seed: u64) -> Vec<f64> {
 /// A smooth synthetic grayscale image (for the DCT workloads), row-major.
 pub fn image(side: usize, seed: u64) -> Vec<f64> {
     let mut r = rng(seed);
-    let (fx, fy) = (r.gen_range(1.0..5.0), r.gen_range(1.0..5.0));
+    let (fx, fy): (f64, f64) = (r.gen_range(1.0..5.0), r.gen_range(1.0..5.0));
     (0..side * side)
         .map(|i| {
             let (x, y) = ((i % side) as f64 / side as f64, (i / side) as f64 / side as f64);
             128.0
-                + 100.0 * (std::f64::consts::TAU * fx * x).sin()
+                + 100.0
+                    * (std::f64::consts::TAU * fx * x).sin()
                     * (std::f64::consts::TAU * fy * y).cos()
         })
         .collect()

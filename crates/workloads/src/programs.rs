@@ -473,7 +473,11 @@ pub fn cnn(name: &str, layers: &[Layer], s: usize, classes: usize) -> String {
     // Track produced activation variable names per layer for residuals.
     let mut acts: Vec<(String, usize, usize)> = vec![("act0".into(), ch, side)];
     body.push("    act0[c0][i0][j0] = img[c0][i0][j0];".to_string());
-    let mut idx_decls = vec![format!("c0[0:{}]", ch - 1), format!("i0[0:{}]", side - 1), format!("j0[0:{}]", side - 1)];
+    let mut idx_decls = vec![
+        format!("c0[0:{}]", ch - 1),
+        format!("i0[0:{}]", side - 1),
+        format!("j0[0:{}]", side - 1),
+    ];
     let mut locals = vec![format!("float act0[{ch}][{side}][{side}];")];
     let mut n = 0usize;
 

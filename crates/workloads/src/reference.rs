@@ -116,12 +116,7 @@ pub fn kmeans_step(x: &[f64], centroids: &mut [Vec<f64>]) -> usize {
 
 /// One LRMF SGD step over a user row (learning rate 0.002, matching the
 /// PMLang program). Returns the squared error over observed entries.
-pub fn lrmf_step(
-    ratings: &[f64],
-    mask: &[f64],
-    user: &mut [f64],
-    movies: &mut [Vec<f64>],
-) -> f64 {
+pub fn lrmf_step(ratings: &[f64], mask: &[f64], user: &mut [f64], movies: &mut [Vec<f64>]) -> f64 {
     let rank = user.len();
     let m = ratings.len();
     let mut e = vec![0.0; m];
@@ -218,9 +213,7 @@ pub fn lqr_step(
 ) -> Vec<f64> {
     let n = x.len();
     let m = k.len();
-    let u: Vec<f64> = (0..m)
-        .map(|r| -(0..n).map(|j| k[r][j] * x[j]).sum::<f64>())
-        .collect();
+    let u: Vec<f64> = (0..m).map(|r| -(0..n).map(|j| k[r][j] * x[j]).sum::<f64>()).collect();
     let xn: Vec<f64> = (0..n)
         .map(|i| {
             (0..n).map(|j| a[i][j] * x[j]).sum::<f64>()
@@ -326,11 +319,7 @@ mod tests {
     #[test]
     fn kmeans_recovers_clusters() {
         let (samples, labels) = datagen::gaussian_clusters(300, 6, 3, 8);
-        let mut centroids = vec![
-            samples[0].clone(),
-            samples[1].clone(),
-            samples[2].clone(),
-        ];
+        let mut centroids = vec![samples[0].clone(), samples[1].clone(), samples[2].clone()];
         for _ in 0..5 {
             for s in &samples {
                 kmeans_step(s, &mut centroids);

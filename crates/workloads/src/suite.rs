@@ -224,10 +224,7 @@ pub fn paper_suite() -> Vec<Workload> {
         // With 4 features × 12 centroids, mlpack's per-sample dispatch and
         // distance-object overheads dwarf the arithmetic: the native
         // baseline spends ~40× the raw op count per sample.
-        native_hints: Some(SparseHints {
-            effective_ops: Some(40 * 144),
-            ..SparseHints::default()
-        }),
+        native_hints: Some(SparseHints { effective_ops: Some(40 * 144), ..SparseHints::default() }),
     });
 
     // ---- DSP ---------------------------------------------------------
@@ -332,8 +329,7 @@ mod tests {
     #[test]
     fn every_source_passes_the_frontend() {
         for w in paper_suite() {
-            let prog = pmlang::parse(&w.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.benchmark));
+            let prog = pmlang::parse(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.benchmark));
             pmlang::check(&prog).unwrap_or_else(|e| panic!("{}: {e}", w.benchmark));
         }
     }
@@ -353,8 +349,6 @@ mod tests {
         let suite = paper_suite();
         let twitter = suite.iter().find(|w| w.benchmark == "Twitter-BFS").unwrap();
         let wiki = suite.iter().find(|w| w.benchmark == "Wiki-BFS").unwrap();
-        assert!(
-            twitter.hints.effective_ops.unwrap() > wiki.hints.effective_ops.unwrap() * 10
-        );
+        assert!(twitter.hints.effective_ops.unwrap() > wiki.hints.effective_ops.unwrap() * 10);
     }
 }

@@ -1,0 +1,28 @@
+// Deliberately buggy program exercising `pmc lint` — run it with:
+//   pmc lint examples/pm/lint_demo.pm
+//   pmc lint examples/pm/lint_demo.pm --deny-warnings   (exits non-zero)
+//   pmc lint examples/pm/lint_demo.pm --format json
+
+// PM-W004: subtraction is neither commutative nor associative, so this
+// reduction's result depends on the iteration order the backend picks.
+reduction diff(a, b) = a - b;
+
+// PM-W006: DECO (the DSP accelerator) has no argmax unit and argmax has
+// no scalar expansion — Algorithm 1 provably gets stuck lowering `pick`.
+pick(input float x[8], output float best) {
+    index i[0:7];
+    best = argmax[i](x[i]);
+}
+
+// PM-W001: `scale` is declared but never referenced.
+// PM-N002: `acc` is read before its first write (carried state).
+// PM-W004: `folded[i % 2]` maps several i onto the same element — a
+// write race whose winner depends on schedule order.
+main(input float x[8], param float scale, state float acc,
+     output float folded[2], output float spread, output float top) {
+    index i[0:7];
+    acc = acc + x[0];
+    folded[i % 2] = x[i];
+    spread = diff[i](x[i]);
+    DSP: pick(x, top);
+}

@@ -47,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in 0..5 {
         let ecog = pm_workloads::datagen::signal(64, 100 + step);
         let mut feeds = params.clone();
-        feeds.insert(
-            "ecog".to_string(),
-            Tensor::from_vec(pmlang::DType::Float, vec![64], ecog)?,
-        );
+        feeds.insert("ecog".to_string(), Tensor::from_vec(pmlang::DType::Float, vec![64], ecog)?);
         let out = machine.invoke(&feeds)?;
         let stim = out["stim"].as_real_slice().unwrap();
         println!("  step {step}: stimulation = ({:+.4}, {:+.4})", stim[0], stim[1]);
@@ -73,7 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let soc = standard_soc();
     let mut baseline = None;
     for (label, domains) in combos {
-        let compiled = Compiler::accelerating(domains).compile(&paper.source, &Bindings::default())?;
+        let compiled =
+            Compiler::accelerating(domains).compile(&paper.source, &Bindings::default())?;
         let report = soc.run(&compiled, &HashMap::new());
         let base = *baseline.get_or_insert(report.total);
         println!(

@@ -34,10 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Machine::new(compiled.graph.clone());
     let mut level0 = vec![1.0e6f64; vertices];
     level0[0] = 0.0;
-    machine.set_state(
-        "level",
-        Tensor::from_vec(pmlang::DType::Float, vec![vertices], level0)?,
-    );
+    machine.set_state("level", Tensor::from_vec(pmlang::DType::Float, vec![vertices], level0)?);
     let feeds = HashMap::from([("adj".to_string(), graph.dense_adjacency())]);
     let mut sweeps = 0;
     let mut last: Option<Vec<f64>> = None;
@@ -67,13 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("BFS fixpoint after {sweeps} sweeps; {reached}/{vertices} vertices reached — matches reference");
-    let hist: HashMap<u64, usize> = levels.iter().filter(|l| **l < 1.0e6).fold(
-        HashMap::new(),
-        |mut h, l| {
+    let hist: HashMap<u64, usize> =
+        levels.iter().filter(|l| **l < 1.0e6).fold(HashMap::new(), |mut h, l| {
             *h.entry(*l as u64).or_default() += 1;
             h
-        },
-    );
+        });
     let mut keys: Vec<_> = hist.keys().copied().collect();
     keys.sort();
     for k in keys {
@@ -90,8 +85,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vertices: Some(wiki_vertices),
         ..Default::default()
     };
-    let paper_graph = Compiler::cross_domain()
-        .compile(&programs::bfs(2048), &Bindings::default())?;
+    let paper_graph =
+        Compiler::cross_domain().compile(&programs::bfs(2048), &Bindings::default())?;
     let mut hint_map = HashMap::new();
     for d in pmlang::Domain::all() {
         hint_map.insert(Some(d), hints);

@@ -64,8 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if blks {
             // Two DA accelerators at once: pin Black-Scholes to
             // HyperStreams while LR keeps the domain default (TABLA).
-            compiler =
-                compiler.with_target_override("blks", HyperStreams::default().accel_spec());
+            compiler = compiler.with_target_override("blks", HyperStreams::default().accel_spec());
         }
         let compiled = compiler.compile(&variant.source, &Bindings::default())?;
         let report = soc.run(&compiled, &hints);

@@ -141,14 +141,10 @@ fn expansion_cap_failure_is_reported_not_fatal() {
     .unwrap();
     let mut g = srdfg::build(&prog, &Bindings::default()).unwrap();
     g.domain = Some(pmlang::Domain::Dsp);
-    let mut tiny = AcceleratorSpec::new(
-        "TINY",
-        pmlang::Domain::Dsp,
-        ["add", "const", "unpack", "pack"],
-    );
+    let mut tiny =
+        AcceleratorSpec::new("TINY", pmlang::Domain::Dsp, ["add", "const", "unpack", "pack"]);
     tiny.expand = srdfg::ExpandOptions { max_nodes: 16 };
-    let mut targets =
-        TargetMap::host_only(AcceleratorSpec::new("BARE", pmlang::Domain::Dsp, []));
+    let mut targets = TargetMap::host_only(AcceleratorSpec::new("BARE", pmlang::Domain::Dsp, []));
     targets.set(tiny);
     let err = lower(&mut g, &targets).unwrap_err();
     assert!(err.to_string().contains("limit"), "{err}");
@@ -158,10 +154,7 @@ fn expansion_cap_failure_is_reported_not_fatal() {
 fn division_by_zero_flows_as_ieee_infinity() {
     // PMLang adopts IEEE semantics rather than trapping (documented).
     let compiled = Compiler::host_only()
-        .compile(
-            "main(input float x, output float y) { y = 1.0 / x; }",
-            &Bindings::default(),
-        )
+        .compile("main(input float x, output float y) { y = 1.0 / x; }", &Bindings::default())
         .unwrap();
     let feeds = HashMap::from([("x".to_string(), Tensor::scalar(pmlang::DType::Float, 0.0))]);
     let out = Machine::new(compiled.graph.clone()).invoke(&feeds).unwrap();

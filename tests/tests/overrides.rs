@@ -104,8 +104,7 @@ fn cross_target_edge_stays_packed() {
         .compile(TWO_DA, &Bindings::default())
         .unwrap();
     let tabla = compiled.partition_by_target("TABLA").unwrap();
-    let loads: Vec<_> =
-        tabla.fragments.iter().filter(|f| f.kind == FragmentKind::Load).collect();
+    let loads: Vec<_> = tabla.fragments.iter().filter(|f| f.kind == FragmentKind::Load).collect();
     assert_eq!(loads.len(), 1, "expected one packed load, got {}", loads.len());
     assert_eq!(loads[0].inputs[0].shape, vec![16]);
 }
@@ -142,8 +141,8 @@ fn every_cross_target_load_has_a_matching_store() {
 fn fragments_resolve_to_their_partitions_target() {
     // Partition membership invariant: each compute fragment's node must
     // resolve (explicit stamp or domain default) to the partition target.
-    let compiler = Compiler::cross_domain()
-        .with_target_override("a", HyperStreams::default().accel_spec());
+    let compiler =
+        Compiler::cross_domain().with_target_override("a", HyperStreams::default().accel_spec());
     let compiled = compiler.compile(TWO_DA, &Bindings::default()).unwrap();
     for p in &compiled.partitions {
         for frag in p.fragments.iter().filter(|f| f.kind == FragmentKind::Compute) {
@@ -205,8 +204,7 @@ fn option_pricing_app_splits_lr_and_blks() {
     let out = m.invoke(&feeds).unwrap();
     // Zero sentiment weights → prob = 0.5 → vol = vol0 * (0.8 + 0.2).
     let calls = out["call"].as_real_slice().unwrap();
-    let expect =
-        pm_workloads::reference::black_scholes_call(100.0, 100.0, 0.2, 0.05, 0.5);
+    let expect = pm_workloads::reference::black_scholes_call(100.0, 100.0, 0.2, 0.05, 0.5);
     for c in calls {
         assert!((c - expect).abs() < 1e-6, "call {c} vs {expect}");
     }

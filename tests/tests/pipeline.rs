@@ -30,8 +30,7 @@ fn compile_and_check(
         .expect("build");
     let baseline = Machine::new(unlowered).invoke(feeds).expect("baseline run");
 
-    let compiled =
-        Compiler::cross_domain().compile(src, &Bindings::default()).expect("compile");
+    let compiled = Compiler::cross_domain().compile(src, &Bindings::default()).expect("compile");
     let lowered = Machine::new(compiled.graph.clone()).invoke(feeds).expect("lowered run");
 
     for (name, expect) in &baseline {
@@ -52,9 +51,8 @@ fn logistic_regression_matches_reference() {
         ("label".to_string(), Tensor::scalar(pmlang::DType::Float, 1.0)),
     ]);
     // Run the lowered TABLA program with seeded state.
-    let compiled = Compiler::cross_domain()
-        .compile(&programs::logistic(n), &Bindings::default())
-        .unwrap();
+    let compiled =
+        Compiler::cross_domain().compile(&programs::logistic(n), &Bindings::default()).unwrap();
     let mut m = Machine::new(compiled.graph.clone());
     m.set_state("w", vec_t(w0.clone()));
     let out = m.invoke(&feeds).unwrap();
@@ -69,9 +67,8 @@ fn logistic_regression_matches_reference() {
 #[test]
 fn kmeans_matches_reference_over_a_stream() {
     let (samples, _) = datagen::gaussian_clusters(40, 16, 4, 3);
-    let compiled = Compiler::cross_domain()
-        .compile(&programs::kmeans(16, 4), &Bindings::default())
-        .unwrap();
+    let compiled =
+        Compiler::cross_domain().compile(&programs::kmeans(16, 4), &Bindings::default()).unwrap();
     let mut m = Machine::new(compiled.graph.clone());
     let mut centroids: Vec<Vec<f64>> = samples[..4].to_vec();
     let init: Vec<f64> = centroids.iter().flatten().copied().collect();
@@ -99,10 +96,7 @@ fn lrmf_matches_reference() {
     let mut u_ref = vec![0.1; rank];
     let mut m_ref = vec![vec![0.1; rank]; movies];
     m.set_state("u_f", vec_t(u_ref.clone()));
-    m.set_state(
-        "m_f",
-        mat_t(movies, rank, m_ref.iter().flatten().copied().collect()),
-    );
+    m.set_state("m_f", mat_t(movies, rank, m_ref.iter().flatten().copied().collect()));
     for user in 0..6 {
         let feeds = HashMap::from([
             ("r_u".to_string(), vec_t(ratings[user].clone())),
@@ -110,10 +104,7 @@ fn lrmf_matches_reference() {
         ]);
         let out = m.invoke(&feeds).unwrap();
         let err = reference::lrmf_step(&ratings[user], &mask[user], &mut u_ref, &mut m_ref);
-        assert!(
-            (out["err"].scalar_value().unwrap() - err).abs() < 1e-6,
-            "user {user}"
-        );
+        assert!((out["err"].scalar_value().unwrap() - err).abs() < 1e-6, "user {user}");
     }
 }
 
@@ -144,10 +135,7 @@ fn dct_block_matches_reference() {
             "blk".to_string(),
             Tensor::from_vec(pmlang::DType::Float, vec![8, 8], img.clone()).unwrap(),
         ),
-        (
-            "ck".to_string(),
-            Tensor::from_vec(pmlang::DType::Float, vec![8, 8], ck.clone()).unwrap(),
-        ),
+        ("ck".to_string(), Tensor::from_vec(pmlang::DType::Float, vec![8, 8], ck.clone()).unwrap()),
     ]);
     let out = compile_and_check(&programs::dct_block(), &feeds, 1e-9);
     let expect = reference::dct(&img, 8, &ck);
@@ -161,9 +149,8 @@ fn dct_block_matches_reference() {
 fn bfs_fixpoint_matches_reference() {
     let v = 48;
     let graph = datagen::power_law_graph(v, 3, 11);
-    let compiled = Compiler::cross_domain()
-        .compile(&programs::bfs(v), &Bindings::default())
-        .unwrap();
+    let compiled =
+        Compiler::cross_domain().compile(&programs::bfs(v), &Bindings::default()).unwrap();
     let mut m = Machine::new(compiled.graph.clone());
     let mut init = vec![1.0e6; v];
     init[0] = 0.0;
@@ -195,9 +182,8 @@ fn bfs_fixpoint_matches_reference() {
 fn sssp_fixpoint_matches_reference() {
     let v = 32;
     let graph = datagen::power_law_graph(v, 3, 13);
-    let compiled = Compiler::cross_domain()
-        .compile(&programs::sssp(v), &Bindings::default())
-        .unwrap();
+    let compiled =
+        Compiler::cross_domain().compile(&programs::sssp(v), &Bindings::default()).unwrap();
     let mut m = Machine::new(compiled.graph.clone());
     let mut init = vec![1.0e6; v];
     init[0] = 0.0;
@@ -227,9 +213,8 @@ fn sssp_fixpoint_matches_reference() {
 fn pagerank_matches_reference() {
     let v = 40;
     let graph = datagen::power_law_graph(v, 3, 19);
-    let compiled = Compiler::cross_domain()
-        .compile(&programs::pagerank(v), &Bindings::default())
-        .unwrap();
+    let compiled =
+        Compiler::cross_domain().compile(&programs::pagerank(v), &Bindings::default()).unwrap();
     let ga = compiled.partition(Some(Domain::GraphAnalytics)).unwrap();
     assert_eq!(ga.target, "Graphicionado");
     let mut m = Machine::new(compiled.graph.clone());
@@ -257,9 +242,7 @@ fn mpc_matches_reference() {
     let b = 2 * horizon;
     let mut r = datagen::rng(17);
     let randm = |rows: usize, cols: usize, r: &mut rand::rngs::StdRng| -> Vec<Vec<f64>> {
-        (0..rows)
-            .map(|_| (0..cols).map(|_| datagen::gaussian(r) * 0.1).collect())
-            .collect()
+        (0..rows).map(|_| (0..cols).map(|_| datagen::gaussian(r) * 0.1).collect()).collect()
     };
     let p = randm(c, 3, &mut r);
     let h = randm(c, b, &mut r);
@@ -284,7 +267,8 @@ fn mpc_matches_reference() {
             ("R_g".to_string(), mat_t(b, b, flat(&rg))),
         ]);
         let out = m.invoke(&feeds).unwrap();
-        let sgnl_ref = reference::mpc_step(&pos, &mut ctrl_ref, &p, &h, &pos_ref, &hq, &rg, horizon);
+        let sgnl_ref =
+            reference::mpc_step(&pos, &mut ctrl_ref, &p, &h, &pos_ref, &hq, &rg, horizon);
         let got = out["ctrl_sgnl"].as_real_slice().unwrap();
         assert!((got[0] - sgnl_ref[0]).abs() < 1e-9, "step {step}");
         assert!((got[1] - sgnl_ref[1]).abs() < 1e-9, "step {step}");
@@ -348,19 +332,16 @@ fn hexacopter_compiles_and_runs() {
 fn recursive_lqr_matches_reference_across_steps() {
     let (n, m) = (12usize, 6usize);
     let src = programs::lqr_step(n, m);
-    let compiled =
-        Compiler::cross_domain().compile(&src, &Bindings::default()).expect("compile");
+    let compiled = Compiler::cross_domain().compile(&src, &Bindings::default()).expect("compile");
 
     // A mildly stable plant with coupling, and a stabilizing-ish gain.
     let a: Vec<Vec<f64>> = (0..n)
         .map(|i| (0..n).map(|j| if i == j { 0.9 } else { 0.01 * ((i + j) % 3) as f64 }).collect())
         .collect();
-    let b: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..m).map(|r| if i % m == r { 0.1 } else { 0.02 }).collect())
-        .collect();
-    let k: Vec<Vec<f64>> = (0..m)
-        .map(|r| (0..n).map(|j| if j % m == r { 0.3 } else { -0.05 }).collect())
-        .collect();
+    let b: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..m).map(|r| if i % m == r { 0.1 } else { 0.02 }).collect()).collect();
+    let k: Vec<Vec<f64>> =
+        (0..m).map(|r| (0..n).map(|j| if j % m == r { 0.3 } else { -0.05 }).collect()).collect();
 
     let flat = |mat: &[Vec<f64>]| mat.iter().flatten().copied().collect::<Vec<f64>>();
     let mut machine = Machine::new(compiled.graph.clone());

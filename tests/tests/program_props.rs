@@ -145,10 +145,7 @@ impl PProgram {
             match stmt {
                 PStmt::Map(e, dom) => {
                     let pre = dom.map(|d| format!("{d}: ")).unwrap_or_default();
-                    body.push(format!(
-                        "    {pre}t{vecs}[i] = {};",
-                        e.render(vecs, scalars)
-                    ));
+                    body.push(format!("    {pre}t{vecs}[i] = {};", e.render(vecs, scalars)));
                     decls.push(format!("output float t{vecs}[{N}]"));
                     vecs += 1;
                 }
@@ -176,8 +173,7 @@ impl PProgram {
     }
 
     fn eval(&self, x: &[f64], y: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let mut env =
-            Env { x: x.to_vec(), y: y.to_vec(), vecs: Vec::new(), scalars: Vec::new() };
+        let mut env = Env { x: x.to_vec(), y: y.to_vec(), vecs: Vec::new(), scalars: Vec::new() };
         for stmt in &self.stmts {
             match stmt {
                 PStmt::Map(e, _) => {
@@ -208,17 +204,16 @@ fn pexpr_strategy() -> impl Strategy<Value = PExpr> {
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| PExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| PExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| PExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| PExpr::Max(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| PExpr::Max(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| PExpr::Abs(Box::new(a))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| PExpr::Select(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| PExpr::Select(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }
@@ -247,14 +242,8 @@ fn program_strategy() -> impl Strategy<Value = PProgram> {
 
 fn feeds(x: &[f64], y: &[f64]) -> HashMap<String, Tensor> {
     HashMap::from([
-        (
-            "x".to_string(),
-            Tensor::from_vec(pmlang::DType::Float, vec![N], x.to_vec()).unwrap(),
-        ),
-        (
-            "y".to_string(),
-            Tensor::from_vec(pmlang::DType::Float, vec![N], y.to_vec()).unwrap(),
-        ),
+        ("x".to_string(), Tensor::from_vec(pmlang::DType::Float, vec![N], x.to_vec()).unwrap()),
+        ("y".to_string(), Tensor::from_vec(pmlang::DType::Float, vec![N], y.to_vec()).unwrap()),
     ])
 }
 
@@ -340,6 +329,24 @@ proptest! {
         ys in proptest::collection::vec(-3.0..3.0f64, N),
     ) {
         run_and_check(Compiler::cross_domain().with_fusion(), &program, &xs, &ys)?;
+    }
+
+    /// The generator only emits well-formed programs, so the standard lint
+    /// batch must never report an Error-severity diagnostic on them (notes
+    /// and warnings — carried state, races the generator may synthesize —
+    /// are acceptable; errors would mean the lints misread valid IR).
+    #[test]
+    fn random_valid_programs_lint_without_errors(program in program_strategy()) {
+        let src = program.to_pmlang();
+        let diags =
+            pm_lint::lint_source(&src, &Bindings::default(), Compiler::cross_domain().targets())
+                .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+        for d in &diags {
+            prop_assert!(
+                d.severity != pm_lint::Severity::Error,
+                "lint error {} on a valid program: {}\n{src}", d.code, d.message
+            );
+        }
     }
 
     /// Partitioning invariants hold for every random cross-domain program:

@@ -44,12 +44,9 @@ impl TExpr {
             TExpr::Neg(a) => format!("(0.0 - {})", a.to_pmlang()),
             TExpr::Sigmoid(a) => format!("sigmoid({})", a.to_pmlang()),
             TExpr::Abs(a) => format!("abs({})", a.to_pmlang()),
-            TExpr::Select(c, a, b) => format!(
-                "({} > 0.0 ? {} : {})",
-                c.to_pmlang(),
-                a.to_pmlang(),
-                b.to_pmlang()
-            ),
+            TExpr::Select(c, a, b) => {
+                format!("({} > 0.0 ? {} : {})", c.to_pmlang(), a.to_pmlang(), b.to_pmlang())
+            }
         }
     }
 
@@ -87,21 +84,19 @@ fn texpr_strategy() -> impl Strategy<Value = TExpr> {
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| TExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| TExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| TExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| TExpr::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| TExpr::Max(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TExpr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| TExpr::Max(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| TExpr::Neg(Box::new(a))),
             inner.clone().prop_map(|a| TExpr::Sigmoid(Box::new(a))),
             inner.clone().prop_map(|a| TExpr::Abs(Box::new(a))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| TExpr::Select(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| TExpr::Select(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }
@@ -138,9 +133,8 @@ fn scalar_target() -> TargetMap {
         "SCALAR",
         Domain::Dsp,
         [
-            "add", "sub", "mul", "div", "neg", "not", "select", "const", "min2", "max2",
-            "sigmoid", "abs", "cmp.<", "cmp.<=", "cmp.>", "cmp.>=", "cmp.==", "cmp.!=",
-            "unpack", "pack",
+            "add", "sub", "mul", "div", "neg", "not", "select", "const", "min2", "max2", "sigmoid",
+            "abs", "cmp.<", "cmp.<=", "cmp.>", "cmp.>=", "cmp.==", "cmp.!=", "unpack", "pack",
         ],
     ));
     t

@@ -63,20 +63,15 @@ impl StateUpdate {
 }
 
 fn update_strategy() -> impl Strategy<Value = StateUpdate> {
-    (
-        -1.0..1.0f64,
-        -2.0..2.0f64,
-        -1.0..1.0f64,
-        proptest::bool::ANY,
-        proptest::bool::ANY,
-    )
-        .prop_map(|(decay, gain, bias, abs, couple_reverse)| StateUpdate {
+    (-1.0..1.0f64, -2.0..2.0f64, -1.0..1.0f64, proptest::bool::ANY, proptest::bool::ANY).prop_map(
+        |(decay, gain, bias, abs, couple_reverse)| StateUpdate {
             decay: (decay * 16.0).round() / 16.0,
             gain: (gain * 16.0).round() / 16.0,
             bias: (bias * 16.0).round() / 16.0,
             abs,
             couple_reverse,
-        })
+        },
+    )
 }
 
 proptest! {

@@ -1,0 +1,255 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! subset of the proptest API its property tests use: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map`/`prop_recursive`,
+//! [`strategy::Just`], numeric range strategies, tuple strategies, weighted
+//! [`prop_oneof!`], `collection::vec`, `bool::ANY`, `any::<T>()`, and the
+//! `prop_assert*` macros.
+//!
+//! Semantics differences from real proptest, deliberately accepted:
+//! inputs are generated from a per-test deterministic stream (seeded by the
+//! test's module path and name), and failing cases are reported but *not
+//! shrunk*. Every run of a given test binary explores the same cases, which
+//! suits an offline CI environment.
+
+use std::fmt;
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, TestRng, Union};
+
+/// Run configuration for a `proptest!` block (subset of the real type).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Marks the case as a genuine failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Marks the case as rejected (treated as a failure in this stub).
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as the size argument of [`vec`].
+    pub trait IntoSizeRange {
+        /// Returns `(min, max)` inclusive bounds for the collection length.
+        fn size_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.max > self.min {
+                self.min + rng.below(self.max - self.min + 1)
+            } else {
+                self.min
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector of `size` elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.size_bounds();
+        VecStrategy { elem, min, max }
+    }
+}
+
+/// Boolean strategies (subset of `proptest::bool`).
+pub mod bool {
+    use super::strategy::{Strategy, TestRng};
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// `proptest::bool::ANY`.
+    pub const ANY: BoolStrategy = BoolStrategy;
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// expands to a `#[test]` that draws `cases` deterministic inputs and runs
+/// the body; `prop_assert*` failures abort the case with a report.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(__e) = __outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name), __case + 1, __config.cases, __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Uniform (optionally weighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values compare equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Asserts two values compare unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+}
