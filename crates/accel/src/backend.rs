@@ -13,7 +13,10 @@ use pmlang::Domain;
 use srdfg::SrDfg;
 
 /// A simulated domain-specific accelerator (or general-purpose processor).
-pub trait Backend {
+///
+/// `Send + Sync` so the SoC can estimate independent partitions on worker
+/// threads; backends are stateless cost models, so this costs nothing.
+pub trait Backend: Send + Sync {
     /// Target name (matches the `AcceleratorSpec` name).
     fn name(&self) -> &'static str;
 

@@ -134,11 +134,11 @@ impl Soc {
         expert: bool,
     ) -> SocReport {
         let default_hints = WorkloadHints::default();
-        let mut partitions = Vec::new();
-        let mut total = PerfEstimate::default();
-        let mut dma_seconds = 0.0f64;
-
-        for part in &compiled.partitions {
+        // Per-partition estimates are pure functions of `(part, graph,
+        // hints)`, so they run in parallel; totals are folded serially
+        // below in partition order, keeping the report byte-identical to a
+        // serial run.
+        let estimate_partition = |part: &pm_lower::AccProgram| -> PartitionReport {
             let h = hints.get(&part.domain).unwrap_or(&default_hints);
             // The partition records which target its fragments were
             // compiled for; pick the matching backend, else the host (an
@@ -193,9 +193,21 @@ impl Soc {
                     dma.dma_bytes += bytes;
                 }
             }
-            total = total.then(&compute).then(&dma);
-            dma_seconds += dma.seconds;
-            partitions.push(PartitionReport { target, domain: part.domain, compute, dma });
+            PartitionReport { target, domain: part.domain, compute, dma }
+        };
+
+        let partitions: Vec<PartitionReport> = if compiled.partitions.len() > 1 {
+            use rayon::prelude::*;
+            compiled.partitions.par_iter().map(estimate_partition).collect()
+        } else {
+            compiled.partitions.iter().map(estimate_partition).collect()
+        };
+
+        let mut total = PerfEstimate::default();
+        let mut dma_seconds = 0.0f64;
+        for report in &partitions {
+            total = total.then(&report.compute).then(&report.dma);
+            dma_seconds += report.dma.seconds;
         }
         let comm_fraction = if total.seconds > 0.0 { dma_seconds / total.seconds } else { 0.0 };
         SocReport { partitions, total, comm_fraction }

@@ -2,7 +2,7 @@
 //! throughput, srDFG generation, the optimization pipeline, lowering to
 //! each granularity, and the reference interpreter.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use pm_lower::{compile_program, lower, TargetMap};
 use pm_passes::{Pass, PassManager};
 use pm_workloads::programs;
@@ -43,18 +43,50 @@ fn bench_build(c: &mut Criterion) {
 fn bench_passes(c: &mut Criterion) {
     let (prog, _) = pmlang::frontend(&programs::mobile_robot(64)).unwrap();
     let graph = srdfg::build(&prog, &Bindings::default()).unwrap();
-    c.bench_function("passes/standard-pipeline/mpc-64", |b| {
-        b.iter(|| {
-            let mut g = graph.clone();
-            PassManager::standard().run(&mut g)
-        })
+    let mut grp = c.benchmark_group("passes");
+    grp.sample_size(200);
+    // The graph clone is setup, not workload: `iter_batched` keeps it
+    // outside the timed region so the number tracks the pipeline itself.
+    grp.bench_function("standard-pipeline/mpc-64", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |mut g| PassManager::standard().run(&mut g),
+            BatchSize::SmallInput,
+        )
     });
-    c.bench_function("passes/fusion/mpc-64", |b| {
-        b.iter(|| {
-            let mut g = graph.clone();
-            pm_passes::AlgebraicCombination.run(&mut g)
-        })
+    grp.bench_function("fusion/mpc-64", |b| {
+        b.iter_batched(
+            || graph.clone(),
+            |mut g| pm_passes::AlgebraicCombination.run(&mut g),
+            BatchSize::SmallInput,
+        )
     });
+    // Value-numbering CSE at scale: 256 structurally identical statements,
+    // where the old pairwise-fixpoint formulation was O(n²) per round.
+    let wide = {
+        let mut src = String::from("main(input float x, output float y) {\n");
+        src.push_str("    float acc;\n");
+        for i in 0..256 {
+            src.push_str(&format!("    float t{i};\n    t{i} = x * 2.0 + 1.0;\n"));
+        }
+        src.push_str("    acc = t0;\n");
+        for i in 1..256 {
+            src.push_str(&format!("    acc = acc + t{i};\n"));
+        }
+        src.push_str("    y = acc;\n}\n");
+        src
+    };
+    let (wprog, _) = pmlang::frontend(&wide).unwrap();
+    let wgraph = srdfg::build(&wprog, &Bindings::default()).unwrap();
+    grp.sample_size(50);
+    grp.bench_function("cse/wide-256", |b| {
+        b.iter_batched(
+            || wgraph.clone(),
+            |mut g| pm_passes::CommonSubexpressionElimination.run(&mut g),
+            BatchSize::SmallInput,
+        )
+    });
+    grp.finish();
 }
 
 fn bench_lowering(c: &mut Criterion) {

@@ -1,0 +1,200 @@
+//! `pm-bench` — tracked compiler-performance benchmark.
+//!
+//! Times every stage of the compilation pipeline (frontend, srDFG build,
+//! each mid-end pass, Algorithm-1 lowering, Algorithm-2 accelerator-IR
+//! compilation) over a fixed workload set, measures the serial-vs-parallel
+//! Algorithm-2 speedup, and writes the account as JSON so regressions are
+//! diffable across commits.
+//!
+//! ```text
+//! cargo run --release -p pm-bench --bin pm-bench             # full set
+//! cargo run --release -p pm-bench --bin pm-bench -- --quick  # smoke set
+//!     --out <path>   write JSON here (default BENCH_compiler.json)
+//! ```
+//!
+//! The parallel Algorithm-2 path is additionally checked fragment-for-
+//! fragment against the serial path on every workload; a mismatch is a
+//! hard error (the determinism guarantee of DESIGN.md §8).
+
+use pm_workloads::programs;
+use polymath::{CompileTimings, Compiler};
+use srdfg::Bindings;
+use std::time::Instant;
+
+struct WorkloadReport {
+    name: String,
+    nodes_initial: usize,
+    nodes_final: usize,
+    partitions: usize,
+    timings: CompileTimings,
+    compile_serial_s: f64,
+    compile_parallel_s: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|p| args.get(p + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_compiler.json".to_string());
+
+    // Scales chosen so the full set exercises real graph sizes while the
+    // quick set stays under a second for CI smoke runs.
+    let workloads: Vec<(String, String)> = if quick {
+        vec![("mpc-16".into(), programs::mobile_robot(16)), ("fft-64".into(), programs::fft(64))]
+    } else {
+        vec![
+            ("mpc-64".into(), programs::mobile_robot(64)),
+            ("fft-256".into(), programs::fft(256)),
+            ("kmeans-784".into(), programs::kmeans(784, 10)),
+            ("dct-block".into(), programs::dct_block()),
+            ("logistic-256".into(), programs::logistic(256)),
+        ]
+    };
+    let (reps, inner) = if quick { (1, 3) } else { (3, 10) };
+
+    let mut reports = Vec::new();
+    for (name, src) in &workloads {
+        match bench_workload(name, src, reps, inner) {
+            Ok(report) => {
+                let t = &report.timings;
+                println!(
+                    "{:<14} {:>6} -> {:>5} nodes  total {:>9.3} ms  (mid-end {:>8.3} ms, \
+                     lower {:>8.3} ms, compile {:>8.3} ms)  alg2 speedup {:.2}x",
+                    report.name,
+                    report.nodes_initial,
+                    report.nodes_final,
+                    t.total.as_secs_f64() * 1e3,
+                    t.midend.as_secs_f64() * 1e3,
+                    t.lower.as_secs_f64() * 1e3,
+                    t.compile.as_secs_f64() * 1e3,
+                    report.compile_serial_s / report.compile_parallel_s.max(1e-12),
+                );
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("pm-bench: workload {name} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let json = render_json(&reports, quick);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("pm-bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}
+
+/// Compiles one workload `reps` times (keeping the fastest end-to-end run's
+/// stage breakdown), then times serial vs parallel Algorithm 2 over the
+/// lowered graph and checks they agree exactly.
+fn bench_workload(
+    name: &str,
+    src: &str,
+    reps: usize,
+    inner: usize,
+) -> Result<WorkloadReport, String> {
+    let compiler = Compiler::cross_domain();
+    let bindings = Bindings::default();
+
+    // Initial graph size (before the mid-end runs).
+    let (program, _) = pmlang::frontend(src).map_err(|e| e.to_string())?;
+    let initial = srdfg::build(&program, &bindings).map_err(|e| e.to_string())?;
+    let nodes_initial = initial.node_count();
+
+    let mut best: Option<(polymath::CompileTimings, pm_lower::CompiledProgram)> = None;
+    for _ in 0..reps {
+        let (compiled, timings) =
+            compiler.compile_timed(src, &bindings).map_err(|e| e.to_string())?;
+        if best.as_ref().is_none_or(|(t, _)| timings.total < t.total) {
+            best = Some((timings, compiled));
+        }
+    }
+    let (timings, compiled) = best.expect("reps >= 1");
+
+    // Serial vs parallel Algorithm 2 over the already-lowered graph.
+    let targets = compiler.targets();
+    let serial =
+        pm_lower::compile_program_serial(&compiled.graph, targets).map_err(|e| e.to_string())?;
+    let parallel =
+        pm_lower::compile_program(&compiled.graph, targets).map_err(|e| e.to_string())?;
+    if serial.partitions != parallel.partitions {
+        return Err("parallel Algorithm 2 diverged from the serial path".into());
+    }
+    let time_best = |f: &dyn Fn()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..inner {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let compile_serial_s = time_best(&|| {
+        std::hint::black_box(pm_lower::compile_program_serial(&compiled.graph, targets).unwrap());
+    });
+    let compile_parallel_s = time_best(&|| {
+        std::hint::black_box(pm_lower::compile_program(&compiled.graph, targets).unwrap());
+    });
+
+    Ok(WorkloadReport {
+        name: name.to_string(),
+        nodes_initial,
+        nodes_final: compiled.graph.node_count(),
+        partitions: compiled.partitions.len(),
+        timings,
+        compile_serial_s,
+        compile_parallel_s,
+    })
+}
+
+/// Hand-rolled JSON (the workspace carries no serializer dependency).
+fn render_json(reports: &[WorkloadReport], quick: bool) -> String {
+    let sec = |d: std::time::Duration| format!("{:.9}", d.as_secs_f64());
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let t = &r.timings;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"nodes_initial\": {},\n", r.nodes_initial));
+        out.push_str(&format!("      \"nodes_final\": {},\n", r.nodes_final));
+        out.push_str(&format!("      \"partitions\": {},\n", r.partitions));
+        out.push_str("      \"stages_s\": {\n");
+        out.push_str(&format!("        \"frontend\": {},\n", sec(t.frontend)));
+        out.push_str(&format!("        \"build\": {},\n", sec(t.build)));
+        out.push_str(&format!("        \"midend\": {},\n", sec(t.midend)));
+        out.push_str(&format!("        \"lower\": {},\n", sec(t.lower)));
+        out.push_str(&format!("        \"post_lower\": {},\n", sec(t.post_lower)));
+        out.push_str(&format!("        \"compile\": {},\n", sec(t.compile)));
+        out.push_str(&format!("        \"total\": {}\n", sec(t.total)));
+        out.push_str("      },\n");
+        out.push_str("      \"passes_s\": [\n");
+        for (j, p) in t.passes.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"pass\": \"{}\", \"seconds\": {}, \"rewrites\": {}}}{}\n",
+                p.pass,
+                sec(p.duration),
+                p.stats.rewrites,
+                if j + 1 < t.passes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!("      \"compile_serial_s\": {:.9},\n", r.compile_serial_s));
+        out.push_str(&format!("      \"compile_parallel_s\": {:.9},\n", r.compile_parallel_s));
+        out.push_str(&format!(
+            "      \"parallel_speedup\": {:.4}\n",
+            r.compile_serial_s / r.compile_parallel_s.max(1e-12)
+        ));
+        out.push_str(if i + 1 < reports.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -15,6 +15,10 @@
 //!     `--pin blks=HyperStreams` while LR keeps the TABLA default.
 //!     `--fragments` additionally dumps each partition's fragment stream
 //!     (Algorithm 2's load/compute/store sequence).
+//!     `--timings` appends a per-stage / per-pass wall-time account of the
+//!     compilation itself (frontend, build, each mid-end pass, lowering,
+//!     Algorithm 2); with `--format json` it prints that account as a
+//!     single JSON object instead of the partition summary.
 //! pmc lint <file.pm> [--size ...] [--host-only] [--deny-warnings] [--format json]
 //!     Run the cross-layer static-analysis lints (unused declarations,
 //!     state carry notes, edge-metadata consistency, reduction races,
@@ -108,7 +112,13 @@ fn run(args: &[String]) -> Result<(), String> {
             for (component, target) in parse_pins(&args[2..])? {
                 compiler = compiler.with_target_override(&component, backend_spec(&target)?);
             }
-            let compiled = compiler.compile(&source, &bindings).map_err(|e| e.to_string())?;
+            let want_timings = args.iter().any(|a| a == "--timings");
+            let (compiled, timings) =
+                compiler.compile_timed(&source, &bindings).map_err(|e| e.to_string())?;
+            if want_timings && parse_format(args)? == "json" {
+                println!("{}", timings_json(&timings));
+                return Ok(());
+            }
             let soc = standard_soc();
             let report = soc.run(&compiled, &HashMap::new());
             println!("{path}: {} partition(s)", compiled.partitions.len());
@@ -135,6 +145,9 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!("\npartition {} ({} fragments):", part.target, part.fragments.len());
                     print_fragments(part);
                 }
+            }
+            if want_timings {
+                print_timings(&timings);
             }
             Ok(())
         }
@@ -355,6 +368,57 @@ fn print_census(graph: &srdfg::SrDfg) {
     println!("  ({total} nodes total)");
 }
 
+/// Prints the per-stage / per-pass wall-time account of one compilation.
+fn print_timings(t: &polymath::CompileTimings) {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    println!("\ncompile timings:");
+    println!("  frontend     {:>10.3} ms", ms(t.frontend));
+    println!("  build        {:>10.3} ms", ms(t.build));
+    println!("  mid-end      {:>10.3} ms", ms(t.midend));
+    for p in &t.passes {
+        println!(
+            "    {:<24} {:>10.3} ms  {:>6} rewrites",
+            p.pass,
+            ms(p.duration),
+            p.stats.rewrites
+        );
+    }
+    println!("  lower        {:>10.3} ms", ms(t.lower));
+    println!("  post-lower   {:>10.3} ms", ms(t.post_lower));
+    println!("  compile      {:>10.3} ms", ms(t.compile));
+    println!("  total        {:>10.3} ms", ms(t.total));
+}
+
+/// The `--timings --format json` rendering (all durations in seconds).
+fn timings_json(t: &polymath::CompileTimings) -> String {
+    let s = |d: std::time::Duration| format!("{:.9}", d.as_secs_f64());
+    let passes: Vec<String> = t
+        .passes
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"pass\":\"{}\",\"seconds\":{},\"rewrites\":{},\"changed\":{}}}",
+                p.pass,
+                s(p.duration),
+                p.stats.rewrites,
+                p.stats.changed
+            )
+        })
+        .collect();
+    format!(
+        "{{\"frontend\":{},\"build\":{},\"midend\":{},\"passes\":[{}],\"lower\":{},\
+         \"post_lower\":{},\"compile\":{},\"total\":{}}}",
+        s(t.frontend),
+        s(t.build),
+        s(t.midend),
+        passes.join(","),
+        s(t.lower),
+        s(t.post_lower),
+        s(t.compile),
+        s(t.total)
+    )
+}
+
 /// Resolves a backend name to its accelerator spec.
 fn backend_spec(name: &str) -> Result<pm_lower::AcceleratorSpec, String> {
     use pm_accel::Backend as _;
@@ -425,6 +489,6 @@ fn parse_format(args: &[String]) -> Result<&str, String> {
 fn usage() -> String {
     "usage: pmc <check|stats|dot|compile|lint|run> <file.pm> [feeds.txt] \
 [--size name=value ...] [--host-only] [--pin comp=TARGET ...] [--iters N] \
-[--deny-warnings] [--format json]"
+[--deny-warnings] [--timings] [--format json]"
         .to_string()
 }

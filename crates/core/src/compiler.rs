@@ -6,10 +6,11 @@ use pm_accel::{
     Backend, Cpu, Deco, DnnWeaver, Graphicionado, HyperStreams, Robox, Soc, Tabla, Vta,
 };
 use pm_lower::{compile_program, lower, CompiledProgram, TargetMap};
-use pm_passes::{Pass, PassManager};
+use pm_passes::{Pass, PassManager, PassTiming};
 use pmlang::Domain;
 use srdfg::{Bindings, SrDfg};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Any error the full compilation pipeline can produce.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +174,83 @@ impl Compiler {
         pm_passes::PruneUnusedInputs.run(&mut graph);
         Ok(compile_program(&graph, &self.targets)?)
     }
+
+    /// [`Compiler::compile`] with per-stage and per-pass wall-clock timing
+    /// (the instrumentation behind `pmc compile --timings` and `pm-bench`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline error.
+    pub fn compile_timed(
+        &self,
+        source: &str,
+        bindings: &Bindings,
+    ) -> Result<(CompiledProgram, CompileTimings), PolyMathError> {
+        let t0 = Instant::now();
+        let (program, _) = pmlang::frontend(source)?;
+        let frontend = t0.elapsed();
+
+        let t = Instant::now();
+        let mut graph = srdfg::build(&program, bindings)?;
+        let build = t.elapsed();
+
+        let t = Instant::now();
+        let mut passes = Vec::new();
+        if self.optimize {
+            passes = PassManager::standard().run_timed(&mut graph);
+        }
+        if self.fuse {
+            pm_passes::AlgebraicCombination.run(&mut graph);
+        }
+        let midend = t.elapsed();
+
+        let t = Instant::now();
+        lower(&mut graph, &self.targets)?;
+        let lower_d = t.elapsed();
+
+        let t = Instant::now();
+        pm_passes::ElideMarshalling.run(&mut graph);
+        pm_passes::PruneUnusedInputs.run(&mut graph);
+        let post_lower = t.elapsed();
+
+        let t = Instant::now();
+        let compiled = compile_program(&graph, &self.targets)?;
+        let compile = t.elapsed();
+
+        let timings = CompileTimings {
+            frontend,
+            build,
+            midend,
+            passes,
+            lower: lower_d,
+            post_lower,
+            compile,
+            total: t0.elapsed(),
+        };
+        Ok((compiled, timings))
+    }
+}
+
+/// Wall-clock account of one [`Compiler::compile_timed`] invocation.
+#[derive(Debug, Clone, Default)]
+pub struct CompileTimings {
+    /// Lexing, parsing, and semantic analysis.
+    pub frontend: Duration,
+    /// srDFG generation.
+    pub build: Duration,
+    /// The whole mid-end (standard pipeline plus optional fusion).
+    pub midend: Duration,
+    /// Per-pass timings inside the mid-end (one entry per executed pass
+    /// run; empty when optimizations are disabled).
+    pub passes: Vec<PassTiming>,
+    /// Algorithm 1 lowering.
+    pub lower: Duration,
+    /// Post-lowering cleanup (marshalling elision, operand pruning).
+    pub post_lower: Duration,
+    /// Algorithm 2 accelerator-IR compilation.
+    pub compile: Duration,
+    /// End-to-end wall time.
+    pub total: Duration,
 }
 
 /// The standard SoC with all five accelerators attached (execution-time

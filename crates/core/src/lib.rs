@@ -55,5 +55,5 @@
 pub mod compiler;
 pub mod evaluate;
 
-pub use compiler::{standard_soc, Compiler, PolyMathError};
+pub use compiler::{standard_soc, CompileTimings, Compiler, PolyMathError};
 pub use evaluate::{evaluate, geomean, PlatformResults};

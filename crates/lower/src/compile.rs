@@ -132,20 +132,92 @@ impl CompiledProgram {
     }
 }
 
-/// Runs Algorithm 2 over a lowered graph.
+/// Runs Algorithm 2 over a lowered graph, building the per-target
+/// partitions in parallel when more than one target received nodes.
+///
+/// Each partition is produced by the same pure builder the serial path
+/// uses over the same precomputed topological order, so the result is
+/// byte-identical to [`compile_program_serial`] regardless of thread
+/// count.
 ///
 /// # Errors
 ///
 /// Returns a [`LowerError`] if the graph still contains operations its
 /// targets do not support (run [`crate::lower::lower`] first).
 pub fn compile_program(graph: &SrDfg, targets: &TargetMap) -> Result<CompiledProgram, LowerError> {
+    compile_partitions(graph, targets, true)
+}
+
+/// [`compile_program`] with parallelism disabled (one partition at a
+/// time). Exists so tests and benchmarks can assert the determinism
+/// guarantee; results are always identical to the parallel path.
+pub fn compile_program_serial(
+    graph: &SrDfg,
+    targets: &TargetMap,
+) -> Result<CompiledProgram, LowerError> {
+    compile_partitions(graph, targets, false)
+}
+
+fn compile_partitions(
+    graph: &SrDfg,
+    targets: &TargetMap,
+    parallel: bool,
+) -> Result<CompiledProgram, LowerError> {
     if !fully_lowered(graph, targets) {
         return Err(LowerError {
             message: "graph contains unsupported operations; lower it first".into(),
         });
     }
-    let arg_info = |g: &SrDfg, e: EdgeId| -> ArgInfo {
-        let meta = &g.edge(e).meta;
+    let order = graph.topo_order();
+    // Resolve every node's target once up front; the per-partition builders
+    // share this read-only assignment (partitions can reach hundreds of
+    // thousands of fragments, so resolution must not repeat per edge).
+    let assign: HashMap<NodeId, &str> = order
+        .iter()
+        .map(|&id| (id, targets.target_for(graph.node(id), graph.domain).name.as_str()))
+        .collect();
+    // The host target name (host partitions never pay DMA).
+    let host_name = targets.host().name.as_str();
+
+    // Distinct targets in first-touch (topological) order; a partition's
+    // domain is the domain of its first node (the paper's πd, one per
+    // accelerator — a domain can host two accelerators under overrides).
+    let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut target_list: Vec<(&str, Option<Domain>)> = Vec::new();
+    for &id in &order {
+        let t = assign[&id];
+        if seen.insert(t) {
+            let node = graph.node(id);
+            target_list.push((t, node.domain.or(graph.domain)));
+        }
+    }
+
+    let build = |&(target, domain): &(&str, Option<Domain>)| -> AccProgram {
+        build_partition(graph, &order, &assign, host_name, target, domain)
+    };
+    let mut parts: Vec<AccProgram> = if parallel && target_list.len() > 1 {
+        use rayon::prelude::*;
+        target_list.par_iter().map(build).collect()
+    } else {
+        target_list.iter().map(build).collect()
+    };
+    parts.sort_by_key(|p| (p.domain, p.target.clone()));
+    Ok(CompiledProgram { graph: graph.clone(), partitions: parts })
+}
+
+/// Builds the fragment stream `πd` for one target: a pure function of the
+/// graph, the shared topological order, and the node→target assignment —
+/// safe to run concurrently with other targets' builds.
+fn build_partition(
+    graph: &SrDfg,
+    order: &[NodeId],
+    assign: &HashMap<NodeId, &str>,
+    host_name: &str,
+    target: &str,
+    domain: Option<Domain>,
+) -> AccProgram {
+    let arg_info = |e: EdgeId| -> ArgInfo {
+        let meta = &graph.edge(e).meta;
         ArgInfo {
             name: meta.name.clone(),
             dtype: meta.dtype,
@@ -154,49 +226,29 @@ pub fn compile_program(graph: &SrDfg, targets: &TargetMap) -> Result<CompiledPro
             edge: e,
         }
     };
-
-    // Partitions are per *target* (the paper's πd, one per accelerator) —
-    // a domain can host two accelerators under per-component overrides.
-    let mut partitions: HashMap<String, AccProgram> = HashMap::new();
+    let mut fragments = Vec::new();
     // A value is DMA-loaded once per destination accelerator, however many
     // nodes consume it there.
-    let mut loaded: std::collections::HashSet<(String, EdgeId)> = std::collections::HashSet::new();
-    // Borrowed from `targets`, so per-node/per-edge resolution allocates
-    // nothing (partitions can reach hundreds of thousands of fragments).
-    let resolve = |node: &srdfg::Node| -> (&str, Option<Domain>) {
-        let spec = targets.target_for(node, graph.domain);
-        (spec.name.as_str(), node.domain.or(graph.domain))
-    };
-    let ensure =
-        |partitions: &mut HashMap<String, AccProgram>, target: &str, domain: Option<Domain>| {
-            partitions.entry(target.to_string()).or_insert_with(|| AccProgram {
-                target: target.to_string(),
-                domain,
-                fragments: Vec::new(),
-            });
-        };
-    // The host target name (host partitions never pay DMA).
-    let host_name = targets.host().name.as_str();
-
-    for id in graph.topo_order() {
+    let mut loaded: std::collections::HashSet<EdgeId> = std::collections::HashSet::new();
+    for &id in order {
+        if assign[&id] != target {
+            continue;
+        }
         let node = graph.node(id);
-        let (target, domain) = resolve(node);
-        ensure(&mut partitions, target, domain);
 
         // t_load for operands produced on another accelerator (or fed by
         // the host through the graph boundary).
         for &e in &node.inputs {
             let src_target = match graph.edge(e).producer {
-                Some((p, _)) => resolve(graph.node(p)).0,
+                Some((p, _)) => assign[&p],
                 None => host_name, // boundary input: host memory
             };
-            if src_target != target && loaded.insert((target.to_string(), e)) {
-                let part = partitions.get_mut(target).expect("ensured");
-                part.fragments.push(Fragment {
+            if src_target != target && loaded.insert(e) {
+                fragments.push(Fragment {
                     op: "load".into(),
                     kind: FragmentKind::Load,
                     node: None,
-                    inputs: vec![arg_info(graph, e)],
+                    inputs: vec![arg_info(e)],
                     outputs: vec![],
                     ops: 0,
                 });
@@ -204,39 +256,34 @@ pub fn compile_program(graph: &SrDfg, targets: &TargetMap) -> Result<CompiledPro
         }
 
         // t(srdfg, n): the compute fragment.
-        let fragment = Fragment {
+        fragments.push(Fragment {
             op: node.name.clone(),
             kind: FragmentKind::Compute,
             node: Some(id),
-            inputs: node.inputs.iter().map(|&e| arg_info(graph, e)).collect(),
-            outputs: node.outputs.iter().map(|&e| arg_info(graph, e)).collect(),
+            inputs: node.inputs.iter().map(|&e| arg_info(e)).collect(),
+            outputs: node.outputs.iter().map(|&e| arg_info(e)).collect(),
             ops: srdfg::graph::node_op_count(node),
-        };
-        partitions.get_mut(target).expect("ensured").fragments.push(fragment);
+        });
 
         // t_store for results consumed on another accelerator (or leaving
         // through the graph boundary toward the host).
         for &e in &node.outputs {
             let edge = graph.edge(e);
-            let crosses = edge.consumers.iter().any(|&(c, _)| resolve(graph.node(c)).0 != target)
+            let crosses = edge.consumers.iter().any(|&(c, _)| assign[&c] != target)
                 || (graph.boundary_outputs.contains(&e) && target != host_name);
             if crosses {
-                let part = partitions.get_mut(target).expect("ensured");
-                part.fragments.push(Fragment {
+                fragments.push(Fragment {
                     op: "store".into(),
                     kind: FragmentKind::Store,
                     node: None,
                     inputs: vec![],
-                    outputs: vec![arg_info(graph, e)],
+                    outputs: vec![arg_info(e)],
                     ops: 0,
                 });
             }
         }
     }
-
-    let mut parts: Vec<AccProgram> = partitions.into_values().collect();
-    parts.sort_by_key(|p| (p.domain, p.target.clone()));
-    Ok(CompiledProgram { graph: graph.clone(), partitions: parts })
+    AccProgram { target: target.to_string(), domain, fragments }
 }
 
 #[cfg(test)]

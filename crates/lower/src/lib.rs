@@ -44,6 +44,9 @@ pub mod compile;
 pub mod lower;
 pub mod spec;
 
-pub use compile::{compile_program, AccProgram, ArgInfo, CompiledProgram, Fragment, FragmentKind};
+pub use compile::{
+    compile_program, compile_program_serial, AccProgram, ArgInfo, CompiledProgram, Fragment,
+    FragmentKind,
+};
 pub use lower::{fully_lowered, lower, LowerError};
 pub use spec::{AcceleratorSpec, TargetMap};

@@ -20,7 +20,7 @@
 //! fails for that accelerator").
 
 use crate::spec::TargetMap;
-use srdfg::expand::{refine, RefineError};
+use srdfg::expand::{refine_many, RefineError};
 use srdfg::SrDfg;
 use std::fmt;
 
@@ -59,28 +59,35 @@ pub fn lower(graph: &mut SrDfg, targets: &TargetMap) -> Result<(), LowerError> {
     // Refinements strictly reduce granularity, so this terminates; the
     // iteration bound is a defensive backstop.
     for _ in 0..64 {
-        let mut changed = false;
-        let ids: Vec<_> = graph.node_ids().collect();
-        for id in ids {
-            if !graph.is_live(id) {
-                continue;
-            }
+        // Collect this round's unsupported nodes, then refine them all at
+        // once (in parallel on multi-core hosts). Batching is equivalent to
+        // the interleaved serial loop: `refine` reads only the node and its
+        // edge metadata, and `splice` removes no node but the one it
+        // replaces, so no pending refinement can observe another's splice.
+        let mut pending = Vec::new();
+        let mut labels = Vec::new();
+        for id in graph.node_ids().collect::<Vec<_>>() {
             let node = graph.node(id);
             let target = targets.target_for(node, graph.domain);
             if target.supports(&node.name) {
                 continue;
             }
-            let sub = refine(graph, id, &target.expand).map_err(|e| LowerError {
+            pending.push((id, target.expand));
+            labels.push((node.name.clone(), node.domain, target.name.clone()));
+        }
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let subs = refine_many(graph, &pending);
+        // Splice serially, in collection (deterministic id) order.
+        for ((sub, &(id, _)), (name, domain, target)) in subs.into_iter().zip(&pending).zip(&labels)
+        {
+            let sub = sub.map_err(|e| LowerError {
                 message: format!(
-                    "`{}` (domain {:?}) is unsupported by {} and cannot refine: {e}",
-                    node.name, node.domain, target.name
+                    "`{name}` (domain {domain:?}) is unsupported by {target} and cannot refine: {e}"
                 ),
             })?;
             graph.splice(id, &sub);
-            changed = true;
-        }
-        if !changed {
-            return Ok(());
         }
     }
     Err(LowerError { message: "lowering did not converge".into() })

@@ -1,0 +1,178 @@
+//! Cached graph analyses with dirty tracking.
+//!
+//! Every fixpoint iteration of the old pass manager recomputed the same
+//! derived facts — topological order, consumer maps, structural hashes —
+//! from scratch in each pass. [`AnalysisCache`] computes each analysis
+//! lazily on first request and keeps it until a pass *declares* (via
+//! [`PassStats::invalidates`](crate::manager::PassStats)) that its
+//! rewrites invalidated it:
+//!
+//! | analysis          | invalidated by          |
+//! |-------------------|-------------------------|
+//! | topological order | `topology`              |
+//! | topo index        | `topology`              |
+//! | consumer map      | `topology`              |
+//! | structural hashes | `topology` or `payloads`|
+//!
+//! The cache is owned by [`PassManager`](crate::manager::PassManager) for
+//! the duration of one pipeline run and handed to each pass through
+//! [`Pass::run_cached`](crate::manager::Pass::run_cached). A pass must
+//! not consult the cache after mutating the graph within its own run —
+//! the manager invalidates only *between* passes.
+
+use crate::manager::Invalidations;
+use srdfg::{NodeId, SrDfg};
+use std::collections::HashMap;
+
+/// Lazily computed, invalidation-tracked analyses over one [`SrDfg`].
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    topo: Option<Vec<NodeId>>,
+    topo_index: Option<HashMap<NodeId, usize>>,
+    consumers: Option<HashMap<NodeId, Vec<NodeId>>>,
+    hashes: Option<HashMap<NodeId, u64>>,
+}
+
+impl AnalysisCache {
+    /// An empty cache (everything computed on first request).
+    pub fn new() -> Self {
+        AnalysisCache::default()
+    }
+
+    /// Deterministic topological order of `graph` (see
+    /// [`SrDfg::topo_order`]), cached.
+    pub fn topo_order(&mut self, graph: &SrDfg) -> &[NodeId] {
+        if self.topo.is_none() {
+            self.topo = Some(graph.topo_order());
+        }
+        self.topo.as_deref().unwrap()
+    }
+
+    /// Map from node id to its position in [`topo_order`]
+    /// (`AnalysisCache::topo_order`), cached.
+    pub fn topo_index(&mut self, graph: &SrDfg) -> &HashMap<NodeId, usize> {
+        if self.topo_index.is_none() {
+            let order = self.topo_order(graph).to_vec();
+            self.topo_index = Some(order.iter().enumerate().map(|(pos, &id)| (id, pos)).collect());
+        }
+        self.topo_index.as_ref().unwrap()
+    }
+
+    /// Use-def successor map: for each live node, the distinct nodes
+    /// consuming any of its outputs, in ascending id order. Cached.
+    pub fn consumer_map(&mut self, graph: &SrDfg) -> &HashMap<NodeId, Vec<NodeId>> {
+        if self.consumers.is_none() {
+            let mut m: HashMap<NodeId, Vec<NodeId>> = HashMap::with_capacity(graph.node_count());
+            for (id, node) in graph.iter_nodes() {
+                let mut succs: Vec<NodeId> = node
+                    .outputs
+                    .iter()
+                    .flat_map(|&e| graph.edge(e).consumers.iter().map(|&(n, _)| n))
+                    .collect();
+                succs.sort_unstable();
+                succs.dedup();
+                m.insert(id, succs);
+            }
+            self.consumers = Some(m);
+        }
+        self.consumers.as_ref().unwrap()
+    }
+
+    /// The node's structural hash (see [`srdfg::node_structural_hash`]),
+    /// memoized per node.
+    pub fn structural_hash(&mut self, graph: &SrDfg, id: NodeId) -> u64 {
+        let map = self.hashes.get_or_insert_with(HashMap::new);
+        *map.entry(id).or_insert_with(|| srdfg::node_structural_hash(graph.node(id)))
+    }
+
+    /// Drops the analyses a pass declared invalid.
+    pub fn invalidate(&mut self, inv: Invalidations) {
+        if inv.topology {
+            self.topo = None;
+            self.topo_index = None;
+            self.consumers = None;
+        }
+        if inv.topology || inv.payloads {
+            self.hashes = None;
+        }
+    }
+
+    /// Drops everything (equivalent to a fresh cache).
+    pub fn clear(&mut self) {
+        *self = AnalysisCache::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> SrDfg {
+        let prog = pmlang::parse(
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 float a[4], b[4];
+                 a[i] = x[i] * 2.0;
+                 b[i] = x[i] + 1.0;
+                 y[i] = a[i] + b[i];
+             }",
+        )
+        .unwrap();
+        srdfg::build(&prog, &srdfg::Bindings::default()).unwrap()
+    }
+
+    #[test]
+    fn topo_is_cached_until_topology_invalidation() {
+        let mut g = diamond();
+        let mut cache = AnalysisCache::new();
+        let before = cache.topo_order(&g).to_vec();
+        assert_eq!(before, g.topo_order());
+
+        // Mutate the graph; the cache intentionally still serves the old
+        // answer until told otherwise.
+        let last = *before.last().unwrap();
+        g.remove_node(last);
+        assert_eq!(cache.topo_order(&g).len(), before.len());
+
+        cache.invalidate(Invalidations::PAYLOADS);
+        assert_eq!(cache.topo_order(&g).len(), before.len(), "payloads must not drop topo");
+
+        cache.invalidate(Invalidations::TOPOLOGY);
+        assert_eq!(cache.topo_order(&g).len(), before.len() - 1);
+    }
+
+    #[test]
+    fn topo_index_matches_order() {
+        let g = diamond();
+        let mut cache = AnalysisCache::new();
+        let order = cache.topo_order(&g).to_vec();
+        let index = cache.topo_index(&g).clone();
+        for (pos, id) in order.iter().enumerate() {
+            assert_eq!(index[id], pos);
+        }
+    }
+
+    #[test]
+    fn consumer_map_lists_distinct_successors() {
+        let g = diamond();
+        let mut cache = AnalysisCache::new();
+        let consumers = cache.consumer_map(&g);
+        // The two producers each feed exactly the final add; the final add
+        // feeds nothing.
+        let mut fan_in_counts: Vec<usize> = consumers.values().map(Vec::len).collect();
+        fan_in_counts.sort_unstable();
+        assert_eq!(fan_in_counts, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn hashes_dropped_on_payload_invalidation() {
+        let g = diamond();
+        let mut cache = AnalysisCache::new();
+        let id = g.node_ids().next().unwrap();
+        let h1 = cache.structural_hash(&g, id);
+        assert_eq!(cache.structural_hash(&g, id), h1);
+        cache.invalidate(Invalidations::PAYLOADS);
+        assert!(cache.hashes.is_none());
+        assert_eq!(cache.structural_hash(&g, id), h1, "recompute gives the same digest");
+    }
+}

@@ -5,7 +5,7 @@
 //! `Map`/`Reduce` nodes; node names are recomputed afterwards so lowering
 //! sees the simplified operation.
 
-use crate::manager::{Pass, PassStats};
+use crate::manager::{Invalidations, Pass, PassStats};
 use pmlang::{BinOp, UnOp};
 use srdfg::graph::map_op_name;
 use srdfg::{KExpr, NodeKind, SrDfg};
@@ -21,7 +21,7 @@ impl Pass for ConstantFold {
     }
 
     fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
-        rewrite_kernels(graph, &mut fold_kexpr)
+        rewrite_kernels(graph, try_fold)
     }
 }
 
@@ -36,24 +36,21 @@ impl Pass for AlgebraicSimplify {
     }
 
     fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
-        rewrite_kernels(graph, &mut simplify_kexpr)
+        rewrite_kernels(graph, try_simplify)
     }
 }
 
 /// Runs a kernel rewriter over every Map/Reduce node, renaming nodes whose
-/// kernel shape changed.
-fn rewrite_kernels(
-    graph: &mut SrDfg,
-    rewriter: &mut impl FnMut(&KExpr) -> (KExpr, usize),
-) -> PassStats {
+/// kernel shape changed. The rewriter returns `None` when a kernel needs
+/// no rewriting, so converged pipelines allocate nothing here.
+fn rewrite_kernels(graph: &mut SrDfg, rewriter: fn(&KExpr) -> Option<(KExpr, usize)>) -> PassStats {
     let mut stats = PassStats::default();
     let ids: Vec<_> = graph.node_ids().collect();
     for id in ids {
         let node = graph.node_mut(id);
         match &mut node.kind {
             NodeKind::Map(spec) => {
-                let (k, n) = rewriter(&spec.kernel);
-                if n > 0 {
+                if let Some((k, n)) = rewriter(&spec.kernel) {
                     spec.kernel = k;
                     node.name = map_op_name(&spec.kernel);
                     stats.changed = true;
@@ -61,14 +58,13 @@ fn rewrite_kernels(
                 }
             }
             NodeKind::Reduce(spec) => {
-                let (k, n) = rewriter(&spec.body);
-                let mut total = n;
-                if n > 0 {
+                let mut total = 0;
+                if let Some((k, n)) = rewriter(&spec.body) {
                     spec.body = k;
+                    total += n;
                 }
                 if let Some(c) = &spec.cond {
-                    let (ck, cn) = rewriter(c);
-                    if cn > 0 {
+                    if let Some((ck, cn)) = rewriter(c) {
                         spec.cond = Some(ck);
                         total += cn;
                     }
@@ -81,93 +77,143 @@ fn rewrite_kernels(
             _ => {}
         }
     }
+    if stats.changed {
+        // Kernels are rewritten in place: node/edge structure is intact,
+        // only structural hashes go stale.
+        stats.invalidates = Invalidations::PAYLOADS;
+    }
     stats
+}
+
+/// Rewrites an unchanged-or-rewritten child back into an owned `KExpr`.
+fn take_or_clone(rewritten: Option<(KExpr, usize)>, original: &KExpr) -> KExpr {
+    match rewritten {
+        Some((k, _)) => k,
+        None => original.clone(),
+    }
+}
+
+/// Applies `f` to each list element; `None` when nothing changed (no
+/// allocation), otherwise the rebuilt list and the total rewrite count.
+fn try_rewrite_list(
+    items: &[KExpr],
+    f: fn(&KExpr) -> Option<(KExpr, usize)>,
+) -> Option<(Vec<KExpr>, usize)> {
+    // Find the first element that changes before allocating anything.
+    let (first, r) = items.iter().enumerate().find_map(|(i, it)| f(it).map(|r| (i, r)))?;
+    let mut n = r.1;
+    let mut out: Vec<KExpr> = Vec::with_capacity(items.len());
+    out.extend(items[..first].iter().cloned());
+    out.push(r.0);
+    for it in &items[first + 1..] {
+        match f(it) {
+            Some((k, c)) => {
+                n += c;
+                out.push(k);
+            }
+            None => out.push(it.clone()),
+        }
+    }
+    Some((out, n))
 }
 
 /// Recursively folds constants; returns the rewritten kernel and the number
 /// of folds applied.
 pub fn fold_kexpr(k: &KExpr) -> (KExpr, usize) {
+    match try_fold(k) {
+        Some(r) => r,
+        None => (k.clone(), 0),
+    }
+}
+
+/// Copy-on-write constant folding: `None` means "already fully folded"
+/// and performs no allocation; `Some` carries the rewritten kernel and
+/// the fold count.
+fn try_fold(k: &KExpr) -> Option<(KExpr, usize)> {
     match k {
-        KExpr::Const(_) | KExpr::Idx(_) | KExpr::Arg(_) => (k.clone(), 0),
+        KExpr::Const(_) | KExpr::Idx(_) | KExpr::Arg(_) => None,
         KExpr::Operand { slot, indices } => {
-            let mut n = 0;
-            let ixs = indices
-                .iter()
-                .map(|ix| {
-                    let (r, c) = fold_kexpr(ix);
-                    n += c;
-                    r
-                })
-                .collect();
-            (KExpr::Operand { slot: *slot, indices: ixs }, n)
+            let (ixs, n) = try_rewrite_list(indices, try_fold)?;
+            Some((KExpr::Operand { slot: *slot, indices: ixs }, n))
         }
         KExpr::Unary(op, e) => {
-            let (e2, mut n) = fold_kexpr(e);
-            if let KExpr::Const(v) = e2 {
-                n += 1;
+            let child = try_fold(e);
+            let n = child.as_ref().map_or(0, |(_, c)| *c);
+            let cur = child.as_ref().map_or(&**e, |(e2, _)| e2);
+            if let KExpr::Const(v) = cur {
                 let folded = match op {
                     UnOp::Neg => -v,
                     UnOp::Not => {
-                        if v == 0.0 {
+                        if *v == 0.0 {
                             1.0
                         } else {
                             0.0
                         }
                     }
                 };
-                return (KExpr::Const(folded), n);
+                return Some((KExpr::Const(folded), n + 1));
             }
-            (KExpr::Unary(*op, Box::new(e2)), n)
+            child.map(|(e2, c)| (KExpr::Unary(*op, Box::new(e2)), c))
         }
         KExpr::Binary(op, a, b) => {
-            let (a2, na) = fold_kexpr(a);
-            let (b2, nb) = fold_kexpr(b);
-            let mut n = na + nb;
-            if let (KExpr::Const(x), KExpr::Const(y)) = (&a2, &b2) {
+            let ca = try_fold(a);
+            let cb = try_fold(b);
+            let n = ca.as_ref().map_or(0, |(_, c)| *c) + cb.as_ref().map_or(0, |(_, c)| *c);
+            let ra = ca.as_ref().map_or(&**a, |(x, _)| x);
+            let rb = cb.as_ref().map_or(&**b, |(x, _)| x);
+            if let (KExpr::Const(x), KExpr::Const(y)) = (ra, rb) {
                 if let Ok(v) = srdfg::kernel::eval_binary(*op, (*x).into(), (*y).into()) {
                     if let Ok(r) = v.as_real() {
-                        n += 1;
-                        return (KExpr::Const(r), n);
+                        return Some((KExpr::Const(r), n + 1));
                     }
                 }
             }
-            (KExpr::Binary(*op, Box::new(a2), Box::new(b2)), n)
+            if ca.is_none() && cb.is_none() {
+                return None;
+            }
+            let a2 = take_or_clone(ca, a);
+            let b2 = take_or_clone(cb, b);
+            Some((KExpr::Binary(*op, Box::new(a2), Box::new(b2)), n))
         }
         KExpr::Select(c, a, b) => {
-            let (c2, nc) = fold_kexpr(c);
-            let (a2, na) = fold_kexpr(a);
-            let (b2, nb) = fold_kexpr(b);
-            let n = nc + na + nb;
-            if let KExpr::Const(v) = c2 {
-                return (if v != 0.0 { a2 } else { b2 }, n + 1);
+            let cc = try_fold(c);
+            let ca = try_fold(a);
+            let cb = try_fold(b);
+            let n = cc.as_ref().map_or(0, |(_, x)| *x)
+                + ca.as_ref().map_or(0, |(_, x)| *x)
+                + cb.as_ref().map_or(0, |(_, x)| *x);
+            let rc = cc.as_ref().map_or(&**c, |(x, _)| x);
+            if let KExpr::Const(v) = rc {
+                let taken = if *v != 0.0 { take_or_clone(ca, a) } else { take_or_clone(cb, b) };
+                return Some((taken, n + 1));
             }
-            (KExpr::Select(Box::new(c2), Box::new(a2), Box::new(b2)), n)
+            if cc.is_none() && ca.is_none() && cb.is_none() {
+                return None;
+            }
+            let c2 = take_or_clone(cc, c);
+            let a2 = take_or_clone(ca, a);
+            let b2 = take_or_clone(cb, b);
+            Some((KExpr::Select(Box::new(c2), Box::new(a2), Box::new(b2)), n))
         }
         KExpr::Call(f, args) => {
-            let mut n = 0;
-            let folded: Vec<KExpr> = args
-                .iter()
-                .map(|a| {
-                    let (r, c) = fold_kexpr(a);
-                    n += c;
-                    r
-                })
-                .collect();
+            let folded = try_rewrite_list(args, try_fold);
             // Fold calls over all-constant arguments (complex-producing
             // builtins are left alone — Const is real-only).
-            let all_const = folded.iter().all(|a| matches!(a, KExpr::Const(_)));
+            let cur: &[KExpr] = folded.as_ref().map_or(args, |(v, _)| v);
+            let all_const = cur.iter().all(|a| matches!(a, KExpr::Const(_)));
             let produces_real = !matches!(f, pmlang::ScalarFunc::Complex);
             if all_const && produces_real {
-                let vals: Vec<f64> = folded
+                let vals: Vec<f64> = cur
                     .iter()
                     .map(|a| match a {
                         KExpr::Const(v) => *v,
                         _ => unreachable!(),
                     })
                     .collect();
-                return (KExpr::Const(f.eval_real(&vals)), n + 1);
+                let n = folded.as_ref().map_or(0, |(_, c)| *c);
+                return Some((KExpr::Const(f.eval_real(&vals)), n + 1));
             }
-            (KExpr::Call(*f, folded), n)
+            folded.map(|(v, n)| (KExpr::Call(*f, v), n))
         }
     }
 }
@@ -175,70 +221,89 @@ pub fn fold_kexpr(k: &KExpr) -> (KExpr, usize) {
 /// Recursively applies identity rewrites; returns the rewritten kernel and
 /// the number of rewrites.
 pub fn simplify_kexpr(k: &KExpr) -> (KExpr, usize) {
+    match try_simplify(k) {
+        Some(r) => r,
+        None => (k.clone(), 0),
+    }
+}
+
+/// Copy-on-write identity rewriting: `None` means "nothing to simplify"
+/// and performs no allocation.
+fn try_simplify(k: &KExpr) -> Option<(KExpr, usize)> {
     match k {
-        KExpr::Const(_) | KExpr::Idx(_) | KExpr::Arg(_) => (k.clone(), 0),
+        KExpr::Const(_) | KExpr::Idx(_) | KExpr::Arg(_) => None,
         KExpr::Operand { slot, indices } => {
-            let mut n = 0;
-            let ixs = indices
-                .iter()
-                .map(|ix| {
-                    let (r, c) = simplify_kexpr(ix);
-                    n += c;
-                    r
-                })
-                .collect();
-            (KExpr::Operand { slot: *slot, indices: ixs }, n)
+            let (ixs, n) = try_rewrite_list(indices, try_simplify)?;
+            Some((KExpr::Operand { slot: *slot, indices: ixs }, n))
         }
         KExpr::Unary(op, e) => {
-            let (e2, n) = simplify_kexpr(e);
+            let child = try_simplify(e);
+            let n = child.as_ref().map_or(0, |(_, c)| *c);
+            let cur = child.as_ref().map_or(&**e, |(e2, _)| e2);
             // --x → x, !!x → x
-            if let KExpr::Unary(inner_op, inner) = &e2 {
+            if let KExpr::Unary(inner_op, inner) = cur {
                 if inner_op == op && *op == UnOp::Neg {
-                    return ((**inner).clone(), n + 1);
+                    return Some(((**inner).clone(), n + 1));
                 }
             }
-            (KExpr::Unary(*op, Box::new(e2)), n)
+            child.map(|(e2, c)| (KExpr::Unary(*op, Box::new(e2)), c))
         }
         KExpr::Binary(op, a, b) => {
-            let (a2, na) = simplify_kexpr(a);
-            let (b2, nb) = simplify_kexpr(b);
-            let n = na + nb;
+            let ca = try_simplify(a);
+            let cb = try_simplify(b);
+            let n = ca.as_ref().map_or(0, |(_, c)| *c) + cb.as_ref().map_or(0, |(_, c)| *c);
             let is_const = |e: &KExpr, v: f64| matches!(e, KExpr::Const(c) if *c == v);
+            let const_a = {
+                let ra = ca.as_ref().map_or(&**a, |(x, _)| x);
+                (is_const(ra, 0.0), is_const(ra, 1.0))
+            };
+            let const_b = {
+                let rb = cb.as_ref().map_or(&**b, |(x, _)| x);
+                (is_const(rb, 0.0), is_const(rb, 1.0))
+            };
             match op {
-                BinOp::Mul if is_const(&b2, 1.0) => (a2, n + 1),
-                BinOp::Mul if is_const(&a2, 1.0) => (b2, n + 1),
-                BinOp::Mul if is_const(&a2, 0.0) || is_const(&b2, 0.0) => {
-                    (KExpr::Const(0.0), n + 1)
+                BinOp::Mul if const_b.1 => Some((take_or_clone(ca, a), n + 1)),
+                BinOp::Mul if const_a.1 => Some((take_or_clone(cb, b), n + 1)),
+                BinOp::Mul if const_a.0 || const_b.0 => Some((KExpr::Const(0.0), n + 1)),
+                BinOp::Add if const_b.0 => Some((take_or_clone(ca, a), n + 1)),
+                BinOp::Add if const_a.0 => Some((take_or_clone(cb, b), n + 1)),
+                BinOp::Sub if const_b.0 => Some((take_or_clone(ca, a), n + 1)),
+                BinOp::Div if const_b.1 => Some((take_or_clone(ca, a), n + 1)),
+                BinOp::Pow if const_b.1 => Some((take_or_clone(ca, a), n + 1)),
+                _ if ca.is_none() && cb.is_none() => None,
+                _ => {
+                    let a2 = take_or_clone(ca, a);
+                    let b2 = take_or_clone(cb, b);
+                    Some((KExpr::Binary(*op, Box::new(a2), Box::new(b2)), n))
                 }
-                BinOp::Add if is_const(&b2, 0.0) => (a2, n + 1),
-                BinOp::Add if is_const(&a2, 0.0) => (b2, n + 1),
-                BinOp::Sub if is_const(&b2, 0.0) => (a2, n + 1),
-                BinOp::Div if is_const(&b2, 1.0) => (a2, n + 1),
-                BinOp::Pow if is_const(&b2, 1.0) => (a2, n + 1),
-                _ => (KExpr::Binary(*op, Box::new(a2), Box::new(b2)), n),
             }
         }
         KExpr::Select(c, a, b) => {
-            let (c2, nc) = simplify_kexpr(c);
-            let (a2, na) = simplify_kexpr(a);
-            let (b2, nb) = simplify_kexpr(b);
-            let n = nc + na + nb;
-            if a2 == b2 {
-                return (a2, n + 1);
+            let cc = try_simplify(c);
+            let ca = try_simplify(a);
+            let cb = try_simplify(b);
+            let n = cc.as_ref().map_or(0, |(_, x)| *x)
+                + ca.as_ref().map_or(0, |(_, x)| *x)
+                + cb.as_ref().map_or(0, |(_, x)| *x);
+            let same = {
+                let ra = ca.as_ref().map_or(&**a, |(x, _)| x);
+                let rb = cb.as_ref().map_or(&**b, |(x, _)| x);
+                ra == rb
+            };
+            if same {
+                return Some((take_or_clone(ca, a), n + 1));
             }
-            (KExpr::Select(Box::new(c2), Box::new(a2), Box::new(b2)), n)
+            if cc.is_none() && ca.is_none() && cb.is_none() {
+                return None;
+            }
+            let c2 = take_or_clone(cc, c);
+            let a2 = take_or_clone(ca, a);
+            let b2 = take_or_clone(cb, b);
+            Some((KExpr::Select(Box::new(c2), Box::new(a2), Box::new(b2)), n))
         }
         KExpr::Call(f, args) => {
-            let mut n = 0;
-            let simplified = args
-                .iter()
-                .map(|a| {
-                    let (r, c) = simplify_kexpr(a);
-                    n += c;
-                    r
-                })
-                .collect();
-            (KExpr::Call(*f, simplified), n)
+            let (v, n) = try_rewrite_list(args, try_simplify)?;
+            Some((KExpr::Call(*f, v), n))
         }
     }
 }

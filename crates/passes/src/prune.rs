@@ -5,7 +5,7 @@
 //! drops the unused slots and renumbers kernel operand references, keeping
 //! scalar-granularity translations clean.
 
-use crate::manager::{Pass, PassStats};
+use crate::manager::{Invalidations, Pass, PassStats};
 use srdfg::{KExpr, NodeKind, SrDfg};
 
 /// Removes unused operand inputs from `Map`/`Reduce` nodes.
@@ -19,14 +19,21 @@ impl Pass for PruneUnusedInputs {
 
     fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
         let mut stats = PassStats::default();
-        let ids: Vec<_> = graph.node_ids().collect();
-        for id in ids {
+        // One scratch buffer reused across nodes (arity is tiny; the
+        // common converged case must not allocate per node).
+        let mut used: Vec<bool> = Vec::new();
+        for slot in 0..graph.node_slots() {
+            let id = srdfg::NodeId(slot as u32);
+            if !graph.is_live(id) {
+                continue;
+            }
             let node = graph.node(id);
             let arity = node.inputs.len();
             if arity == 0 {
                 continue;
             }
-            let mut used = vec![false; arity];
+            used.clear();
+            used.resize(arity, false);
             let carried = match &node.kind {
                 NodeKind::Map(m) => {
                     mark_used(&m.kernel, &mut used);
@@ -85,6 +92,10 @@ impl Pass for PruneUnusedInputs {
             }
             stats.changed = true;
             stats.rewrites += 1;
+        }
+        if stats.changed {
+            // Dropping operands rewires edges: full topology invalidation.
+            stats.invalidates = Invalidations::TOPOLOGY;
         }
         stats
     }

@@ -478,6 +478,13 @@ impl SrDfg {
         self.nodes.iter().filter(|n| n.is_some()).count()
     }
 
+    /// Number of node id slots ever allocated (live or removed); every
+    /// `NodeId.0` is `< node_slots()`, so analyses can use flat arrays
+    /// indexed by raw id instead of hash maps.
+    pub fn node_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Number of edges (including ones left dangling by node removal).
     pub fn edge_count(&self) -> usize {
         self.edges.len()
@@ -525,49 +532,71 @@ impl SrDfg {
     /// `Err(stuck)` listing the live nodes caught in cycles (every node
     /// whose in-degree never reached zero), in id order.
     pub fn try_topo_order(&self) -> Result<Vec<NodeId>, Vec<NodeId>> {
-        let mut indeg: Vec<usize> = vec![0; self.nodes.len()];
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        // Fast path: the builder emits nodes in program order, which is
+        // already topological, and most rewrites preserve it. When every
+        // producer id is smaller than its consumer's, ascending id order
+        // *is* the lexicographically smallest topological order (the same
+        // one the min-heap Kahn below produces): the smallest live id
+        // remaining is always ready, because all its producers have
+        // strictly smaller ids and are therefore already retired.
+        let id_order_is_topological = self.iter_nodes().all(|(id, node)| {
+            node.inputs.iter().all(|e| match self.edges[e.0 as usize].producer {
+                Some((p, _)) => p == id || p.0 < id.0,
+                None => true,
+            })
+        });
+        if id_order_is_topological {
+            return Ok(self.node_ids().collect());
+        }
+        // In-degrees count producer *links* (one per consumed input edge
+        // with a distinct-node producer); each link is decremented exactly
+        // once when its producer retires, so a node becomes ready when its
+        // last unique predecessor does — same order as counting unique
+        // predecessors, without per-node set allocations.
+        let mut indeg: Vec<u32> = vec![0; self.nodes.len()];
+        let mut live = 0usize;
         for (id, node) in self.iter_nodes() {
-            let mut preds = std::collections::BTreeSet::new();
+            live += 1;
+            let mut d = 0u32;
             for e in &node.inputs {
                 if let Some((p, _)) = self.edges[e.0 as usize].producer {
                     if p != id {
-                        preds.insert(p);
+                        d += 1;
                     }
                 }
             }
-            indeg[id.0 as usize] = preds.len();
+            indeg[id.0 as usize] = d;
         }
-        let mut ready: std::collections::BTreeSet<NodeId> = self
+        // Min-heap on node id keeps the order deterministic: among ready
+        // nodes the smallest id always retires first.
+        let mut ready: BinaryHeap<Reverse<u32>> = self
             .iter_nodes()
             .filter(|(id, _)| indeg[id.0 as usize] == 0)
-            .map(|(id, _)| id)
+            .map(|(id, _)| Reverse(id.0))
             .collect();
-        let mut order = Vec::with_capacity(self.node_count());
-        let mut done: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
-        while let Some(&id) = ready.iter().next() {
-            ready.remove(&id);
+        let mut order = Vec::with_capacity(live);
+        let mut done = vec![false; self.nodes.len()];
+        while let Some(Reverse(raw)) = ready.pop() {
+            let id = NodeId(raw);
             order.push(id);
-            done.insert(id);
-            // A successor may consume several edges/slots from this node;
-            // its in-degree counted unique predecessors, so decrement once.
-            let mut succs = std::collections::BTreeSet::new();
+            done[raw as usize] = true;
             for e in &self.node(id).outputs {
                 for &(succ, _) in &self.edges[e.0 as usize].consumers {
-                    if succ != id && !done.contains(&succ) {
-                        succs.insert(succ);
+                    if succ == id || done[succ.0 as usize] {
+                        continue;
+                    }
+                    let d = &mut indeg[succ.0 as usize];
+                    *d = d.saturating_sub(1);
+                    if *d == 0 {
+                        ready.push(Reverse(succ.0));
                     }
                 }
             }
-            for succ in succs {
-                let d = &mut indeg[succ.0 as usize];
-                *d = d.saturating_sub(1);
-                if *d == 0 {
-                    ready.insert(succ);
-                }
-            }
         }
-        if order.len() != self.node_count() {
-            return Err(self.node_ids().filter(|id| !done.contains(id)).collect());
+        if order.len() != live {
+            return Err(self.node_ids().filter(|id| !done[id.0 as usize]).collect());
         }
         Ok(order)
     }
@@ -652,6 +681,56 @@ impl SrDfg {
             self.node_mut(new_id).span =
                 if snode.span.is_synthetic() { node.span } else { snode.span };
         }
+    }
+
+    /// True when any of `id`'s outputs is a graph boundary output.
+    pub fn feeds_boundary(&self, id: NodeId) -> bool {
+        self.node(id).outputs.iter().any(|e| self.boundary_outputs.contains(e))
+    }
+
+    /// Merges node `drop` into `keep`: consumers of `drop`'s outputs are
+    /// rewired to `keep`'s corresponding outputs and `drop` is removed.
+    ///
+    /// The two nodes must be behaviourally interchangeable (same kind and
+    /// operand edges) — callers such as CSE establish that. This method
+    /// centralizes the *merge direction* rule for boundary outputs:
+    ///
+    /// * An eliminated node's output edges lose their producer, and a
+    ///   boundary output's name lives on its edge — so a node feeding the
+    ///   graph boundary must survive. If `drop` feeds a boundary output
+    ///   and `keep` does not, the direction is flipped internally.
+    /// * If *both* nodes feed boundary outputs, neither may be eliminated
+    ///   (two distinct output names need distinct producers); the graph is
+    ///   left untouched.
+    ///
+    /// Returns the surviving node id, or `None` when the merge was
+    /// refused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is dead or the output arities differ.
+    pub fn merge_nodes(&mut self, keep: NodeId, drop: NodeId) -> Option<NodeId> {
+        assert!(self.is_live(keep) && self.is_live(drop), "merge_nodes on a removed node");
+        if keep == drop {
+            return Some(keep);
+        }
+        let (keep, drop) = match (self.feeds_boundary(keep), self.feeds_boundary(drop)) {
+            (true, true) => return None,
+            (false, true) => (drop, keep),
+            _ => (keep, drop),
+        };
+        let outs_keep = self.node(keep).outputs.clone();
+        let outs_drop = self.node(drop).outputs.clone();
+        assert_eq!(outs_keep.len(), outs_drop.len(), "merge_nodes: output arity mismatch");
+        self.remove_node(drop);
+        for (&ea, &eb) in outs_keep.iter().zip(&outs_drop) {
+            let consumers = std::mem::take(&mut self.edges[eb.0 as usize].consumers);
+            for (cnode, cslot) in consumers {
+                self.nodes[cnode.0 as usize].as_mut().expect("live consumer").inputs[cslot] = ea;
+                self.edges[ea.0 as usize].consumers.push((cnode, cslot));
+            }
+        }
+        Some(keep)
     }
 
     /// Total scalar operations this graph performs per invocation, summing
@@ -869,6 +948,55 @@ mod tests {
         assert_eq!(m.bytes(), 48);
         let c = EdgeMeta::new("z", DType::Complex, Modifier::Temp, vec![2]);
         assert_eq!(c.bytes(), 16);
+    }
+
+    /// x --[n1]--> a --[n3]...    x --[n2]--> b --[n4]...
+    /// n1/n2 are interchangeable duplicates reading the same input.
+    fn duplicate_pair() -> (SrDfg, EdgeId, NodeId, NodeId, EdgeId, EdgeId) {
+        let mut g = SrDfg::new("t");
+        let x = g.add_edge(meta("x", vec![4]));
+        let a = g.add_edge(meta("a", vec![4]));
+        let b = g.add_edge(meta("b", vec![4]));
+        g.boundary_inputs.push(x);
+        let n1 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![x], vec![a]);
+        let n2 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![x], vec![b]);
+        (g, x, n1, n2, a, b)
+    }
+
+    #[test]
+    fn merge_nodes_rewires_consumers() {
+        let (mut g, _, n1, n2, a, b) = duplicate_pair();
+        let y = g.add_edge(meta("y", vec![4]));
+        let n3 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![b], vec![y]);
+        assert_eq!(g.merge_nodes(n1, n2), Some(n1));
+        assert!(!g.is_live(n2));
+        assert_eq!(g.node(n3).inputs, vec![a], "consumer rewired to kept output");
+        assert_eq!(g.edge(a).consumers, vec![(n3, 0)]);
+        assert!(g.edge(b).consumers.is_empty());
+    }
+
+    #[test]
+    fn merge_nodes_flips_toward_boundary_producer() {
+        // `drop` feeds the graph boundary: the direction must flip so the
+        // boundary edge keeps its producer.
+        let (mut g, _, n1, n2, _, b) = duplicate_pair();
+        g.boundary_outputs.push(b);
+        assert_eq!(g.merge_nodes(n1, n2), Some(n2));
+        assert!(!g.is_live(n1));
+        assert_eq!(g.edge(b).producer, Some((n2, 0)));
+    }
+
+    #[test]
+    fn merge_nodes_refuses_two_boundary_producers() {
+        // Both duplicates feed (distinct) boundary outputs: neither may be
+        // eliminated, and the graph must be untouched.
+        let (mut g, _, n1, n2, a, b) = duplicate_pair();
+        g.boundary_outputs.push(a);
+        g.boundary_outputs.push(b);
+        assert_eq!(g.merge_nodes(n1, n2), None);
+        assert!(g.is_live(n1) && g.is_live(n2));
+        assert_eq!(g.edge(a).producer, Some((n1, 0)));
+        assert_eq!(g.edge(b).producer, Some((n2, 0)));
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Structural hashing of srDFG nodes — the value-numbering key.
+//!
+//! [`node_structural_hash`] digests a node's `(kind, input edges)`,
+//! exactly the equality CSE merges on (`na.kind == nb.kind && na.inputs
+//! == nb.inputs`), so equal nodes always hash equal and the hash serves
+//! as a hash-consing key with an `==` confirmation on bucket collision.
+//!
+//! `f64` payloads are hashed via `to_bits`. That is *finer* than float
+//! `PartialEq` in exactly two places — `0.0`/`-0.0` hash differently, and
+//! `NaN` hashes equal to itself while comparing unequal — and both are
+//! safe for a consing table: a finer hash can only miss a merge
+//! opportunity (the confirming `==` still decides), never create a wrong
+//! one.
+
+use crate::graph::{IndexRange, Node, NodeKind, ReduceOp, ScalarKind, WriteSpec};
+use crate::kernel::KExpr;
+use crate::value::Tensor;
+use std::hash::{Hash, Hasher};
+
+/// Multiply-xor hasher (the scheme rustc uses for interning tables).
+/// Value numbering digests every kernel tree on every CSE sweep, so hash
+/// throughput matters; DoS resistance does not (a collision only costs
+/// the confirming `==`), which rules out the `DefaultHasher` SipHash.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher(u64);
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`] — for hash tables keyed by
+/// already-mixed values (structural hashes, dense ids).
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_ne_bytes(c.try_into().unwrap()));
+        }
+        for &b in chunks.remainder() {
+            self.add(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// The structural hash of `(node.kind, node.inputs)`.
+///
+/// Two nodes for which CSE's merge equality holds are guaranteed to
+/// return the same value; unequal nodes collide only with ordinary
+/// hash probability.
+pub fn node_structural_hash(node: &Node) -> u64 {
+    let mut h = FxHasher(0);
+    hash_kind(&node.kind, &mut h);
+    node.inputs.hash(&mut h);
+    h.finish()
+}
+
+fn hash_kind<H: Hasher>(kind: &NodeKind, h: &mut H) {
+    std::mem::discriminant(kind).hash(h);
+    match kind {
+        NodeKind::Component(sub) => {
+            // Components are instantiation-unique and never value-numbered
+            // (paper §II.A); a shallow digest keeps the hash total without
+            // walking the whole sub-graph.
+            sub.name.hash(h);
+            sub.node_count().hash(h);
+            sub.edge_count().hash(h);
+        }
+        NodeKind::Map(m) => {
+            hash_space(&m.out_space, h);
+            hash_kexpr(&m.kernel, h);
+            hash_write(&m.write, h);
+        }
+        NodeKind::Reduce(r) => {
+            match &r.op {
+                ReduceOp::Builtin(b) => {
+                    0u8.hash(h);
+                    b.hash(h);
+                }
+                ReduceOp::Custom { name, combiner } => {
+                    1u8.hash(h);
+                    name.hash(h);
+                    hash_kexpr(combiner, h);
+                }
+            }
+            hash_space(&r.out_space, h);
+            hash_space(&r.red_space, h);
+            r.cond.is_some().hash(h);
+            if let Some(c) = &r.cond {
+                hash_kexpr(c, h);
+            }
+            hash_kexpr(&r.body, h);
+            hash_write(&r.write, h);
+        }
+        NodeKind::Scalar(s) => {
+            std::mem::discriminant(s).hash(h);
+            match s {
+                ScalarKind::Bin(op) => op.hash(h),
+                ScalarKind::Un(op) => op.hash(h),
+                ScalarKind::Func(f) => f.hash(h),
+                ScalarKind::Select => {}
+                ScalarKind::Const(c) => c.to_bits().hash(h),
+            }
+        }
+        NodeKind::ConstTensor(t) => hash_tensor(t, h),
+        NodeKind::Load | NodeKind::Store | NodeKind::Unpack | NodeKind::Pack => {}
+    }
+}
+
+fn hash_space<H: Hasher>(space: &[IndexRange], h: &mut H) {
+    space.len().hash(h);
+    for r in space {
+        r.name.hash(h);
+        r.lo.hash(h);
+        r.hi.hash(h);
+    }
+}
+
+fn hash_write<H: Hasher>(w: &WriteSpec, h: &mut H) {
+    w.target_shape.hash(h);
+    w.lhs.len().hash(h);
+    for e in &w.lhs {
+        hash_kexpr(e, h);
+    }
+    w.carried.hash(h);
+}
+
+fn hash_tensor<H: Hasher>(t: &Tensor, h: &mut H) {
+    t.dtype().hash(h);
+    t.shape().hash(h);
+    if let Some(xs) = t.as_real_slice() {
+        for x in xs {
+            x.to_bits().hash(h);
+        }
+    } else if let Some(xs) = t.as_complex_slice() {
+        for (re, im) in xs {
+            re.to_bits().hash(h);
+            im.to_bits().hash(h);
+        }
+    }
+}
+
+fn hash_kexpr<H: Hasher>(e: &KExpr, h: &mut H) {
+    std::mem::discriminant(e).hash(h);
+    match e {
+        KExpr::Const(c) => c.to_bits().hash(h),
+        KExpr::Idx(i) => i.hash(h),
+        KExpr::Operand { slot, indices } => {
+            slot.hash(h);
+            indices.len().hash(h);
+            for ix in indices {
+                hash_kexpr(ix, h);
+            }
+        }
+        KExpr::Arg(i) => i.hash(h),
+        KExpr::Unary(op, a) => {
+            op.hash(h);
+            hash_kexpr(a, h);
+        }
+        KExpr::Binary(op, a, b) => {
+            op.hash(h);
+            hash_kexpr(a, h);
+            hash_kexpr(b, h);
+        }
+        KExpr::Select(c, a, b) => {
+            hash_kexpr(c, h);
+            hash_kexpr(a, h);
+            hash_kexpr(b, h);
+        }
+        KExpr::Call(f, args) => {
+            f.hash(h);
+            args.len().hash(h);
+            for a in args {
+                hash_kexpr(a, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeMeta, MapSpec, Modifier, SrDfg};
+    use pmlang::{BinOp, DType};
+
+    fn map_times(c: f64, n: usize) -> NodeKind {
+        NodeKind::Map(MapSpec {
+            out_space: vec![IndexRange { name: "i".into(), lo: 0, hi: n as i64 - 1 }],
+            kernel: KExpr::Binary(
+                BinOp::Mul,
+                Box::new(KExpr::Operand { slot: 0, indices: vec![KExpr::Idx(0)] }),
+                Box::new(KExpr::Const(c)),
+            ),
+            write: WriteSpec::identity(&[n]),
+        })
+    }
+
+    #[test]
+    fn equal_nodes_hash_equal() {
+        let mut g = SrDfg::new("t");
+        let x = g.add_edge(EdgeMeta::new("x", DType::Float, Modifier::Input, vec![4]));
+        let a = g.add_edge(EdgeMeta::new("a", DType::Float, Modifier::Temp, vec![4]));
+        let b = g.add_edge(EdgeMeta::new("b", DType::Float, Modifier::Temp, vec![4]));
+        let n1 = g.add_node("mul", map_times(2.0, 4), None, vec![x], vec![a]);
+        let n2 = g.add_node("mul", map_times(2.0, 4), None, vec![x], vec![b]);
+        assert_eq!(g.node(n1).kind, g.node(n2).kind);
+        assert_eq!(node_structural_hash(g.node(n1)), node_structural_hash(g.node(n2)));
+    }
+
+    #[test]
+    fn different_payload_or_inputs_hash_differently() {
+        let mut g = SrDfg::new("t");
+        let x = g.add_edge(EdgeMeta::new("x", DType::Float, Modifier::Input, vec![4]));
+        let y = g.add_edge(EdgeMeta::new("y", DType::Float, Modifier::Input, vec![4]));
+        let a = g.add_edge(EdgeMeta::new("a", DType::Float, Modifier::Temp, vec![4]));
+        let b = g.add_edge(EdgeMeta::new("b", DType::Float, Modifier::Temp, vec![4]));
+        let c = g.add_edge(EdgeMeta::new("c", DType::Float, Modifier::Temp, vec![4]));
+        let n1 = g.add_node("mul", map_times(2.0, 4), None, vec![x], vec![a]);
+        let n2 = g.add_node("mul", map_times(3.0, 4), None, vec![x], vec![b]);
+        let n3 = g.add_node("mul", map_times(2.0, 4), None, vec![y], vec![c]);
+        assert_ne!(node_structural_hash(g.node(n1)), node_structural_hash(g.node(n2)));
+        assert_ne!(node_structural_hash(g.node(n1)), node_structural_hash(g.node(n3)));
+    }
+
+    #[test]
+    fn const_tensor_hash_tracks_data() {
+        let t1 = Tensor::from_vec(DType::Float, vec![2], vec![1.0, 2.0]).unwrap();
+        let t2 = Tensor::from_vec(DType::Float, vec![2], vec![1.0, 3.0]).unwrap();
+        let mut g = SrDfg::new("t");
+        let a = g.add_edge(EdgeMeta::new("a", DType::Float, Modifier::Temp, vec![2]));
+        let b = g.add_edge(EdgeMeta::new("b", DType::Float, Modifier::Temp, vec![2]));
+        let n1 = g.add_node("const", NodeKind::ConstTensor(t1), None, vec![], vec![a]);
+        let n2 = g.add_node("const", NodeKind::ConstTensor(t2), None, vec![], vec![b]);
+        assert_ne!(node_structural_hash(g.node(n1)), node_structural_hash(g.node(n2)));
+    }
+}

@@ -56,6 +56,7 @@ pub mod dot;
 pub mod error;
 pub mod expand;
 pub mod graph;
+pub mod hash;
 pub mod interp;
 pub mod kernel;
 pub mod pattern;
@@ -64,11 +65,12 @@ pub mod value;
 
 pub use build::{build, Bindings};
 pub use error::{BuildError, ExecError};
-pub use expand::{refine, ExpandOptions, RefineError};
+pub use expand::{refine, refine_many, ExpandOptions, RefineError};
 pub use graph::{
     Edge, EdgeId, EdgeMeta, IndexRange, MapSpec, Modifier, Node, NodeId, NodeKind, Pattern,
     ReduceOp, ReduceSpec, ScalarKind, SrDfg, WriteSpec,
 };
+pub use hash::{node_structural_hash, FxBuildHasher, FxHasher};
 pub use interp::Machine;
 pub use kernel::KExpr;
 pub use validate::{validate, ValidateError};

@@ -16,4 +16,7 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== pm-bench smoke (--quick)"
+cargo run --release -p pm-bench --bin pm-bench -- --quick --out target/BENCH_smoke.json
+
 echo "verify: all checks passed"

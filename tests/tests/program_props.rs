@@ -331,6 +331,28 @@ proptest! {
         run_and_check(Compiler::cross_domain().with_fusion(), &program, &xs, &ys)?;
     }
 
+    /// The standard pipeline is idempotent: after one full run has reached
+    /// its fixpoint, a second run must find nothing left to do (every
+    /// pass's `changed` stays false). Guards the dirty-tracking pass
+    /// manager against passes that report convergence prematurely or
+    /// oscillate.
+    #[test]
+    fn standard_pipeline_is_idempotent(program in program_strategy()) {
+        let src = program.to_pmlang();
+        let (prog, _) = pmlang::frontend(&src)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+        let mut graph = srdfg::build(&prog, &Bindings::default())
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+        pm_passes::PassManager::standard().run(&mut graph);
+        let second = pm_passes::PassManager::standard().run(&mut graph);
+        for (name, stats) in &second {
+            prop_assert!(
+                !stats.changed,
+                "pass `{name}` still changed the graph on the second run\n{src}"
+            );
+        }
+    }
+
     /// The generator only emits well-formed programs, so the standard lint
     /// batch must never report an Error-severity diagnostic on them (notes
     /// and warnings — carried state, races the generator may synthesize —

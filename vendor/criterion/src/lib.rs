@@ -107,6 +107,48 @@ impl Bencher {
         }
         self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
     }
+
+    /// Runs `setup` outside the timed region and `routine` inside it, as in
+    /// criterion's `iter_batched`. Use when the routine consumes its input
+    /// (e.g. mutates a cloned graph) and the setup cost must not be measured.
+    ///
+    /// Each iteration is timed individually and the *median* is reported:
+    /// like criterion's robust statistics, this keeps a descheduled
+    /// iteration on a loaded machine from skewing the result.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One untimed warm-up run.
+        std::hint::black_box(routine(setup()));
+        let mut samples: Vec<u128> = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(start.elapsed().as_nanos());
+        }
+        samples.sort_unstable();
+        let mid = samples.len() / 2;
+        self.mean_ns = if samples.len().is_multiple_of(2) {
+            (samples[mid - 1] + samples[mid]) as f64 / 2.0
+        } else {
+            samples[mid] as f64
+        };
+    }
+}
+
+/// Batch sizing hint (criterion API compatibility). The stand-in times each
+/// iteration individually, so the variants behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Input is small; criterion would batch many per allocation.
+    SmallInput,
+    /// Input is large; criterion would batch few per allocation.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
 }
 
 /// A benchmark name with a parameter suffix.
@@ -181,6 +223,9 @@ mod tests {
     fn bencher_records_time() {
         let mut c = Criterion::default();
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64, 2, 3], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
         let mut g = c.benchmark_group("group");
         g.sample_size(3);
         g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {

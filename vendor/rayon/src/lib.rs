@@ -1,0 +1,264 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this vendors the tiny
+//! subset of rayon's API the workspace uses — [`join`], `par_iter` /
+//! `into_par_iter`, `map`, and `collect` — implemented on
+//! `std::thread::scope`. Inputs are split into one contiguous chunk per
+//! available core and the per-chunk results are reassembled in input
+//! order, so every combinator is **deterministic**: a parallel run yields
+//! the same `Vec` a serial run would, element for element. (That property
+//! is what lets the compiler promise byte-identical serial and parallel
+//! output.)
+//!
+//! Unlike real rayon there is no work-stealing pool: each `collect` spins
+//! up short-lived scoped threads. That is the right trade-off for the
+//! coarse-grained units this workspace parallelizes (per-target program
+//! partitions, per-node tensor expansions), and it degrades gracefully to
+//! a plain serial loop on single-core machines.
+
+use std::num::NonZeroUsize;
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Number of worker threads combinators will use (real rayon's
+/// `current_num_threads`); here, the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    threads()
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon stand-in: joined task panicked"))
+    })
+}
+
+/// Applies `f` to every item on a pool of scoped threads, preserving
+/// input order in the output.
+fn par_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon stand-in: worker panicked"))
+            .collect()
+    })
+}
+
+/// A (lazily mapped) parallel iterator. The parallelism happens when the
+/// chain is materialized by [`ParallelIterator::collect`].
+pub trait ParallelIterator: Sized + Send {
+    /// The element type produced by this stage of the chain.
+    type Item: Send;
+
+    /// Materializes the chain into a `Vec`, running mapped stages on the
+    /// thread pool. Order matches the source order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` (in parallel at materialization time).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Materializes the chain into a collection.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion from a parallel iterator, mirroring `FromIterator`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from the materialized items.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self {
+        it.run()
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter<I: ParallelIterator<Item = Result<T, E>>>(it: I) -> Self {
+        // Deterministic: reports the *first* error in input order (real
+        // rayon reports an arbitrary one).
+        it.run().into_iter().collect()
+    }
+}
+
+/// The source stage: a materialized list of items.
+pub struct IterBridge<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterBridge<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// The mapped stage returned by [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        par_map(self.base.run(), &self.f)
+    }
+}
+
+/// By-value conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterBridge<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        IterBridge { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = IterBridge<usize>;
+    fn into_par_iter(self) -> Self::Iter {
+        IterBridge { items: self.collect() }
+    }
+}
+
+/// By-reference conversion into a parallel iterator (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a shared reference).
+    type Item: Send + 'data;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = IterBridge<&'data T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        IterBridge { items: self.iter().collect() }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = IterBridge<&'data T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        IterBridge { items: self.iter().collect() }
+    }
+}
+
+/// `use rayon::prelude::*;` brings the iterator traits into scope.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let squares: Vec<usize> = (0..17usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 17);
+        assert_eq!(squares[16], 256);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn result_collect_reports_first_error() {
+        let xs = vec![1i32, 2, 3, 4];
+        let r: Result<Vec<i32>, String> = xs
+            .par_iter()
+            .map(|&x| if x % 2 == 0 { Err(format!("even {x}")) } else { Ok(x) })
+            .collect();
+        assert_eq!(r, Err("even 2".to_string()));
+        let ok: Result<Vec<i32>, String> = xs.par_iter().map(|&x| Ok(x * 10)).collect();
+        assert_eq!(ok, Ok(vec![10, 20, 30, 40]));
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u8> = Vec::new();
+        let ys: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+}
