@@ -42,6 +42,16 @@
 //!     line: `name dim dim ... = v v v ...` (no dims = scalar); prefix a
 //!     line with `state ` to seed a persistent state variable. With
 //!     `--iters`, invokes repeatedly so `state` evolves.
+//! pmc fuzz [--seed N] [--cases N] [--smoke] [--minimize] [--corpus DIR]
+//!     Differentially fuzz the whole stack: generate seeded random PMLang
+//!     programs and run each through every route (interpreter at opt
+//!     levels 0/1/2 with and without fusion, lowered + partitioned
+//!     host-only and cross-domain), cross-checking outputs against the
+//!     generator's model evaluator. `--smoke` is the fixed CI
+//!     configuration (seed 0xC0FFEE). `--minimize` shrinks the first
+//!     failure with delta debugging; `--corpus DIR` additionally writes
+//!     the minimized reproducer as a self-contained `.pm` file there
+//!     (replayed forever after by the regression suite).
 //! ```
 
 use polymath::{standard_soc, Compiler};
@@ -64,6 +74,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
+    if cmd == "fuzz" {
+        // `fuzz` takes no source file; everything after the command is flags.
+        return fuzz_cmd(&args[1..]);
+    }
     let Some(path) = args.get(1) else {
         return Err(usage());
     };
@@ -236,6 +250,92 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+/// The `pmc fuzz` subcommand: a whole differential-fuzzing campaign.
+///
+/// The undocumented `PMC_FUZZ_MISCOMPILE` environment variable arms the
+/// sentinel miscompilation (a deliberate `add`→`sub` flip applied after
+/// optimization) so CI can prove the harness actually detects bugs.
+fn fuzz_cmd(args: &[String]) -> Result<(), String> {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| -> Result<Option<u64>, String> {
+        match args.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(pos) => {
+                let v = args.get(pos + 1).ok_or_else(|| format!("{name} expects a number"))?;
+                let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    v.parse()
+                };
+                parsed.map(Some).map_err(|_| format!("bad {name} value `{v}`"))
+            }
+        }
+    };
+    let seed = flag_value("--seed")?.unwrap_or(if smoke { 0xC0FFEE } else { 0 });
+    let cases = flag_value("--cases")?.unwrap_or(if smoke { 10_000 } else { 1000 }) as usize;
+    let minimize = args.iter().any(|a| a == "--minimize") || smoke;
+    let corpus_dir = args
+        .iter()
+        .position(|a| a == "--corpus")
+        .map(|pos| {
+            args.get(pos + 1)
+                .map(std::path::PathBuf::from)
+                .ok_or_else(|| "--corpus expects a directory".to_string())
+        })
+        .transpose()?;
+    let sabotage = std::env::var_os("PMC_FUZZ_MISCOMPILE").is_some_and(|v| v != "0");
+
+    let cfg = pm_fuzz::FuzzConfig {
+        seed,
+        cases,
+        diff: pm_fuzz::DiffConfig { sabotage, ..Default::default() },
+        minimize,
+        corpus_dir,
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let report = pm_fuzz::run_fuzz_with_progress(&cfg, &mut |done, unstable| {
+        if done % 1000 == 0 {
+            eprintln!("pmc fuzz: {done}/{cases} cases ({unstable} unstable)");
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    match report.failure {
+        None => {
+            println!(
+                "fuzz: {} case(s) passed, {} unstable (seed {seed:#x}, {elapsed:.1}s)",
+                report.passed, report.unstable
+            );
+            Ok(())
+        }
+        Some(f) => {
+            eprintln!("fuzz: FAILURE at case {} (seed {seed:#x})", f.case);
+            eprintln!("  route:  {}", f.failure.route);
+            eprintln!("  detail: {}", f.failure.detail);
+            if minimize {
+                eprintln!(
+                    "  minimized {} -> {} statement(s) in {} attempt(s)",
+                    f.original_stmts,
+                    f.program.stmt_count(),
+                    f.shrink_attempts
+                );
+            }
+            eprintln!("  inputs: x = {:?}", f.xs);
+            eprintln!("          y = {:?}", f.ys);
+            if f.program.has_state() {
+                eprintln!("          z = {:?}", f.z0);
+            }
+            eprintln!("--- reproducer ---");
+            eprint!("{}", f.program.to_pmlang());
+            eprintln!("------------------");
+            if let Some(path) = &f.reproducer {
+                eprintln!("  reproducer written to {}", path.display());
+            }
+            Err(format!("differential mismatch after {} case(s) ({elapsed:.1}s)", report.executed))
+        }
     }
 }
 
@@ -489,6 +589,7 @@ fn parse_format(args: &[String]) -> Result<&str, String> {
 fn usage() -> String {
     "usage: pmc <check|stats|dot|compile|lint|run> <file.pm> [feeds.txt] \
 [--size name=value ...] [--host-only] [--pin comp=TARGET ...] [--iters N] \
-[--deny-warnings] [--timings] [--format json]"
+[--deny-warnings] [--timings] [--format json]\n\
+       pmc fuzz [--seed N] [--cases N] [--smoke] [--minimize] [--corpus DIR]"
         .to_string()
 }

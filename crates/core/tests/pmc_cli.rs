@@ -210,6 +210,90 @@ fn missing_file_is_a_clean_error() {
     assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
 }
 
+/// Golden schema test for `pmc compile --timings --format json`: the JSON
+/// object is a machine-readable interface (dashboards, CI perf tracking),
+/// so its field names and shape are pinned here. Values are wall-clock
+/// times and may vary; the *structure* may not.
+#[test]
+fn compile_timings_json_schema_is_stable() {
+    let f = temp_file("timings", TWO_DOMAIN);
+    let out = pmc(&["compile", f.to_str().unwrap(), "--timings", "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let json = text.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "not a JSON object: {json}");
+    assert_eq!(json.lines().count(), 1, "must be a single-line object: {json}");
+
+    // Top-level fields, in emission order.
+    let fields =
+        ["frontend", "build", "midend", "passes", "lower", "post_lower", "compile", "total"];
+    let mut last = 0;
+    for field in fields {
+        let key = format!("\"{field}\":");
+        let pos = json.find(&key).unwrap_or_else(|| panic!("missing field `{field}`: {json}"));
+        assert!(pos > last || field == "frontend", "field `{field}` out of order: {json}");
+        last = pos;
+    }
+
+    // Every stage duration is a bare (non-quoted, non-scientific) number.
+    for field in ["frontend", "build", "midend", "lower", "post_lower", "compile", "total"] {
+        let key = format!("\"{field}\":");
+        let rest = &json[json.find(&key).unwrap() + key.len()..];
+        let value: String = rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+        assert!(value.parse::<f64>().is_ok(), "field `{field}` is not a plain number: {rest:.20}");
+    }
+
+    // The per-pass array: one object per mid-end pass, each carrying
+    // exactly the documented keys.
+    let passes_start = json.find("\"passes\":[").expect("passes array") + "\"passes\":[".len();
+    let passes = &json[passes_start..json[passes_start..].find(']').unwrap() + passes_start];
+    let objects: Vec<&str> = passes.split("},").collect();
+    assert!(!objects.is_empty() && !passes.is_empty(), "passes array is empty: {json}");
+    for obj in &objects {
+        for key in ["\"pass\":", "\"seconds\":", "\"rewrites\":", "\"changed\":"] {
+            assert!(obj.contains(key), "pass entry missing {key}: {obj}");
+        }
+    }
+    // The standard pipeline's workhorses are present and named stably.
+    for pass in ["constant-fold", "algebraic-simplify", "cse", "dead-node-elimination"] {
+        assert!(passes.contains(&format!("\"pass\":\"{pass}\"")), "missing pass `{pass}`: {json}");
+    }
+}
+
+#[test]
+fn fuzz_smoke_runs_clean() {
+    // A tiny seeded campaign through the real binary: generation,
+    // differential execution, and the summary line all work end-to-end.
+    let out = pmc(&["fuzz", "--seed", "7", "--cases", "50"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("case(s) passed"), "{text}");
+    assert!(text.contains("seed 0x7"), "{text}");
+}
+
+#[test]
+fn fuzz_detects_the_sentinel_miscompile() {
+    // With the hidden sentinel armed, the campaign must fail, print a
+    // runnable reproducer, and exit non-zero.
+    let out = Command::new(env!("CARGO_BIN_EXE_pmc"))
+        .args(["fuzz", "--cases", "1000", "--minimize"])
+        .env("PMC_FUZZ_MISCOMPILE", "1")
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "sentinel miscompile went undetected");
+    let err = stderr(&out);
+    assert!(err.contains("FAILURE at case"), "{err}");
+    assert!(err.contains("route:"), "{err}");
+    assert!(err.contains("main("), "no reproducer printed:\n{err}");
+}
+
+#[test]
+fn fuzz_rejects_bad_flags() {
+    let out = pmc(&["fuzz", "--cases", "lots"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad --cases value"), "{}", stderr(&out));
+}
+
 #[test]
 fn size_parameters_bind_from_the_command_line() {
     let f = temp_file(

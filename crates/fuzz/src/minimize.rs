@@ -1,0 +1,275 @@
+//! Delta-debugging minimization of failing differential cases.
+//!
+//! The vendored property-testing shim has no shrinking, so this greedy
+//! fixpoint minimizer is the only thing standing between a 6-statement,
+//! depth-4 random reproducer and something a human can read. Every move
+//! strictly *removes* structure — drop a statement, strip the state
+//! vector / component wrap / domain annotations, shorten the vectors,
+//! hoist an expression subtree over its parent, or collapse a subtree to a
+//! literal — so a candidate is always a valid, feasible program (the
+//! model's total rendering guarantees it), and the loop terminates because
+//! each accepted move shrinks a well-founded measure.
+
+use crate::diff::{check_case, CaseResult, DiffConfig};
+use crate::model::{PExpr, PProgram};
+
+/// A minimized failing case: the program plus the (possibly truncated)
+/// inputs that still reproduce the failure.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The shrunk program.
+    pub program: PProgram,
+    /// Input vector `x`.
+    pub xs: Vec<f64>,
+    /// Input vector `y`.
+    pub ys: Vec<f64>,
+    /// Initial state vector (ignored when the program has no state).
+    pub z0: Vec<f64>,
+    /// Differential runs spent shrinking.
+    pub attempts: usize,
+}
+
+/// Paths to every subtree of `e`, pre-order (root first, so the biggest
+/// cuts are tried first).
+fn paths(e: &PExpr) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new()];
+    for (i, child) in e.children().into_iter().enumerate() {
+        for mut p in paths(child) {
+            p.insert(0, i);
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn subtree<'a>(e: &'a PExpr, path: &[usize]) -> &'a PExpr {
+    match path.split_first() {
+        None => e,
+        Some((&i, rest)) => subtree(e.children()[i], rest),
+    }
+}
+
+fn subtree_mut<'a>(e: &'a mut PExpr, path: &[usize]) -> &'a mut PExpr {
+    match path.split_first() {
+        None => e,
+        Some((&i, rest)) => subtree_mut(e.children_mut().swap_remove(i), rest),
+    }
+}
+
+/// The failure predicate a shrink candidate must keep satisfying:
+/// `(program, xs, ys, z0) -> still fails`.
+pub type FailurePredicate<'a> = dyn FnMut(&PProgram, &[f64], &[f64], &[f64]) -> bool + 'a;
+
+/// Shrinks a failing case to a (locally) minimal one. `check` is the
+/// failure predicate — typically "the differential executor still fails" —
+/// abstracted so tests can minimize against synthetic predicates.
+pub fn minimize_with(
+    program: PProgram,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    z0: Vec<f64>,
+    check: &mut FailurePredicate<'_>,
+) -> Minimized {
+    let mut cur = Minimized { program, xs, ys, z0, attempts: 0 };
+    if !check(&cur.program, &cur.xs, &cur.ys, &cur.z0) {
+        // Not reproducible at all — nothing to shrink against.
+        return cur;
+    }
+    loop {
+        let mut improved = false;
+        let mut attempt =
+            |cand: &PProgram, xs: &[f64], ys: &[f64], z0: &[f64], attempts: &mut usize| {
+                *attempts += 1;
+                check(cand, xs, ys, z0)
+            };
+
+        // Drop whole statements (always keep at least one).
+        let mut i = 0;
+        while cur.program.stmts.len() > 1 && i < cur.program.stmts.len() {
+            let mut cand = cur.program.clone();
+            cand.stmts.remove(i);
+            if attempt(&cand, &cur.xs, &cur.ys, &cur.z0, &mut cur.attempts) {
+                cur.program = cand;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Strip the persistent state (removes the update statement and
+        // turns `z[i]` reads into `x[i]`).
+        if cur.program.state_update.is_some() {
+            let mut cand = cur.program.clone();
+            cand.state_update = None;
+            if attempt(&cand, &cur.xs, &cur.ys, &cur.z0, &mut cur.attempts) {
+                cur.program = cand;
+                improved = true;
+            }
+        }
+
+        // Strip the component wrap.
+        if cur.program.wrap.is_some() {
+            let mut cand = cur.program.clone();
+            cand.wrap = None;
+            if attempt(&cand, &cur.xs, &cur.ys, &cur.z0, &mut cur.attempts) {
+                cur.program = cand;
+                improved = true;
+            }
+        }
+
+        // Strip per-statement domain annotations.
+        for j in 0..cur.program.stmts.len() {
+            if cur.program.stmts[j].domain().is_none() {
+                continue;
+            }
+            let mut cand = cur.program.clone();
+            match &mut cand.stmts[j] {
+                crate::model::PStmt::Map(_, d) | crate::model::PStmt::Reduce(_, _, d) => *d = None,
+            }
+            if attempt(&cand, &cur.xs, &cur.ys, &cur.z0, &mut cur.attempts) {
+                cur.program = cand;
+                improved = true;
+            }
+        }
+
+        // Shrink the vector length, truncating the inputs to match.
+        while cur.program.n > 1 {
+            let n = cur.program.n - 1;
+            let mut cand = cur.program.clone();
+            cand.n = n;
+            let (xs, ys, z0) = (cur.xs[..n].to_vec(), cur.ys[..n].to_vec(), cur.z0[..n].to_vec());
+            if attempt(&cand, &xs, &ys, &z0, &mut cur.attempts) {
+                cur.program = cand;
+                cur.xs = xs;
+                cur.ys = ys;
+                cur.z0 = z0;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+
+        // Simplify expressions: hoist a subtree's child over it, or
+        // collapse the subtree to `1.0`. Root-first, one accepted rewrite
+        // per expression per sweep (paths go stale after a rewrite).
+        let exprs = cur.program.stmts.len() + usize::from(cur.program.state_update.is_some());
+        fn expr_of(p: &PProgram, slot: usize) -> &PExpr {
+            if slot < p.stmts.len() {
+                p.stmts[slot].expr()
+            } else {
+                p.state_update.as_ref().unwrap()
+            }
+        }
+        for slot in 0..exprs {
+            'slot: for path in paths(expr_of(&cur.program, slot)) {
+                let node = subtree(expr_of(&cur.program, slot), &path);
+                let mut candidates: Vec<PExpr> = node.children().into_iter().cloned().collect();
+                if !matches!(node, PExpr::Lit(_)) {
+                    candidates.push(PExpr::Lit(1.0));
+                }
+                for replacement in candidates {
+                    let mut cand = cur.program.clone();
+                    {
+                        let target = if slot < cand.stmts.len() {
+                            match &mut cand.stmts[slot] {
+                                crate::model::PStmt::Map(e, _)
+                                | crate::model::PStmt::Reduce(_, e, _) => e,
+                            }
+                        } else {
+                            cand.state_update.as_mut().unwrap()
+                        };
+                        *subtree_mut(target, &path) = replacement;
+                    }
+                    if attempt(&cand, &cur.xs, &cur.ys, &cur.z0, &mut cur.attempts) {
+                        cur.program = cand;
+                        improved = true;
+                        break 'slot;
+                    }
+                }
+            }
+        }
+
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// Shrinks a case that fails under the differential executor with `cfg`.
+pub fn minimize(
+    program: PProgram,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    z0: Vec<f64>,
+    cfg: &DiffConfig,
+) -> Minimized {
+    minimize_with(program, xs, ys, z0, &mut |p, xs, ys, z0| {
+        matches!(check_case(p, xs, ys, z0, cfg), CaseResult::Fail(_))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PStmt, RedKind};
+
+    fn add(a: PExpr, b: PExpr) -> PExpr {
+        PExpr::Add(Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn shrinks_to_the_statement_carrying_the_defect() {
+        // Predicate: "some statement contains an Add" — the minimizer
+        // should strip everything else down to a single `1.0 + 1.0`-class
+        // statement.
+        let program = PProgram {
+            n: 6,
+            stmts: vec![
+                PStmt::Map(PExpr::Mul(Box::new(PExpr::Var(0)), Box::new(PExpr::Var(1))), None),
+                PStmt::Map(
+                    add(PExpr::Abs(Box::new(PExpr::Var(2))), PExpr::Idx),
+                    Some(pmlang::Domain::Dsp),
+                ),
+                PStmt::Reduce(RedKind::Max, PExpr::SVar(0), None),
+            ],
+            state_update: Some(add(PExpr::State, PExpr::Lit(0.5))),
+            wrap: None,
+        };
+        let has_add = |e: &PExpr| {
+            fn rec(e: &PExpr) -> bool {
+                matches!(e, PExpr::Add(_, _)) || e.children().iter().any(|c| rec(c))
+            }
+            rec(e)
+        };
+        let min =
+            minimize_with(program, vec![1.0; 6], vec![1.0; 6], vec![0.0; 6], &mut |p, _, _, _| {
+                p.stmts.iter().any(|s| has_add(s.expr()))
+            });
+        assert_eq!(min.program.stmts.len(), 1, "{:?}", min.program);
+        assert!(min.program.state_update.is_none());
+        assert_eq!(min.program.n, 1);
+        // The surviving expression is exactly one Add of two leaves.
+        let e = min.program.stmts[0].expr();
+        assert!(matches!(e, PExpr::Add(_, _)), "{e:?}");
+        assert!(e.size() <= 3, "{e:?}");
+    }
+
+    #[test]
+    fn irreproducible_case_is_returned_unchanged() {
+        let program = PProgram {
+            n: 2,
+            stmts: vec![PStmt::Map(PExpr::Var(0), None)],
+            state_update: None,
+            wrap: None,
+        };
+        let min = minimize_with(
+            program.clone(),
+            vec![0.0; 2],
+            vec![0.0; 2],
+            vec![0.0; 2],
+            &mut |_, _, _, _| false,
+        );
+        assert_eq!(min.program, program);
+        assert_eq!(min.attempts, 0);
+    }
+}

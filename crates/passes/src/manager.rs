@@ -197,6 +197,26 @@ impl PassManager {
         pm
     }
 
+    /// A pipeline for a numeric optimization level: `0` is the empty
+    /// pipeline (interpret the graph as built), `1` a single sweep of the
+    /// cheap local rewrites (folding, simplification, propagation, input
+    /// pruning — no CSE/DCE, no fixpoint), and `2`+ the full
+    /// [`standard`](PassManager::standard) fixpoint pipeline.
+    pub fn at_opt_level(level: u8) -> Self {
+        match level {
+            0 => PassManager::new(),
+            1 => {
+                let mut pm = PassManager::new();
+                pm.add(crate::fold::ConstantFold)
+                    .add(crate::fold::AlgebraicSimplify)
+                    .add(crate::constprop::ConstantPropagation)
+                    .add(crate::prune::PruneUnusedInputs);
+                pm
+            }
+            _ => PassManager::standard(),
+        }
+    }
+
     /// Appends a pass to the pipeline.
     pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
         self.passes.push(Box::new(pass));

@@ -19,4 +19,7 @@ cargo fmt --check
 echo "== pm-bench smoke (--quick)"
 cargo run --release -p pm-bench --bin pm-bench -- --quick --out target/BENCH_smoke.json
 
+echo "== pmc fuzz --smoke"
+cargo run --release -p polymath --bin pmc -- fuzz --smoke
+
 echo "verify: all checks passed"

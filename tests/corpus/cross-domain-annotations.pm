@@ -1,0 +1,9 @@
+// Statement-level domain annotations: DSP and DA statements in one program
+// force Algorithm-1 lowering to two different accelerator granularities plus
+// host, with marshalling at every crossing.
+main(input float x[5], input float y[5], output float t0[5], output float t1[5], output float s0) {
+    index i[0:4];
+    DSP: t0[i] = (sin(x[i]) + cos(y[i]));
+    DA: t1[i] = sigmoid((t0[i] - y[i]));
+    s0 = sum[i]((t1[i] * x[i]));
+}

@@ -1,0 +1,11 @@
+// Regression: two boundary outputs defined by identical expressions.
+// Value-numbering CSE once considered merging duplicate output kernels,
+// which would alias two distinct boundary edges; both outputs must keep
+// their own value through every route.
+// (From tests/tests/program_props.proptest-regressions:
+//  PProgram { stmts: [Map(SVar(0), None), Map(SVar(0), None)] }.)
+main(input float x[6], input float y[6], output float t0[6], output float t1[6]) {
+    index i[0:5];
+    t0[i] = 1.0;
+    t1[i] = 1.0;
+}

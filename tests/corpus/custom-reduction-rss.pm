@@ -1,0 +1,11 @@
+// Custom reductions: a user-defined combiner must scalar-expand identically
+// under the interpreter's left fold and the lowered combiner tree.
+// feed x = [3.0, 0.0, -1.5, 2.25]
+// feed y = [4.0, 1.0, 0.5, -0.75]
+reduction rss(a, b) = sqrt(a*a + b*b);
+reduction pickmax(a, b) = a > b ? a : b;
+main(input float x[4], input float y[4], output float s0, output float s1) {
+    index i[0:3];
+    s0 = rss[i]((x[i] + y[i]));
+    s1 = pickmax[i]((x[i] * y[i]));
+}

@@ -1,0 +1,12 @@
+// Multi-invocation state persistence: `z` must carry across invocations on
+// every route (the replayer runs state programs three times and compares the
+// whole trajectory, including the retained state tensor).
+// feed x = [0.5, -1.25, 2.0]
+// feed y = [1.0, 0.25, -0.5]
+// state z = [1.0, 2.0, 3.0]
+main(input float x[3], input float y[3], state float z[3], output float s0, output float t0[3]) {
+    index i[0:2];
+    s0 = sum[i]((z[i] * y[i]));
+    t0[i] = (z[i] + y[i]);
+    z[i] = (z[i] + x[i]);
+}

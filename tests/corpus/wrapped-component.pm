@@ -1,0 +1,11 @@
+// A component wrap: the whole kernel is instantiated under one domain
+// annotation, so the component boundary (not the statements) decides the
+// accelerator assignment.
+kern(input float x[4], input float y[4], output float t0[4], output float s0) {
+    index i[0:3];
+    t0[i] = max2((x[i] - y[i]), (y[i] * 0.5));
+    s0 = min[i](t0[i]);
+}
+main(input float x[4], input float y[4], output float t0[4], output float s0) {
+    DA: kern(x, y, t0, s0);
+}

@@ -1,0 +1,59 @@
+//! Replays every checked-in fuzz reproducer (`tests/corpus/*.pm`) through
+//! the full differential executor: interpreter at opt levels 0/1/2 (with
+//! and without fusion) and the lowered + partitioned program, host-only and
+//! cross-domain. A file lands here either as a hand-written regression
+//! guard or because `pmc fuzz --minimize --corpus tests/corpus` shrank a
+//! real failure into it — once checked in, the bug can never come back
+//! silently.
+
+use pm_fuzz::{corpus, CaseResult, DiffConfig};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn every_corpus_file_replays_clean() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "pm"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus at {} is empty", dir.display());
+
+    let cfg = DiffConfig::default();
+    let mut failures = Vec::new();
+    for path in &entries {
+        let content = std::fs::read_to_string(path).unwrap();
+        match corpus::replay(&content, &cfg) {
+            CaseResult::Pass => {}
+            CaseResult::Unstable => {
+                // A reproducer whose pinned inputs are numerically unstable
+                // guards nothing: reject it so the corpus stays meaningful.
+                failures.push(format!("{}: numerically unstable", path.display()));
+            }
+            CaseResult::Fail(f) => failures.push(format!("{}: {f}", path.display())),
+        }
+    }
+    assert!(failures.is_empty(), "corpus regressions:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn corpus_headers_parse() {
+    // Files that pin feeds must pin them with the documented syntax —
+    // a malformed header silently falls back to synthetic data, which
+    // would un-pin the regression.
+    for path in std::fs::read_dir(corpus_dir()).unwrap().map(|e| e.unwrap().path()) {
+        if path.extension().is_none_or(|x| x != "pm") {
+            continue;
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        let feeds = corpus::parse_feeds(&content);
+        for (name, vals) in feeds.inputs.iter().chain(&feeds.states) {
+            assert!(!vals.is_empty(), "{}: pinned tensor `{name}` has no values", path.display());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The long-haul fuzz run, ignored by default. Run explicitly with
+//!
+//! ```text
+//! PM_FUZZ_CASES=100000 PM_FUZZ_SEED=7 cargo test -p pm-tests --release \
+//!     --test fuzz_long -- --ignored
+//! ```
+//!
+//! Defaults to 50k cases from seed 1 (a different stream than the CI
+//! smoke's 0xC0FFEE, so the two runs compound rather than repeat).
+
+use pm_fuzz::FuzzConfig;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| {
+            v.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| v.parse().ok())
+        })
+        .unwrap_or(default)
+}
+
+#[test]
+#[ignore = "long fuzz campaign; tune with PM_FUZZ_CASES / PM_FUZZ_SEED"]
+fn long_fuzz_campaign_is_clean() {
+    let cfg = FuzzConfig {
+        seed: env_u64("PM_FUZZ_SEED", 1),
+        cases: env_u64("PM_FUZZ_CASES", 50_000) as usize,
+        minimize: true,
+        ..FuzzConfig::default()
+    };
+    let report = pm_fuzz::run_fuzz(&cfg);
+    if let Some(f) = &report.failure {
+        panic!(
+            "differential mismatch at case {} (seed {:#x}):\n[{}] {}\n{}",
+            f.case,
+            cfg.seed,
+            f.failure.route,
+            f.failure.detail,
+            f.program.to_pmlang()
+        );
+    }
+    assert_eq!(report.executed, cfg.cases);
+}

@@ -1,0 +1,55 @@
+//! The harness-of-the-harness check: with the sentinel miscompilation
+//! armed (a deliberate `add`→`sub` flip applied after optimization), the
+//! differential fuzzer must actually detect the bug quickly, and the
+//! minimizer must shrink the witness to something a human can read. If
+//! this test fails, green fuzz runs prove nothing.
+
+use pm_fuzz::{CaseResult, DiffConfig, FuzzConfig};
+
+#[test]
+fn sentinel_miscompile_is_caught_and_minimized() {
+    let cfg = FuzzConfig {
+        seed: 0xC0FFEE,
+        cases: 1000,
+        diff: DiffConfig { sabotage: true, ..DiffConfig::default() },
+        minimize: true,
+        ..FuzzConfig::default()
+    };
+    let report = pm_fuzz::run_fuzz(&cfg);
+    let failure =
+        report.failure.expect("the sentinel miscompilation must be detected within 1000 cases");
+    assert!(
+        failure.case < 1000,
+        "detected only at case {} — the generator is too tame",
+        failure.case
+    );
+    assert!(
+        failure.program.stmt_count() <= 10,
+        "minimized reproducer still has {} statements:\n{}",
+        failure.program.stmt_count(),
+        failure.program.to_pmlang()
+    );
+    // The shrunk witness must still reproduce on its own.
+    assert!(
+        matches!(
+            pm_fuzz::check_case(&failure.program, &failure.xs, &failure.ys, &failure.z0, &cfg.diff),
+            CaseResult::Fail(_)
+        ),
+        "minimized case no longer fails"
+    );
+    // And the same program must be clean without the sentinel: the failure
+    // is the sabotage, not a real stack bug or a flaky tolerance.
+    assert!(
+        matches!(
+            pm_fuzz::check_case(
+                &failure.program,
+                &failure.xs,
+                &failure.ys,
+                &failure.z0,
+                &DiffConfig::default()
+            ),
+            CaseResult::Pass
+        ),
+        "minimized case fails even without the sentinel"
+    );
+}

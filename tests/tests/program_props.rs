@@ -1,322 +1,132 @@
 //! Property tests over randomly generated *program structures*: multiple
-//! dependent statements, mixed map/reduce kinds, and random per-statement
-//! domain annotations. Each generated program carries its own direct Rust
-//! evaluator; the compiled (optimized, lowered, partitioned) graph must
-//! agree with it bit-for-bit within float tolerance, whatever the
-//! accelerator assignment.
+//! dependent statements, mixed map/reduce kinds (built-in and custom
+//! reductions), persistent `state` vectors, component wraps, and random
+//! per-statement domain annotations. The generator and its direct Rust
+//! evaluator live in `pm_fuzz::model` / `pm_fuzz::gen` — the same machinery
+//! `pmc fuzz` drives at scale — so every program shape the fuzzer can emit
+//! is also exercised here under proptest's seeded regime. The compiled
+//! (optimized, lowered, partitioned) graph must agree with the model
+//! evaluator within float tolerance, whatever the accelerator assignment.
 
+use pm_fuzz::{gen::strategies, EvalStep, PProgram};
 use pm_lower::FragmentKind;
 use polymath::Compiler;
 use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
 use srdfg::{Bindings, Machine, Tensor};
 use std::collections::HashMap;
 
-const N: usize = 6;
+/// A full differential case: a program plus inputs sized to its `n`.
+type Case = (PProgram, Vec<f64>, Vec<f64>, Vec<f64>);
 
-/// A scalar expression over previously defined vectors (`Var`), previously
-/// defined reduction scalars (`SVar`), the index, and literals.
-#[derive(Debug, Clone)]
-enum PExpr {
-    Var(u8),
-    SVar(u8),
-    Idx,
-    Lit(f64),
-    Add(Box<PExpr>, Box<PExpr>),
-    Sub(Box<PExpr>, Box<PExpr>),
-    Mul(Box<PExpr>, Box<PExpr>),
-    Max(Box<PExpr>, Box<PExpr>),
-    Abs(Box<PExpr>),
-    Select(Box<PExpr>, Box<PExpr>, Box<PExpr>),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum RedKind {
-    Sum,
-    Max,
-    Min,
-}
-
-/// One statement: an elementwise map defining a new vector, or a
-/// reduction defining a new scalar. `domain` is the optional statement
-/// annotation (the paper's extension to statement-level domains).
-#[derive(Debug, Clone)]
-enum PStmt {
-    Map(PExpr, Option<&'static str>),
-    Reduce(RedKind, PExpr, Option<&'static str>),
-}
-
-#[derive(Debug, Clone)]
-struct PProgram {
-    stmts: Vec<PStmt>,
-}
-
-impl PExpr {
-    /// Renders against the vectors/scalars defined so far. Out-of-range
-    /// references wrap, so any byte sequence is a valid program.
-    fn render(&self, vecs: usize, scalars: usize) -> String {
-        match self {
-            PExpr::Var(v) => {
-                // Inputs x, y count as vectors 0 and 1.
-                match (*v as usize) % (vecs + 2) {
-                    0 => "x[i]".into(),
-                    1 => "y[i]".into(),
-                    k => format!("t{}[i]", k - 2),
-                }
-            }
-            PExpr::SVar(v) => {
-                if scalars == 0 {
-                    "1.0".into()
-                } else {
-                    format!("s{}", (*v as usize) % scalars)
-                }
-            }
-            PExpr::Idx => "i".into(),
-            PExpr::Lit(v) => format!("{v:?}"),
-            PExpr::Add(a, b) => {
-                format!("({} + {})", a.render(vecs, scalars), b.render(vecs, scalars))
-            }
-            PExpr::Sub(a, b) => {
-                format!("({} - {})", a.render(vecs, scalars), b.render(vecs, scalars))
-            }
-            PExpr::Mul(a, b) => {
-                format!("({} * {})", a.render(vecs, scalars), b.render(vecs, scalars))
-            }
-            PExpr::Max(a, b) => {
-                format!("max2({}, {})", a.render(vecs, scalars), b.render(vecs, scalars))
-            }
-            PExpr::Abs(a) => format!("abs({})", a.render(vecs, scalars)),
-            PExpr::Select(c, a, b) => format!(
-                "({} > 0.0 ? {} : {})",
-                c.render(vecs, scalars),
-                a.render(vecs, scalars),
-                b.render(vecs, scalars)
-            ),
-        }
-    }
-
-    fn eval(&self, env: &Env, i: usize) -> f64 {
-        match self {
-            PExpr::Var(v) => match (*v as usize) % (env.vecs.len() + 2) {
-                0 => env.x[i],
-                1 => env.y[i],
-                k => env.vecs[k - 2][i],
-            },
-            PExpr::SVar(v) => {
-                if env.scalars.is_empty() {
-                    1.0
-                } else {
-                    env.scalars[(*v as usize) % env.scalars.len()]
-                }
-            }
-            PExpr::Idx => i as f64,
-            PExpr::Lit(v) => *v,
-            PExpr::Add(a, b) => a.eval(env, i) + b.eval(env, i),
-            PExpr::Sub(a, b) => a.eval(env, i) - b.eval(env, i),
-            PExpr::Mul(a, b) => a.eval(env, i) * b.eval(env, i),
-            PExpr::Max(a, b) => a.eval(env, i).max(b.eval(env, i)),
-            PExpr::Abs(a) => a.eval(env, i).abs(),
-            PExpr::Select(c, a, b) => {
-                if c.eval(env, i) > 0.0 {
-                    a.eval(env, i)
-                } else {
-                    b.eval(env, i)
-                }
-            }
-        }
-    }
-}
-
-/// The direct evaluator's environment: inputs plus everything defined so
-/// far, in statement order.
-struct Env {
-    x: Vec<f64>,
-    y: Vec<f64>,
-    vecs: Vec<Vec<f64>>,
-    scalars: Vec<f64>,
-}
-
-impl PProgram {
-    fn to_pmlang(&self) -> String {
-        let m = N - 1;
-        let mut decls = Vec::new();
-        let mut body = Vec::new();
-        let (mut vecs, mut scalars) = (0usize, 0usize);
-        for stmt in &self.stmts {
-            match stmt {
-                PStmt::Map(e, dom) => {
-                    let pre = dom.map(|d| format!("{d}: ")).unwrap_or_default();
-                    body.push(format!("    {pre}t{vecs}[i] = {};", e.render(vecs, scalars)));
-                    decls.push(format!("output float t{vecs}[{N}]"));
-                    vecs += 1;
-                }
-                PStmt::Reduce(kind, e, dom) => {
-                    let pre = dom.map(|d| format!("{d}: ")).unwrap_or_default();
-                    let red = match kind {
-                        RedKind::Sum => "sum",
-                        RedKind::Max => "max",
-                        RedKind::Min => "min",
-                    };
-                    body.push(format!(
-                        "    {pre}s{scalars} = {red}[i]({});",
-                        e.render(vecs, scalars)
-                    ));
-                    decls.push(format!("output float s{scalars}"));
-                    scalars += 1;
-                }
-            }
-        }
-        format!(
-            "main(input float x[{N}], input float y[{N}], {}) {{\n    index i[0:{m}];\n{}\n}}",
-            decls.join(", "),
-            body.join("\n")
-        )
-    }
-
-    fn eval(&self, x: &[f64], y: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let mut env = Env { x: x.to_vec(), y: y.to_vec(), vecs: Vec::new(), scalars: Vec::new() };
-        for stmt in &self.stmts {
-            match stmt {
-                PStmt::Map(e, _) => {
-                    let v: Vec<f64> = (0..N).map(|i| e.eval(&env, i)).collect();
-                    env.vecs.push(v);
-                }
-                PStmt::Reduce(kind, e, _) => {
-                    let vals = (0..N).map(|i| e.eval(&env, i));
-                    let s = match kind {
-                        RedKind::Sum => vals.sum(),
-                        RedKind::Max => vals.fold(f64::NEG_INFINITY, f64::max),
-                        RedKind::Min => vals.fold(f64::INFINITY, f64::min),
-                    };
-                    env.scalars.push(s);
-                }
-            }
-        }
-        (env.vecs, env.scalars)
-    }
-}
-
-fn pexpr_strategy() -> impl Strategy<Value = PExpr> {
-    let leaf = prop_oneof![
-        any::<u8>().prop_map(PExpr::Var),
-        any::<u8>().prop_map(PExpr::SVar),
-        Just(PExpr::Idx),
-        (-4.0..4.0f64).prop_map(|v| PExpr::Lit((v * 8.0).round() / 8.0)),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| PExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| PExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| PExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| PExpr::Max(Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| PExpr::Abs(Box::new(a))),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| PExpr::Select(
-                Box::new(c),
-                Box::new(a),
-                Box::new(b)
-            )),
-        ]
+fn case_strategy() -> BoxedStrategy<Case> {
+    BoxedStrategy::from_fn(|rng| {
+        let program = pm_fuzz::gen_program(rng, &pm_fuzz::GenConfig::default());
+        let xs = pm_fuzz::gen_inputs(rng, program.n);
+        let ys = pm_fuzz::gen_inputs(rng, program.n);
+        let z0 = pm_fuzz::gen_inputs(rng, program.n);
+        (program, xs, ys, z0)
     })
 }
 
-fn stmt_strategy() -> impl Strategy<Value = PStmt> {
-    let domain = prop_oneof![
-        3 => Just(None),
-        1 => Just(Some("DSP")),
-        1 => Just(Some("DA")),
-        1 => Just(Some("RBT")),
-    ];
-    prop_oneof![
-        3 => (pexpr_strategy(), domain.clone()).prop_map(|(e, d)| PStmt::Map(e, d)),
-        1 => (
-            prop_oneof![Just(RedKind::Sum), Just(RedKind::Max), Just(RedKind::Min)],
-            pexpr_strategy(),
-            domain
-        )
-            .prop_map(|(k, e, d)| PStmt::Reduce(k, e, d)),
-    ]
-}
-
-fn program_strategy() -> impl Strategy<Value = PProgram> {
-    proptest::collection::vec(stmt_strategy(), 1..6).prop_map(|stmts| PProgram { stmts })
-}
-
-fn feeds(x: &[f64], y: &[f64]) -> HashMap<String, Tensor> {
+fn feeds(n: usize, x: &[f64], y: &[f64]) -> HashMap<String, Tensor> {
     HashMap::from([
-        ("x".to_string(), Tensor::from_vec(pmlang::DType::Float, vec![N], x.to_vec()).unwrap()),
-        ("y".to_string(), Tensor::from_vec(pmlang::DType::Float, vec![N], y.to_vec()).unwrap()),
+        ("x".to_string(), Tensor::from_vec(pmlang::DType::Float, vec![n], x.to_vec()).unwrap()),
+        ("y".to_string(), Tensor::from_vec(pmlang::DType::Float, vec![n], y.to_vec()).unwrap()),
     ])
 }
 
-/// Relative-ish tolerance: generated expressions multiply up to ~8 levels
-/// of values in ±4, so absolute magnitudes can reach ~1e6; optimization
-/// passes may legally reassociate.
+/// Relative-ish tolerance: optimization passes may legally reassociate.
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
 }
 
-fn check_outputs(
-    program: &PProgram,
-    out: &HashMap<String, Tensor>,
-    x: &[f64],
-    y: &[f64],
-) -> Result<(), TestCaseError> {
-    let (vecs, scalars) = program.eval(x, y);
-    for (j, expect) in vecs.iter().enumerate() {
-        let got = out[&format!("t{j}")].as_real_slice().unwrap();
-        for (g, e) in got.iter().zip(expect) {
-            prop_assert!(close(*g, *e), "t{j}: {g} vs {e}");
+/// The model-evaluator trajectory (one step per invocation; `state`
+/// programs run three), or `None` when any step is numerically unstable —
+/// those cases are skipped rather than compared against noise.
+fn trajectory(program: &PProgram, xs: &[f64], ys: &[f64], z0: &[f64]) -> Option<Vec<EvalStep>> {
+    let mut steps = Vec::new();
+    let mut z = program.has_state().then(|| z0.to_vec());
+    for _ in 0..program.invocations() {
+        let step = program.eval(xs, ys, z.as_deref());
+        if !step.stable {
+            return None;
         }
+        z = step.state_next.clone();
+        steps.push(step);
     }
-    for (j, expect) in scalars.iter().enumerate() {
-        let got = out[&format!("s{j}")].scalar_value().unwrap();
-        prop_assert!(close(got, *expect), "s{j}: {got} vs {expect}");
-    }
-    Ok(())
+    Some(steps)
 }
 
-/// Compiles with the given compiler, executes, and checks every defined
-/// value against the direct evaluator.
+/// Compiles with the given compiler, executes every invocation, and checks
+/// each defined value (and the persisted state) against the model.
 fn run_and_check(
     compiler: Compiler,
     program: &PProgram,
     xs: &[f64],
     ys: &[f64],
+    z0: &[f64],
 ) -> Result<(), TestCaseError> {
+    let Some(steps) = trajectory(program, xs, ys, z0) else {
+        return Ok(()); // unstable: nothing meaningful to compare
+    };
     let src = program.to_pmlang();
     let compiled = compiler
         .compile(&src, &Bindings::default())
         .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
-    let out = Machine::new(compiled.graph.clone())
-        .invoke(&feeds(xs, ys))
-        .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
-    check_outputs(program, &out, xs, ys)
+    let mut machine = Machine::new(compiled.graph.clone());
+    if program.has_state() {
+        machine.set_state(
+            "z",
+            Tensor::from_vec(pmlang::DType::Float, vec![program.n], z0.to_vec()).unwrap(),
+        );
+    }
+    let feeds = feeds(program.n, xs, ys);
+    for (k, step) in steps.iter().enumerate() {
+        let out = machine
+            .invoke(&feeds)
+            .map_err(|e| TestCaseError::fail(format!("invocation {k}: {e}\n{src}")))?;
+        for (j, expect) in step.vecs.iter().enumerate() {
+            let got = out[&format!("t{j}")].as_real_slice().unwrap();
+            for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+                prop_assert!(close(*g, *e), "invocation {k}: t{j}[{i}]: {g} vs {e}\n{src}");
+            }
+        }
+        for (j, expect) in step.scalars.iter().enumerate() {
+            let got = out[&format!("s{j}")].scalar_value().unwrap();
+            prop_assert!(close(got, *expect), "invocation {k}: s{j}: {got} vs {expect}\n{src}");
+        }
+        if let Some(expect) = &step.state_next {
+            let got = machine.state("z").and_then(|t| t.as_real_slice()).unwrap();
+            for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+                prop_assert!(close(*g, *e), "invocation {k}: state z[{i}]: {g} vs {e}\n{src}");
+            }
+        }
+    }
+    Ok(())
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Random program structures compile host-only (optimized) and match
-    /// the direct evaluator on every defined value.
+    /// the model evaluator on every defined value across invocations.
     #[test]
     fn random_programs_evaluate_correctly(
-        program in program_strategy(),
-        xs in proptest::collection::vec(-3.0..3.0f64, N),
-        ys in proptest::collection::vec(-3.0..3.0f64, N),
+        (program, xs, ys, z0) in case_strategy(),
     ) {
-        run_and_check(Compiler::host_only(), &program, &xs, &ys)?;
+        run_and_check(Compiler::host_only(), &program, &xs, &ys, &z0)?;
     }
 
     /// The same programs, with their random statement-level domain
     /// annotations honoured by the full cross-domain pipeline (lowering to
     /// TABLA/DECO/RoboX granularities + marshalling elision + Algorithm 2),
-    /// still agree with the direct evaluator.
+    /// still agree with the model evaluator.
     #[test]
     fn random_cross_domain_programs_survive_lowering(
-        program in program_strategy(),
-        xs in proptest::collection::vec(-3.0..3.0f64, N),
-        ys in proptest::collection::vec(-3.0..3.0f64, N),
+        (program, xs, ys, z0) in case_strategy(),
     ) {
-        run_and_check(Compiler::cross_domain(), &program, &xs, &ys)?;
+        run_and_check(Compiler::cross_domain(), &program, &xs, &ys, &z0)?;
     }
 
     /// The optional cross-granularity algebraic-combination pass
@@ -324,11 +134,9 @@ proptest! {
     /// program structures.
     #[test]
     fn random_programs_survive_algebraic_combination(
-        program in program_strategy(),
-        xs in proptest::collection::vec(-3.0..3.0f64, N),
-        ys in proptest::collection::vec(-3.0..3.0f64, N),
+        (program, xs, ys, z0) in case_strategy(),
     ) {
-        run_and_check(Compiler::cross_domain().with_fusion(), &program, &xs, &ys)?;
+        run_and_check(Compiler::cross_domain().with_fusion(), &program, &xs, &ys, &z0)?;
     }
 
     /// The standard pipeline is idempotent: after one full run has reached
@@ -337,7 +145,7 @@ proptest! {
     /// manager against passes that report convergence prematurely or
     /// oscillate.
     #[test]
-    fn standard_pipeline_is_idempotent(program in program_strategy()) {
+    fn standard_pipeline_is_idempotent(program in strategies::program()) {
         let src = program.to_pmlang();
         let (prog, _) = pmlang::frontend(&src)
             .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
@@ -358,7 +166,7 @@ proptest! {
     /// and warnings — carried state, races the generator may synthesize —
     /// are acceptable; errors would mean the lints misread valid IR).
     #[test]
-    fn random_valid_programs_lint_without_errors(program in program_strategy()) {
+    fn random_valid_programs_lint_without_errors(program in strategies::program()) {
         let src = program.to_pmlang();
         let diags =
             pm_lint::lint_source(&src, &Bindings::default(), Compiler::cross_domain().targets())
@@ -374,9 +182,9 @@ proptest! {
     /// Partitioning invariants hold for every random cross-domain program:
     /// compute fragments only name ops their target supports, and every
     /// accelerator load of an accelerator-produced value has a matching
-    /// store on the producing side.
+    /// store.
     #[test]
-    fn random_programs_partition_consistently(program in program_strategy()) {
+    fn random_programs_partition_consistently(program in strategies::program()) {
         let src = program.to_pmlang();
         let compiler = Compiler::cross_domain();
         let compiled = compiler
