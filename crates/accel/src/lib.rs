@@ -30,19 +30,29 @@
 //! compiled partition in cycles/seconds/joules. Functional results always
 //! come from executing the lowered srDFG, so simulators and the reference
 //! interpreter can never disagree about values.
+//!
+//! The SoC runtime is fault-tolerant (DESIGN.md §10): [`fault`] defines a
+//! typed fault model with a deterministic seed-driven injector, [`error`]
+//! the structured [`SocError`] taxonomy that replaces panics on every
+//! fallible path, and [`runtime`] the checkpoint/replay trajectory loop
+//! with host-fallback re-lowering for downed devices.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod backend;
 pub mod classify;
 pub mod cpu;
 pub mod deco;
 pub mod dnnweaver;
+pub mod error;
+pub mod fault;
 pub mod gpu;
 pub mod graphicionado;
 pub mod hyperstreams;
 pub mod model;
 pub mod robox;
+pub mod runtime;
 pub mod soc;
 pub mod tabla;
 pub mod vta;
@@ -52,11 +62,16 @@ pub use classify::{profile, WorkProfile};
 pub use cpu::Cpu;
 pub use deco::Deco;
 pub use dnnweaver::DnnWeaver;
+pub use error::SocError;
+pub use fault::{
+    BackoffPolicy, ChaosConfig, ChaosProfile, FaultEvent, FaultKind, FaultPlan, VirtualClock,
+};
 pub use gpu::Gpu;
 pub use graphicionado::Graphicionado;
 pub use hyperstreams::HyperStreams;
 pub use model::{HwConfig, PerfEstimate, WorkloadHints};
 pub use robox::Robox;
-pub use soc::{PartitionReport, Soc, SocReport};
+pub use runtime::{TrajectoryInputs, TrajectoryOutcome};
+pub use soc::{ChaosOutcome, FallbackRecord, PartitionReport, Soc, SocReport};
 pub use tabla::Tabla;
 pub use vta::Vta;

@@ -259,8 +259,8 @@ pub fn sweep_app(app: &App) -> Vec<ComboRow> {
         let compiled = compiler
             .compile(source, &Bindings::default())
             .unwrap_or_else(|e| panic!("{label}: {e}"));
-        let report = soc.run(&compiled, &hints);
-        let expert = soc.run_expert(&compiled, &hints);
+        let report = soc.run(&compiled, &hints).unwrap_or_else(|e| panic!("{label}: {e}"));
+        let expert = soc.run_expert(&compiled, &hints).unwrap_or_else(|e| panic!("{label}: {e}"));
         ComboRow {
             label,
             total: report.total,

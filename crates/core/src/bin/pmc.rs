@@ -37,12 +37,22 @@
 //!     TVM-VTA | DnnWeaver | HyperStreams) and print the operation census
 //!     before and after — the paper's granularity-refinement trajectory.
 //! pmc run <file.pm> <feeds.txt> [--size ...] [--iters N]
+//!         [--chaos-seed N] [--chaos-profile off|transient|hostile]
+//!         [--max-retries K] [--format json]
 //!     Compile cross-domain, execute the lowered program on the given
 //!     feeds, and print the outputs. `feeds.txt` holds one tensor per
 //!     line: `name dim dim ... = v v v ...` (no dims = scalar); prefix a
 //!     line with `state ` to seed a persistent state variable. With
-//!     `--iters`, invokes repeatedly so `state` evolves.
+//!     `--iters`, invokes repeatedly so `state` evolves. The chaos flags
+//!     run the trajectory through the resilient SoC runtime with
+//!     deterministic fault injection (retry/backoff, checkpoint/replay,
+//!     host-fallback re-lowering on persistent outages); `--chaos-seed`
+//!     alone implies the transient profile, and `--chaos-profile off`
+//!     output is byte-identical to a run without chaos flags. With
+//!     `--format json` the chaos run prints a single JSON report
+//!     (profile, fault/retry counters, fallbacks, partitions, outputs).
 //! pmc fuzz [--seed N] [--cases N] [--smoke] [--minimize] [--corpus DIR]
+//!          [--chaos-profile P] [--chaos-seed N]
 //!     Differentially fuzz the whole stack: generate seeded random PMLang
 //!     programs and run each through every route (interpreter at opt
 //!     levels 0/1/2 with and without fusion, lowered + partitioned
@@ -51,7 +61,10 @@
 //!     configuration (seed 0xC0FFEE). `--minimize` shrinks the first
 //!     failure with delta debugging; `--corpus DIR` additionally writes
 //!     the minimized reproducer as a self-contained `.pm` file there
-//!     (replayed forever after by the regression suite).
+//!     (replayed forever after by the regression suite). `--chaos-profile`
+//!     adds the chaos route: every case also executes under fault
+//!     injection and must match the oracle (or fail with a structured,
+//!     minimizable diagnostic — never a panic).
 //! ```
 
 use polymath::{standard_soc, Compiler};
@@ -134,7 +147,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Ok(());
             }
             let soc = standard_soc();
-            let report = soc.run(&compiled, &HashMap::new());
+            let report = soc.run(&compiled, &HashMap::new()).map_err(|e| e.to_string())?;
             println!("{path}: {} partition(s)", compiled.partitions.len());
             for (part, pr) in compiled.partitions.iter().zip(&report.partitions) {
                 let domain =
@@ -232,20 +245,63 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| "run expects a feeds file".to_string())?;
             let (feeds, state) = parse_feeds(feeds_path)?;
             let iters = parse_iters(&args[3..])?;
-            let compiled =
-                Compiler::cross_domain().compile(&source, &bindings).map_err(|e| e.to_string())?;
-            let mut machine = srdfg::Machine::new(compiled.graph.clone());
-            for (name, tensor) in state {
-                machine.set_state(&name, tensor);
+            let chaos = parse_chaos(&args[3..])?;
+            let compiler = Compiler::cross_domain();
+            let compiled = compiler.compile(&source, &bindings).map_err(|e| e.to_string())?;
+            let format = parse_format(args)?;
+
+            // The fault-free text path stays the plain interpreter loop —
+            // byte-identical with and without `--chaos-profile off`.
+            let chaos_off = match &chaos {
+                None => true,
+                Some(c) => c.profile == pm_accel::ChaosProfile::Off,
+            };
+            if format == "text" && chaos_off {
+                let mut machine = srdfg::Machine::new(compiled.graph.clone());
+                for (name, tensor) in state {
+                    machine.set_state(&name, tensor);
+                }
+                let mut outputs = std::collections::HashMap::new();
+                for _ in 0..iters {
+                    outputs = machine.invoke(&feeds).map_err(|e| e.to_string())?;
+                }
+                print_outputs(&outputs);
+                return Ok(());
             }
-            let mut outputs = std::collections::HashMap::new();
-            for _ in 0..iters {
-                outputs = machine.invoke(&feeds).map_err(|e| e.to_string())?;
+
+            let chaos = chaos.unwrap_or_default();
+            let cfg = pm_accel::ChaosConfig::new(chaos.seed, chaos.profile)
+                .with_max_retries(chaos.max_retries);
+            let soc = standard_soc();
+            let inputs = pm_accel::TrajectoryInputs {
+                feeds: &feeds,
+                state_seeds: &state,
+                invocations: iters,
+            };
+            let outcome = soc
+                .run_trajectory(&compiled, &HashMap::new(), &cfg, Some(compiler.targets()), &inputs)
+                .map_err(|e| e.to_string())?;
+            if format == "json" {
+                println!("{}", chaos_json(&chaos, &outcome));
+                return Ok(());
             }
-            let mut names: Vec<_> = outputs.keys().collect();
-            names.sort();
-            for name in names {
-                println!("{name} = {}", outputs[name]);
+            print_outputs(&outcome.outputs);
+            println!(
+                "chaos: profile {}, seed {:#x}, max {} retries/fragment",
+                chaos.profile, chaos.seed, chaos.max_retries
+            );
+            println!(
+                "  invocations: {} ({} replayed), faults: {}, retries: {}, \
+                 dma retried: {} bytes, virtual time: {} ns",
+                outcome.invocations,
+                outcome.replayed_invocations,
+                outcome.faults_injected,
+                outcome.retries,
+                outcome.retried_dma_bytes,
+                outcome.virtual_ns
+            );
+            for fb in &outcome.fallbacks {
+                println!("  fallback: {} -> host ({})", fb.target, fb.fault);
             }
             Ok(())
         }
@@ -265,17 +321,22 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
             None => Ok(None),
             Some(pos) => {
                 let v = args.get(pos + 1).ok_or_else(|| format!("{name} expects a number"))?;
-                let parsed = if let Some(hex) = v.strip_prefix("0x") {
-                    u64::from_str_radix(hex, 16)
-                } else {
-                    v.parse()
-                };
-                parsed.map(Some).map_err(|_| format!("bad {name} value `{v}`"))
+                parse_u64(v).map(Some).map_err(|_| format!("bad {name} value `{v}`"))
             }
         }
     };
     let seed = flag_value("--seed")?.unwrap_or(if smoke { 0xC0FFEE } else { 0 });
     let cases = flag_value("--cases")?.unwrap_or(if smoke { 10_000 } else { 1000 }) as usize;
+    let chaos = match args.iter().position(|a| a == "--chaos-profile") {
+        None => None,
+        Some(pos) => {
+            let v =
+                args.get(pos + 1).ok_or_else(|| "--chaos-profile expects a value".to_string())?;
+            let profile: pm_accel::ChaosProfile = v.parse()?;
+            (profile != pm_accel::ChaosProfile::Off).then_some(profile)
+        }
+    };
+    let chaos_seed = flag_value("--chaos-seed")?.unwrap_or(0);
     let minimize = args.iter().any(|a| a == "--minimize") || smoke;
     let corpus_dir = args
         .iter()
@@ -291,7 +352,7 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
     let cfg = pm_fuzz::FuzzConfig {
         seed,
         cases,
-        diff: pm_fuzz::DiffConfig { sabotage, ..Default::default() },
+        diff: pm_fuzz::DiffConfig { sabotage, chaos, chaos_seed, ..Default::default() },
         minimize,
         corpus_dir,
         ..Default::default()
@@ -393,6 +454,158 @@ fn parse_iters(args: &[String]) -> Result<u64, String> {
     } else {
         Ok(1)
     }
+}
+
+/// Parses a decimal or `0x`-prefixed hexadecimal u64.
+fn parse_u64(v: &str) -> Result<u64, std::num::ParseIntError> {
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    }
+}
+
+/// The `run` subcommand's chaos flags.
+struct ChaosFlags {
+    seed: u64,
+    profile: pm_accel::ChaosProfile,
+    max_retries: u32,
+}
+
+impl Default for ChaosFlags {
+    fn default() -> Self {
+        ChaosFlags { seed: 0, profile: pm_accel::ChaosProfile::Off, max_retries: 3 }
+    }
+}
+
+/// Parses `--chaos-seed N`, `--chaos-profile {off|transient|hostile}` and
+/// `--max-retries K`. Returns `None` when no chaos flag is present.
+/// `--chaos-seed` without an explicit profile implies `transient`, so the
+/// short form alone turns fault injection on.
+fn parse_chaos(args: &[String]) -> Result<Option<ChaosFlags>, String> {
+    let value_of = |name: &str| -> Result<Option<&String>, String> {
+        match args.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(pos) => {
+                args.get(pos + 1).map(Some).ok_or_else(|| format!("{name} expects a value"))
+            }
+        }
+    };
+    let seed = value_of("--chaos-seed")?;
+    let profile = value_of("--chaos-profile")?;
+    let retries = value_of("--max-retries")?;
+    if seed.is_none() && profile.is_none() && retries.is_none() {
+        return Ok(None);
+    }
+    let mut flags = ChaosFlags::default();
+    if let Some(v) = seed {
+        flags.seed = parse_u64(v).map_err(|_| format!("bad --chaos-seed value `{v}`"))?;
+    }
+    match profile {
+        Some(v) => flags.profile = v.parse()?,
+        None if seed.is_some() => flags.profile = pm_accel::ChaosProfile::Transient,
+        None => {}
+    }
+    if let Some(v) = retries {
+        flags.max_retries = v.parse().map_err(|_| format!("bad --max-retries value `{v}`"))?;
+    }
+    Ok(Some(flags))
+}
+
+/// Prints the outputs of a run, sorted by name (the `pmc run` contract).
+fn print_outputs(outputs: &std::collections::HashMap<String, srdfg::Tensor>) {
+    let mut names: Vec<_> = outputs.keys().collect();
+    names.sort();
+    for name in names {
+        println!("{name} = {}", outputs[name]);
+    }
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The `run --format json` rendering of a chaos trajectory (single line,
+/// mirroring `--timings --format json`).
+fn chaos_json(flags: &ChaosFlags, outcome: &pm_accel::TrajectoryOutcome) -> String {
+    let num = |v: f64| if v.is_finite() { format!("{v}") } else { "null".to_string() };
+    let fallbacks: Vec<String> = outcome
+        .fallbacks
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"target\":{},\"fault\":{},\"fragment\":{},\"op\":{},\"attempts\":{}}}",
+                json_str(&f.target),
+                json_str(&f.fault.to_string()),
+                f.fragment,
+                json_str(&f.op),
+                f.attempts
+            )
+        })
+        .collect();
+    let partitions: Vec<String> = outcome
+        .last
+        .partitions
+        .iter()
+        .map(|p| {
+            let domain = p.domain.map(|d| d.keyword().to_string()).unwrap_or_else(|| "host".into());
+            format!(
+                "{{\"target\":{},\"domain\":{},\"attempts\":{},\"retries\":{},\"faults\":{},\
+                 \"retried_dma_bytes\":{},\"virtual_ns\":{}}}",
+                json_str(&p.target),
+                json_str(&domain),
+                p.attempts,
+                p.retries,
+                p.faults_seen,
+                p.retried_dma_bytes,
+                p.virtual_ns
+            )
+        })
+        .collect();
+    let mut names: Vec<_> = outcome.outputs.keys().collect();
+    names.sort();
+    let outputs: Vec<String> = names
+        .iter()
+        .map(|name| {
+            let vals = match outcome.outputs[*name].as_real_slice() {
+                Some(s) => format!("[{}]", s.iter().map(|v| num(*v)).collect::<Vec<_>>().join(",")),
+                None => "null".to_string(),
+            };
+            format!("{}:{}", json_str(name), vals)
+        })
+        .collect();
+    format!(
+        "{{\"profile\":{},\"seed\":{},\"max_retries\":{},\"invocations\":{},\
+         \"replayed_invocations\":{},\"checkpoints\":{},\"faults_injected\":{},\"retries\":{},\
+         \"retried_dma_bytes\":{},\"virtual_ns\":{},\"fallbacks\":[{}],\"partitions\":[{}],\
+         \"outputs\":{{{}}}}}",
+        json_str(&flags.profile.to_string()),
+        flags.seed,
+        flags.max_retries,
+        outcome.invocations,
+        outcome.replayed_invocations,
+        outcome.checkpoints,
+        outcome.faults_injected,
+        outcome.retries,
+        outcome.retried_dma_bytes,
+        outcome.virtual_ns,
+        fallbacks.join(","),
+        partitions.join(","),
+        outputs.join(",")
+    )
 }
 
 /// Lowers a graph for one named accelerator (host for everything else),
@@ -589,7 +802,9 @@ fn parse_format(args: &[String]) -> Result<&str, String> {
 fn usage() -> String {
     "usage: pmc <check|stats|dot|compile|lint|run> <file.pm> [feeds.txt] \
 [--size name=value ...] [--host-only] [--pin comp=TARGET ...] [--iters N] \
-[--deny-warnings] [--timings] [--format json]\n\
-       pmc fuzz [--seed N] [--cases N] [--smoke] [--minimize] [--corpus DIR]"
+[--deny-warnings] [--timings] [--format json] [--chaos-seed N] \
+[--chaos-profile off|transient|hostile] [--max-retries K]\n\
+       pmc fuzz [--seed N] [--cases N] [--smoke] [--minimize] [--corpus DIR] \
+[--chaos-profile P] [--chaos-seed N]"
         .to_string()
 }

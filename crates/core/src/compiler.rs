@@ -21,6 +21,9 @@ pub enum PolyMathError {
     Build(srdfg::BuildError),
     /// Lowering or accelerator-IR compilation failed.
     Lower(pm_lower::LowerError),
+    /// The SoC runtime could not execute the compiled program (missing
+    /// backend, exhausted retries, failed host fallback, …).
+    Soc(pm_accel::SocError),
 }
 
 impl fmt::Display for PolyMathError {
@@ -29,6 +32,7 @@ impl fmt::Display for PolyMathError {
             PolyMathError::Frontend(e) => e.fmt(f),
             PolyMathError::Build(e) => e.fmt(f),
             PolyMathError::Lower(e) => e.fmt(f),
+            PolyMathError::Soc(e) => e.fmt(f),
         }
     }
 }
@@ -50,6 +54,12 @@ impl From<srdfg::BuildError> for PolyMathError {
 impl From<pm_lower::LowerError> for PolyMathError {
     fn from(e: pm_lower::LowerError) -> Self {
         PolyMathError::Lower(e)
+    }
+}
+
+impl From<pm_accel::SocError> for PolyMathError {
+    fn from(e: pm_accel::SocError) -> Self {
+        PolyMathError::Soc(e)
     }
 }
 
@@ -338,7 +348,7 @@ mod tests {
     fn soc_runs_cross_domain_compilation() {
         let compiled = Compiler::cross_domain().compile(TWO_DOMAIN, &Bindings::default()).unwrap();
         let soc = standard_soc();
-        let report = soc.run(&compiled, &HashMap::new());
+        let report = soc.run(&compiled, &HashMap::new()).unwrap();
         assert!(report.total.seconds > 0.0);
         assert_eq!(report.partitions.len(), compiled.partitions.len());
     }

@@ -126,8 +126,8 @@ pub fn evaluate(workload: &Workload) -> Result<PlatformResults, PolyMathError> {
     // PolyMath compiles cross-domain and runs on the SoC.
     let compiled = Compiler::cross_domain().compile(&workload.source, &bindings)?;
     let soc = standard_soc();
-    let polymath = soc.run(&compiled, &hints).total.scaled(workload.invocations);
-    let expert = soc.run_expert(&compiled, &hints).total.scaled(workload.invocations);
+    let polymath = soc.run(&compiled, &hints)?.total.scaled(workload.invocations);
+    let expert = soc.run_expert(&compiled, &hints)?.total.scaled(workload.invocations);
     let target = compiled
         .partitions
         .iter()

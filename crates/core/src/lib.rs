@@ -44,7 +44,7 @@
 //! let out = Machine::new(compiled.graph.clone()).invoke(&feeds)?;
 //! assert!(out["label"].scalar_value()? > 0.5);
 //! // Performance/energy account on the simulated SoC:
-//! let report = standard_soc().run(&compiled, &HashMap::new());
+//! let report = standard_soc().run(&compiled, &HashMap::new())?;
 //! assert!(report.total.seconds > 0.0);
 //! # Ok(())
 //! # }

@@ -260,6 +260,150 @@ fn compile_timings_json_schema_is_stable() {
     }
 }
 
+/// Golden schema test for `pmc run --chaos-seed --format json`: like the
+/// `--timings` JSON, the chaos report is a machine-readable interface, so
+/// its field names and emission order are pinned here.
+#[test]
+fn run_chaos_json_schema_is_stable() {
+    let pm = temp_file(
+        "chaosjson",
+        "main(input float x[4], state float s, output float y) {
+             index i[0:3];
+             s = s + sum[i](x[i]);
+             y = s;
+         }",
+    );
+    let feeds = std::env::temp_dir().join(format!("pmc_cli_chaosf_{}.txt", std::process::id()));
+    std::fs::write(&feeds, "x 4 = 1 2 3 4\nstate s = 10\n").unwrap();
+    let out = pmc(&[
+        "run",
+        pm.to_str().unwrap(),
+        feeds.to_str().unwrap(),
+        "--iters",
+        "3",
+        "--chaos-seed",
+        "0x2a",
+        "--chaos-profile",
+        "transient",
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let json = text.trim();
+    assert!(json.starts_with('{') && json.ends_with('}'), "not a JSON object: {json}");
+    assert_eq!(json.lines().count(), 1, "must be a single-line object: {json}");
+
+    let fields = [
+        "profile",
+        "seed",
+        "max_retries",
+        "invocations",
+        "replayed_invocations",
+        "checkpoints",
+        "faults_injected",
+        "retries",
+        "retried_dma_bytes",
+        "virtual_ns",
+        "fallbacks",
+        "partitions",
+        "outputs",
+    ];
+    let mut last = 0;
+    for field in fields {
+        let key = format!("\"{field}\":");
+        let pos = json.find(&key).unwrap_or_else(|| panic!("missing field `{field}`: {json}"));
+        assert!(pos > last || field == "profile", "field `{field}` out of order: {json}");
+        last = pos;
+    }
+    assert!(json.contains("\"profile\":\"transient\""), "{json}");
+    assert!(json.contains("\"seed\":42"), "{json}");
+    assert!(json.contains("\"invocations\":3"), "{json}");
+    // Each partition entry carries the documented keys.
+    let parts_start = json.find("\"partitions\":[").unwrap() + "\"partitions\":[".len();
+    let parts = &json[parts_start..json[parts_start..].find(']').unwrap() + parts_start];
+    for key in ["\"target\":", "\"domain\":", "\"attempts\":", "\"retries\":", "\"faults\":"] {
+        assert!(parts.contains(key), "partition entry missing {key}: {parts}");
+    }
+    // Outputs are named tensors; the accumulator's final value is 40.
+    assert!(json.contains("\"y\":[40]"), "{json}");
+}
+
+/// `--chaos-profile off` must leave `pmc run`'s text output byte-identical
+/// to a run without any chaos flag — the no-chaos path is exactly the
+/// legacy interpreter loop.
+#[test]
+fn run_chaos_off_is_byte_identical_to_plain_run() {
+    let pm = temp_file(
+        "chaosoff",
+        "main(input float x[4], state float s, output float y) {
+             index i[0:3];
+             s = s + sum[i](x[i]);
+             y = s;
+         }",
+    );
+    let feeds = std::env::temp_dir().join(format!("pmc_cli_chaosoff_{}.txt", std::process::id()));
+    std::fs::write(&feeds, "x 4 = 1 2 3 4\nstate s = 10\n").unwrap();
+    let plain = pmc(&["run", pm.to_str().unwrap(), feeds.to_str().unwrap(), "--iters", "3"]);
+    let off = pmc(&[
+        "run",
+        pm.to_str().unwrap(),
+        feeds.to_str().unwrap(),
+        "--iters",
+        "3",
+        "--chaos-profile",
+        "off",
+    ]);
+    assert!(plain.status.success() && off.status.success());
+    assert_eq!(plain.stdout, off.stdout, "off profile must not perturb output");
+}
+
+/// A hostile chaos run through the real binary: the text report appends
+/// the chaos summary after the outputs, and the run still completes.
+#[test]
+fn run_hostile_chaos_prints_summary_and_completes() {
+    let pm = temp_file("chaoshostile", TWO_DOMAIN);
+    let feeds = std::env::temp_dir().join(format!("pmc_cli_chaosh_{}.txt", std::process::id()));
+    let sig: Vec<String> = (0..16).map(|i| format!("{}", 0.1 * i as f64)).collect();
+    std::fs::write(
+        &feeds,
+        format!("sig 16 = {}\ntaps 16 = {}\nw 2 = 1 0\n", sig.join(" "), vec!["1"; 16].join(" ")),
+    )
+    .unwrap();
+    let out = pmc(&[
+        "run",
+        pm.to_str().unwrap(),
+        feeds.to_str().unwrap(),
+        "--chaos-seed",
+        "3",
+        "--chaos-profile",
+        "hostile",
+        "--max-retries",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("cls ="), "{text}");
+    assert!(text.contains("chaos: profile hostile, seed 0x3"), "{text}");
+    assert!(text.contains("invocations: 1"), "{text}");
+}
+
+#[test]
+fn run_rejects_unknown_chaos_profile() {
+    let pm = temp_file("chaosbad", TWO_DOMAIN);
+    let feeds = std::env::temp_dir().join(format!("pmc_cli_chaosbad_{}.txt", std::process::id()));
+    std::fs::write(&feeds, "").unwrap();
+    let out = pmc(&[
+        "run",
+        pm.to_str().unwrap(),
+        feeds.to_str().unwrap(),
+        "--chaos-profile",
+        "chaotic-evil",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown chaos profile"), "{}", stderr(&out));
+}
+
 #[test]
 fn fuzz_smoke_runs_clean() {
     // A tiny seeded campaign through the real binary: generation,

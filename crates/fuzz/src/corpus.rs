@@ -70,6 +70,9 @@ pub fn write_reproducer(dir: &Path, content: &str) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// The tensors one replay dispatches with: `(feeds, state_seeds)`.
+pub type ReplayFeeds = (HashMap<String, Tensor>, HashMap<String, Tensor>);
+
 /// Feeds parsed from a corpus file's header comments.
 #[derive(Debug, Clone, Default)]
 pub struct CorpusFeeds {
@@ -120,6 +123,43 @@ fn synth_value(name: &str, i: usize) -> f64 {
     ((h >> 7) % 97) as f64 / 16.0 - 3.0
 }
 
+/// The tensors a replay of `graph` dispatches with, as
+/// `(feeds, state_seeds)`: header-pinned values verbatim, deterministic
+/// synthetic data for every other boundary input. This is the exact feed
+/// set [`replay`] uses, exported so integration tests (e.g. the chaos
+/// sentinel) can drive other executors against the same inputs.
+///
+/// # Errors
+///
+/// Returns a message when a pinned feed cannot be shaped into its tensor.
+pub fn build_feeds(graph: &srdfg::SrDfg, header: &CorpusFeeds) -> Result<ReplayFeeds, String> {
+    let mut feeds = HashMap::new();
+    let mut seeds = HashMap::new();
+    for &e in &graph.boundary_inputs {
+        let meta = &graph.edge(e).meta;
+        let len: usize = meta.shape.iter().product();
+        let pinned = match meta.modifier {
+            Modifier::State => header.states.get(&meta.name),
+            _ => header.inputs.get(&meta.name),
+        };
+        let values: Vec<f64> = match pinned {
+            Some(v) if v.len() == len => v.clone(),
+            _ => (0..len).map(|i| synth_value(&meta.name, i)).collect(),
+        };
+        let tensor = Tensor::from_vec(meta.dtype, meta.shape.clone(), values)
+            .map_err(|e| format!("cannot build feed `{}`: {e}", meta.name))?;
+        match meta.modifier {
+            Modifier::State => {
+                seeds.insert(meta.name.clone(), tensor);
+            }
+            _ => {
+                feeds.insert(meta.name.clone(), tensor);
+            }
+        }
+    }
+    Ok((feeds, seeds))
+}
+
 /// Replays one corpus file's content through every differential route.
 ///
 /// Header-pinned feeds are used verbatim; every other boundary `input` or
@@ -147,37 +187,12 @@ pub fn replay(content: &str, cfg: &DiffConfig) -> CaseResult {
         }
     };
 
-    let mut feeds = HashMap::new();
-    let mut seeds = HashMap::new();
-    for &e in &graph.boundary_inputs {
-        let meta = &graph.edge(e).meta;
-        let len: usize = meta.shape.iter().product();
-        let pinned = match meta.modifier {
-            Modifier::State => header.states.get(&meta.name),
-            _ => header.inputs.get(&meta.name),
-        };
-        let values: Vec<f64> = match pinned {
-            Some(v) if v.len() == len => v.clone(),
-            _ => (0..len).map(|i| synth_value(&meta.name, i)).collect(),
-        };
-        let tensor = match Tensor::from_vec(meta.dtype, meta.shape.clone(), values) {
-            Ok(t) => t,
-            Err(e) => {
-                return CaseResult::Fail(crate::diff::Failure {
-                    route: "feeds".into(),
-                    detail: format!("cannot build feed `{}`: {e}", meta.name),
-                })
-            }
-        };
-        match meta.modifier {
-            Modifier::State => {
-                seeds.insert(meta.name.clone(), tensor);
-            }
-            _ => {
-                feeds.insert(meta.name.clone(), tensor);
-            }
+    let (feeds, seeds) = match build_feeds(&graph, &header) {
+        Ok(r) => r,
+        Err(detail) => {
+            return CaseResult::Fail(crate::diff::Failure { route: "feeds".into(), detail })
         }
-    }
+    };
     check_source(content, &feeds, &seeds, cfg)
 }
 

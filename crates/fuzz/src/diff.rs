@@ -13,7 +13,9 @@
 //! reported with the route that produced it.
 
 use crate::model::{EvalStep, PProgram};
-use pm_accel::{Backend, Cpu, Deco, Graphicionado, Robox, Tabla, Vta};
+use pm_accel::{
+    Backend, ChaosConfig, ChaosProfile, Cpu, Deco, Graphicionado, Robox, Soc, Tabla, Vta,
+};
 use pm_lower::{compile_program, fully_lowered, lower, CompiledProgram, FragmentKind, TargetMap};
 use pm_passes::{Pass, PassManager, PassStats};
 use srdfg::{Bindings, KExpr, Machine, NodeKind, SrDfg, Tensor};
@@ -28,11 +30,22 @@ pub struct DiffConfig {
     /// Applies the deliberate miscompilation ([`SabotagePass`]) after the
     /// optimizer — the sentinel that proves the harness detects bugs.
     pub sabotage: bool,
+    /// Adds the chaos route: the cross-domain compilation is dispatched
+    /// through the resilient SoC runtime under this fault-injection
+    /// profile, and the surviving schedule (original or host-fallback
+    /// re-lowered) must still match the oracle. Any dispatch error is a
+    /// structured route failure — never a panic.
+    pub chaos: Option<ChaosProfile>,
+    /// Base seed of the chaos fault schedule (the campaign driver mixes
+    /// the case index in, so every case draws an independent schedule).
+    pub chaos_seed: u64,
+    /// Per-fragment retry budget on the chaos route.
+    pub max_retries: u32,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { tolerance: 1e-6, sabotage: false }
+        DiffConfig { tolerance: 1e-6, sabotage: false, chaos: None, chaos_seed: 0, max_retries: 3 }
     }
 }
 
@@ -230,6 +243,44 @@ fn check_partitions(compiled: &CompiledProgram, targets: &TargetMap) -> Result<(
     Ok(())
 }
 
+/// The SoC the chaos route dispatches on: the paper's five accelerators,
+/// matching [`cross_domain_targets`].
+fn chaos_soc() -> Soc {
+    let mut s = Soc::new();
+    s.attach(Robox::default());
+    s.attach(Graphicionado::default());
+    s.attach(Tabla::default());
+    s.attach(Deco::default());
+    s.attach(Vta::default());
+    s
+}
+
+/// The chaos route: lower cross-domain, dispatch through the resilient
+/// SoC runtime under fault injection, and return the graph of whatever
+/// schedule survived (the original, or the host-fallback re-lowering
+/// after a persistent outage). The caller then checks that graph against
+/// the oracle, so a fault-injected run must either match or surface a
+/// structured diagnostic.
+fn chaos_route(
+    mut graph: SrDfg,
+    targets: &TargetMap,
+    cfg: &DiffConfig,
+    profile: ChaosProfile,
+) -> Result<SrDfg, String> {
+    lower(&mut graph, targets).map_err(|e| e.to_string())?;
+    pm_passes::ElideMarshalling.run(&mut graph);
+    pm_passes::PruneUnusedInputs.run(&mut graph);
+    let compiled = compile_program(&graph, targets).map_err(|e| format!("algorithm 2: {e}"))?;
+    let chaos = ChaosConfig::new(cfg.chaos_seed, profile).with_max_retries(cfg.max_retries);
+    let outcome = chaos_soc()
+        .run_chaos(&compiled, &HashMap::new(), &chaos, Some(targets))
+        .map_err(|e| format!("chaos dispatch: {e}"))?;
+    Ok(match outcome.relowered {
+        Some(re) => re.graph,
+        None => compiled.graph,
+    })
+}
+
 /// Lowers a copy of `graph` for `targets`, checks structure, and returns
 /// the lowered graph for interpretation.
 fn lowered_route(mut graph: SrDfg, targets: &TargetMap) -> Result<SrDfg, String> {
@@ -349,6 +400,18 @@ fn check_case_inner(
                 }
             }
             Err(e) => return fail(route, e),
+        }
+    }
+
+    if let Some(profile) = cfg.chaos {
+        let route = format!("chaos@{profile}");
+        match chaos_route(optimized.clone(), &cross_domain_targets(), cfg, profile) {
+            Ok(survivor) => {
+                if let Err(e) = run_route(survivor, prog, &steps, &feeds, z0, cfg.tolerance) {
+                    return fail(&route, e);
+                }
+            }
+            Err(e) => return fail(&route, e),
         }
     }
 
@@ -526,6 +589,17 @@ fn check_source_inner(
             Err(e) => return fail(route, e),
         }
     }
+    if let Some(profile) = cfg.chaos {
+        let route = format!("chaos@{profile}");
+        match chaos_route(optimized.clone(), &cross_domain_targets(), cfg, profile) {
+            Ok(survivor) => {
+                if let Err(e) = compare(survivor) {
+                    return fail(&route, e);
+                }
+            }
+            Err(e) => return fail(&route, e),
+        }
+    }
     CaseResult::Pass
 }
 
@@ -574,6 +648,35 @@ mod tests {
         let result = check_case(&prog, &[1.0; 4], &[1.0; 4], &[0.0; 4], &cfg);
         let CaseResult::Fail(f) = result else { panic!("sabotage went undetected: {result:?}") };
         assert!(f.route.starts_with("interp@O"), "{f}");
+    }
+
+    #[test]
+    fn chaos_routes_match_the_oracle() {
+        let prog = dot_program();
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [0.5, -1.0, 2.0, 0.25];
+        for profile in [ChaosProfile::Transient, ChaosProfile::Hostile] {
+            for seed in 0..8u64 {
+                let cfg =
+                    DiffConfig { chaos: Some(profile), chaos_seed: seed, ..Default::default() };
+                let result = check_case(&prog, &xs, &ys, &[0.0; 4], &cfg);
+                assert!(matches!(result, CaseResult::Pass), "{profile} seed {seed}: {result:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_route_survives_stateful_programs() {
+        let prog = PProgram {
+            n: 3,
+            stmts: vec![PStmt::Reduce(RedKind::Sum, PExpr::State, None)],
+            state_update: Some(PExpr::Add(Box::new(PExpr::State), Box::new(PExpr::Lit(1.0)))),
+            wrap: None,
+        };
+        let cfg =
+            DiffConfig { chaos: Some(ChaosProfile::Hostile), chaos_seed: 5, ..Default::default() };
+        let result = check_case(&prog, &[0.0; 3], &[0.0; 3], &[1.0, 2.0, 3.0], &cfg);
+        assert!(matches!(result, CaseResult::Pass), "{result:?}");
     }
 
     #[test]

@@ -129,21 +129,30 @@ pub fn run_fuzz_with_progress(
         let xs = gen_inputs(&mut rng, program.n);
         let ys = gen_inputs(&mut rng, program.n);
         let z0 = gen_inputs(&mut rng, program.n);
+        // Each case draws an independent chaos fault schedule; the mix is
+        // deterministic so a failing case replays with the same faults.
+        let diff = DiffConfig {
+            chaos_seed: cfg
+                .diff
+                .chaos_seed
+                .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..cfg.diff.clone()
+        };
         report.executed += 1;
-        match check_case(&program, &xs, &ys, &z0, &cfg.diff) {
+        match check_case(&program, &xs, &ys, &z0, &diff) {
             CaseResult::Pass => report.passed += 1,
             CaseResult::Unstable => report.unstable += 1,
             CaseResult::Fail(failure) => {
                 let original_stmts = program.stmt_count();
                 let (program, xs, ys, z0, shrink_attempts) = if cfg.minimize {
-                    let m = minimize(program, xs, ys, z0, &cfg.diff);
+                    let m = minimize(program, xs, ys, z0, &diff);
                     (m.program, m.xs, m.ys, m.z0, m.attempts)
                 } else {
                     (program, xs, ys, z0, 0)
                 };
                 // Re-derive the (possibly sharper) failure from the final
                 // program so the report names the minimized divergence.
-                let failure = match check_case(&program, &xs, &ys, &z0, &cfg.diff) {
+                let failure = match check_case(&program, &xs, &ys, &z0, &diff) {
                     CaseResult::Fail(f) => f,
                     _ => failure,
                 };
@@ -191,6 +200,22 @@ mod tests {
         let report = run_fuzz(&cfg);
         assert!(report.failure.is_none(), "{:?}", report.failure);
         assert_eq!(report.executed, 25);
+        assert_eq!(report.passed + report.unstable, 25);
+    }
+
+    #[test]
+    fn chaos_campaign_passes_clean_stack() {
+        let cfg = FuzzConfig {
+            cases: 25,
+            diff: DiffConfig {
+                chaos: Some(pm_accel::ChaosProfile::Transient),
+                chaos_seed: 0xC0FFEE,
+                ..DiffConfig::default()
+            },
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        assert!(report.failure.is_none(), "{:?}", report.failure);
         assert_eq!(report.passed + report.unstable, 25);
     }
 

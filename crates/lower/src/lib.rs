@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod fallback;
 pub mod lower;
 pub mod spec;
 
@@ -48,5 +49,6 @@ pub use compile::{
     compile_program, compile_program_serial, AccProgram, ArgInfo, CompiledProgram, Fragment,
     FragmentKind,
 };
+pub use fallback::relower_without;
 pub use lower::{fully_lowered, lower, LowerError};
 pub use spec::{AcceleratorSpec, TargetMap};

@@ -136,6 +136,30 @@ impl TargetMap {
     pub fn unset(&mut self, domain: Domain) -> Option<AcceleratorSpec> {
         self.per_domain.remove(&domain)
     }
+
+    /// A copy of this map with every target named in `down` removed: their
+    /// domains (and any component overrides pointing at them) fall back to
+    /// the host. The resilient SoC runtime uses this to re-lower the
+    /// fragments of a failed accelerator onto the host CPU. The host
+    /// itself cannot be removed.
+    pub fn without_targets<S: AsRef<str>>(&self, down: &[S]) -> TargetMap {
+        let is_down = |name: &str| down.iter().any(|d| d.as_ref() == name);
+        TargetMap {
+            per_domain: self
+                .per_domain
+                .iter()
+                .filter(|(_, s)| !is_down(&s.name))
+                .map(|(d, s)| (*d, s.clone()))
+                .collect(),
+            overrides: self
+                .overrides
+                .iter()
+                .filter(|(_, s)| !is_down(&s.name))
+                .map(|(c, s)| (c.clone(), s.clone()))
+                .collect(),
+            host: self.host.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, domains) in combos {
         let compiled =
             Compiler::accelerating(domains).compile(&paper.source, &Bindings::default())?;
-        let report = soc.run(&compiled, &HashMap::new());
+        let report = soc.run(&compiled, &HashMap::new())?;
         let base = *baseline.get_or_insert(report.total);
         println!(
             "  {label:<12} {:>6.2}x runtime   {:>6.2}x energy   (comm {:>4.1}%)",

@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = Compiler::cross_domain().compile(src, &Bindings::default())?;
     let mut soc = Soc::new();
     soc.attach(Tabla::default());
-    let report = soc.run(&compiled, &hints);
+    let report = soc.run(&compiled, &hints)?;
     let part = compiled.partition_by_target("TABLA").expect("TABLA partition");
     println!(
         "  {:<14} {:>10} {:>11.3e}s {:>11.3e}J",
@@ -101,7 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .compile(src, &Bindings::default())?;
     let mut soc = Soc::new();
     soc.attach(SystolicDot { lanes: 64 });
-    let report = soc.run(&compiled, &hints);
+    let report = soc.run(&compiled, &hints)?;
     let part = compiled.partition_by_target("SystolicDot").expect("SystolicDot partition");
     println!(
         "  {:<14} {:>10} {:>11.3e}s {:>11.3e}J",
@@ -118,7 +118,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The host is a backend too (everything unannotated).
     let host = Compiler::host_only().compile(src, &Bindings::default())?;
-    let report = Soc::new().run(&host, &hints);
+    let report = Soc::new().run(&host, &hints)?;
     println!(
         "  {:<14} {:>10} {:>11.3e}s {:>11.3e}J",
         "CPU (host)",

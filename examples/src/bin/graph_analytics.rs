@@ -93,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     hint_map.insert(None, hints);
     let soc = standard_soc();
-    let accel = soc.run(&paper_graph, &hint_map);
+    let accel = soc.run(&paper_graph, &hint_map)?;
     let host = Compiler::host_only().compile(&programs::bfs(2048), &Bindings::default())?;
     let cpu = polymath::evaluate::estimate_all(soc.host(), &host, &hints);
     println!(

@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             compiler = compiler.with_target_override("blks", HyperStreams::default().accel_spec());
         }
         let compiled = compiler.compile(&variant.source, &Bindings::default())?;
-        let report = soc.run(&compiled, &hints);
+        let report = soc.run(&compiled, &hints)?;
         let base = *baseline.get_or_insert(report.total);
         println!(
             "  {label:<10} {:>6.2}x runtime   {:>6.2}x energy   (comm {:>4.1}%)",

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("anomaly score: {:.4}", out["anomaly"].scalar_value()?);
 
     // 3. Price the run on the simulated SoC.
-    let report = standard_soc().run(&compiled, &HashMap::new());
+    let report = standard_soc().run(&compiled, &HashMap::new())?;
     println!(
         "SoC estimate: {:.3} µs, {:.3} µJ per invocation ({:.1}% communication)",
         report.total.seconds * 1e6,

@@ -113,7 +113,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper_src = programs::mobile_robot(1024);
     let accel_prog = Compiler::cross_domain().compile(&paper_src, &Bindings::default())?;
     let soc = standard_soc();
-    let accel = soc.run(&accel_prog, &HashMap::new());
+    let accel = soc.run(&accel_prog, &HashMap::new())?;
     let host = Compiler::host_only().compile(&paper_src, &Bindings::default())?;
     let cpu = polymath::evaluate::estimate_all(soc.host(), &host, &Default::default());
     println!(

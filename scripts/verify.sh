@@ -22,4 +22,20 @@ cargo run --release -p pm-bench --bin pm-bench -- --quick --out target/BENCH_smo
 echo "== pmc fuzz --smoke"
 cargo run --release -p polymath --bin pmc -- fuzz --smoke
 
+echo "== pmc fuzz chaos smoke (1k cases, transient faults, fixed seed)"
+cargo run --release -p polymath --bin pmc -- fuzz --seed 0xC0FFEE --cases 1000 \
+    --chaos-profile transient --chaos-seed 0xC0FFEE
+
+echo "== chaos off-profile byte-identity"
+plain=$(cargo run --release -q -p polymath --bin pmc -- run \
+    examples/pm/accumulator.pm examples/pm/accumulator.feeds --iters 3)
+off=$(cargo run --release -q -p polymath --bin pmc -- run \
+    examples/pm/accumulator.pm examples/pm/accumulator.feeds --iters 3 \
+    --chaos-profile off)
+if [ "$plain" != "$off" ]; then
+    echo "chaos: --chaos-profile off output differs from plain run" >&2
+    diff <(printf '%s\n' "$plain") <(printf '%s\n' "$off") >&2 || true
+    exit 1
+fi
+
 echo "verify: all checks passed"
