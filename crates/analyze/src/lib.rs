@@ -1,0 +1,213 @@
+//! # pm-analyze — static verification for the PolyMath stack
+//!
+//! Two engines, one crate:
+//!
+//! 1. **Abstract interpretation over the srDFG** — a generic forward
+//!    dataflow [`solver`] (worklist over [`SrDfg::try_topo_order`], a
+//!    lattice trait with join/widen) instantiated with three domains:
+//!    [`shape`] re-derives every edge's shape/dtype metadata end-to-end
+//!    and cross-checks it against what the edge claims, [`interval`]
+//!    propagates value ranges and proves index-variable accesses
+//!    in-bounds (flagging possible division by zero and index-arithmetic
+//!    overflow on the way), and [`init`] catches reads of values that
+//!    are never produced and `state` buffers that are never updated.
+//! 2. **Static schedule hazard analysis** — [`hazard`] consumes the
+//!    per-target fragment plan Algorithm 2 emits and detects RAW
+//!    dependencies with no load/store marshalling, WAR/WAW DMA hazards
+//!    on shared host buffers, and cross-target dependency cycles
+//!    (deadlocks) — the bugs a double-buffered streaming runtime would
+//!    otherwise hit at execution time.
+//!
+//! Findings carry stable `PM-Exxx`/`PM-Wxxx` codes and source spans so
+//! `pm-lint` can render them with its caret diagnostics, and the
+//! [`certify_bounds`] entry point states the soundness contract the
+//! fuzzer cross-checks: a program this crate certifies in-bounds must
+//! never trap in the srDFG interpreter.
+
+#![warn(missing_docs)]
+
+pub mod hazard;
+pub mod init;
+pub mod interval;
+pub mod shape;
+pub mod solver;
+
+pub use hazard::analyze_schedule;
+pub use interval::certify_bounds;
+pub use shape::verify_types;
+
+use pmlang::Span;
+use srdfg::{NodeKind, SrDfg};
+use std::fmt;
+
+/// Severity classes, ordered least to most severe (mirrors `pm-lint`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational.
+    Note,
+    /// Suspicious but possibly intended.
+    Warning,
+    /// A genuine defect.
+    Error,
+}
+
+/// Stable finding codes, one per defect class.
+pub mod codes {
+    /// Edge shape/dtype metadata disagrees with its producer (the same
+    /// code `pm-lint`'s edge-consistency lint has always used; the lint
+    /// now delegates here).
+    pub const EDGE_CONSISTENCY: &str = "PM-E003";
+    /// An operand access is provably out of bounds at every evaluation.
+    pub const OUT_OF_BOUNDS: &str = "PM-E102";
+    /// An access may go out of bounds, a divisor range includes zero, or
+    /// index arithmetic may overflow.
+    pub const ARITH_RANGE: &str = "PM-W103";
+    /// A consumed value is never produced (the interpreter would trap).
+    pub const UNINITIALIZED: &str = "PM-E104";
+    /// A `state` buffer is read but never updated across invocations.
+    pub const STALE_STATE: &str = "PM-W105";
+    /// A RAW dependency between targets has no load/store marshalling.
+    pub const MISSING_MARSHAL: &str = "PM-E110";
+    /// Unordered DMA read/write of the same host buffer (WAR).
+    pub const DMA_WAR: &str = "PM-W111";
+    /// Unordered DMA writes of the same host buffer (WAW).
+    pub const DMA_WAW: &str = "PM-W112";
+    /// The fragment schedule contains a cross-target dependency cycle.
+    pub const DEADLOCK: &str = "PM-E113";
+}
+
+/// One defect (or suspicion) reported by an analysis engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Stable machine-readable code (see [`codes`]).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// PMLang source location ([`Span::synthetic`] when unknown).
+    pub span: Span,
+    /// Supplementary notes.
+    pub notes: Vec<String>,
+}
+
+impl Finding {
+    /// An error-severity finding.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Finding {
+        Finding {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            span: Span::synthetic(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// A warning-severity finding.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Finding {
+        Finding { severity: Severity::Warning, ..Finding::error(code, message) }
+    }
+
+    /// Attaches a source span, builder-style.
+    pub fn at(mut self, span: Span) -> Finding {
+        self.span = span;
+        self
+    }
+
+    /// Appends a supplementary note, builder-style.
+    pub fn with_note(mut self, note: impl Into<String>) -> Finding {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}[{}]: {}", self.code, self.message)
+    }
+}
+
+/// Runs every graph-level engine (shape/dtype, intervals, initialization)
+/// over `graph` and all nested component sub-graphs, returning the
+/// deduplicated findings sorted by source position then severity.
+pub fn analyze_graph(graph: &SrDfg) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    fn walk(graph: &SrDfg, is_root: bool, out: &mut Vec<Finding>) {
+        shape::check_graph(graph, out);
+        interval::check_graph(graph, out);
+        init::check_graph(graph, is_root, out);
+        for (_, node) in graph.iter_nodes() {
+            if let NodeKind::Component(sub) = &node.kind {
+                walk(sub, false, out);
+            }
+        }
+    }
+    walk(graph, true, &mut findings);
+    finish(findings)
+}
+
+/// Deduplicates and orders findings the way `pm-lint` orders diagnostics:
+/// by source position (spanless last), most severe first, then code.
+pub fn finish(mut findings: Vec<Finding>) -> Vec<Finding> {
+    findings.sort_by(|a, b| {
+        let ka = if a.span.is_synthetic() { (usize::MAX, 0) } else { (a.span.start, a.span.end) };
+        let kb = if b.span.is_synthetic() { (usize::MAX, 0) } else { (b.span.start, b.span.end) };
+        ka.cmp(&kb).then(b.severity.cmp(&a.severity)).then(a.code.cmp(b.code))
+    });
+    findings.dedup_by(|a, b| a.code == b.code && a.message == b.message && a.span == b.span);
+    findings
+}
+
+/// True if any finding is error-severity.
+pub fn has_errors(findings: &[Finding]) -> bool {
+    findings.iter().any(|f| f.severity == Severity::Error)
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use srdfg::SrDfg;
+
+    /// Frontend + build (no optimization), panicking on bad test input.
+    pub fn build(source: &str) -> SrDfg {
+        let (program, _) = pmlang::frontend(source).expect("test source must check");
+        srdfg::build(&program, &srdfg::Bindings::default()).expect("test source must build")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let g = test_util::build(
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 y[i] = x[i] * 2.0;
+             }",
+        );
+        let findings = analyze_graph(&g);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn findings_sort_errors_first_at_same_span() {
+        let span = pmlang::Span::new(3, 7, 1, 4);
+        let fs = finish(vec![
+            Finding::warning(codes::ARITH_RANGE, "b").at(span),
+            Finding::error(codes::OUT_OF_BOUNDS, "a").at(span),
+        ]);
+        assert_eq!(fs[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn finish_dedupes_identical_findings() {
+        let f = Finding::error(codes::UNINITIALIZED, "same");
+        assert_eq!(finish(vec![f.clone(), f]).len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! A generic forward dataflow solver over the srDFG.
+//!
+//! Abstract values live on *edges* (the srDFG's SSA values). A domain
+//! supplies the lattice operations and a per-node transfer function; the
+//! solver seeds boundary inputs, visits nodes in the order
+//! [`SrDfg::try_topo_order`] produces, and — only when the graph is
+//! cyclic, which `srdfg::validate` already rejects — iterates a worklist
+//! with widening until a fixpoint or a visit cap. On the DAGs the builder
+//! emits, one pass in topological order is the fixpoint, so the solver
+//! costs a single transfer per node.
+
+use srdfg::graph::{Node, NodeId};
+use srdfg::{EdgeId, SrDfg};
+use std::collections::VecDeque;
+
+/// A join-semilattice of abstract values.
+pub trait Lattice: Clone {
+    /// Joins `other` into `self`, returning true if `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+
+    /// Widening operator for cyclic graphs; defaults to plain join.
+    /// Implementations with infinite ascending chains (intervals) must
+    /// jump to an upper bound here so iteration terminates.
+    fn widen(&mut self, other: &Self) -> bool {
+        self.join(other)
+    }
+}
+
+/// A forward analysis: the lattice plus per-node transfer.
+pub trait ForwardDomain {
+    /// The abstract value attached to each edge.
+    type Value: Lattice;
+
+    /// The initial (bottom) value of every edge.
+    fn bottom(&self) -> Self::Value;
+
+    /// The value flowing in through a boundary input edge.
+    fn boundary(&mut self, graph: &SrDfg, edge: EdgeId) -> Self::Value;
+
+    /// Computes the values of `node`'s output edges from its input
+    /// values, pushing one result per output (in slot order) into `out`
+    /// — a cleared, solver-owned buffer reused across nodes so a solve
+    /// performs no per-node allocation. Transfer functions may also
+    /// record findings as a side effect — on a DAG each node is visited
+    /// exactly once.
+    fn transfer(
+        &mut self,
+        graph: &SrDfg,
+        id: NodeId,
+        node: &Node,
+        inputs: &[Self::Value],
+        out: &mut Vec<Self::Value>,
+    );
+}
+
+/// Visits after which an output update uses [`Lattice::widen`] instead of
+/// join, and the cap after which a node is not re-queued at all. Only
+/// reachable on cyclic (invalid) graphs.
+const WIDEN_AFTER: u8 = 3;
+const MAX_VISITS: u8 = 16;
+
+/// Runs `domain` to a fixpoint over `graph`, returning the final abstract
+/// value of every edge, indexed by raw [`EdgeId`].
+pub fn solve<D: ForwardDomain>(graph: &SrDfg, domain: &mut D) -> Vec<D::Value> {
+    let mut values: Vec<D::Value> = (0..graph.edge_count()).map(|_| domain.bottom()).collect();
+    for &e in &graph.boundary_inputs {
+        values[e.0 as usize] = domain.boundary(graph, e);
+    }
+    let (order, acyclic) = match graph.try_topo_order() {
+        Ok(order) => (order, true),
+        // Cyclic graphs are invalid, but analyses must still terminate:
+        // fall back to id order and iterate with widening.
+        Err(_) => (graph.node_ids().collect(), false),
+    };
+    let mut queue: VecDeque<NodeId> = order.into_iter().collect();
+    let mut queued = vec![true; graph.node_slots()];
+    let mut visits = vec![0u8; graph.node_slots()];
+    let mut inputs: Vec<D::Value> = Vec::new();
+    let mut outputs: Vec<D::Value> = Vec::new();
+    while let Some(id) = queue.pop_front() {
+        queued[id.0 as usize] = false;
+        if !graph.is_live(id) {
+            continue;
+        }
+        let node = graph.node(id);
+        inputs.clear();
+        inputs.extend(node.inputs.iter().map(|&e| values[e.0 as usize].clone()));
+        outputs.clear();
+        domain.transfer(graph, id, node, &inputs, &mut outputs);
+        debug_assert_eq!(outputs.len(), node.outputs.len(), "transfer arity for `{}`", node.name);
+        let visit = visits[id.0 as usize];
+        visits[id.0 as usize] = visit.saturating_add(1);
+        for (&e, out) in node.outputs.iter().zip(&outputs) {
+            let slot = &mut values[e.0 as usize];
+            let changed = if visit >= WIDEN_AFTER { slot.widen(out) } else { slot.join(out) };
+            if changed && !acyclic {
+                for &(c, _) in &graph.edge(e).consumers {
+                    let ci = c.0 as usize;
+                    if !queued[ci] && visits[ci] < MAX_VISITS {
+                        queued[ci] = true;
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srdfg::graph::{EdgeMeta, Modifier, NodeKind, ScalarKind};
+    use srdfg::SrDfg;
+
+    /// A tiny reachability domain: an edge is `true` when data from any
+    /// boundary input can flow to it.
+    struct Reach;
+    impl Lattice for bool {
+        fn join(&mut self, other: &bool) -> bool {
+            let before = *self;
+            *self |= *other;
+            *self != before
+        }
+    }
+    impl ForwardDomain for Reach {
+        type Value = bool;
+        fn bottom(&self) -> bool {
+            false
+        }
+        fn boundary(&mut self, _g: &SrDfg, _e: EdgeId) -> bool {
+            true
+        }
+        fn transfer(
+            &mut self,
+            _g: &SrDfg,
+            _id: NodeId,
+            node: &Node,
+            inputs: &[bool],
+            out: &mut Vec<bool>,
+        ) {
+            let any = inputs.iter().any(|&b| b) || inputs.is_empty();
+            out.extend(std::iter::repeat_n(any, node.outputs.len()));
+        }
+    }
+
+    fn scalar_edge(g: &mut SrDfg, name: &str) -> EdgeId {
+        g.add_edge(EdgeMeta::new(name, pmlang::DType::Float, Modifier::Temp, vec![]))
+    }
+
+    #[test]
+    fn dag_reaches_fixpoint_in_one_pass() {
+        let mut g = SrDfg::new("chain");
+        let a = scalar_edge(&mut g, "a");
+        let b = scalar_edge(&mut g, "b");
+        let c = scalar_edge(&mut g, "c");
+        g.boundary_inputs.push(a);
+        g.add_node(
+            "n1",
+            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            None,
+            vec![a],
+            vec![b],
+        );
+        g.add_node(
+            "n2",
+            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            None,
+            vec![b],
+            vec![c],
+        );
+        let values = solve(&g, &mut Reach);
+        assert!(values[a.0 as usize] && values[b.0 as usize] && values[c.0 as usize]);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        // Two nodes consuming each other's outputs (invalid, but the
+        // solver must not spin).
+        let mut g = SrDfg::new("cyclic");
+        let e1 = scalar_edge(&mut g, "e1");
+        let e2 = scalar_edge(&mut g, "e2");
+        g.add_node(
+            "a",
+            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            None,
+            vec![e2],
+            vec![e1],
+        );
+        g.add_node(
+            "b",
+            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            None,
+            vec![e1],
+            vec![e2],
+        );
+        let values = solve(&g, &mut Reach);
+        assert_eq!(values.len(), 2);
+    }
+}

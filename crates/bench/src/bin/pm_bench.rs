@@ -174,6 +174,8 @@ fn render_json(reports: &[WorkloadReport], quick: bool) -> String {
         out.push_str(&format!("        \"lower\": {},\n", sec(t.lower)));
         out.push_str(&format!("        \"post_lower\": {},\n", sec(t.post_lower)));
         out.push_str(&format!("        \"compile\": {},\n", sec(t.compile)));
+        out.push_str(&format!("        \"analyze\": {},\n", sec(t.analyze)));
+        out.push_str(&format!("        \"hazards\": {},\n", sec(t.hazards)));
         out.push_str(&format!("        \"total\": {}\n", sec(t.total)));
         out.push_str("      },\n");
         out.push_str("      \"passes_s\": [\n");

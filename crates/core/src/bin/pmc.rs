@@ -26,6 +26,14 @@
 //!     cross-domain target map (or the host with --host-only). Exits
 //!     non-zero on errors, or on warnings under --deny-warnings.
 //!     `--format json` emits one JSON array instead of caret renderings.
+//! pmc analyze <file.pm> [--size ...] [--host-only] [--deny-warnings] [--format json]
+//!     Run the pm-analyze static verifiers: abstract interpretation over
+//!     the srDFG (shape/dtype re-inference, interval bounds proofs,
+//!     initialization analysis) plus static hazard analysis of the
+//!     compiled SoC schedule (missing DMA marshalling, WAR/WAW hazards
+//!     on state buffers, cross-target deadlock). Exits non-zero on
+//!     errors, or on warnings under --deny-warnings. `--format json`
+//!     emits one JSON array instead of caret renderings.
 //! pmc fmt <file.pm>
 //!     Pretty-print the program (canonical formatting) on stdout.
 //! pmc ir <file.pm> [--size ...] [--target <name>]
@@ -204,6 +212,39 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             if deny && warnings > 0 {
                 return Err(format!("lint found {warnings} warning(s) (--deny-warnings)"));
+            }
+            Ok(())
+        }
+        "analyze" => {
+            let (program, _) = pmlang::frontend(&source).map_err(|e| e.to_string())?;
+            // Abstract interpretation runs on the un-optimized graph so
+            // every finding still carries a span into the source.
+            let graph = srdfg::build(&program, &bindings).map_err(|e| e.to_string())?;
+            let mut findings = pm_analyze::analyze_graph(&graph);
+            let compiler = if host_only { Compiler::host_only() } else { Compiler::cross_domain() };
+            // Hazard analysis needs the real compiled fragment plan; if the
+            // pipeline fails downstream, the graph findings still render.
+            match compiler.compile(&source, &bindings) {
+                Ok(compiled) => {
+                    findings.extend(pm_analyze::analyze_schedule(&compiled, compiler.targets()));
+                }
+                Err(e) => eprintln!("pmc: analyze: schedule hazard analysis skipped: {e}"),
+            }
+            let findings = pm_analyze::finish(findings);
+            let diags: Vec<_> = findings.iter().map(pm_lint::diagnostic_from_finding).collect();
+            if parse_format(args)? == "json" {
+                println!("{}", pm_lint::render_json(&diags));
+            } else {
+                print!("{}", pm_lint::render_text(&diags, &source, path));
+            }
+            let errors = diags.iter().filter(|d| d.severity == pm_lint::Severity::Error).count();
+            let warnings =
+                diags.iter().filter(|d| d.severity == pm_lint::Severity::Warning).count();
+            if errors > 0 {
+                return Err(format!("analyze found {errors} error(s)"));
+            }
+            if args.iter().any(|a| a == "--deny-warnings") && warnings > 0 {
+                return Err(format!("analyze found {warnings} warning(s) (--deny-warnings)"));
             }
             Ok(())
         }
@@ -699,6 +740,8 @@ fn print_timings(t: &polymath::CompileTimings) {
     println!("  lower        {:>10.3} ms", ms(t.lower));
     println!("  post-lower   {:>10.3} ms", ms(t.post_lower));
     println!("  compile      {:>10.3} ms", ms(t.compile));
+    println!("  analyze      {:>10.3} ms", ms(t.analyze));
+    println!("  hazards      {:>10.3} ms", ms(t.hazards));
     println!("  total        {:>10.3} ms", ms(t.total));
 }
 
@@ -720,7 +763,7 @@ fn timings_json(t: &polymath::CompileTimings) -> String {
         .collect();
     format!(
         "{{\"frontend\":{},\"build\":{},\"midend\":{},\"passes\":[{}],\"lower\":{},\
-         \"post_lower\":{},\"compile\":{},\"total\":{}}}",
+         \"post_lower\":{},\"compile\":{},\"analyze\":{},\"hazards\":{},\"total\":{}}}",
         s(t.frontend),
         s(t.build),
         s(t.midend),
@@ -728,6 +771,8 @@ fn timings_json(t: &polymath::CompileTimings) -> String {
         s(t.lower),
         s(t.post_lower),
         s(t.compile),
+        s(t.analyze),
+        s(t.hazards),
         s(t.total)
     )
 }
@@ -800,7 +845,7 @@ fn parse_format(args: &[String]) -> Result<&str, String> {
 }
 
 fn usage() -> String {
-    "usage: pmc <check|stats|dot|compile|lint|run> <file.pm> [feeds.txt] \
+    "usage: pmc <check|stats|dot|compile|lint|analyze|run> <file.pm> [feeds.txt] \
 [--size name=value ...] [--host-only] [--pin comp=TARGET ...] [--iters N] \
 [--deny-warnings] [--timings] [--format json] [--chaos-seed N] \
 [--chaos-profile off|transient|hostile] [--max-retries K]\n\

@@ -214,6 +214,13 @@ impl Compiler {
         }
         let midend = t.elapsed();
 
+        // Abstract interpretation runs on the post-mid-end graph (before
+        // lowering explodes it into scalar fabric), matching what `pmc
+        // analyze` inspects; schedule hazards are timed after Algorithm 2.
+        let t = Instant::now();
+        let _ = pm_analyze::analyze_graph(&graph);
+        let analyze = t.elapsed();
+
         let t = Instant::now();
         lower(&mut graph, &self.targets)?;
         let lower_d = t.elapsed();
@@ -227,6 +234,10 @@ impl Compiler {
         let compiled = compile_program(&graph, &self.targets)?;
         let compile = t.elapsed();
 
+        let t = Instant::now();
+        let _ = pm_analyze::analyze_schedule(&compiled, &self.targets);
+        let hazards = t.elapsed();
+
         let timings = CompileTimings {
             frontend,
             build,
@@ -235,6 +246,8 @@ impl Compiler {
             lower: lower_d,
             post_lower,
             compile,
+            analyze,
+            hazards,
             total: t0.elapsed(),
         };
         Ok((compiled, timings))
@@ -259,6 +272,13 @@ pub struct CompileTimings {
     pub post_lower: Duration,
     /// Algorithm 2 accelerator-IR compilation.
     pub compile: Duration,
+    /// Abstract interpretation over the post-mid-end graph (shape/dtype,
+    /// intervals, initialization).
+    pub analyze: Duration,
+    /// Static schedule hazard analysis of the Algorithm-2 fragment plan
+    /// (scales with the lowered fragment count, so it is tracked apart
+    /// from the graph-level verifier).
+    pub hazards: Duration,
     /// End-to-end wall time.
     pub total: Duration,
 }

@@ -1,0 +1,86 @@
+//! Golden-file tests for `pmc analyze` over the shipped examples: the
+//! full caret-rendered output is pinned under `tests/golden/`, plus exit
+//! codes for `--deny-warnings` and the JSON format. Regenerate goldens
+//! with `UPDATE_GOLDEN=1 cargo test -p polymath --test analyze_cli`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Repository root (the examples live at `<root>/examples/pm`).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+/// Runs `pmc` from the repo root so example paths render relatively.
+fn pmc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pmc")).args(args).current_dir(repo_root()).output().unwrap()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Compares `pmc analyze <example>` output against its golden file.
+fn check_golden(example: &str) -> Output {
+    let out = pmc(&["analyze", &format!("examples/pm/{example}")]);
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{example}.analyze.txt"));
+    let actual = stdout(&out);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", golden_path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "analyze output for {example} diverged from {} \
+         (rerun with UPDATE_GOLDEN=1 to bless)",
+        golden_path.display()
+    );
+    out
+}
+
+#[test]
+fn hazard_demo_matches_golden_and_reports_war() {
+    let out = check_golden("hazard_demo.pm");
+    // A warning alone does not fail the build without --deny-warnings.
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("PM-W111"), "missing PM-W111 in:\n{text}");
+    assert!(text.contains("WAR hazard"), "missing hazard message in:\n{text}");
+}
+
+#[test]
+fn clean_example_matches_golden_and_passes() {
+    let out = check_golden("accumulator.pm");
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("0 error(s), 0 warning(s)"), "unexpected findings:\n{text}");
+}
+
+#[test]
+fn deny_warnings_fails_on_the_hazard_demo() {
+    let out = pmc(&["analyze", "examples/pm/hazard_demo.pm", "--deny-warnings"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--deny-warnings"), "stderr:\n{err}");
+}
+
+#[test]
+fn json_format_emits_machine_readable_findings() {
+    let out = pmc(&["analyze", "examples/pm/hazard_demo.pm", "--format", "json"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.trim_start().starts_with('['), "not a JSON array:\n{text}");
+    assert!(text.contains("\"code\":\"PM-W111\""), "missing code in:\n{text}");
+    assert!(text.contains("\"severity\":\"warning\""), "missing severity in:\n{text}");
+}
+
+#[test]
+fn analyze_fails_with_findings_on_definite_out_of_bounds() {
+    let out = pmc(&["analyze", "tests/corpus/analyze/pm-e102-out-of-bounds.pm"]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("PM-E102"), "missing PM-E102 in:\n{text}");
+}

@@ -11,6 +11,16 @@
 //! only supported operations, and Algorithm-2 partitions must be
 //! structurally consistent. Any divergence, validation error, or panic is
 //! reported with the route that produced it.
+//!
+//! Two analyzer cross-checks ride along: the `analyze@graph` route fails
+//! when `pm-analyze` reports an error-severity finding on a valid
+//! generated program (a static-analysis false positive), and programs
+//! `pm_analyze::certify_bounds` certifies in-bounds must never trap in
+//! the interpreter — a trap under a certificate is attributed to the
+//! analyzer (`analyze@certified`), not the generator. Every lowered
+//! route additionally runs the static schedule hazard analyzer over its
+//! Algorithm-2 fragment plan; an error-severity hazard (missing DMA
+//! marshalling, deadlock) on a real compilation is a compiler bug.
 
 use crate::model::{EvalStep, PProgram};
 use pm_accel::{
@@ -293,6 +303,12 @@ fn lowered_route(mut graph: SrDfg, targets: &TargetMap) -> Result<SrDfg, String>
     }
     let compiled = compile_program(&graph, targets).map_err(|e| format!("algorithm 2: {e}"))?;
     check_partitions(&compiled, targets)?;
+    if let Some(f) = pm_analyze::analyze_schedule(&compiled, targets)
+        .iter()
+        .find(|f| f.severity == pm_analyze::Severity::Error)
+    {
+        return Err(format!("schedule hazard: {f}"));
+    }
     Ok(graph)
 }
 
@@ -351,6 +367,14 @@ fn check_case_inner(
         Ok(g) => g,
         Err(e) => return fail("build", e.to_string()),
     };
+    // A valid generated program must produce no error-severity static
+    // findings — any would be an analyzer false positive.
+    if let Some(f) =
+        pm_analyze::analyze_graph(&base).iter().find(|f| f.severity == pm_analyze::Severity::Error)
+    {
+        return fail("analyze@graph", f.to_string());
+    }
+    let certified = pm_analyze::certify_bounds(&base).is_ok();
     let feeds = HashMap::from([("x".to_string(), tensor(xs)), ("y".to_string(), tensor(ys))]);
 
     // Interpreter routes at each opt level. The sabotaged O2 graph also
@@ -381,6 +405,12 @@ fn check_case_inner(
             return fail(route, format!("validate: {e}"));
         }
         if let Err(e) = run_route((*graph).clone(), prog, &steps, &feeds, z0, cfg.tolerance) {
+            // An O0 interpreter trap under an in-bounds certificate is a
+            // soundness hole in the analyzer, not a generator artifact
+            // (divergence from the oracle stays an interpreter failure).
+            if route == "interp@O0" && certified && !e.contains("oracle says") {
+                return fail("analyze@certified", format!("certified in-bounds, but {e}"));
+            }
             return fail(route, e);
         }
     }
@@ -524,11 +554,23 @@ fn check_source_inner(
         Ok(g) => g,
         Err(e) => return fail("build", e.to_string()),
     };
+    // Static analysis first: corpus reproducers are valid programs, so an
+    // error-severity finding is an analyzer false positive.
+    if let Some(f) =
+        pm_analyze::analyze_graph(&base).iter().find(|f| f.severity == pm_analyze::Severity::Error)
+    {
+        return fail("analyze@graph", f.to_string());
+    }
+    let certified = pm_analyze::certify_bounds(&base).is_ok();
     let invocations = if state_names(&base).is_empty() { 1 } else { 3 };
 
-    // Oracle: the unoptimized interpreter.
+    // Oracle: the unoptimized interpreter. A trap under an in-bounds
+    // certificate is attributed to the analyzer's soundness contract.
     let reference = match record_trajectory(base.clone(), feeds, seeds, invocations) {
         Ok(r) => r,
+        Err(e) if certified => {
+            return fail("analyze@certified", format!("certified in-bounds, but {e}"))
+        }
         Err(e) => return fail("interp@O0", e),
     };
 
@@ -677,6 +719,28 @@ mod tests {
             DiffConfig { chaos: Some(ChaosProfile::Hostile), chaos_seed: 5, ..Default::default() };
         let result = check_case(&prog, &[0.0; 3], &[0.0; 3], &[1.0, 2.0, 3.0], &cfg);
         assert!(matches!(result, CaseResult::Pass), "{result:?}");
+    }
+
+    #[test]
+    fn analyze_route_catches_out_of_bounds_source() {
+        let src = "main(input float x[4], output float y[4]) {
+             index i[0:3];
+             y[i] = x[i + 4];
+         }";
+        let feeds = HashMap::from([("x".to_string(), tensor(&[1.0, 2.0, 3.0, 4.0]))]);
+        let result = check_source(src, &feeds, &HashMap::new(), &DiffConfig::default());
+        let CaseResult::Fail(f) = result else { panic!("expected a failure: {result:?}") };
+        assert_eq!(f.route, "analyze@graph");
+        assert!(f.detail.contains("PM-E102"), "{f}");
+    }
+
+    #[test]
+    fn generated_programs_survive_the_analyze_routes() {
+        // A small seeded sweep: no generated case may trip the analyzer's
+        // error findings or the schedule hazard checks.
+        let cfg = crate::FuzzConfig { seed: 0xA11A, cases: 40, ..Default::default() };
+        let report = crate::run_fuzz(&cfg);
+        assert!(report.failure.is_none(), "{:?}", report.failure);
     }
 
     #[test]

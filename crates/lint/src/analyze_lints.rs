@@ -1,0 +1,170 @@
+//! Lints backed by the `pm-analyze` abstract-interpretation engines.
+//!
+//! The analysis itself lives in `pm-analyze` (it is also run by the
+//! `PassManager` verifier and the fuzzer); this module adapts its
+//! [`Finding`]s into [`Diagnostic`]s so they render through the same
+//! caret machinery, and wraps each finding class as a registry lint.
+
+use crate::diagnostic::Diagnostic;
+use crate::{Lint, LintContext};
+use pm_analyze::{codes, Finding};
+
+/// Converts an analysis [`Finding`] into a renderable [`Diagnostic`].
+pub fn diagnostic_from_finding(f: &Finding) -> Diagnostic {
+    let mut d = match f.severity {
+        pm_analyze::Severity::Error => Diagnostic::error(f.code, f.message.clone()),
+        pm_analyze::Severity::Warning => Diagnostic::warning(f.code, f.message.clone()),
+        pm_analyze::Severity::Note => Diagnostic::note(f.code, f.message.clone()),
+    };
+    d = d.at(f.span);
+    for n in &f.notes {
+        d = d.with_note(n.clone());
+    }
+    d
+}
+
+fn check_filtered(code: &'static str, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    for f in pm_analyze::analyze_graph(cx.graph) {
+        if f.code == code {
+            out.push(diagnostic_from_finding(&f));
+        }
+    }
+}
+
+/// `PM-E102` — interval analysis proves an operand access out of bounds
+/// for every evaluation (or rank-mismatched), so the interpreter traps.
+pub struct AnalyzeBounds;
+
+impl Lint for AnalyzeBounds {
+    fn code(&self) -> &'static str {
+        codes::OUT_OF_BOUNDS
+    }
+    fn name(&self) -> &'static str {
+        "analyze-bounds"
+    }
+    fn description(&self) -> &'static str {
+        "operand accesses interval analysis proves out of bounds"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        check_filtered(self.code(), cx, out);
+    }
+}
+
+/// `PM-W103` — interval analysis cannot rule out an out-of-bounds access,
+/// a division/modulo by zero, or index-arithmetic overflow.
+pub struct AnalyzeArith;
+
+impl Lint for AnalyzeArith {
+    fn code(&self) -> &'static str {
+        codes::ARITH_RANGE
+    }
+    fn name(&self) -> &'static str {
+        "analyze-arith-range"
+    }
+    fn description(&self) -> &'static str {
+        "possible out-of-bounds accesses, division by zero, or overflow"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        check_filtered(self.code(), cx, out);
+    }
+}
+
+/// `PM-E104` — initialization analysis found a value that is consumed but
+/// never produced.
+pub struct AnalyzeInit;
+
+impl Lint for AnalyzeInit {
+    fn code(&self) -> &'static str {
+        codes::UNINITIALIZED
+    }
+    fn name(&self) -> &'static str {
+        "analyze-uninitialized"
+    }
+    fn description(&self) -> &'static str {
+        "values consumed but never produced"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        check_filtered(self.code(), cx, out);
+    }
+}
+
+/// `PM-W105` — a `state` variable is read but never updated: every
+/// invocation observes its initial value.
+pub struct AnalyzeState;
+
+impl Lint for AnalyzeState {
+    fn code(&self) -> &'static str {
+        codes::STALE_STATE
+    }
+    fn name(&self) -> &'static str {
+        "analyze-stale-state"
+    }
+    fn description(&self) -> &'static str {
+        "state buffers read but never updated across invocations"
+    }
+    fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        check_filtered(self.code(), cx, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::lint_one;
+
+    #[test]
+    fn out_of_bounds_access_is_an_error() {
+        let diags = lint_one(
+            &AnalyzeBounds,
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 y[i] = x[i + 4];
+             }",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "PM-E102");
+        assert_eq!(diags[0].severity, crate::Severity::Error);
+    }
+
+    #[test]
+    fn possible_out_of_bounds_is_a_warning() {
+        let diags = lint_one(
+            &AnalyzeArith,
+            "main(input float x[4], output float y[4]) {
+                 index i[0:3];
+                 y[i] = x[2 * i];
+             }",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "PM-W103");
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+    }
+
+    #[test]
+    fn stale_state_is_flagged() {
+        let diags = lint_one(
+            &AnalyzeState,
+            "main(input float x, state float bias, output float y) {
+                 y = x + bias;
+             }",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "PM-W105");
+        assert!(diags[0].message.contains("bias"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn clean_program_is_quiet_across_all_analyze_lints() {
+        for lint in [&AnalyzeBounds as &dyn Lint, &AnalyzeArith, &AnalyzeInit, &AnalyzeState] {
+            let diags = lint_one(
+                lint,
+                "main(input float x[4], state float acc, output float y[4]) {
+                     index i[0:3];
+                     acc = acc + x[0];
+                     y[i] = x[i] * 2.0;
+                 }",
+            );
+            assert!(diags.is_empty(), "{}: {diags:?}", lint.code());
+        }
+    }
+}

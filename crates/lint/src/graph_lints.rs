@@ -7,7 +7,7 @@
 
 use crate::diagnostic::Diagnostic;
 use crate::{Lint, LintContext};
-use pmlang::{BinOp, DType, Domain, UnOp};
+use pmlang::Domain;
 use srdfg::{IndexRange, KExpr, NodeKind, Scalar, SrDfg};
 use std::collections::HashMap;
 
@@ -70,29 +70,12 @@ fn max_idx(k: &KExpr) -> Option<usize> {
     }
 }
 
-/// True for kernels built purely from constants, indices, operand reads,
-/// negation, and `+ - * /` — the fragment of the kernel language whose
-/// result dtype is fully determined by operand dtypes (complex promotion).
-fn is_pure_arith(k: &KExpr) -> bool {
-    match k {
-        KExpr::Const(_) | KExpr::Idx(_) => true,
-        KExpr::Arg(_) => false,
-        KExpr::Operand { indices, .. } => indices.iter().all(is_pure_arith),
-        KExpr::Unary(op, e) => *op == UnOp::Neg && is_pure_arith(e),
-        KExpr::Binary(op, a, b) => {
-            matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
-                && is_pure_arith(a)
-                && is_pure_arith(b)
-        }
-        KExpr::Select(..) | KExpr::Call(..) => false,
-    }
-}
-
-/// `PM-E003` — edge metadata consistency. Re-infers each Map/Reduce node's
-/// output shape (and, for pure-arithmetic kernels, its dtype) from the
-/// node's spec and producer-side metadata, and diffs the result against
-/// what the edge claims. Component boundary edges are checked against the
-/// outer edges they are positionally bound to.
+/// `PM-E003` — edge metadata consistency. Delegates to the `pm-analyze`
+/// shape/dtype inference engine — the single source of truth also used by
+/// the `PassManager` semantic verifier — which re-derives every edge's
+/// shape (and, for pure-arithmetic kernels, its dtype) from its producer
+/// and diffs the result against what the edge claims, including component
+/// boundary bindings, constant tensors, and pack/unpack arities.
 pub struct EdgeConsistency;
 
 impl Lint for EdgeConsistency {
@@ -106,97 +89,11 @@ impl Lint for EdgeConsistency {
         "edge dtype/shape metadata disagrees with what its producer computes"
     }
     fn check(&self, cx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
-        for_each_graph(cx.graph, None, &mut |graph, _| {
-            for (_, node) in graph.iter_nodes() {
-                let expected_shape = match &node.kind {
-                    NodeKind::Map(m) => Some(&m.write.target_shape),
-                    NodeKind::Reduce(r) => Some(&r.write.target_shape),
-                    _ => None,
-                };
-                if let Some(expected) = expected_shape {
-                    for &oe in &node.outputs {
-                        let meta = &graph.edge(oe).meta;
-                        if &meta.shape != expected {
-                            out.push(
-                                Diagnostic::error(
-                                    self.code(),
-                                    format!(
-                                        "edge `{}` claims shape {:?} but its producer \
-                                         `{}` writes shape {:?}",
-                                        meta.name, meta.shape, node.name, expected
-                                    ),
-                                )
-                                .at(meta.span)
-                                .with_note("edge metadata was corrupted after graph construction"),
-                            );
-                        }
-                    }
-                }
-                // Complex-promotion dtype check for elementwise maps whose
-                // kernel stays in the pure-arithmetic fragment.
-                if let NodeKind::Map(m) = &node.kind {
-                    if is_pure_arith(&m.kernel) {
-                        let mut any_complex = false;
-                        let mut all_numeric = true;
-                        let mut referenced = false;
-                        m.kernel.for_each_operand(&mut |slot, _| {
-                            referenced = true;
-                            match node.inputs.get(slot).map(|&e| graph.edge(e).meta.dtype) {
-                                Some(DType::Complex) => any_complex = true,
-                                Some(DType::Float) | Some(DType::Int) => {}
-                                _ => all_numeric = false,
-                            }
-                        });
-                        if referenced && all_numeric {
-                            let inferred = if any_complex { DType::Complex } else { DType::Float };
-                            for &oe in &node.outputs {
-                                let meta = &graph.edge(oe).meta;
-                                let claims_complex = meta.dtype == DType::Complex;
-                                if claims_complex != (inferred == DType::Complex) {
-                                    out.push(
-                                        Diagnostic::error(
-                                            self.code(),
-                                            format!(
-                                                "edge `{}` claims dtype {:?} but its \
-                                                 producer `{}` computes {:?}",
-                                                meta.name, meta.dtype, node.name, inferred
-                                            ),
-                                        )
-                                        .at(meta.span),
-                                    );
-                                }
-                            }
-                        }
-                    }
-                }
-                // Component boundaries: the inner boundary edge and the
-                // outer edge it is bound to must agree on shape.
-                if let NodeKind::Component(sub) = &node.kind {
-                    let pairs = sub
-                        .boundary_inputs
-                        .iter()
-                        .zip(&node.inputs)
-                        .chain(sub.boundary_outputs.iter().zip(&node.outputs));
-                    for (&inner, &outer) in pairs {
-                        let im = &sub.edge(inner).meta;
-                        let om = &graph.edge(outer).meta;
-                        if im.shape != om.shape {
-                            out.push(
-                                Diagnostic::error(
-                                    self.code(),
-                                    format!(
-                                        "component `{}` boundary edge `{}` has shape {:?} \
-                                         but is bound to `{}` of shape {:?}",
-                                        node.name, im.name, im.shape, om.name, om.shape
-                                    ),
-                                )
-                                .at(om.span),
-                            );
-                        }
-                    }
-                }
+        for f in pm_analyze::analyze_graph(cx.graph) {
+            if f.code == self.code() {
+                out.push(crate::analyze_lints::diagnostic_from_finding(&f));
             }
-        });
+        }
     }
 }
 
@@ -432,6 +329,7 @@ mod tests {
     use super::*;
     use crate::test_util::{host_targets, lint_one, lint_with_targets};
     use pm_lower::{AcceleratorSpec, TargetMap};
+    use pmlang::DType;
 
     #[test]
     fn clean_program_has_consistent_edges() {

@@ -18,6 +18,14 @@
 //! | `PM-W004` | `reduction-race` | warning | non-injective indexed writes; non-associative custom reductions |
 //! | `PM-W005` | `cross-domain-marshal` | warning | domain crossings Algorithm 2 won't wrap in a load/store pair |
 //! | `PM-W006` | `lowering-feasibility` | warning | Algorithm 1 provably gets stuck for a target |
+//! | `PM-E102` | `analyze-bounds` | error | operand accesses interval analysis proves out of bounds |
+//! | `PM-W103` | `analyze-arith-range` | warning | possible out-of-bounds, division by zero, or overflow |
+//! | `PM-E104` | `analyze-uninitialized` | error | values consumed but never produced |
+//! | `PM-W105` | `analyze-stale-state` | warning | state read but never updated across invocations |
+//!
+//! The `PM-E003` and `PM-E1xx`/`PM-W1xx` rows are backed by the
+//! `pm-analyze` abstract-interpretation engines; this crate adapts their
+//! findings into [`Diagnostic`]s (see [`diagnostic_from_finding`]).
 //!
 //! ## Registering a new lint
 //!
@@ -47,11 +55,15 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze_lints;
 pub mod ast_lints;
 pub mod diagnostic;
 pub mod feasibility;
 pub mod graph_lints;
 
+pub use analyze_lints::{
+    diagnostic_from_finding, AnalyzeArith, AnalyzeBounds, AnalyzeInit, AnalyzeState,
+};
 pub use ast_lints::{StateReadBeforeWrite, UnusedDecl};
 pub use diagnostic::{render_json, render_text, Diagnostic, Severity};
 pub use feasibility::LoweringFeasibility;
@@ -106,7 +118,7 @@ impl LintRegistry {
         LintRegistry::default()
     }
 
-    /// All six shipped lints, in code order.
+    /// All ten shipped lints, in code order.
     pub fn standard() -> Self {
         let mut r = LintRegistry::new();
         r.register(UnusedDecl)
@@ -114,7 +126,11 @@ impl LintRegistry {
             .register(EdgeConsistency)
             .register(ReductionRace)
             .register(CrossDomainMarshal)
-            .register(LoweringFeasibility);
+            .register(LoweringFeasibility)
+            .register(AnalyzeBounds)
+            .register(AnalyzeArith)
+            .register(AnalyzeInit)
+            .register(AnalyzeState);
         r
     }
 
@@ -247,13 +263,19 @@ mod tests {
     use crate::test_util::host_targets;
 
     #[test]
-    fn standard_registry_has_six_lints_with_distinct_codes() {
+    fn standard_registry_has_ten_lints_with_distinct_codes() {
         let r = LintRegistry::standard();
         let codes: Vec<&str> = r.lints().map(|l| l.code()).collect();
-        assert_eq!(codes, vec!["PM-W001", "PM-N002", "PM-E003", "PM-W004", "PM-W005", "PM-W006"]);
+        assert_eq!(
+            codes,
+            vec![
+                "PM-W001", "PM-N002", "PM-E003", "PM-W004", "PM-W005", "PM-W006", "PM-E102",
+                "PM-W103", "PM-E104", "PM-W105",
+            ]
+        );
         let mut dedup = codes.clone();
         dedup.dedup();
-        assert_eq!(dedup.len(), 6);
+        assert_eq!(dedup.len(), 10);
     }
 
     #[test]

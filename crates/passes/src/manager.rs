@@ -256,8 +256,10 @@ impl PassManager {
     }
 
     /// Runs the pipeline with the pass verifier always on: after each pass,
-    /// `srdfg::validate` re-checks every graph invariant, and the first
-    /// violation is reported with the name of the pass that introduced it.
+    /// `srdfg::validate` re-checks every graph invariant and
+    /// `pm_analyze::verify_types` re-runs shape/dtype inference over the
+    /// rewritten graph, and the first violation is reported with the name
+    /// of the pass that introduced it.
     ///
     /// # Errors
     ///
@@ -317,6 +319,14 @@ impl PassManager {
                     if verify {
                         srdfg::validate(graph)
                             .map_err(|error| PassVerifyError { pass: pass.name(), error })?;
+                        // Semantic verifier: structural validity is not
+                        // enough — re-run shape/dtype inference so a pass
+                        // that leaves the graph well-formed but corrupts
+                        // edge metadata is still caught and named.
+                        pm_analyze::verify_types(graph).map_err(|msg| PassVerifyError {
+                            pass: pass.name(),
+                            error: srdfg::ValidateError::new(msg),
+                        })?;
                     }
                 }
             }
@@ -442,6 +452,63 @@ mod tests {
         let err = pm.run_checked(&mut g).unwrap_err();
         assert_eq!(err.pass, "corruptor");
         assert!(err.to_string().contains("corruptor"), "{err}");
+    }
+
+    #[test]
+    fn verifier_names_metadata_corrupting_pass() {
+        use srdfg::{EdgeMeta, Modifier};
+        /// Leaves the graph structurally valid (back-links, arities, and
+        /// acyclicity all intact) but rewrites an output edge's claimed
+        /// shape — the class of miscompile only shape/dtype re-inference
+        /// can see.
+        struct ShapeCorruptor;
+        impl Pass for ShapeCorruptor {
+            fn name(&self) -> &'static str {
+                "shape-corruptor"
+            }
+            fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
+                let edges: Vec<_> = graph.edge_ids().collect();
+                for e in edges {
+                    if graph.edge(e).producer.is_some() && !graph.edge(e).meta.shape.is_empty() {
+                        graph.edge_mut(e).meta.shape = vec![99];
+                        return PassStats { changed: true, rewrites: 1, ..Default::default() };
+                    }
+                }
+                PassStats::default()
+            }
+        }
+        let mut g = SrDfg::new("t");
+        let a = g.add_edge(EdgeMeta::new("a", pmlang::DType::Float, Modifier::Input, vec![4]));
+        let b = g.add_edge(EdgeMeta::new("b", pmlang::DType::Float, Modifier::Output, vec![4]));
+        g.boundary_inputs.push(a);
+        g.boundary_outputs.push(b);
+        let space = vec![srdfg::IndexRange { name: "i".into(), lo: 0, hi: 3 }];
+        g.add_node(
+            "copy",
+            NodeKind::Map(srdfg::MapSpec {
+                out_space: space.clone(),
+                kernel: srdfg::KExpr::Operand { slot: 0, indices: vec![srdfg::KExpr::Idx(0)] },
+                write: srdfg::WriteSpec {
+                    target_shape: vec![4],
+                    lhs: vec![srdfg::KExpr::Idx(0)],
+                    carried: false,
+                },
+            }),
+            None,
+            vec![a],
+            vec![b],
+        );
+        // Sanity: the corrupted graph still passes the structural validator,
+        // so only the semantic verifier can catch this pass.
+        let mut probe = g.clone();
+        ShapeCorruptor.run_on_graph(&mut probe);
+        srdfg::validate(&probe).expect("corruption is structurally invisible");
+
+        let mut pm = PassManager::new();
+        pm.add(ShapeCorruptor);
+        let err = pm.run_checked(&mut g).unwrap_err();
+        assert_eq!(err.pass, "shape-corruptor");
+        assert!(err.to_string().contains("claims shape"), "{err}");
     }
 
     #[test]

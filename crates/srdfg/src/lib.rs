@@ -73,5 +73,5 @@ pub use graph::{
 pub use hash::{node_structural_hash, FxBuildHasher, FxHasher};
 pub use interp::Machine;
 pub use kernel::KExpr;
-pub use validate::{validate, ValidateError};
+pub use validate::{validate, validate_all, ValidateError};
 pub use value::{Scalar, Tensor, ValueError};

@@ -51,12 +51,34 @@ impl std::error::Error for ValidateError {}
 ///
 /// Returns the first [`ValidateError`] found, with [`ValidateError::path`]
 /// naming the chain of component nodes leading to the offending sub-graph.
+/// Use [`validate_all`] to collect every defect instead of stopping at
+/// the first.
 pub fn validate(graph: &SrDfg) -> Result<(), ValidateError> {
+    match validate_all(graph).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Like [`validate`], but keeps going: returns *every* structural defect
+/// in the graph (and its nested components), in scan order — back-link
+/// and kernel-arity defects node by node, then producer-less boundary
+/// outputs, then the acyclicity check. Each error carries the same
+/// component breadcrumb [`ValidateError::path`] the first-error API
+/// reports, so a pass that corrupts several places at once is diagnosed
+/// in one round trip.
+pub fn validate_all(graph: &SrDfg) -> Vec<ValidateError> {
+    let mut out = Vec::new();
+    collect(graph, &mut out);
+    out
+}
+
+fn collect(graph: &SrDfg, out: &mut Vec<ValidateError>) {
     for (id, node) in graph.iter_nodes() {
         for (slot, &e) in node.inputs.iter().enumerate() {
             let edge = graph.edge(e);
             if !edge.consumers.contains(&(id, slot)) {
-                return Err(ValidateError::new(format!(
+                out.push(ValidateError::new(format!(
                     "edge {e} missing consumer back-link to {id} slot {slot}"
                 )));
             }
@@ -64,7 +86,7 @@ pub fn validate(graph: &SrDfg) -> Result<(), ValidateError> {
         for (slot, &e) in node.outputs.iter().enumerate() {
             let edge = graph.edge(e);
             if edge.producer != Some((id, slot)) {
-                return Err(ValidateError::new(format!(
+                out.push(ValidateError::new(format!(
                     "edge {e} missing producer back-link to {id} slot {slot}"
                 )));
             }
@@ -78,7 +100,7 @@ pub fn validate(graph: &SrDfg) -> Result<(), ValidateError> {
         };
         if let Some(ms) = max_slot {
             if ms >= node.inputs.len() {
-                return Err(ValidateError::new(format!(
+                out.push(ValidateError::new(format!(
                     "node `{}` kernel references slot {ms} but has {} inputs",
                     node.name,
                     node.inputs.len()
@@ -89,7 +111,7 @@ pub fn validate(graph: &SrDfg) -> Result<(), ValidateError> {
             if sub.boundary_inputs.len() != node.inputs.len()
                 || sub.boundary_outputs.len() != node.outputs.len()
             {
-                return Err(ValidateError::new(format!(
+                out.push(ValidateError::new(format!(
                     "component `{}` boundary arity mismatch ({}→{} vs {}→{})",
                     node.name,
                     sub.boundary_inputs.len(),
@@ -98,28 +120,32 @@ pub fn validate(graph: &SrDfg) -> Result<(), ValidateError> {
                     node.outputs.len()
                 )));
             }
-            validate(sub).map_err(|e| e.inside(node.name.clone()))?;
+            let before = out.len();
+            collect(sub, out);
+            for e in &mut out[before..] {
+                e.path.insert(0, node.name.clone());
+            }
         }
     }
     for &e in &graph.boundary_outputs {
         let edge = graph.edge(e);
         if edge.producer.is_none() && !graph.boundary_inputs.contains(&e) {
-            return Err(ValidateError::new(format!(
+            out.push(ValidateError::new(format!(
                 "boundary output `{}` has no producer",
                 edge.meta.name
             )));
         }
     }
     // Acyclicity, without panicking on malformed graphs.
-    graph.try_topo_order().map(|_| ()).map_err(|stuck| {
+    if let Err(stuck) = graph.try_topo_order() {
         let names: Vec<String> =
             stuck.iter().take(8).map(|&id| format!("`{}`", graph.node(id).name)).collect();
-        ValidateError::new(format!(
+        out.push(ValidateError::new(format!(
             "graph contains a cycle through {} node(s): {}",
             stuck.len(),
             names.join(", ")
-        ))
-    })
+        )));
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +231,23 @@ mod tests {
         let err = validate(&g).unwrap_err();
         assert!(err.message.contains("cycle"), "{err}");
         assert!(g.try_topo_order().is_err());
+    }
+
+    #[test]
+    fn validate_all_reports_every_defect() {
+        let prog =
+            pmlang::parse("main(input float a, input float b, output float y) { y = a + b; }")
+                .unwrap();
+        let mut g = build(&prog, &Bindings::default()).unwrap();
+        // Corrupt both input edges: two independent back-link defects.
+        let (e1, e2) = (g.boundary_inputs[0], g.boundary_inputs[1]);
+        g.edge_mut(e1).consumers.clear();
+        g.edge_mut(e2).consumers.clear();
+        let errors = validate_all(&g);
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors.iter().all(|e| e.message.contains("consumer back-link")), "{errors:?}");
+        // The first-error API returns exactly the first collected defect.
+        assert_eq!(validate(&g).unwrap_err(), errors[0]);
     }
 
     #[test]

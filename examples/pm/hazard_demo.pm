@@ -1,0 +1,15 @@
+// Schedule-hazard demonstration for `pmc analyze`: the DSP-mapped filter
+// reads state `z` while the host simultaneously overwrites it — a
+// write-after-read (PM-W111) DMA hazard in the compiled SoC schedule.
+// `pmc analyze examples/pm/hazard_demo.pm` reports it as a warning;
+// `--deny-warnings` turns it into a failure (exercised by scripts/verify.sh).
+filt(input float z[4], output float y[4]) {
+    index i[0:3];
+    y[i] = z[i] * 0.5;
+}
+
+main(input float x[4], state float z[4], output float y[4]) {
+    index i[0:3];
+    DSP: filt(z, y);
+    z[i] = x[i];
+}

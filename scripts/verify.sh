@@ -19,6 +19,17 @@ cargo fmt --check
 echo "== pm-bench smoke (--quick)"
 cargo run --release -p pm-bench --bin pm-bench -- --quick --out target/BENCH_smoke.json
 
+echo "== pmc analyze smoke"
+# A clean example must pass, and the checked-in hazard demo must fail
+# under --deny-warnings (it exists to exhibit a WAR DMA hazard) — an
+# analyzer that stops seeing it would silently gut the schedule checks.
+cargo run --release -q -p polymath --bin pmc -- analyze examples/pm/accumulator.pm
+if cargo run --release -q -p polymath --bin pmc -- analyze \
+    examples/pm/hazard_demo.pm --deny-warnings >/dev/null 2>&1; then
+    echo "analyze: hazard_demo.pm unexpectedly passed --deny-warnings" >&2
+    exit 1
+fi
+
 echo "== pmc fuzz --smoke"
 cargo run --release -p polymath --bin pmc -- fuzz --smoke
 

@@ -1,0 +1,7 @@
+// PM-E102 reproducer: every access x[i + 4] with i in [0, 3] lands in
+// [4, 7], entirely outside x's extent 4. `pmc analyze` must report a
+// definite out-of-bounds error (the interpreter would trap on element 0).
+main(input float x[4], output float y[4]) {
+    index i[0:3];
+    y[i] = x[i + 4];
+}

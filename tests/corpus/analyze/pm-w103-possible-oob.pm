@@ -1,0 +1,8 @@
+// PM-W103 reproducer: 2*i with i in [0, 3] spans [0, 6] against x's
+// extent 4 — in bounds for i <= 1, out for i >= 2. A partial overlap is
+// a *possible* out-of-bounds, so `pmc analyze` reports a warning (and
+// certification refuses) without claiming a definite trap.
+main(input float x[4], output float y[4]) {
+    index i[0:3];
+    y[i] = x[2 * i];
+}

@@ -1,0 +1,6 @@
+// PM-W105 reproducer: `bias` is declared as state but never assigned, so
+// every invocation observes its initial value — the "state" is really a
+// constant. `pmc analyze` warns; the fix is an assignment or `param`.
+main(input float x, state float bias, output float y) {
+    y = x + bias;
+}

@@ -1,0 +1,14 @@
+// PM-W111 reproducer: the DSP partition DMA-reads state `z` while the
+// host overwrites the same buffer with no dependency ordering the two —
+// a write-after-read hazard in the compiled fragment schedule. The graph
+// itself is clean; only `pmc analyze`'s schedule pass sees the race.
+filt(input float z[4], output float y[4]) {
+    index i[0:3];
+    y[i] = z[i] * 0.5;
+}
+
+main(input float x[4], state float z[4], output float y[4]) {
+    index i[0:3];
+    DSP: filt(z, y);
+    z[i] = x[i];
+}
