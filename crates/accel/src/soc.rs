@@ -204,6 +204,12 @@ pub struct Soc {
     dma_energy_per_byte: f64,
     /// Host-manager power draw while orchestrating, watts.
     manager_power_w: f64,
+    /// Optional lowering template cache for fault-recovery re-lowering.
+    /// When set (usually to the compiling driver's cache handle), a
+    /// device-down re-lower instantiates the templates the original
+    /// compilation populated instead of re-expanding under recovery
+    /// latency pressure.
+    template_cache: Option<srdfg::TemplateCache>,
 }
 
 impl std::fmt::Debug for Soc {
@@ -229,7 +235,15 @@ impl Soc {
             dma: DmaModel::default(),
             dma_energy_per_byte: 5.0e-11, // 50 pJ/byte
             manager_power_w: 5.0,
+            template_cache: None,
         }
+    }
+
+    /// Shares a lowering template cache (typically the compiler driver's)
+    /// with the fault-recovery path; see [`pm_lower::relower_without_cached`].
+    pub fn with_template_cache(&mut self, cache: srdfg::TemplateCache) -> &mut Self {
+        self.template_cache = Some(cache);
+        self
     }
 
     /// Attaches an accelerator backend (replacing any previous backend of
@@ -413,8 +427,10 @@ impl Soc {
     ) -> Result<CompiledProgram, SocError> {
         match targets {
             None => Err(fail),
-            Some(t) => pm_lower::relower_without(compiled, t, down)
-                .map_err(|e| SocError::Relower { detail: e.to_string() }),
+            Some(t) => {
+                pm_lower::relower_without_cached(compiled, t, down, self.template_cache.as_ref())
+                    .map_err(|e| SocError::Relower { detail: e.to_string() })
+            }
         }
     }
 

@@ -22,6 +22,49 @@ use srdfg::graph::Modifier;
 use srdfg::EdgeId;
 use std::collections::{HashMap, HashSet, VecDeque};
 
+/// Dense per-source reachability over the fragment dependency DAG.
+///
+/// For every fragment `g` and partition `p`, stores the smallest
+/// within-partition index of any fragment of `p` reachable from `g`
+/// (including `g` itself). Because each partition's stream is totally
+/// ordered, `g` reaches fragment `t` iff it reaches *some* fragment of
+/// `t`'s partition at an index ≤ `t`'s — so one reverse-topological
+/// sweep, O(fragments × partitions), answers every query the hazard
+/// pass used to answer with a fresh BFS per reader/writer pair.
+struct Reachability {
+    earliest: Vec<u32>,
+    nparts: usize,
+}
+
+/// A successor visitor: calls its callback once per out-edge of fragment `g`.
+type SuccVisitor<'a> = &'a dyn Fn(usize, &mut dyn FnMut(usize));
+
+impl Reachability {
+    fn build(
+        topo: &[usize],
+        for_each_succ: SuccVisitor<'_>,
+        frags: &[Frag],
+        nparts: usize,
+    ) -> Self {
+        let mut earliest = vec![u32::MAX; frags.len() * nparts];
+        for &g in topo.iter().rev() {
+            let (own, row) = (frags[g].part, g * nparts);
+            for_each_succ(g, &mut |t| {
+                let trow = t * nparts;
+                for p in 0..nparts {
+                    earliest[row + p] = earliest[row + p].min(earliest[trow + p]);
+                }
+            });
+            earliest[row + own] = earliest[row + own].min(frags[g].idx as u32);
+        }
+        Reachability { earliest, nparts }
+    }
+
+    fn reaches(&self, from: usize, to: usize, frags: &[Frag]) -> bool {
+        self.earliest[from * self.nparts + frags[to].part] <= frags[to].idx as u32
+    }
+}
+
 /// One fragment's coordinates in the global schedule.
 #[derive(Clone, Copy)]
 struct Frag {
@@ -55,33 +98,44 @@ pub fn analyze_schedule(compiled: &CompiledProgram, targets: &TargetMap) -> Vec<
         }
     }
     let n = frags.len();
-    let part_of_node: HashMap<_, usize> = compiled
-        .partitions
-        .iter()
-        .enumerate()
-        .flat_map(|(pi, p)| p.fragments.iter().filter_map(move |f| f.node.map(|id| (id, pi))))
-        .collect();
+    // Dense node-raw-id → partition table: the E110 loop below looks up
+    // the producer partition of every compute input, which on large
+    // lowered graphs is hundreds of thousands of queries — flat indexing
+    // replaces per-query hashing of NodeIds.
+    let mut part_of_node: Vec<u32> = vec![u32::MAX; graph.node_slots()];
+    for (pi, p) in compiled.partitions.iter().enumerate() {
+        for f in &p.fragments {
+            if let Some(id) = f.node {
+                part_of_node[id.0 as usize] = pi as u32;
+            }
+        }
+    }
     // The partition an edge's value originates in (host for boundary
     // inputs and for producers that never made it into any partition).
     let origin = |e: EdgeId| -> Option<usize> {
-        graph.edge(e).producer.and_then(|(p, _)| part_of_node.get(&p).copied())
+        graph.edge(e).producer.and_then(|(p, _)| {
+            let pi = part_of_node[p.0 as usize];
+            (pi != u32::MAX).then_some(pi as usize)
+        })
     };
     let part_name = |pi: usize| compiled.partitions[pi].target.as_str();
     let span_of = |e: EdgeId| graph.edge(e).meta.span;
 
-    let mut stores: HashMap<EdgeId, Vec<usize>> = HashMap::new();
-    let mut loads: HashMap<EdgeId, Vec<usize>> = HashMap::new();
+    // Edge raw id → global fragment ids that DMA-store / DMA-load it,
+    // again dense so the per-fragment interval queries are flat loads.
+    let mut stores: Vec<Vec<usize>> = vec![Vec::new(); graph.edge_count()];
+    let mut loads: Vec<Vec<usize>> = vec![Vec::new(); graph.edge_count()];
     for (gid, fr) in frags.iter().enumerate() {
         let f = &compiled.partitions[fr.part].fragments[fr.idx];
         match f.kind {
             FragmentKind::Store => {
                 if let Some(a) = f.outputs.first() {
-                    stores.entry(a.edge).or_default().push(gid);
+                    stores[a.edge.0 as usize].push(gid);
                 }
             }
             FragmentKind::Load => {
                 if let Some(a) = f.inputs.first() {
-                    loads.entry(a.edge).or_default().push(gid);
+                    loads[a.edge.0 as usize].push(gid);
                 }
             }
             FragmentKind::Compute => {}
@@ -96,9 +150,7 @@ pub fn analyze_schedule(compiled: &CompiledProgram, targets: &TargetMap) -> Vec<
                 let Some(a) = f.inputs.first() else { continue };
                 if let Some(src) = origin(a.edge) {
                     if src != fr.part
-                        && !stores
-                            .get(&a.edge)
-                            .is_some_and(|gs| gs.iter().any(|&g| frags[g].part == src))
+                        && !stores[a.edge.0 as usize].iter().any(|&g| frags[g].part == src)
                     {
                         out.push(
                             Finding::error(
@@ -131,9 +183,9 @@ pub fn analyze_schedule(compiled: &CompiledProgram, targets: &TargetMap) -> Vec<
                     if !cross {
                         continue;
                     }
-                    let has_earlier_load = loads
-                        .get(&a.edge)
-                        .is_some_and(|gs| gs.iter().any(|&g| frags[g].part == fr.part && g < gid));
+                    let has_earlier_load = loads[a.edge.0 as usize]
+                        .iter()
+                        .any(|&g| frags[g].part == fr.part && g < gid);
                     if !has_earlier_load {
                         let from = if src.is_some() {
                             format!("partition `{}`", part_name(src_part))
@@ -162,44 +214,67 @@ pub fn analyze_schedule(compiled: &CompiledProgram, targets: &TargetMap) -> Vec<
 
     // ---- Dependency graph ----------------------------------------------
     // Sequential order within each partition, plus store(e) -> load(e)
-    // DMA synchronization across partitions.
-    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (pi, part) in compiled.partitions.iter().enumerate() {
-        for fi in 1..part.fragments.len() {
-            let g = first_gid[pi] + fi;
-            succ[g - 1].push(g);
+    // DMA synchronization across partitions. The sequential edges are
+    // implicit (`g -> g + 1` while both fragments share a partition —
+    // partitions are laid out consecutively in the global numbering) and
+    // the cross edges live in a flat CSR, because one `Vec` per fragment
+    // costs an allocation per fragment and dominated this pass's runtime
+    // on expanded graphs.
+    let mut cross: Vec<(u32, u32)> = Vec::new();
+    for (ss, ls) in stores.iter().zip(&loads) {
+        if ss.is_empty() || ls.is_empty() {
+            continue;
         }
-    }
-    for (e, ss) in &stores {
-        if let Some(ls) = loads.get(e) {
-            for &s in ss {
-                for &l in ls {
-                    if frags[s].part != frags[l].part {
-                        succ[s].push(l);
-                    }
+        for &s in ss {
+            for &l in ls {
+                if frags[s].part != frags[l].part {
+                    cross.push((s as u32, l as u32));
                 }
             }
         }
     }
-
-    // ---- PM-E113: deadlock ---------------------------------------------
-    let mut indeg = vec![0usize; n];
-    for ss in &succ {
-        for &t in ss {
-            indeg[t] += 1;
+    let mut cross_start = vec![0u32; n + 1];
+    for &(s, _) in &cross {
+        cross_start[s as usize + 1] += 1;
+    }
+    for i in 1..=n {
+        cross_start[i] += cross_start[i - 1];
+    }
+    let mut cross_tgt = vec![0u32; cross.len()];
+    {
+        let mut cursor = cross_start.clone();
+        for &(s, l) in &cross {
+            cross_tgt[cursor[s as usize] as usize] = l;
+            cursor[s as usize] += 1;
         }
     }
+    let for_each_succ = |g: usize, f: &mut dyn FnMut(usize)| {
+        let fr = frags[g];
+        if fr.idx + 1 < compiled.partitions[fr.part].fragments.len() {
+            f(g + 1);
+        }
+        for &t in &cross_tgt[cross_start[g] as usize..cross_start[g + 1] as usize] {
+            f(t as usize);
+        }
+    };
+
+    // ---- PM-E113: deadlock ---------------------------------------------
+    let mut indeg = vec![0u32; n];
+    for g in 0..n {
+        for_each_succ(g, &mut |t| indeg[t] += 1);
+    }
     let mut queue: VecDeque<usize> = (0..n).filter(|&g| indeg[g] == 0).collect();
-    let mut done = 0usize;
+    let mut topo: Vec<usize> = Vec::with_capacity(n);
     while let Some(g) = queue.pop_front() {
-        done += 1;
-        for &t in &succ[g] {
+        topo.push(g);
+        for_each_succ(g, &mut |t| {
             indeg[t] -= 1;
             if indeg[t] == 0 {
                 queue.push_back(t);
             }
-        }
+        });
     }
+    let done = topo.len();
     if done < n {
         let mut stuck: Vec<String> = (0..n)
             .filter(|&g| indeg[g] > 0)
@@ -249,23 +324,11 @@ pub fn analyze_schedule(compiled: &CompiledProgram, targets: &TargetMap) -> Vec<
         }
     }
 
-    let reaches = |from: usize, to: usize| -> bool {
-        let mut seen = vec![false; n];
-        let mut q = VecDeque::from([from]);
-        seen[from] = true;
-        while let Some(g) = q.pop_front() {
-            if g == to {
-                return true;
-            }
-            for &t in &succ[g] {
-                if !seen[t] {
-                    seen[t] = true;
-                    q.push_back(t);
-                }
-            }
-        }
-        false
-    };
+    if state_roots.is_empty() {
+        return out;
+    }
+    let reach = Reachability::build(&topo, &for_each_succ, &frags, compiled.partitions.len());
+    let reaches = |from: usize, to: usize| -> bool { reach.reaches(from, to, &frags) };
 
     let mut reported: HashSet<(&'static str, String, usize, usize)> = HashSet::new();
     let mut roots: Vec<_> = state_roots.iter().collect();

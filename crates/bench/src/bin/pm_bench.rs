@@ -6,11 +6,27 @@
 //! Algorithm-2 speedup, and writes the account as JSON so regressions are
 //! diffable across commits.
 //!
+//! Every workload is timed twice per driver: one **cold** run on a fresh
+//! [`Compiler`] (empty template cache — what a one-shot `pmc compile`
+//! pays) and `reps` **warm** runs on the same driver (populated cache —
+//! what a long-lived driver or fault-recovery re-lower pays). Both stage
+//! breakdowns are written, clearly labeled, together with the template
+//! cache's hit/miss counters, so a speedup from caching can never be
+//! mistaken for a speedup of the uncached path.
+//!
 //! ```text
 //! cargo run --release -p pm-bench --bin pm-bench             # full set
 //! cargo run --release -p pm-bench --bin pm-bench -- --quick  # smoke set
-//!     --out <path>   write JSON here (default BENCH_compiler.json)
+//!     --out <path>    write JSON here (default BENCH_compiler.json)
+//!     --threads <n>   force the worker-thread count (also:
+//!                     PM_BENCH_THREADS); recorded as "threads_explicit"
 //! ```
+//!
+//! `parallel_speedup` is only meaningful with ≥2 worker threads. A
+//! `--quick` run (the CI smoke) therefore **fails loudly** when the
+//! thread count silently resolves to 1 — pass `--threads` explicitly to
+//! acknowledge a single-core environment instead of publishing a bogus
+//! 1.0× figure.
 //!
 //! The parallel Algorithm-2 path is additionally checked fragment-for-
 //! fragment against the serial path on every workload; a mismatch is a
@@ -18,7 +34,7 @@
 
 use pm_workloads::programs;
 use polymath::{CompileTimings, Compiler};
-use srdfg::Bindings;
+use srdfg::{Bindings, TemplateCacheStats};
 use std::time::Instant;
 
 struct WorkloadReport {
@@ -26,7 +42,10 @@ struct WorkloadReport {
     nodes_initial: usize,
     nodes_final: usize,
     partitions: usize,
-    timings: CompileTimings,
+    /// Fresh-driver run: empty template cache.
+    cold: CompileTimings,
+    /// Best warm run on the same driver: populated template cache.
+    warm: CompileTimings,
     compile_serial_s: f64,
     compile_parallel_s: f64,
 }
@@ -41,10 +60,40 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_compiler.json".to_string());
 
+    let flag_threads = args.iter().position(|a| a == "--threads").and_then(|p| args.get(p + 1));
+    let env_threads = std::env::var("PM_BENCH_THREADS").ok();
+    let explicit = flag_threads.cloned().or(env_threads);
+    let threads_explicit = explicit.is_some();
+    if let Some(spec) = &explicit {
+        match spec.trim().parse::<usize>() {
+            Ok(n) if n > 0 => rayon::set_num_threads(n),
+            _ => {
+                eprintln!("pm-bench: invalid thread count `{spec}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let threads = rayon::current_num_threads();
+    if quick && threads == 1 && !threads_explicit {
+        eprintln!(
+            "pm-bench: --quick resolved to 1 worker thread (single-core machine or \
+             RAYON_NUM_THREADS=1), which makes every parallel_speedup figure a meaningless \
+             1.0x.\nPass --threads <n> (or set PM_BENCH_THREADS) to force a count and \
+             acknowledge the environment."
+        );
+        std::process::exit(2);
+    }
+
     // Scales chosen so the full set exercises real graph sizes while the
-    // quick set stays under a second for CI smoke runs.
+    // quick set stays a few seconds for CI smoke runs; fft-256 is in both
+    // so the CI perf gate can diff it against the committed full-set
+    // numbers.
     let workloads: Vec<(String, String)> = if quick {
-        vec![("mpc-16".into(), programs::mobile_robot(16)), ("fft-64".into(), programs::fft(64))]
+        vec![
+            ("mpc-16".into(), programs::mobile_robot(16)),
+            ("fft-64".into(), programs::fft(64)),
+            ("fft-256".into(), programs::fft(256)),
+        ]
     } else {
         vec![
             ("mpc-64".into(), programs::mobile_robot(64)),
@@ -60,18 +109,21 @@ fn main() {
     for (name, src) in &workloads {
         match bench_workload(name, src, reps, inner) {
             Ok(report) => {
-                let t = &report.timings;
+                let (c, w) = (&report.cold, &report.warm);
                 println!(
-                    "{:<14} {:>6} -> {:>5} nodes  total {:>9.3} ms  (mid-end {:>8.3} ms, \
-                     lower {:>8.3} ms, compile {:>8.3} ms)  alg2 speedup {:.2}x",
+                    "{:<14} {:>6} -> {:>5} nodes  cold {:>9.3} ms / warm {:>9.3} ms  \
+                     (warm lower {:>8.3} ms, compile {:>8.3} ms, cache {:>5.1}% hit)  \
+                     alg2 speedup {:.2}x @{} threads",
                     report.name,
                     report.nodes_initial,
                     report.nodes_final,
-                    t.total.as_secs_f64() * 1e3,
-                    t.midend.as_secs_f64() * 1e3,
-                    t.lower.as_secs_f64() * 1e3,
-                    t.compile.as_secs_f64() * 1e3,
+                    c.total.as_secs_f64() * 1e3,
+                    w.total.as_secs_f64() * 1e3,
+                    w.lower.as_secs_f64() * 1e3,
+                    w.compile.as_secs_f64() * 1e3,
+                    w.cache.hit_rate() * 100.0,
                     report.compile_serial_s / report.compile_parallel_s.max(1e-12),
+                    threads,
                 );
                 reports.push(report);
             }
@@ -82,7 +134,7 @@ fn main() {
         }
     }
 
-    let json = render_json(&reports, quick);
+    let json = render_json(&reports, quick, threads, threads_explicit);
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("pm-bench: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -90,9 +142,10 @@ fn main() {
     println!("wrote {out_path}");
 }
 
-/// Compiles one workload `reps` times (keeping the fastest end-to-end run's
-/// stage breakdown), then times serial vs parallel Algorithm 2 over the
-/// lowered graph and checks they agree exactly.
+/// Compiles one workload once cold (fresh driver, empty template cache),
+/// then `reps` more times warm on the same driver (keeping the fastest
+/// warm run's stage breakdown), then times serial vs parallel Algorithm 2
+/// over the lowered graph and checks they agree exactly.
 fn bench_workload(
     name: &str,
     src: &str,
@@ -107,15 +160,20 @@ fn bench_workload(
     let initial = srdfg::build(&program, &bindings).map_err(|e| e.to_string())?;
     let nodes_initial = initial.node_count();
 
-    let mut best: Option<(polymath::CompileTimings, pm_lower::CompiledProgram)> = None;
+    let (compiled_cold, cold) =
+        compiler.compile_timed(src, &bindings).map_err(|e| e.to_string())?;
+    let mut best: Option<(CompileTimings, pm_lower::CompiledProgram)> = None;
     for _ in 0..reps {
         let (compiled, timings) =
             compiler.compile_timed(src, &bindings).map_err(|e| e.to_string())?;
+        if compiled.partitions != compiled_cold.partitions {
+            return Err("warm (template-cached) compilation diverged from the cold path".into());
+        }
         if best.as_ref().is_none_or(|(t, _)| timings.total < t.total) {
             best = Some((timings, compiled));
         }
     }
-    let (timings, compiled) = best.expect("reps >= 1");
+    let (warm, compiled) = best.expect("reps >= 1");
 
     // Serial vs parallel Algorithm 2 over the already-lowered graph.
     let targets = compiler.targets();
@@ -147,37 +205,67 @@ fn bench_workload(
         nodes_initial,
         nodes_final: compiled.graph.node_count(),
         partitions: compiled.partitions.len(),
-        timings,
+        cold,
+        warm,
         compile_serial_s,
         compile_parallel_s,
     })
 }
 
+fn render_stages(out: &mut String, label: &str, t: &CompileTimings, trailing_comma: bool) {
+    let sec = |d: std::time::Duration| format!("{:.9}", d.as_secs_f64());
+    out.push_str(&format!("      \"{label}\": {{\n"));
+    out.push_str(&format!("        \"frontend\": {},\n", sec(t.frontend)));
+    out.push_str(&format!("        \"build\": {},\n", sec(t.build)));
+    out.push_str(&format!("        \"midend\": {},\n", sec(t.midend)));
+    out.push_str(&format!("        \"lower\": {},\n", sec(t.lower)));
+    out.push_str(&format!("        \"post_lower\": {},\n", sec(t.post_lower)));
+    out.push_str(&format!("        \"compile\": {},\n", sec(t.compile)));
+    out.push_str(&format!("        \"analyze\": {},\n", sec(t.analyze)));
+    out.push_str(&format!("        \"hazards\": {},\n", sec(t.hazards)));
+    out.push_str(&format!("        \"total\": {}\n", sec(t.total)));
+    out.push_str(if trailing_comma { "      },\n" } else { "      }\n" });
+}
+
+fn render_cache(out: &mut String, label: &str, c: &TemplateCacheStats) {
+    out.push_str(&format!(
+        "      \"{label}\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+         \"inserts\": {}, \"evictions\": {}}},\n",
+        c.hits,
+        c.misses,
+        c.hit_rate(),
+        c.inserts,
+        c.evictions
+    ));
+}
+
 /// Hand-rolled JSON (the workspace carries no serializer dependency).
-fn render_json(reports: &[WorkloadReport], quick: bool) -> String {
+fn render_json(
+    reports: &[WorkloadReport],
+    quick: bool,
+    threads: usize,
+    threads_explicit: bool,
+) -> String {
     let sec = |d: std::time::Duration| format!("{:.9}", d.as_secs_f64());
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
-    out.push_str(&format!("  \"threads\": {},\n", rayon::current_num_threads()));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"threads_explicit\": {threads_explicit},\n"));
     out.push_str("  \"workloads\": [\n");
     for (i, r) in reports.iter().enumerate() {
-        let t = &r.timings;
+        let t = &r.warm;
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
         out.push_str(&format!("      \"nodes_initial\": {},\n", r.nodes_initial));
         out.push_str(&format!("      \"nodes_final\": {},\n", r.nodes_final));
         out.push_str(&format!("      \"partitions\": {},\n", r.partitions));
-        out.push_str("      \"stages_s\": {\n");
-        out.push_str(&format!("        \"frontend\": {},\n", sec(t.frontend)));
-        out.push_str(&format!("        \"build\": {},\n", sec(t.build)));
-        out.push_str(&format!("        \"midend\": {},\n", sec(t.midend)));
-        out.push_str(&format!("        \"lower\": {},\n", sec(t.lower)));
-        out.push_str(&format!("        \"post_lower\": {},\n", sec(t.post_lower)));
-        out.push_str(&format!("        \"compile\": {},\n", sec(t.compile)));
-        out.push_str(&format!("        \"analyze\": {},\n", sec(t.analyze)));
-        out.push_str(&format!("        \"hazards\": {},\n", sec(t.hazards)));
-        out.push_str(&format!("        \"total\": {}\n", sec(t.total)));
-        out.push_str("      },\n");
+        // "stages_s" keeps its historical name (regression tooling diffs
+        // it) and now explicitly means the warm path; the cold path rides
+        // alongside as "stages_cold_s".
+        render_stages(&mut out, "stages_cold_s", &r.cold, true);
+        render_stages(&mut out, "stages_s", t, true);
+        render_cache(&mut out, "cache_cold", &r.cold.cache);
+        render_cache(&mut out, "cache_warm", &t.cache);
         out.push_str("      \"passes_s\": [\n");
         for (j, p) in t.passes.iter().enumerate() {
             out.push_str(&format!(
@@ -191,6 +279,7 @@ fn render_json(reports: &[WorkloadReport], quick: bool) -> String {
         out.push_str("      ],\n");
         out.push_str(&format!("      \"compile_serial_s\": {:.9},\n", r.compile_serial_s));
         out.push_str(&format!("      \"compile_parallel_s\": {:.9},\n", r.compile_parallel_s));
+        out.push_str(&format!("      \"parallel_threads\": {threads},\n"));
         out.push_str(&format!(
             "      \"parallel_speedup\": {:.4}\n",
             r.compile_serial_s / r.compile_parallel_s.max(1e-12)

@@ -298,7 +298,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some(c) => c.profile == pm_accel::ChaosProfile::Off,
             };
             if format == "text" && chaos_off {
-                let mut machine = srdfg::Machine::new(compiled.graph.clone());
+                let mut machine = srdfg::Machine::new((*compiled.graph).clone());
                 for (name, tensor) in state {
                     machine.set_state(&name, tensor);
                 }
@@ -703,7 +703,7 @@ fn print_census(graph: &srdfg::SrDfg) {
     let mut census: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
     fn walk(g: &srdfg::SrDfg, census: &mut std::collections::HashMap<String, usize>) {
         for (_, node) in g.iter_nodes() {
-            *census.entry(node.name.clone()).or_default() += 1;
+            *census.entry(node.name.to_string()).or_default() += 1;
             if let srdfg::NodeKind::Component(sub) = &node.kind {
                 walk(sub, census);
             }
@@ -738,6 +738,14 @@ fn print_timings(t: &polymath::CompileTimings) {
         );
     }
     println!("  lower        {:>10.3} ms", ms(t.lower));
+    println!(
+        "    templates: {} hits / {} misses ({:.1}% hit rate), {} inserts, {} evictions",
+        t.cache.hits,
+        t.cache.misses,
+        t.cache.hit_rate() * 100.0,
+        t.cache.inserts,
+        t.cache.evictions
+    );
     println!("  post-lower   {:>10.3} ms", ms(t.post_lower));
     println!("  compile      {:>10.3} ms", ms(t.compile));
     println!("  analyze      {:>10.3} ms", ms(t.analyze));
@@ -763,7 +771,9 @@ fn timings_json(t: &polymath::CompileTimings) -> String {
         .collect();
     format!(
         "{{\"frontend\":{},\"build\":{},\"midend\":{},\"passes\":[{}],\"lower\":{},\
-         \"post_lower\":{},\"compile\":{},\"analyze\":{},\"hazards\":{},\"total\":{}}}",
+         \"post_lower\":{},\"compile\":{},\"analyze\":{},\"hazards\":{},\
+         \"template_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\
+         \"inserts\":{},\"evictions\":{}}},\"total\":{}}}",
         s(t.frontend),
         s(t.build),
         s(t.midend),
@@ -773,6 +783,11 @@ fn timings_json(t: &polymath::CompileTimings) -> String {
         s(t.compile),
         s(t.analyze),
         s(t.hazards),
+        t.cache.hits,
+        t.cache.misses,
+        t.cache.hit_rate(),
+        t.cache.inserts,
+        t.cache.evictions,
         s(t.total)
     )
 }

@@ -5,11 +5,12 @@
 use pm_accel::{
     Backend, Cpu, Deco, DnnWeaver, Graphicionado, HyperStreams, Robox, Soc, Tabla, Vta,
 };
-use pm_lower::{compile_program, lower, CompiledProgram, TargetMap};
+use pm_lower::{compile_program_shared, lower_with, CompiledProgram, TargetMap};
 use pm_passes::{Pass, PassManager, PassTiming};
 use pmlang::Domain;
-use srdfg::{Bindings, SrDfg};
+use srdfg::{Bindings, SrDfg, TemplateCache, TemplateCacheStats};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Any error the full compilation pipeline can produce.
@@ -69,6 +70,12 @@ pub struct Compiler {
     targets: TargetMap,
     optimize: bool,
     fuse: bool,
+    /// Lowering template cache shared across every `compile*` call on this
+    /// driver: the second compilation of a structurally similar program
+    /// (or a re-lowering after a device fault) instantiates templates
+    /// instead of re-expanding them. Cloning the handle aliases one store,
+    /// which is the seam a future `pmc serve` would share between requests.
+    template_cache: TemplateCache,
 }
 
 impl fmt::Debug for Compiler {
@@ -93,6 +100,7 @@ impl Compiler {
             targets: TargetMap::host_only(Cpu::default().accel_spec()),
             optimize: true,
             fuse: false,
+            template_cache: TemplateCache::new(),
         }
     }
 
@@ -139,6 +147,19 @@ impl Compiler {
         &self.targets
     }
 
+    /// The driver's persistent lowering template cache. The returned handle
+    /// aliases the compiler's store (it is `Arc`-backed), so it can be
+    /// passed to [`pm_lower::relower_without_cached`] or a fault-tolerant
+    /// runtime and every hit/insert is reflected in [`Compiler::cache_stats`].
+    pub fn template_cache(&self) -> TemplateCache {
+        self.template_cache.clone()
+    }
+
+    /// Lifetime hit/miss/insert/eviction counters of the template cache.
+    pub fn cache_stats(&self) -> TemplateCacheStats {
+        self.template_cache.stats()
+    }
+
     /// Pins every instantiation of `component` to a specific accelerator,
     /// overriding its domain's default target (paper §V.A.3: OptionPricing
     /// runs LR on TABLA and Black-Scholes on HyperStreams).
@@ -179,10 +200,10 @@ impl Compiler {
         bindings: &Bindings,
     ) -> Result<CompiledProgram, PolyMathError> {
         let mut graph = self.build_graph(source, bindings)?;
-        lower(&mut graph, &self.targets)?;
+        lower_with(&mut graph, &self.targets, Some(&self.template_cache))?;
         pm_passes::ElideMarshalling.run(&mut graph);
         pm_passes::PruneUnusedInputs.run(&mut graph);
-        Ok(compile_program(&graph, &self.targets)?)
+        Ok(compile_program_shared(Arc::new(graph), &self.targets, true)?)
     }
 
     /// [`Compiler::compile`] with per-stage and per-pass wall-clock timing
@@ -221,9 +242,11 @@ impl Compiler {
         let _ = pm_analyze::analyze_graph(&graph);
         let analyze = t.elapsed();
 
+        let cache_before = self.template_cache.stats();
         let t = Instant::now();
-        lower(&mut graph, &self.targets)?;
+        lower_with(&mut graph, &self.targets, Some(&self.template_cache))?;
         let lower_d = t.elapsed();
+        let cache = self.template_cache.stats().since(&cache_before);
 
         let t = Instant::now();
         pm_passes::ElideMarshalling.run(&mut graph);
@@ -231,7 +254,7 @@ impl Compiler {
         let post_lower = t.elapsed();
 
         let t = Instant::now();
-        let compiled = compile_program(&graph, &self.targets)?;
+        let compiled = compile_program_shared(Arc::new(graph), &self.targets, true)?;
         let compile = t.elapsed();
 
         let t = Instant::now();
@@ -248,6 +271,7 @@ impl Compiler {
             compile,
             analyze,
             hazards,
+            cache,
             total: t0.elapsed(),
         };
         Ok((compiled, timings))
@@ -279,6 +303,9 @@ pub struct CompileTimings {
     /// (scales with the lowered fragment count, so it is tracked apart
     /// from the graph-level verifier).
     pub hazards: Duration,
+    /// Template-cache activity during this invocation's lowering stage
+    /// (delta, not lifetime totals — a warm driver shows hits here).
+    pub cache: TemplateCacheStats,
     /// End-to-end wall time.
     pub total: Duration,
 }
@@ -342,7 +369,7 @@ mod tests {
             ("taps".to_string(), vec_t(vec![1.0; 64])),
             ("w".to_string(), vec_t(vec![1.0, 0.0])),
         ]);
-        let mut m = srdfg::Machine::new(compiled.graph.clone());
+        let mut m = srdfg::Machine::new((*compiled.graph).clone());
         let out = m.invoke(&feeds).unwrap();
         let expect = 1.0 / (1.0 + (-6.4f64).exp());
         assert!((out["cls"].scalar_value().unwrap() - expect).abs() < 1e-9);

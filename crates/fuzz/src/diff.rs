@@ -286,8 +286,8 @@ fn chaos_route(
         .run_chaos(&compiled, &HashMap::new(), &chaos, Some(targets))
         .map_err(|e| format!("chaos dispatch: {e}"))?;
     Ok(match outcome.relowered {
-        Some(re) => re.graph,
-        None => compiled.graph,
+        Some(re) => (*re.graph).clone(),
+        None => (*compiled.graph).clone(),
     })
 }
 

@@ -27,7 +27,7 @@ use crate::lower::{fully_lowered, LowerError};
 use crate::spec::TargetMap;
 use pmlang::{DType, Domain};
 use srdfg::{EdgeId, Modifier, NodeId, SrDfg};
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A typed, shaped argument of a fragment (derived from edge metadata).
 #[derive(Debug, Clone, PartialEq)]
@@ -112,10 +112,16 @@ impl AccProgram {
 }
 
 /// A fully compiled program: the lowered graph plus per-target IR.
+///
+/// The graph is held behind an [`Arc`]: a lowered srDFG can run to
+/// hundreds of thousands of nodes, and cloning it into every compiled
+/// artifact (and again into every runtime machine) used to dominate the
+/// `compile` stage. Readers deref transparently; the rare consumer that
+/// needs an owned mutable graph (fallback re-lowering) clones explicitly.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
     /// The lowered srDFG (functional ground truth; backends execute it).
-    pub graph: SrDfg,
+    pub graph: Arc<SrDfg>,
     /// One partition per target that received at least one fragment.
     pub partitions: Vec<AccProgram>,
 }
@@ -145,21 +151,42 @@ impl CompiledProgram {
 /// Returns a [`LowerError`] if the graph still contains operations its
 /// targets do not support (run [`crate::lower::lower`] first).
 pub fn compile_program(graph: &SrDfg, targets: &TargetMap) -> Result<CompiledProgram, LowerError> {
-    compile_partitions(graph, targets, true)
+    compile_partitions(&Arc::new(graph.clone()), targets, true)
 }
 
-/// [`compile_program`] with parallelism disabled (one partition at a
+/// [`compile_program`] with parallelism disabled (one fragment chunk at a
 /// time). Exists so tests and benchmarks can assert the determinism
 /// guarantee; results are always identical to the parallel path.
 pub fn compile_program_serial(
     graph: &SrDfg,
     targets: &TargetMap,
 ) -> Result<CompiledProgram, LowerError> {
-    compile_partitions(graph, targets, false)
+    compile_partitions(&Arc::new(graph.clone()), targets, false)
+}
+
+/// [`compile_program`] over an already-shared graph: no graph clone at
+/// all — the compiled artifact aliases the caller's [`Arc`]. This is the
+/// entry the [`polymath` compiler] driver uses after lowering.
+pub fn compile_program_shared(
+    graph: Arc<SrDfg>,
+    targets: &TargetMap,
+    parallel: bool,
+) -> Result<CompiledProgram, LowerError> {
+    compile_partitions(&graph, targets, parallel)
+}
+
+/// One size-binned slice of a partition's node list — the unit of
+/// parallelism. Fragments of a node are a pure function of the shared
+/// pre-pass plan, so chunk boundaries (and thus thread count) cannot
+/// change the concatenated result.
+struct Chunk {
+    ti: usize,
+    lo: usize,
+    hi: usize,
 }
 
 fn compile_partitions(
-    graph: &SrDfg,
+    graph: &Arc<SrDfg>,
     targets: &TargetMap,
     parallel: bool,
 ) -> Result<CompiledProgram, LowerError> {
@@ -169,53 +196,110 @@ fn compile_partitions(
         });
     }
     let order = graph.topo_order();
-    // Resolve every node's target once up front; the per-partition builders
-    // share this read-only assignment (partitions can reach hundreds of
-    // thousands of fragments, so resolution must not repeat per edge).
-    let assign: HashMap<NodeId, &str> = order
-        .iter()
-        .map(|&id| (id, targets.target_for(graph.node(id), graph.domain).name.as_str()))
-        .collect();
-    // The host target name (host partitions never pay DMA).
-    let host_name = targets.host().name.as_str();
+    let n_nodes = graph.node_slots();
+    let n_edges = graph.edge_count();
 
-    // Distinct targets in first-touch (topological) order; a partition's
-    // domain is the domain of its first node (the paper's πd, one per
-    // accelerator — a domain can host two accelerators under overrides).
-    let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
-    let mut target_list: Vec<(&str, Option<Domain>)> = Vec::new();
+    // Resolve every node's target once up front, as a dense index table
+    // (node raw id → index into `tlist`); the fragment builders share this
+    // read-only assignment, and integer comparisons replace the string
+    // hashing that used to dominate per-edge work. `tlist` keeps
+    // first-touch (topological) order; a partition's domain is the domain
+    // of its first node (the paper's πd, one per accelerator — a domain
+    // can host two accelerators under overrides).
+    let mut tlist: Vec<(&str, Option<Domain>)> = Vec::new();
+    let mut assign: Vec<u32> = vec![u32::MAX; n_nodes];
     for &id in &order {
-        let t = assign[&id];
-        if seen.insert(t) {
-            let node = graph.node(id);
-            target_list.push((t, node.domain.or(graph.domain)));
+        let node = graph.node(id);
+        let name = targets.target_for(node, graph.domain).name.as_str();
+        let ti = match tlist.iter().position(|&(t, _)| t == name) {
+            Some(i) => i,
+            None => {
+                tlist.push((name, node.domain.or(graph.domain)));
+                tlist.len() - 1
+            }
+        };
+        assign[id.0 as usize] = ti as u32;
+    }
+    // The host target's index (host partitions never pay DMA); boundary
+    // inputs are sourced from host memory. u32::MAX when the host received
+    // no nodes — then unequal to every real index, as it must be.
+    let host_name = targets.host().name.as_str();
+    let host_ti: u32 =
+        tlist.iter().position(|&(t, _)| t == host_name).map_or(u32::MAX, |i| i as u32);
+
+    let mut is_boundary_out = vec![false; n_edges];
+    for e in &graph.boundary_outputs {
+        is_boundary_out[e.0 as usize] = true;
+    }
+
+    // Pre-pass: one serial sweep computes, per node, the DMA loads that
+    // precede its compute fragment (a value is loaded once per destination
+    // accelerator, by its first consumer there — this ordering decision is
+    // what forced the old builder to re-walk the whole graph per target)
+    // and the stores that follow it, plus a fragment-count weight for
+    // chunk binning.
+    let mut pre_loads: Vec<Vec<EdgeId>> = vec![Vec::new(); n_nodes];
+    let mut post_stores: Vec<Vec<EdgeId>> = vec![Vec::new(); n_nodes];
+    let mut node_w: Vec<u32> = vec![0; n_nodes];
+    let mut loaded = vec![false; tlist.len() * n_edges];
+    let mut weight: Vec<u64> = vec![0; tlist.len()];
+    let mut nodes_of: Vec<Vec<NodeId>> = vec![Vec::new(); tlist.len()];
+    for &id in &order {
+        let ni = id.0 as usize;
+        let ti = assign[ni];
+        let node = graph.node(id);
+        let mut w = (1 + node.inputs.len() + node.outputs.len()) as u32;
+        for &e in &node.inputs {
+            let src_ti = match graph.edge(e).producer {
+                Some((p, _)) => assign[p.0 as usize],
+                None => host_ti, // boundary input: host memory
+            };
+            if src_ti != ti {
+                let slot = ti as usize * n_edges + e.0 as usize;
+                if !loaded[slot] {
+                    loaded[slot] = true;
+                    pre_loads[ni].push(e);
+                    w += 2;
+                }
+            }
+        }
+        for &e in &node.outputs {
+            let edge = graph.edge(e);
+            let crosses = edge.consumers.iter().any(|&(c, _)| assign[c.0 as usize] != ti)
+                || (is_boundary_out[e.0 as usize] && ti != host_ti);
+            if crosses {
+                post_stores[ni].push(e);
+                w += 2;
+            }
+        }
+        node_w[ni] = w;
+        weight[ti as usize] += u64::from(w);
+        nodes_of[ti as usize].push(id);
+    }
+
+    // Size-binned chunks: split each partition's node list so every chunk
+    // carries roughly equal fragment weight. This moves the rayon grain
+    // from whole-partitions (useless for single-accelerator programs) to
+    // fragments, while a floor keeps tiny graphs in one chunk.
+    let threads = rayon::current_num_threads().max(1);
+    let mut chunks: Vec<Chunk> = Vec::new();
+    for (ti, nodes) in nodes_of.iter().enumerate() {
+        let per_chunk = (weight[ti] / (threads as u64 * 4)).max(2048);
+        let mut lo = 0usize;
+        let mut acc = 0u64;
+        for (i, &id) in nodes.iter().enumerate() {
+            acc += u64::from(node_w[id.0 as usize]);
+            if acc >= per_chunk {
+                chunks.push(Chunk { ti, lo, hi: i + 1 });
+                lo = i + 1;
+                acc = 0;
+            }
+        }
+        if lo < nodes.len() {
+            chunks.push(Chunk { ti, lo, hi: nodes.len() });
         }
     }
 
-    let build = |&(target, domain): &(&str, Option<Domain>)| -> AccProgram {
-        build_partition(graph, &order, &assign, host_name, target, domain)
-    };
-    let mut parts: Vec<AccProgram> = if parallel && target_list.len() > 1 {
-        use rayon::prelude::*;
-        target_list.par_iter().map(build).collect()
-    } else {
-        target_list.iter().map(build).collect()
-    };
-    parts.sort_by_key(|p| (p.domain, p.target.clone()));
-    Ok(CompiledProgram { graph: graph.clone(), partitions: parts })
-}
-
-/// Builds the fragment stream `πd` for one target: a pure function of the
-/// graph, the shared topological order, and the node→target assignment —
-/// safe to run concurrently with other targets' builds.
-fn build_partition(
-    graph: &SrDfg,
-    order: &[NodeId],
-    assign: &HashMap<NodeId, &str>,
-    host_name: &str,
-    target: &str,
-    domain: Option<Domain>,
-) -> AccProgram {
     let arg_info = |e: EdgeId| -> ArgInfo {
         let meta = &graph.edge(e).meta;
         ArgInfo {
@@ -226,24 +310,14 @@ fn build_partition(
             edge: e,
         }
     };
-    let mut fragments = Vec::new();
-    // A value is DMA-loaded once per destination accelerator, however many
-    // nodes consume it there.
-    let mut loaded: std::collections::HashSet<EdgeId> = std::collections::HashSet::new();
-    for &id in order {
-        if assign[&id] != target {
-            continue;
-        }
-        let node = graph.node(id);
-
-        // t_load for operands produced on another accelerator (or fed by
-        // the host through the graph boundary).
-        for &e in &node.inputs {
-            let src_target = match graph.edge(e).producer {
-                Some((p, _)) => assign[&p],
-                None => host_name, // boundary input: host memory
-            };
-            if src_target != target && loaded.insert(e) {
+    let build_chunk = |c: &Chunk| -> Vec<Fragment> {
+        let mut fragments = Vec::new();
+        for &id in &nodes_of[c.ti][c.lo..c.hi] {
+            let ni = id.0 as usize;
+            let node = graph.node(id);
+            // t_load for operands produced on another accelerator (or fed
+            // by the host through the graph boundary).
+            for &e in &pre_loads[ni] {
                 fragments.push(Fragment {
                     op: "load".into(),
                     kind: FragmentKind::Load,
@@ -253,25 +327,18 @@ fn build_partition(
                     ops: 0,
                 });
             }
-        }
-
-        // t(srdfg, n): the compute fragment.
-        fragments.push(Fragment {
-            op: node.name.clone(),
-            kind: FragmentKind::Compute,
-            node: Some(id),
-            inputs: node.inputs.iter().map(|&e| arg_info(e)).collect(),
-            outputs: node.outputs.iter().map(|&e| arg_info(e)).collect(),
-            ops: srdfg::graph::node_op_count(node),
-        });
-
-        // t_store for results consumed on another accelerator (or leaving
-        // through the graph boundary toward the host).
-        for &e in &node.outputs {
-            let edge = graph.edge(e);
-            let crosses = edge.consumers.iter().any(|&(c, _)| assign[&c] != target)
-                || (graph.boundary_outputs.contains(&e) && target != host_name);
-            if crosses {
+            // t(srdfg, n): the compute fragment.
+            fragments.push(Fragment {
+                op: node.name.to_string(),
+                kind: FragmentKind::Compute,
+                node: Some(id),
+                inputs: node.inputs.iter().map(|&e| arg_info(e)).collect(),
+                outputs: node.outputs.iter().map(|&e| arg_info(e)).collect(),
+                ops: srdfg::graph::node_op_count(node),
+            });
+            // t_store for results consumed on another accelerator (or
+            // leaving through the graph boundary toward the host).
+            for &e in &post_stores[ni] {
                 fragments.push(Fragment {
                     op: "store".into(),
                     kind: FragmentKind::Store,
@@ -282,8 +349,25 @@ fn build_partition(
                 });
             }
         }
+        fragments
+    };
+
+    let chunk_frags: Vec<Vec<Fragment>> = if parallel && chunks.len() > 1 {
+        use rayon::prelude::*;
+        chunks.par_iter().map(build_chunk).collect()
+    } else {
+        chunks.iter().map(build_chunk).collect()
+    };
+
+    let mut parts: Vec<AccProgram> = tlist
+        .iter()
+        .map(|&(t, domain)| AccProgram { target: t.to_string(), domain, fragments: Vec::new() })
+        .collect();
+    for (c, frags) in chunks.iter().zip(chunk_frags) {
+        parts[c.ti].fragments.extend(frags);
     }
-    AccProgram { target: target.to_string(), domain, fragments }
+    parts.sort_by_key(|p| (p.domain, p.target.clone()));
+    Ok(CompiledProgram { graph: Arc::clone(graph), partitions: parts })
 }
 
 #[cfg(test)]

@@ -15,9 +15,11 @@
 //! the original, which is exactly what lets the fuzzer hold degraded runs
 //! to the same oracle.
 
-use crate::compile::{compile_program, CompiledProgram};
-use crate::lower::{lower, LowerError};
+use crate::compile::{compile_program_shared, CompiledProgram};
+use crate::lower::{lower_with, LowerError};
 use crate::spec::TargetMap;
+use srdfg::template::TemplateCache;
+use std::sync::Arc;
 
 /// Re-lowers `compiled` with every target named in `down` removed from
 /// `targets`; their fragments are re-assigned (via Algorithm 1 + 2) to
@@ -36,30 +38,49 @@ pub fn relower_without(
     targets: &TargetMap,
     down: &[String],
 ) -> Result<CompiledProgram, LowerError> {
+    relower_without_cached(compiled, targets, down, None)
+}
+
+/// [`relower_without`] with the compiler's [`TemplateCache`] threaded
+/// through: when the reduced target map forces any further refinement
+/// (a non-general-purpose target absorbing the downed target's nodes at
+/// a finer granularity), those expansions hit the same templates the
+/// original compilation populated instead of re-expanding under fault-
+/// recovery latency pressure. The cached and uncached paths produce
+/// byte-identical graphs, so the degraded run still holds to the same
+/// oracle.
+pub fn relower_without_cached(
+    compiled: &CompiledProgram,
+    targets: &TargetMap,
+    down: &[String],
+    cache: Option<&TemplateCache>,
+) -> Result<CompiledProgram, LowerError> {
     let host_name = targets.host().name.clone();
     let down: Vec<&String> = down.iter().filter(|d| **d != host_name).collect();
     let reduced = targets.without_targets(&down);
-    let mut graph = compiled.graph.clone();
+    let mut graph = (*compiled.graph).clone();
     // Clear stamped per-node assignments pointing at downed targets so
     // those nodes re-resolve through the reduced map (domain default, now
     // the host).
     let ids: Vec<srdfg::NodeId> = graph.node_ids().collect();
     for id in ids {
         let stamped_down = match &graph.node(id).target {
-            Some(t) => down.contains(&t),
+            Some(t) => down.iter().any(|d| t == d.as_str()),
             None => false,
         };
         if stamped_down {
             graph.node_mut(id).target = None;
         }
     }
-    lower(&mut graph, &reduced)?;
-    compile_program(&graph, &reduced)
+    lower_with(&mut graph, &reduced, cache)?;
+    compile_program_shared(Arc::new(graph), &reduced, true)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compile::compile_program;
+    use crate::lower::lower;
     use crate::spec::AcceleratorSpec;
     use pmlang::Domain;
     use std::collections::HashMap;
@@ -108,7 +129,7 @@ mod tests {
         let t = |shape: Vec<usize>, data: Vec<f64>| {
             srdfg::Tensor::from_vec(DType::Float, shape, data).unwrap()
         };
-        let mut m = srdfg::Machine::new(compiled.graph.clone());
+        let mut m = srdfg::Machine::new((*compiled.graph).clone());
         let mut feeds = HashMap::new();
         feeds.insert("sig".to_string(), t(vec![8], (0..8).map(|i| i as f64 * 0.25).collect()));
         feeds.insert("taps".to_string(), t(vec![4], vec![0.5, -0.25, 0.125, 1.0]));

@@ -46,9 +46,9 @@ pub mod lower;
 pub mod spec;
 
 pub use compile::{
-    compile_program, compile_program_serial, AccProgram, ArgInfo, CompiledProgram, Fragment,
-    FragmentKind,
+    compile_program, compile_program_serial, compile_program_shared, AccProgram, ArgInfo,
+    CompiledProgram, Fragment, FragmentKind,
 };
-pub use fallback::relower_without;
-pub use lower::{fully_lowered, lower, LowerError};
+pub use fallback::{relower_without, relower_without_cached};
+pub use lower::{fully_lowered, lower, lower_with, LowerError};
 pub use spec::{AcceleratorSpec, TargetMap};

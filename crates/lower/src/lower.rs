@@ -20,9 +20,12 @@
 //! fails for that accelerator").
 
 use crate::spec::TargetMap;
-use srdfg::expand::{refine_many, RefineError};
-use srdfg::SrDfg;
+use srdfg::expand::{refine_for_splice, scalar_expansion_eligible, RefineError};
+use srdfg::template::{TemplateCache, TemplateKey};
+use srdfg::{EdgeMeta, FxBuildHasher, SrDfg};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why lowering failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,10 +58,45 @@ impl From<RefineError> for LowerError {
 /// (already at the finest granularity, too large to expand, or
 /// data-dependent).
 pub fn lower(graph: &mut SrDfg, targets: &TargetMap) -> Result<(), LowerError> {
+    // Even without a caller-provided cache, a transient one dedups the
+    // repeated expansions *within* this program (an FFT expands one
+    // butterfly fabric per stage; they are structurally identical).
+    lower_with(graph, targets, Some(&TemplateCache::new()))
+}
+
+/// How one pending refinement will be instantiated this round.
+enum Plan {
+    /// Expand live; for scalar expansions (`Some(key)`) the result is
+    /// also stored in the cache as a template.
+    Expand(Option<TemplateKey>),
+    /// A cached template: instantiation is pure id-remapping.
+    Hit(Arc<SrDfg>),
+    /// Same key as an earlier `Expand` in this round — resolved from the
+    /// cache after that expansion has been inserted (batch dedup).
+    Deferred(TemplateKey),
+}
+
+/// [`lower`] with an explicit [`TemplateCache`] policy: `Some` threads a
+/// (possibly shared, cross-program) cache through every scalar expansion;
+/// `None` disables caching entirely. Both paths route refinements through
+/// the same canonical-expansion + [`SrDfg::splice_template`] mechanism,
+/// so their lowered graphs are byte-identical — the cache only decides
+/// whether the expansion work is skipped.
+pub fn lower_with(
+    graph: &mut SrDfg,
+    targets: &TargetMap,
+    cache: Option<&TemplateCache>,
+) -> Result<(), LowerError> {
     stamp_overrides(graph, targets);
+    // A node's support status depends only on its own fields, which never
+    // change after creation, and splicing only *appends* node slots — so
+    // after the first full scan, each later round needs to examine only
+    // the nodes the previous round's splices created.
+    let mut scan_from: u32 = 0;
     // Refinements strictly reduce granularity, so this terminates; the
     // iteration bound is a defensive backstop.
     for _ in 0..64 {
+        let slots_before = graph.node_slots() as u32;
         // Collect this round's unsupported nodes, then refine them all at
         // once (in parallel on multi-core hosts). Batching is equivalent to
         // the interleaved serial loop: `refine` reads only the node and its
@@ -66,7 +104,7 @@ pub fn lower(graph: &mut SrDfg, targets: &TargetMap) -> Result<(), LowerError> {
         // replaces, so no pending refinement can observe another's splice.
         let mut pending = Vec::new();
         let mut labels = Vec::new();
-        for id in graph.node_ids().collect::<Vec<_>>() {
+        for id in graph.node_ids().filter(|id| id.0 >= scan_from).collect::<Vec<_>>() {
             let node = graph.node(id);
             let target = targets.target_for(node, graph.domain);
             if target.supports(&node.name) {
@@ -78,16 +116,109 @@ pub fn lower(graph: &mut SrDfg, targets: &TargetMap) -> Result<(), LowerError> {
         if pending.is_empty() {
             return Ok(());
         }
-        let subs = refine_many(graph, &pending);
-        // Splice serially, in collection (deterministic id) order.
-        for ((sub, &(id, _)), (name, domain, target)) in subs.into_iter().zip(&pending).zip(&labels)
+        scan_from = slots_before;
+
+        // Plan each job against the cache: template hits skip expansion
+        // entirely, and only the *first* job of each distinct key expands
+        // (identical siblings defer to its inserted template).
+        let mut plans: Vec<Plan> = Vec::with_capacity(pending.len());
+        if let Some(cache) = cache {
+            let mut first_of_fp: HashMap<u64, usize, FxBuildHasher> = HashMap::default();
+            for (i, &(id, opts)) in pending.iter().enumerate() {
+                let node = graph.node(id);
+                if !scalar_expansion_eligible(node) {
+                    plans.push(Plan::Expand(None));
+                    continue;
+                }
+                let in_metas: Vec<EdgeMeta> =
+                    node.inputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
+                let out_metas: Vec<EdgeMeta> =
+                    node.outputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
+                let key = TemplateKey::new(node, &in_metas, &out_metas, &opts);
+                if let Some(t) = cache.lookup(&key) {
+                    plans.push(Plan::Hit(t));
+                    continue;
+                }
+                match first_of_fp.entry(key.fingerprint()) {
+                    std::collections::hash_map::Entry::Occupied(prev) if matches!(&plans[*prev.get()], Plan::Expand(Some(k)) if *k == key) =>
+                    {
+                        plans.push(Plan::Deferred(key));
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(i);
+                        plans.push(Plan::Expand(Some(key)));
+                    }
+                    // Fingerprint collision with a different key: expand
+                    // live without deduplication.
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        plans.push(Plan::Expand(Some(key)));
+                    }
+                }
+            }
+        } else {
+            plans = pending.iter().map(|_| Plan::Expand(None)).collect();
+        }
+
+        // Expand the non-deduplicated jobs in parallel.
+        use rayon::prelude::*;
+        let expand_jobs: Vec<usize> = plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Plan::Expand(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let mut expanded: Vec<Option<Result<SrDfg, RefineError>>> =
+            (0..pending.len()).map(|_| None).collect();
+        for (i, sub) in expand_jobs
+            .par_iter()
+            .map(|&i| (i, refine_for_splice(graph, pending[i].0, &pending[i].1)))
+            .collect::<Vec<_>>()
         {
-            let sub = sub.map_err(|e| LowerError {
-                message: format!(
-                    "`{name}` (domain {domain:?}) is unsupported by {target} and cannot refine: {e}"
-                ),
-            })?;
-            graph.splice(id, &sub);
+            expanded[i] = Some(sub);
+        }
+
+        // Splice serially, in collection (deterministic id) order.
+        for (i, plan) in plans.into_iter().enumerate() {
+            let (id, opts) = pending[i];
+            let refine_err = |e: RefineError| {
+                let (name, domain, target) = &labels[i];
+                LowerError {
+                    message: format!(
+                        "`{name}` (domain {domain:?}) is unsupported by {target} \
+                         and cannot refine: {e}"
+                    ),
+                }
+            };
+            match plan {
+                Plan::Expand(key) => {
+                    let sub = expanded[i].take().expect("planned").map_err(refine_err)?;
+                    match (cache, key) {
+                        (Some(cache), Some(key)) => {
+                            let template = Arc::new(sub);
+                            cache.insert(key, Arc::clone(&template));
+                            graph.splice_template(id, &template);
+                        }
+                        _ if scalar_expansion_eligible(graph.node(id)) => {
+                            graph.splice_template(id, &sub)
+                        }
+                        _ => graph.splice(id, &sub),
+                    }
+                }
+                Plan::Hit(template) => graph.splice_template(id, &template),
+                Plan::Deferred(key) => {
+                    // The leading expansion of this key was inserted above;
+                    // a miss is only possible if capacity pressure evicted
+                    // it within this very round — then expand live.
+                    let cache = cache.expect("deferred implies cache");
+                    match cache.lookup(&key) {
+                        Some(t) => graph.splice_template(id, &t),
+                        None => {
+                            let sub = refine_for_splice(graph, id, &opts).map_err(refine_err)?;
+                            graph.splice_template(id, &sub);
+                        }
+                    }
+                }
+            }
         }
     }
     Err(LowerError { message: "lowering did not converge".into() })
@@ -100,7 +231,7 @@ fn stamp_overrides(graph: &mut SrDfg, targets: &TargetMap) {
     for id in ids {
         let name = graph.node(id).name.clone();
         if let Some(spec) = targets.override_for(&name) {
-            let target = spec.name.clone();
+            let target: srdfg::Ident = spec.name.as_str().into();
             stamp_node(graph, id, &target);
         } else if let srdfg::NodeKind::Component(_) = &graph.node(id).kind {
             // Recurse into nested components.
@@ -117,8 +248,8 @@ fn stamp_overrides(graph: &mut SrDfg, targets: &TargetMap) {
 }
 
 /// Marks a node and (for components) its whole body with a target name.
-fn stamp_node(graph: &mut SrDfg, id: srdfg::NodeId, target: &str) {
-    graph.node_mut(id).target = Some(target.to_string());
+fn stamp_node(graph: &mut SrDfg, id: srdfg::NodeId, target: &srdfg::Ident) {
+    graph.node_mut(id).target = Some(target.clone());
     if let srdfg::NodeKind::Component(sub) = &mut graph.node_mut(id).kind {
         let mut inner = std::mem::replace(sub.as_mut(), SrDfg::new(""));
         let ids: Vec<_> = inner.node_ids().collect();

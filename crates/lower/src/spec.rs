@@ -97,10 +97,10 @@ impl TargetMap {
     /// was stamped, else its domain's default, else the host.
     pub fn target_for(&self, node: &srdfg::Node, graph_domain: Option<Domain>) -> &AcceleratorSpec {
         if let Some(t) = &node.target {
-            if let Some(spec) = self.overrides.values().find(|s| s.name == *t) {
+            if let Some(spec) = self.overrides.values().find(|s| *t == s.name) {
                 return spec;
             }
-            if let Some(spec) = self.per_domain.values().find(|s| s.name == *t) {
+            if let Some(spec) = self.per_domain.values().find(|s| *t == s.name) {
                 return spec;
             }
         }

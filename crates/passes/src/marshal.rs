@@ -23,9 +23,14 @@ impl Pass for ElideMarshalling {
 
     fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
         let mut stats = PassStats::default();
-        loop {
-            // Find an Unpack whose operand is produced by a Pack.
-            let candidate = graph.iter_nodes().find_map(|(id, node)| {
+        // Elision only rewires consumers — producers are never reassigned —
+        // so no new Pack→Unpack adjacency can appear while processing. One
+        // scan therefore finds every pair; processing them in collection
+        // order is safe because a Pack shared by several Unpacks is only
+        // removed once its tensor has lost its last consumer.
+        let candidates: Vec<_> = graph
+            .iter_nodes()
+            .filter_map(|(id, node)| {
                 if !matches!(node.kind, NodeKind::Unpack) {
                     return None;
                 }
@@ -44,8 +49,11 @@ impl Pass for ElideMarshalling {
                 } else {
                     None
                 }
-            });
-            let Some((unpack_id, pack_id, tensor_edge)) = candidate else { break };
+            })
+            .collect();
+        for (unpack_id, pack_id, tensor_edge) in candidates {
+            // Read the wiring at process time: an earlier pair may have
+            // retargeted this pack's input slots.
             let unpack_outputs = graph.node(unpack_id).outputs.clone();
             let pack_inputs = graph.node(pack_id).inputs.clone();
             debug_assert_eq!(unpack_outputs.len(), pack_inputs.len());

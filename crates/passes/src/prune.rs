@@ -79,7 +79,7 @@ impl Pass for PruneUnusedInputs {
                 graph.edge_mut(e).consumers.push((id, new_slot));
             }
             let node = graph.node_mut(id);
-            node.inputs = new_inputs;
+            node.inputs = new_inputs.into();
             match &mut node.kind {
                 NodeKind::Map(m) => remap_kexpr(&mut m.kernel, &remap),
                 NodeKind::Reduce(r) => {

@@ -21,7 +21,7 @@ fn render_into(graph: &SrDfg, prefix: &str, out: &mut String, depth: usize) {
             NodeKind::Component(_) => format!("{} (component)", node.name),
             NodeKind::Map(_) => format!("{} (map)", node.name),
             NodeKind::Reduce(_) => format!("{} (reduce)", node.name),
-            NodeKind::Scalar(_) => node.name.clone(),
+            NodeKind::Scalar(_) => node.name.to_string(),
             NodeKind::ConstTensor(_) => "const".into(),
             NodeKind::Load => "load".into(),
             NodeKind::Store => "store".into(),

@@ -24,9 +24,11 @@ use crate::graph::{
     map_op_name, EdgeId, EdgeMeta, IndexRange, MapSpec, Modifier, Node, NodeKind, ReduceOp,
     ReduceSpec, ScalarKind, SrDfg, WriteSpec,
 };
+use crate::hash::FxBuildHasher;
 use crate::interp::for_each_point;
 use crate::kernel::KExpr;
 use pmlang::{BinOp, BuiltinReduction, DType, ScalarFunc, Span};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Limits for scalar expansion.
@@ -146,7 +148,63 @@ pub fn refine_node(
         | NodeKind::Load
         | NodeKind::Store
         | NodeKind::Unpack
-        | NodeKind::Pack => Err(RefineError::AtFinestGranularity(node.name.clone())),
+        | NodeKind::Pack => Err(RefineError::AtFinestGranularity(node.name.to_string())),
+    }
+}
+
+/// True when [`refine_node`] would take the scalar-expansion path — the
+/// expensive, O(tensor-volume) leg of Algorithm 1 and the only one worth
+/// template-caching. Component inlining and map/reduce decompositions are
+/// cheap and instance-specific (their interiors carry source names), so
+/// they are never cached.
+pub fn scalar_expansion_eligible(node: &Node) -> bool {
+    match &node.kind {
+        NodeKind::Map(spec) => spec.kernel.compute_op_count() <= 1,
+        NodeKind::Reduce(spec) => spec.body.compute_op_count() == 0,
+        _ => false,
+    }
+}
+
+/// [`refine_node`] in *canonical form* for the template cache: the node's
+/// instance provenance (domain, target, span) is stripped before
+/// expansion, so the returned graph carries synthetic spans and no domain
+/// and can be shared by every structurally equal instance.
+/// [`SrDfg::splice_template`] stamps the instance's provenance back on,
+/// reproducing exactly what a direct (non-canonical) expansion would have
+/// produced after splicing.
+pub fn refine_node_canonical(
+    node: &Node,
+    in_metas: &[EdgeMeta],
+    out_metas: &[EdgeMeta],
+    opts: &ExpandOptions,
+) -> Result<SrDfg, RefineError> {
+    debug_assert!(scalar_expansion_eligible(node));
+    let mut canon = node.clone();
+    canon.domain = None;
+    canon.target = None;
+    canon.span = Span::synthetic();
+    refine_node(&canon, in_metas, out_metas, opts)
+}
+
+/// [`refine`] that routes scalar expansions through the canonical form
+/// (to be instantiated with [`SrDfg::splice_template`]) and every other
+/// refinement through the plain path (instantiated with
+/// [`SrDfg::splice`]). Algorithm 1 uses this for all refinement so cached
+/// and uncached lowering agree byte-for-byte.
+pub fn refine_for_splice(
+    graph: &SrDfg,
+    id: crate::graph::NodeId,
+    opts: &ExpandOptions,
+) -> Result<SrDfg, RefineError> {
+    let node = graph.node(id);
+    if scalar_expansion_eligible(node) {
+        let in_metas: Vec<EdgeMeta> =
+            node.inputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
+        let out_metas: Vec<EdgeMeta> =
+            node.outputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
+        refine_node_canonical(node, &in_metas, &out_metas, opts)
+    } else {
+        refine(graph, id, opts)
     }
 }
 
@@ -401,6 +459,13 @@ struct Expander<'a> {
     /// node/edge so diagnostics on the expanded graph still point at the
     /// originating statement.
     span: Span,
+    /// Value-numbered constants (by `f64` bits): one `const` node per
+    /// distinct value. Unrolled expansions repeat the same literal per
+    /// index point (k-means emits one `0.0`/`1.0` pair per element, FFT
+    /// one sign constant per butterfly); on the fabrics those are a
+    /// single wired constant, and sharing them shrinks the expansion by
+    /// up to a third.
+    consts: HashMap<u64, EdgeId, FxBuildHasher>,
 }
 
 impl<'a> Expander<'a> {
@@ -417,8 +482,9 @@ impl<'a> Expander<'a> {
             domain: node.domain,
             nodes_created: 0,
             limit,
-            name: node.name.clone(),
+            name: node.name.to_string(),
             span: node.span,
+            consts: HashMap::default(),
         }
     }
 
@@ -471,6 +537,11 @@ impl<'a> Expander<'a> {
     }
 
     fn const_node(&mut self, v: f64) -> Result<EdgeId, RefineError> {
+        // Bit-level dedup: `-0.0`/`0.0` stay distinct and NaN shares with
+        // itself — finer than float `==`, so no value is ever conflated.
+        if let Some(&e) = self.consts.get(&v.to_bits()) {
+            return Ok(e);
+        }
         self.budget(1)?;
         let e = self.scalar_edge("c", DType::Float);
         self.g.add_node_at(
@@ -481,6 +552,7 @@ impl<'a> Expander<'a> {
             vec![e],
             self.span,
         );
+        self.consts.insert(v.to_bits(), e);
         Ok(e)
     }
 
@@ -608,7 +680,7 @@ fn expand_map(
     let est = points * (spec.kernel.op_count() as usize + 1);
     if est > opts.max_nodes {
         return Err(RefineError::TooLarge {
-            name: node.name.clone(),
+            name: node.name.to_string(),
             estimated: est,
             limit: opts.max_nodes,
         });
@@ -626,8 +698,9 @@ fn expand_map(
             // Static LHS position.
             let mut flat = 0usize;
             for (l, &dim) in spec.write.lhs.iter().zip(&out_meta.shape) {
-                let v =
-                    l.eval_index(idx).map_err(|_| RefineError::DataDependent(node.name.clone()))?;
+                let v = l
+                    .eval_index(idx)
+                    .map_err(|_| RefineError::DataDependent(node.name.to_string()))?;
                 flat = flat * dim + v as usize;
             }
             elements[flat] = Some(val);
@@ -663,12 +736,12 @@ fn expand_reduce(
 ) -> Result<SrDfg, RefineError> {
     if let ReduceOp::Builtin(b) = &spec.op {
         if b.is_arg() {
-            return Err(RefineError::Unsupported(node.name.clone()));
+            return Err(RefineError::Unsupported(node.name.to_string()));
         }
     }
     if let Some(c) = &spec.cond {
         if c.max_slot().is_some() {
-            return Err(RefineError::DataDependent(node.name.clone()));
+            return Err(RefineError::DataDependent(node.name.to_string()));
         }
     }
     let out_points = crate::graph::space_size(&spec.out_space);
@@ -676,7 +749,7 @@ fn expand_reduce(
     let est = out_points * red_points.max(1) * 2;
     if est > opts.max_nodes {
         return Err(RefineError::TooLarge {
-            name: node.name.clone(),
+            name: node.name.to_string(),
             estimated: est,
             limit: opts.max_nodes,
         });
@@ -709,7 +782,7 @@ fn expand_reduce(
                         let keep = c
                             .eval(&fpoint, &[], &[])
                             .and_then(|s| s.as_bool())
-                            .map_err(|_| RefineError::DataDependent(node.name.clone()))?;
+                            .map_err(|_| RefineError::DataDependent(node.name.to_string()))?;
                         if !keep {
                             return Ok(());
                         }
@@ -732,7 +805,7 @@ fn expand_reduce(
             for (l, &dim) in spec.write.lhs.iter().zip(&out_meta.shape) {
                 let v = l
                     .eval_index(oidx)
-                    .map_err(|_| RefineError::DataDependent(node.name.clone()))?;
+                    .map_err(|_| RefineError::DataDependent(node.name.to_string()))?;
                 flat = flat * dim + v as usize;
             }
             elements[flat] = Some(result);
@@ -931,8 +1004,8 @@ mod tests {
         // Level 1: decompose into Map(mul) + pure sum.
         let sub = refine(&g, id, &ExpandOptions::default()).unwrap();
         let names: Vec<_> = sub.iter_nodes().map(|(_, n)| n.name.clone()).collect();
-        assert!(names.contains(&"map.mul".to_string()), "{names:?}");
-        assert!(names.contains(&"sum".to_string()), "{names:?}");
+        assert!(names.iter().any(|n| n == "map.mul"), "{names:?}");
+        assert!(names.iter().any(|n| n == "sum"), "{names:?}");
         // Level 2: the pure sum expands to an adder tree.
         let (rid, _) =
             sub.iter_nodes().find(|(_, n)| matches!(n.kind, NodeKind::Reduce(_))).unwrap();

@@ -17,17 +17,19 @@
 //!   accessible at all times, without eagerly building billions of scalar
 //!   nodes for large tensors.
 
+use crate::ident::Ident;
 use crate::kernel::KExpr;
+use crate::smallids::SmallIds;
 use crate::value::Tensor;
 use pmlang::{BinOp, BuiltinReduction, DType, Domain, ScalarFunc, Span, UnOp};
 use std::fmt;
 
 /// Identifies a node within one [`SrDfg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// Identifies an edge (value) within one [`SrDfg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -303,22 +305,22 @@ pub enum NodeKind {
 pub struct Node {
     /// The operation name used by the lowering algorithm's support check
     /// (`n.name ∉ Ot`, paper Algorithm 1).
-    pub name: String,
+    pub name: Ident,
     /// Behaviour.
     pub kind: NodeKind,
     /// The domain this node executes in (inherited from its component's
     /// instantiation annotation, paper §II.D).
     pub domain: Option<Domain>,
     /// Operand edges, in kernel slot order.
-    pub inputs: Vec<EdgeId>,
+    pub inputs: SmallIds<EdgeId, 3>,
     /// Result edges.
-    pub outputs: Vec<EdgeId>,
+    pub outputs: SmallIds<EdgeId, 2>,
     /// Recognized compute pattern, if any.
     pub pattern: Option<Pattern>,
     /// Explicit accelerator assignment (by target name), overriding the
     /// domain's default target. Set from per-component target overrides
     /// and inherited through refinement.
-    pub target: Option<String>,
+    pub target: Option<Ident>,
     /// PMLang source location of the statement this node was built from
     /// ([`Span::synthetic`] when the node has no single source statement).
     /// Refinement and splicing propagate it so every granularity keeps its
@@ -332,7 +334,7 @@ pub struct Edge {
     /// Producing `(node, output slot)`, or `None` for a boundary input.
     pub producer: Option<(NodeId, usize)>,
     /// Consuming `(node, input slot)` pairs.
-    pub consumers: Vec<(NodeId, usize)>,
+    pub consumers: SmallIds<(NodeId, usize), 2>,
     /// The paper's edge metadata.
     pub meta: EdgeMeta,
 }
@@ -370,14 +372,14 @@ impl SrDfg {
     /// Adds an edge with no producer or consumers yet.
     pub fn add_edge(&mut self, meta: EdgeMeta) -> EdgeId {
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Edge { producer: None, consumers: Vec::new(), meta });
+        self.edges.push(Edge { producer: None, consumers: SmallIds::new(), meta });
         id
     }
 
     /// Adds a node, wiring its input/output edges' use lists.
     pub fn add_node(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Ident>,
         kind: NodeKind,
         domain: Option<Domain>,
         inputs: Vec<EdgeId>,
@@ -398,8 +400,8 @@ impl SrDfg {
             name: name.into(),
             kind,
             domain,
-            inputs,
-            outputs,
+            inputs: inputs.into(),
+            outputs: outputs.into(),
             pattern: None,
             target: None,
             span: Span::synthetic(),
@@ -410,7 +412,7 @@ impl SrDfg {
     /// Adds a node carrying a PMLang source span (see [`SrDfg::add_node`]).
     pub fn add_node_at(
         &mut self,
-        name: impl Into<String>,
+        name: impl Into<Ident>,
         kind: NodeKind,
         domain: Option<Domain>,
         inputs: Vec<EdgeId>,
@@ -610,6 +612,23 @@ impl SrDfg {
     ///
     /// Panics if the boundary arities do not match the node's.
     pub fn splice(&mut self, id: NodeId, sub: &SrDfg) {
+        self.splice_impl(id, sub, false);
+    }
+
+    /// [`SrDfg::splice`] for *canonical templates* (shared, immutable
+    /// expansions from [`crate::template::TemplateCache`], built by
+    /// [`crate::expand::refine_node_canonical`]): in addition to the node
+    /// stamping `splice` already does (synthetic-span nodes inherit the
+    /// replaced node's span, domain-less nodes its domain), interior
+    /// edges with synthetic spans also inherit the replaced node's span.
+    /// A template instantiated here is therefore byte-identical to what a
+    /// direct, non-canonical expansion of the node would have produced —
+    /// the template itself stays untouched and can be spliced anywhere.
+    pub fn splice_template(&mut self, id: NodeId, sub: &SrDfg) {
+        self.splice_impl(id, sub, true);
+    }
+
+    fn splice_impl(&mut self, id: NodeId, sub: &SrDfg, stamp_edge_spans: bool) {
         let node = self.node(id).clone();
         assert_eq!(
             sub.boundary_inputs.len(),
@@ -653,15 +672,82 @@ impl SrDfg {
                 edge_map[be.0 as usize] = Some(node.outputs[i]);
             }
         }
+        // Fast path (always taken for freshly expanded sub-graphs, which
+        // have no removed-node slots): sub node ids are dense, so every
+        // spliced node's id is `node_base + its sub id` — producer and
+        // consumer lists can then be copied wholesale with a fixed offset
+        // instead of being re-grown push-by-push through `add_node`. This
+        // is the instantiation step of the lowering template cache, so it
+        // is deliberately nothing but id-remapped memcpy-style copies.
+        if sub.nodes.iter().all(Option::is_some) {
+            let node_base = self.nodes.len() as u32;
+            let shift = |&(n, slot): &(NodeId, usize)| (NodeId(n.0 + node_base), slot);
+            // Boundary edges keep their identity in the parent; the
+            // template nodes reading/writing them are appended to their
+            // use lists (in sub node-id order, exactly as incremental
+            // `add_node` wiring would have).
+            for (i, pe) in edge_map.iter().enumerate() {
+                let Some(pe) = pe else { continue };
+                let sedge = &sub.edges[i];
+                self.edges[pe.0 as usize].consumers.extend(sedge.consumers.iter().map(shift));
+                if let Some(p) = &sedge.producer {
+                    self.edges[pe.0 as usize].producer = Some(shift(p));
+                }
+            }
+            self.edges.reserve(sub.edges.len());
+            for (i, sedge) in sub.edges.iter().enumerate() {
+                if edge_map[i].is_none() {
+                    let mut meta = sedge.meta.clone();
+                    if stamp_edge_spans && meta.span.is_synthetic() {
+                        meta.span = node.span;
+                    }
+                    let id = EdgeId(self.edges.len() as u32);
+                    self.edges.push(Edge {
+                        producer: sedge.producer.as_ref().map(&shift),
+                        consumers: sedge.consumers.iter().map(shift).collect(),
+                        meta,
+                    });
+                    edge_map[i] = Some(id);
+                }
+            }
+            self.nodes.reserve(sub.nodes.len());
+            for snode in sub.nodes.iter().flatten() {
+                let inputs: SmallIds<EdgeId, 3> =
+                    snode.inputs.iter().map(|e| edge_map[e.0 as usize].unwrap()).collect();
+                let outputs: SmallIds<EdgeId, 2> =
+                    snode.outputs.iter().map(|e| edge_map[e.0 as usize].unwrap()).collect();
+                self.nodes.push(Some(Node {
+                    name: snode.name.clone(),
+                    kind: snode.kind.clone(),
+                    domain: snode.domain.or(node.domain),
+                    inputs,
+                    outputs,
+                    pattern: snode.pattern,
+                    target: snode.target.clone().or_else(|| node.target.clone()),
+                    // Provenance: refined nodes keep their own span when
+                    // they have one (component bodies), else inherit the
+                    // replaced node's.
+                    span: if snode.span.is_synthetic() { node.span } else { snode.span },
+                }));
+            }
+            return;
+        }
+
+        self.edges.reserve(sub.edges.len());
         for (i, sedge) in sub.edges.iter().enumerate() {
             if edge_map[i].is_none() {
-                edge_map[i] = Some(self.add_edge(sedge.meta.clone()));
+                let mut meta = sedge.meta.clone();
+                if stamp_edge_spans && meta.span.is_synthetic() {
+                    meta.span = node.span;
+                }
+                edge_map[i] = Some(self.add_edge(meta));
             }
         }
 
         // Copy sub nodes, remapping edges; inherit the parent node's domain
         // where the sub node has none (paper: lowered nodes inherit the
         // srdfg domain).
+        self.nodes.reserve(sub.node_count());
         for (_, snode) in sub.iter_nodes() {
             let inputs: Vec<EdgeId> =
                 snode.inputs.iter().map(|e| edge_map[e.0 as usize].unwrap()).collect();
@@ -884,7 +970,7 @@ mod tests {
         assert_eq!(parent.boundary_inputs, vec![pin]);
         assert_eq!(parent.boundary_outputs, vec![pout]);
         assert_eq!(
-            parent.edge(pout).producer.map(|(n, _)| parent.node(n).name.clone()),
+            parent.edge(pout).producer.map(|(n, _)| parent.node(n).name.to_string()),
             Some("h".to_string())
         );
     }

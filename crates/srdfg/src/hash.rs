@@ -86,7 +86,11 @@ pub fn node_structural_hash(node: &Node) -> u64 {
     h.finish()
 }
 
-fn hash_kind<H: Hasher>(kind: &NodeKind, h: &mut H) {
+/// Digest of a node kind alone (no input-edge ids). Shared with the
+/// lowering template cache, whose key must be position-independent: two
+/// structurally equal expansions in different graph regions have
+/// different input edge ids but must fingerprint identically.
+pub(crate) fn hash_kind<H: Hasher>(kind: &NodeKind, h: &mut H) {
     std::mem::discriminant(kind).hash(h);
     match kind {
         NodeKind::Component(sub) => {

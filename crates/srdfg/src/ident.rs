@@ -1,0 +1,143 @@
+//! Cheaply clonable operation / target names.
+//!
+//! Node names and target stamps are tiny strings ("add", "TABLA") cloned
+//! once per node during template instantiation and target stamping — on an
+//! expanded graph that is hundreds of thousands of heap allocations if they
+//! are `String`s. [`Ident`] wraps an `Arc<str>` so a clone is a refcount
+//! bump, while `Deref<Target = str>` keeps read sites (`==`, `starts_with`,
+//! formatting) source-compatible.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A shared immutable name. Equality, ordering, and hashing all follow the
+/// string contents (so it hashes identically to a `String` with the same
+/// text and can key the same maps).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ident(Arc<str>);
+
+impl Ident {
+    /// The name as a borrowed string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for Ident {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Ident {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Ident {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Ident {
+    fn from(s: &str) -> Self {
+        Ident(Arc::from(s))
+    }
+}
+
+impl From<String> for Ident {
+    fn from(s: String) -> Self {
+        Ident(Arc::from(s))
+    }
+}
+
+impl From<&String> for Ident {
+    fn from(s: &String) -> Self {
+        Ident(Arc::from(s.as_str()))
+    }
+}
+
+impl Default for Ident {
+    fn default() -> Self {
+        Ident(Arc::from(""))
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Ident {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<Ident> for str {
+    fn eq(&self, other: &Ident) -> bool {
+        self == &*other.0
+    }
+}
+
+impl PartialEq<Ident> for &str {
+    fn eq(&self, other: &Ident) -> bool {
+        *self == &*other.0
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl fmt::Debug for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    #[test]
+    fn eq_and_deref() {
+        let i: Ident = "add".into();
+        assert_eq!(i, "add");
+        assert_eq!("add", i);
+        assert_eq!(i, "add".to_string());
+        assert!(i.starts_with('a'));
+        assert_eq!(format!("{i}"), "add");
+    }
+
+    #[test]
+    fn hashes_like_the_string_contents() {
+        fn h<T: Hash>(t: &T) -> u64 {
+            let mut s = DefaultHasher::new();
+            t.hash(&mut s);
+            s.finish()
+        }
+        let i: Ident = "mul".into();
+        // `Borrow<str>` requires Ident and str to hash identically.
+        assert_eq!(h(&i), h(&"mul".to_string()));
+        let mut set = std::collections::HashSet::new();
+        set.insert(Ident::from("x"));
+        assert!(set.contains("x"));
+    }
+}

@@ -57,21 +57,30 @@ pub mod error;
 pub mod expand;
 pub mod graph;
 pub mod hash;
+pub mod ident;
 pub mod interp;
 pub mod kernel;
 pub mod pattern;
+pub mod smallids;
+pub mod template;
 pub mod validate;
 pub mod value;
 
 pub use build::{build, Bindings};
 pub use error::{BuildError, ExecError};
-pub use expand::{refine, refine_many, ExpandOptions, RefineError};
+pub use expand::{
+    refine, refine_for_splice, refine_many, refine_node_canonical, scalar_expansion_eligible,
+    ExpandOptions, RefineError,
+};
 pub use graph::{
     Edge, EdgeId, EdgeMeta, IndexRange, MapSpec, Modifier, Node, NodeId, NodeKind, Pattern,
     ReduceOp, ReduceSpec, ScalarKind, SrDfg, WriteSpec,
 };
 pub use hash::{node_structural_hash, FxBuildHasher, FxHasher};
+pub use ident::Ident;
 pub use interp::Machine;
 pub use kernel::KExpr;
+pub use smallids::SmallIds;
+pub use template::{TemplateCache, TemplateCacheStats, TemplateKey};
 pub use validate::{validate, validate_all, ValidateError};
 pub use value::{Scalar, Tensor, ValueError};

@@ -1,0 +1,249 @@
+//! A small-list type for the per-node / per-edge id lists of the srDFG.
+//!
+//! Expanded graphs hold hundreds of thousands of nodes whose operand and
+//! result lists are almost always 1–3 entries long (a scalar `add` has two
+//! inputs and one output; most edges have a single consumer). Storing those
+//! lists as `Vec` costs one heap allocation per list, and template
+//! instantiation ([`SrDfg::splice`]) is dominated by exactly those
+//! allocations. [`SmallIds`] keeps up to `N` entries inline in the struct
+//! and only spills to a `Vec` beyond that, so the common case allocates
+//! nothing.
+//!
+//! The type dereferences to `[T]`, so read sites (`.iter()`, `.len()`,
+//! indexing, `.contains(..)`) work unchanged; mutation goes through
+//! [`SmallIds::push`] / [`SmallIds::retain`] / `DerefMut`.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// An inline-first list of copyable ids: up to `N` entries live in the
+/// struct itself, longer lists spill wholesale into a `Vec`.
+///
+/// Invariant: if `spill` is non-empty it holds *all* entries and the inline
+/// buffer is dead; otherwise the entries are `inline[..len]`. A spilled
+/// list never migrates back inline (entries removed by [`retain`] just
+/// shrink the spill vector), which keeps the invariant trivially stable.
+///
+/// [`retain`]: SmallIds::retain
+#[derive(Clone)]
+pub struct SmallIds<T: Copy + Default, const N: usize> {
+    len: u8,
+    inline: [T; N],
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallIds<T, N> {
+    /// The empty list (allocation-free).
+    pub fn new() -> Self {
+        SmallIds { len: 0, inline: [T::default(); N], spill: Vec::new() }
+    }
+
+    /// Appends an entry, spilling to the heap on the `N+1`-th push.
+    pub fn push(&mut self, v: T) {
+        if self.spill.is_empty() {
+            if (self.len as usize) < N {
+                self.inline[self.len as usize] = v;
+                self.len += 1;
+                return;
+            }
+            self.spill.reserve(N + 1);
+            self.spill.extend_from_slice(&self.inline[..self.len as usize]);
+            self.len = 0;
+        }
+        self.spill.push(v);
+    }
+
+    /// Keeps only the entries for which `f` returns `true`, preserving
+    /// order (mirrors `Vec::retain`).
+    pub fn retain<F: FnMut(&T) -> bool>(&mut self, mut f: F) {
+        if self.spill.is_empty() {
+            let mut w = 0usize;
+            for i in 0..self.len as usize {
+                let v = self.inline[i];
+                if f(&v) {
+                    self.inline[w] = v;
+                    w += 1;
+                }
+            }
+            self.len = w as u8;
+        } else {
+            self.spill.retain(f);
+        }
+    }
+
+    /// Removes all entries (keeps any spill capacity).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len as usize]
+        } else {
+            &mut self.spill
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallIds<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for SmallIds<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> DerefMut for SmallIds<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallIds<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallIds<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallIds<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for SmallIds<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for SmallIds<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == &other[..]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for SmallIds<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        if v.len() <= N {
+            let mut s = Self::new();
+            for x in v {
+                s.push(x);
+            }
+            s
+        } else {
+            SmallIds { len: 0, inline: [T::default(); N], spill: v }
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallIds<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for SmallIds<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallIds<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for SmallIds<T, N> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        if self.spill.is_empty() {
+            Vec::from(&self.inline[..self.len as usize]).into_iter()
+        } else {
+            self.spill.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_then_spill() {
+        let mut s: SmallIds<u32, 2> = SmallIds::new();
+        assert!(s.is_empty());
+        s.push(1);
+        s.push(2);
+        assert_eq!(&s[..], &[1, 2]);
+        s.push(3); // spills
+        assert_eq!(&s[..], &[1, 2, 3]);
+        s.push(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn retain_inline_and_spilled() {
+        let mut s: SmallIds<u32, 3> = (0..3).collect();
+        s.retain(|&x| x != 1);
+        assert_eq!(s, vec![0, 2]);
+        let mut big: SmallIds<u32, 3> = (0..10).collect();
+        big.retain(|&x| x % 2 == 0);
+        assert_eq!(big, vec![0, 2, 4, 6, 8]);
+        big.retain(|_| false);
+        assert!(big.is_empty());
+        // Push after a drained spill still works.
+        big.push(7);
+        assert_eq!(big, vec![7]);
+    }
+
+    #[test]
+    fn from_vec_and_iterators() {
+        let s: SmallIds<u32, 2> = vec![5, 6].into();
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![5, 6]);
+        let big: SmallIds<u32, 2> = vec![1, 2, 3].into();
+        assert_eq!(big.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let mut m: SmallIds<u32, 2> = SmallIds::new();
+        m.extend([9, 8, 7]);
+        assert_eq!(m, [9, 8, 7]);
+        m[0] = 1; // DerefMut indexing
+        assert_eq!(m, [1, 8, 7]);
+    }
+
+    #[test]
+    fn mem_take_leaves_empty() {
+        let mut s: SmallIds<u32, 2> = vec![1, 2].into();
+        let t = std::mem::take(&mut s);
+        assert_eq!(t, vec![1, 2]);
+        assert!(s.is_empty());
+    }
+}

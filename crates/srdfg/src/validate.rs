@@ -123,7 +123,7 @@ fn collect(graph: &SrDfg, out: &mut Vec<ValidateError>) {
             let before = out.len();
             collect(sub, out);
             for e in &mut out[before..] {
-                e.path.insert(0, node.name.clone());
+                e.path.insert(0, node.name.to_string());
             }
         }
     }

@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .join(" -> ")
     );
 
-    let mut machine = Machine::new(compiled.graph.clone());
+    let mut machine = Machine::new((*compiled.graph).clone());
     let t = |shape: Vec<usize>, seed| pm_workloads::datagen::normal_tensor(shape, 0.2, seed);
     let params = HashMap::from([
         ("P".to_string(), t(vec![c, 3], 2)),

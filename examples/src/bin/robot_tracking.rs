@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pos_ref[t * 3 + 2] = target[2];
     }
 
-    let mut machine = Machine::new(compiled.graph.clone());
+    let mut machine = Machine::new((*compiled.graph).clone());
     let mut state = [0.0f64, -1.0, 0.0];
     let mut err = f64::INFINITY;
     println!("step |    x      y   | err");

@@ -16,8 +16,45 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --check
 
-echo "== pm-bench smoke (--quick)"
-cargo run --release -p pm-bench --bin pm-bench -- --quick --out target/BENCH_smoke.json
+echo "== pm-bench smoke (--quick) + perf-regression gate"
+# --threads must be explicit: --quick fails loudly if the count silently
+# resolves to 1, and CI runners are single-core-ish anyway.
+#
+# The template cache is a perf feature; guard its headline win. Warm
+# lower+post_lower+compile on fft-256 must stay within 1.25x of the
+# committed BENCH_compiler.json. A --quick run is a single warm rep, so
+# one scheduler hiccup can push a healthy build past the limit — retry
+# once before calling it a regression.
+perf_gate() {
+    python3 - <<'EOF'
+import json, sys
+
+def warm_fft(path):
+    doc = json.load(open(path))
+    for w in doc["workloads"]:
+        if w["name"] == "fft-256":
+            s = w["stages_s"]
+            return s["lower"] + s["post_lower"] + s["compile"]
+    sys.exit(f"{path}: no fft-256 entry")
+
+base = warm_fft("BENCH_compiler.json")
+now = warm_fft("target/BENCH_smoke.json")
+ratio = now / base
+print(f"fft-256 warm lower+compile: {now*1e3:.1f} ms vs committed {base*1e3:.1f} ms ({ratio:.2f}x, limit 1.25x)")
+sys.exit(1 if ratio > 1.25 else 0)
+EOF
+}
+for attempt in 1 2; do
+    cargo run --release -p pm-bench --bin pm-bench -- --quick --threads 1 \
+        --out target/BENCH_smoke.json
+    if perf_gate; then
+        break
+    elif [ "$attempt" = 2 ]; then
+        echo "perf regression: fft-256 lower+compile exceeded 1.25x of the committed baseline twice" >&2
+        exit 1
+    fi
+    echo "perf gate over limit on attempt 1; re-running smoke once to rule out noise"
+done
 
 echo "== pmc analyze smoke"
 # A clean example must pass, and the checked-in hazard demo must fail

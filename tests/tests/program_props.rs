@@ -74,7 +74,7 @@ fn run_and_check(
     let compiled = compiler
         .compile(&src, &Bindings::default())
         .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
-    let mut machine = Machine::new(compiled.graph.clone());
+    let mut machine = Machine::new((*compiled.graph).clone());
     if program.has_state() {
         machine.set_state(
             "z",

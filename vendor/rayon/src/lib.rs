@@ -17,15 +17,43 @@
 //! a plain serial loop on single-core machines.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = unset (fall through to `RAYON_NUM_THREADS`, then to the machine's
+/// available parallelism).
+static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 fn threads() -> usize {
+    let forced = NUM_THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
 /// Number of worker threads combinators will use (real rayon's
-/// `current_num_threads`); here, the machine's available parallelism.
+/// `current_num_threads`); here, the override (if set), then the
+/// `RAYON_NUM_THREADS` environment variable, then the machine's available
+/// parallelism.
 pub fn current_num_threads() -> usize {
     threads()
+}
+
+/// Forces the worker-thread count for all subsequent combinator runs
+/// (real rayon configures this through `ThreadPoolBuilder`; the stand-in
+/// spins up scoped threads per call, so a process-wide count is the
+/// equivalent knob). Pass 0 to clear the override. Values above the
+/// machine's parallelism are honored — useful for oversubscription
+/// experiments — and 1 degrades every combinator to a serial loop.
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 /// Runs both closures, potentially in parallel, and returns both results.
