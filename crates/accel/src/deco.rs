@@ -67,7 +67,7 @@ impl Deco {
             .filter(|f| f.kind == FragmentKind::Compute)
             .filter_map(|f| f.node)
             .filter_map(|id| match &graph.node(id).kind {
-                NodeKind::Scalar(k) => Some((id, k)),
+                NodeKind::Scalar(k) => Some((id, k.get())),
                 _ => None,
             })
             .collect();
@@ -130,9 +130,9 @@ impl Deco {
                 continue;
             }
             for a in frag.inputs.iter().chain(&frag.outputs) {
-                if matches!(a.modifier, Modifier::Input | Modifier::Output | Modifier::Temp) {
-                    let per = if a.dtype == pmlang::DType::Complex { 8 } else { 4 };
-                    sched.streamed_bytes += a.shape.iter().product::<usize>() as u64 * per;
+                if matches!(a.modifier(), Modifier::Input | Modifier::Output | Modifier::Temp) {
+                    let per = if a.dtype() == pmlang::DType::Complex { 8 } else { 4 };
+                    sched.streamed_bytes += a.shape().iter().product::<usize>() as u64 * per;
                 }
             }
         }

@@ -84,10 +84,10 @@ impl HyperStreams {
             for a in frag.inputs.iter().chain(&frag.outputs) {
                 // Resident `param`/`state` tensors are not streamed and do
                 // not define the element space.
-                if matches!(a.modifier, Modifier::Input | Modifier::Output | Modifier::Temp) {
-                    let volume = a.shape.iter().product::<usize>() as u64;
+                if matches!(a.modifier(), Modifier::Input | Modifier::Output | Modifier::Temp) {
+                    let volume = a.shape().iter().product::<usize>() as u64;
                     elements = elements.max(volume);
-                    let per = if a.dtype == pmlang::DType::Complex { 8 } else { 4 };
+                    let per = if a.dtype() == pmlang::DType::Complex { 8 } else { 4 };
                     plan.streamed_bytes += volume * per;
                 }
             }

@@ -582,11 +582,10 @@ impl Soc {
             // (paper §II.A). Only `input`/`output`/intermediate flows
             // cross the DMA per invocation, and only per-invocation
             // dispatches are fault-injected.
-            let resident =
-                is_dma
-                    && frag.inputs.iter().chain(&frag.outputs).all(|a| {
-                        matches!(a.modifier, srdfg::Modifier::Param | srdfg::Modifier::State)
-                    });
+            let resident = is_dma
+                && frag.inputs.iter().chain(&frag.outputs).all(|a| {
+                    matches!(a.modifier(), srdfg::Modifier::Param | srdfg::Modifier::State)
+                });
             if resident {
                 continue;
             }
@@ -617,7 +616,7 @@ impl Soc {
                     r.faults.push(FaultEvent {
                         target: part.target.clone(),
                         fragment: idx,
-                        op: frag.op.clone(),
+                        op: frag.op.to_string(),
                         attempt,
                         kind,
                     });
@@ -634,7 +633,7 @@ impl Soc {
                     return Ok(PartSim::Down(DownInfo {
                         target: part.target.clone(),
                         fragment: idx,
-                        op: frag.op.clone(),
+                        op: frag.op.to_string(),
                         attempts: attempt,
                         fault: kind,
                         spent_ns: clock.now_ns(),

@@ -216,10 +216,10 @@ mod tests {
             .filter(|f| f.kind == FragmentKind::Compute)
             .map(|f| f.op.clone())
             .collect();
-        assert!(ops.contains(&"conv2d".to_string()), "{ops:?}");
-        assert!(ops.contains(&"map.relu".to_string()), "{ops:?}");
-        assert!(ops.contains(&"matvec".to_string()), "{ops:?}");
-        assert!(!ops.contains(&"unpack".to_string()), "{ops:?}");
+        assert!(ops.iter().any(|o| o == "conv2d"), "{ops:?}");
+        assert!(ops.iter().any(|o| o == "map.relu"), "{ops:?}");
+        assert!(ops.iter().any(|o| o == "matvec"), "{ops:?}");
+        assert!(!ops.iter().any(|o| o == "unpack"), "{ops:?}");
     }
 
     #[test]

@@ -159,7 +159,7 @@ pub fn analyze_schedule(compiled: &CompiledProgram, targets: &TargetMap) -> Vec<
                                     "partition `{}` loads `{}` but its producer partition `{}` \
                                      never stores it",
                                     part_name(fr.part),
-                                    a.name,
+                                    a.name(),
                                     part_name(src),
                                 ),
                             )
@@ -200,7 +200,7 @@ pub fn analyze_schedule(compiled: &CompiledProgram, targets: &TargetMap) -> Vec<
                                      preceding DMA load",
                                     f.op,
                                     part_name(fr.part),
-                                    a.name,
+                                    a.name(),
                                 ),
                             )
                             .at(span_of(a.edge)),

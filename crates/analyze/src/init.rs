@@ -174,14 +174,14 @@ mod tests {
         let y = g.add_edge(EdgeMeta::new("y", pmlang::DType::Float, Modifier::Output, vec![]));
         g.add_node(
             "use",
-            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            NodeKind::scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
             None,
             vec![phantom],
             vec![mid],
         );
         g.add_node(
             "fwd",
-            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            NodeKind::scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
             None,
             vec![mid],
             vec![y],

@@ -860,7 +860,7 @@ fn certify_node(graph: &SrDfg, node: &Node) -> Result<(), String> {
             Ok(())
         }
         NK::Scalar(kind) => {
-            if matches!(kind, ScalarKind::Func(ScalarFunc::Complex)) {
+            if matches!(kind.get(), ScalarKind::Func(ScalarFunc::Complex)) {
                 return Err(format!("`{}` constructs a complex value", node.name));
             }
             for &e in &node.inputs {

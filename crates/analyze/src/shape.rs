@@ -384,7 +384,7 @@ mod tests {
              }",
         );
         let oe = g.boundary_outputs[0];
-        g.edge_mut(oe).meta.shape = vec![2];
+        g.edit_edge_meta(oe, |m| m.shape = vec![2]);
         let out = check(&g);
         assert!(!out.is_empty());
         assert_eq!(out[0].code, codes::EDGE_CONSISTENCY);
@@ -401,7 +401,7 @@ mod tests {
              }",
         );
         let oe = g.boundary_outputs[0];
-        g.edge_mut(oe).meta.dtype = DType::Complex;
+        g.edit_edge_meta(oe, |m| m.dtype = DType::Complex);
         let out = check(&g);
         assert!(out.iter().any(|f| f.message.contains("dtype")), "{out:?}");
     }
@@ -423,7 +423,7 @@ mod tests {
             .edge_ids()
             .find(|&e| g.edge(e).meta.name.starts_with('t'))
             .expect("intermediate edge");
-        g.edge_mut(te).meta.dtype = DType::Complex;
+        g.edit_edge_meta(te, |m| m.dtype = DType::Complex);
         let out = check(&g);
         let dtype_findings: Vec<_> = out.iter().filter(|f| f.message.contains("dtype")).collect();
         assert_eq!(dtype_findings.len(), 1, "{out:?}");
@@ -439,7 +439,7 @@ mod tests {
         for id in ids {
             if let NodeKind::Component(sub) = &mut g.node_mut(id).kind {
                 let oe = sub.boundary_outputs[0];
-                sub.edge_mut(oe).meta.shape = vec![7];
+                sub.edit_edge_meta(oe, |m| m.shape = vec![7]);
                 break;
             }
         }

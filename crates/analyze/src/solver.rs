@@ -157,14 +157,14 @@ mod tests {
         g.boundary_inputs.push(a);
         g.add_node(
             "n1",
-            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            NodeKind::scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
             None,
             vec![a],
             vec![b],
         );
         g.add_node(
             "n2",
-            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            NodeKind::scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
             None,
             vec![b],
             vec![c],
@@ -182,14 +182,14 @@ mod tests {
         let e2 = scalar_edge(&mut g, "e2");
         g.add_node(
             "a",
-            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            NodeKind::scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
             None,
             vec![e2],
             vec![e1],
         );
         g.add_node(
             "b",
-            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            NodeKind::scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
             None,
             vec![e1],
             vec![e2],

@@ -455,17 +455,17 @@ pub fn mpc_formulations() {
         // Steady-state DMA: `param`/`state` tensors are uploaded once and
         // stay resident (the SoC model's residency rule), so the per-step
         // traffic is the non-resident load/store bytes only.
-        let steady: u64 =
-            part.fragments
-                .iter()
-                .filter(|f| f.kind != pm_lower::FragmentKind::Compute)
-                .filter(|f| {
-                    f.inputs.iter().chain(&f.outputs).any(|a| {
-                        !matches!(a.modifier, srdfg::Modifier::Param | srdfg::Modifier::State)
-                    })
+        let steady: u64 = part
+            .fragments
+            .iter()
+            .filter(|f| f.kind != pm_lower::FragmentKind::Compute)
+            .filter(|f| {
+                f.inputs.iter().chain(&f.outputs).any(|a| {
+                    !matches!(a.modifier(), srdfg::Modifier::Param | srdfg::Modifier::State)
                 })
-                .map(pm_lower::Fragment::bytes)
-                .sum();
+            })
+            .map(pm_lower::Fragment::bytes)
+            .sum();
         println!(
             "  {label:<16} {:>10.2} us compute   {:>9} B DMA/step (steady state)",
             est.seconds * 1e6,

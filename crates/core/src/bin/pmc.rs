@@ -672,9 +672,9 @@ fn lower_for(graph: &mut srdfg::SrDfg, target: &str) -> Result<(), String> {
 /// scalar fabrics' long op rows stay readable.
 fn print_fragments(part: &pm_lower::AccProgram) {
     let label = |f: &pm_lower::Fragment| match f.kind {
-        pm_lower::FragmentKind::Load => format!("load  {}", f.inputs[0].name),
-        pm_lower::FragmentKind::Store => format!("store {}", f.outputs[0].name),
-        pm_lower::FragmentKind::Compute => f.op.clone(),
+        pm_lower::FragmentKind::Load => format!("load  {}", f.inputs[0].name()),
+        pm_lower::FragmentKind::Store => format!("store {}", f.outputs[0].name()),
+        pm_lower::FragmentKind::Compute => f.op.to_string(),
     };
     let mut i = 0;
     let frags = &part.fragments;

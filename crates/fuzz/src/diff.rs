@@ -117,12 +117,28 @@ impl Pass for SabotagePass {
     fn run_on_graph(&self, graph: &mut SrDfg) -> PassStats {
         for id in graph.node_ids().collect::<Vec<_>>() {
             let node = graph.node_mut(id);
-            let kernel = match &mut node.kind {
-                NodeKind::Map(m) => &mut m.kernel,
-                NodeKind::Reduce(r) => &mut r.body,
+            // Copy-on-write: sabotage must not reach sibling instances
+            // sharing the interned payload, so clone, flip, re-intern.
+            let flipped = match &mut node.kind {
+                NodeKind::Map(m) => {
+                    let mut owned = m.get().clone();
+                    let hit = flip_first_add(&mut owned.kernel);
+                    if hit {
+                        *m = srdfg::intern(owned);
+                    }
+                    hit
+                }
+                NodeKind::Reduce(r) => {
+                    let mut owned = r.get().clone();
+                    let hit = flip_first_add(&mut owned.body);
+                    if hit {
+                        *r = srdfg::intern(owned);
+                    }
+                    hit
+                }
                 _ => continue,
             };
-            if flip_first_add(kernel) {
+            if flipped {
                 return PassStats {
                     changed: true,
                     rewrites: 1,

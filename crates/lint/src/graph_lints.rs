@@ -353,7 +353,7 @@ mod tests {
         );
         // Corrupt: shrink the output edge's claimed shape.
         let oe = graph.boundary_outputs[0];
-        graph.edge_mut(oe).meta.shape = vec![2];
+        graph.edit_edge_meta(oe, |m| m.shape = vec![2]);
         let targets = host_targets();
         let cx = LintContext { program: &program, graph: &graph, targets: &targets };
         let mut out = Vec::new();
@@ -373,7 +373,7 @@ mod tests {
              }",
         );
         let oe = graph.boundary_outputs[0];
-        graph.edge_mut(oe).meta.dtype = DType::Complex;
+        graph.edit_edge_meta(oe, |m| m.dtype = DType::Complex);
         let targets = host_targets();
         let cx = LintContext { program: &program, graph: &graph, targets: &targets };
         let mut out = Vec::new();

@@ -26,23 +26,46 @@
 use crate::lower::{fully_lowered, LowerError};
 use crate::spec::TargetMap;
 use pmlang::{DType, Domain};
-use srdfg::{EdgeId, Modifier, NodeId, SrDfg};
+use srdfg::{Consed, EdgeId, EdgeMeta, Ident, Modifier, NodeId, SrDfg};
 use std::sync::Arc;
 
-/// A typed, shaped argument of a fragment (derived from edge metadata).
+/// A typed, shaped argument of a fragment: a handle on the interned edge
+/// metadata plus the edge itself. Building one is two refcount bumps —
+/// fragments share the graph's metadata records instead of re-copying
+/// name strings and shape vectors per argument.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArgInfo {
-    /// Source-level name.
-    pub name: String,
-    /// Element type (already converted to the accelerator's type system by
-    /// the backend; kept source-typed here).
-    pub dtype: DType,
-    /// Type modifier — drives FIFO vs. on-chip placement (paper §II.A).
-    pub modifier: Modifier,
-    /// Concrete shape.
-    pub shape: Vec<usize>,
+    /// Interned `(name, type, type-modifier, shape)` metadata of the edge.
+    pub meta: Consed<EdgeMeta>,
     /// The underlying graph edge.
     pub edge: EdgeId,
+}
+
+impl ArgInfo {
+    /// Source-level name of the value.
+    pub fn name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.meta.dtype
+    }
+
+    /// Type modifier.
+    pub fn modifier(&self) -> Modifier {
+        self.meta.modifier
+    }
+
+    /// Concrete shape (empty = scalar).
+    pub fn shape(&self) -> &[usize] {
+        &self.meta.shape
+    }
+
+    /// Number of elements the argument carries.
+    pub fn volume(&self) -> usize {
+        self.meta.shape.iter().product()
+    }
 }
 
 /// What a fragment does.
@@ -59,8 +82,9 @@ pub enum FragmentKind {
 /// One accelerator-IR fragment: a basic operator and its arguments.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fragment {
-    /// Accelerator operation name.
-    pub op: String,
+    /// Accelerator operation name (shared handle; compute fragments alias
+    /// their node's name, DMA fragments a per-compile `load`/`store`).
+    pub op: Ident,
     /// Kind of fragment.
     pub kind: FragmentKind,
     /// The originating graph node (compute fragments).
@@ -80,8 +104,8 @@ impl Fragment {
             .iter()
             .chain(&self.outputs)
             .map(|a| {
-                let per = if a.dtype == DType::Complex { 8 } else { 4 };
-                a.shape.iter().product::<usize>() as u64 * per
+                let per = if a.dtype() == DType::Complex { 8 } else { 4 };
+                a.volume() as u64 * per
             })
             .sum()
     }
@@ -300,18 +324,18 @@ fn compile_partitions(
         }
     }
 
-    let arg_info = |e: EdgeId| -> ArgInfo {
-        let meta = &graph.edge(e).meta;
-        ArgInfo {
-            name: meta.name.clone(),
-            dtype: meta.dtype,
-            modifier: meta.modifier,
-            shape: meta.shape.clone(),
-            edge: e,
-        }
-    };
+    let arg_info = |e: EdgeId| -> ArgInfo { ArgInfo { meta: graph.edge(e).meta.clone(), edge: e } };
+    let load_op: Ident = "load".into();
+    let store_op: Ident = "store".into();
     let build_chunk = |c: &Chunk| -> Vec<Fragment> {
-        let mut fragments = Vec::new();
+        let cap: usize = nodes_of[c.ti][c.lo..c.hi]
+            .iter()
+            .map(|id| {
+                let ni = id.0 as usize;
+                1 + pre_loads[ni].len() + post_stores[ni].len()
+            })
+            .sum();
+        let mut fragments = Vec::with_capacity(cap);
         for &id in &nodes_of[c.ti][c.lo..c.hi] {
             let ni = id.0 as usize;
             let node = graph.node(id);
@@ -319,7 +343,7 @@ fn compile_partitions(
             // by the host through the graph boundary).
             for &e in &pre_loads[ni] {
                 fragments.push(Fragment {
-                    op: "load".into(),
+                    op: load_op.clone(),
                     kind: FragmentKind::Load,
                     node: None,
                     inputs: vec![arg_info(e)],
@@ -329,7 +353,7 @@ fn compile_partitions(
             }
             // t(srdfg, n): the compute fragment.
             fragments.push(Fragment {
-                op: node.name.to_string(),
+                op: node.name.clone(),
                 kind: FragmentKind::Compute,
                 node: Some(id),
                 inputs: node.inputs.iter().map(|&e| arg_info(e)).collect(),
@@ -340,7 +364,7 @@ fn compile_partitions(
             // leaving through the graph boundary toward the host).
             for &e in &post_stores[ni] {
                 fragments.push(Fragment {
-                    op: "store".into(),
+                    op: store_op.clone(),
                     kind: FragmentKind::Store,
                     node: None,
                     inputs: vec![],
@@ -363,6 +387,16 @@ fn compile_partitions(
         .iter()
         .map(|&(t, domain)| AccProgram { target: t.to_string(), domain, fragments: Vec::new() })
         .collect();
+    // Exact-capacity reserve: a single-accelerator program concatenates
+    // every chunk into one partition, and doubling-growth would re-copy
+    // the whole fragment stream several times over.
+    let mut part_len = vec![0usize; parts.len()];
+    for (c, frags) in chunks.iter().zip(&chunk_frags) {
+        part_len[c.ti] += frags.len();
+    }
+    for (p, n) in parts.iter_mut().zip(part_len) {
+        p.fragments.reserve_exact(n);
+    }
     for (c, frags) in chunks.iter().zip(chunk_frags) {
         parts[c.ti].fragments.extend(frags);
     }
@@ -472,6 +506,6 @@ mod tests {
         let compiled = compile_program(&g, &t).unwrap();
         let frags = &compiled.partitions[0].fragments;
         let add = frags.iter().find(|f| f.op == "map.add").expect("add fragment");
-        assert!(add.inputs.iter().any(|a| a.modifier == Modifier::State && a.shape == vec![4]));
+        assert!(add.inputs.iter().any(|a| a.modifier() == Modifier::State && a.shape() == [4]));
     }
 }

@@ -51,4 +51,4 @@ pub use compile::{
 };
 pub use fallback::{relower_without, relower_without_cached};
 pub use lower::{fully_lowered, lower, lower_with, LowerError};
-pub use spec::{AcceleratorSpec, TargetMap};
+pub use spec::{AcceleratorSpec, SupportMemo, TargetMap};

@@ -19,10 +19,10 @@
 //! to a specific hardware because of unsupported nodes, the compilation
 //! fails for that accelerator").
 
-use crate::spec::TargetMap;
+use crate::spec::{SupportMemo, TargetMap};
 use srdfg::expand::{refine_for_splice, scalar_expansion_eligible, RefineError};
 use srdfg::template::{TemplateCache, TemplateKey};
-use srdfg::{EdgeMeta, FxBuildHasher, SrDfg};
+use srdfg::{Consed, EdgeMeta, FxBuildHasher, SrDfg};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -93,6 +93,7 @@ pub fn lower_with(
     // after the first full scan, each later round needs to examine only
     // the nodes the previous round's splices created.
     let mut scan_from: u32 = 0;
+    let mut memo = SupportMemo::new();
     // Refinements strictly reduce granularity, so this terminates; the
     // iteration bound is a defensive backstop.
     for _ in 0..64 {
@@ -107,7 +108,7 @@ pub fn lower_with(
         for id in graph.node_ids().filter(|id| id.0 >= scan_from).collect::<Vec<_>>() {
             let node = graph.node(id);
             let target = targets.target_for(node, graph.domain);
-            if target.supports(&node.name) {
+            if memo.supports(target, &node.name) {
                 continue;
             }
             pending.push((id, target.expand));
@@ -127,12 +128,17 @@ pub fn lower_with(
             for (i, &(id, opts)) in pending.iter().enumerate() {
                 let node = graph.node(id);
                 if !scalar_expansion_eligible(node) {
+                    // Not template-shaped (e.g. component flattening):
+                    // the cache is never consulted, which a warm-run
+                    // stats line reports as `bypassed` rather than as a
+                    // miss.
+                    cache.record_bypass();
                     plans.push(Plan::Expand(None));
                     continue;
                 }
-                let in_metas: Vec<EdgeMeta> =
+                let in_metas: Vec<Consed<EdgeMeta>> =
                     node.inputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
-                let out_metas: Vec<EdgeMeta> =
+                let out_metas: Vec<Consed<EdgeMeta>> =
                     node.outputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
                 let key = TemplateKey::new(node, &in_metas, &out_metas, &opts);
                 if let Some(t) = cache.lookup(&key) {
@@ -177,6 +183,23 @@ pub fn lower_with(
             expanded[i] = Some(sub);
         }
 
+        // Reserve the whole round's growth up front: each splice appends
+        // its sub-graph's nodes/edges, and letting the tables double
+        // mid-round re-copies the (multi-megabyte) graph repeatedly.
+        let (mut add_nodes, mut add_edges) = (0usize, 0usize);
+        for (i, plan) in plans.iter().enumerate() {
+            let (n, e) = match plan {
+                Plan::Expand(_) => match &expanded[i] {
+                    Some(Ok(sub)) => (sub.node_slots(), sub.edge_count()),
+                    _ => (0, 0),
+                },
+                Plan::Hit(t) => (t.node_slots(), t.edge_count()),
+                Plan::Deferred(_) => (0, 0),
+            };
+            add_nodes += n;
+            add_edges += e;
+        }
+        graph.reserve(add_nodes, add_edges);
         // Splice serially, in collection (deterministic id) order.
         for (i, plan) in plans.into_iter().enumerate() {
             let (id, opts) = pending[i];
@@ -264,7 +287,10 @@ fn stamp_node(graph: &mut SrDfg, id: srdfg::NodeId, target: &srdfg::Ident) {
 
 /// Checks (without mutating) whether every node is supported already.
 pub fn fully_lowered(graph: &SrDfg, targets: &TargetMap) -> bool {
-    graph.iter_nodes().all(|(_, node)| targets.target_for(node, graph.domain).supports(&node.name))
+    let mut memo = SupportMemo::new();
+    graph
+        .iter_nodes()
+        .all(|(_, node)| memo.supports(targets.target_for(node, graph.domain), &node.name))
 }
 
 #[cfg(test)]

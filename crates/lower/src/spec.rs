@@ -7,7 +7,7 @@
 //! (the SoC host).
 
 use pmlang::Domain;
-use srdfg::ExpandOptions;
+use srdfg::{ExpandOptions, Ident};
 use std::collections::{BTreeSet, HashMap};
 
 /// The operation-support contract of one accelerator target.
@@ -56,6 +56,42 @@ impl AcceleratorSpec {
     /// True if the target accepts operation `op` (`n.name ∈ Ot`).
     pub fn supports(&self, op: &str) -> bool {
         self.supports_all || self.supported.contains(op)
+    }
+}
+
+/// Memoized `n.name ∈ Ot` resolution for whole-graph sweeps.
+///
+/// Template-instantiated nodes share their interned name allocations, so
+/// a lowered fabric of 78k nodes asks only a handful of pointer-distinct
+/// support questions. Keying on the `(spec, name-allocation)` address
+/// pair turns the per-node operation-set walk into one integer hash
+/// probe. Each entry keeps a clone of the `Ident` it answered for: the
+/// clone pins the allocation, so its address can never be freed and
+/// reused by a different name while the memo is alive (lowering drops
+/// replaced nodes between rounds, so without the pin a stale answer
+/// could alias a recycled address). The spec side needs no pin — callers
+/// borrow the specs from a [`TargetMap`] they hold across the sweep.
+#[derive(Debug, Default)]
+pub struct SupportMemo {
+    map: HashMap<(usize, usize), (Ident, bool), srdfg::FxBuildHasher>,
+}
+
+impl SupportMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`AcceleratorSpec::supports`] with memoization.
+    pub fn supports(&mut self, spec: &AcceleratorSpec, name: &Ident) -> bool {
+        if spec.supports_all {
+            return true;
+        }
+        let key = (spec as *const AcceleratorSpec as usize, name.ptr_id());
+        let (pinned, ok) =
+            self.map.entry(key).or_insert_with(|| (name.clone(), spec.supports(name.as_str())));
+        debug_assert_eq!(pinned, name, "SupportMemo address aliasing");
+        *ok
     }
 }
 

@@ -31,6 +31,12 @@ pub struct AnalysisCache {
     topo_index: Option<HashMap<NodeId, usize>>,
     consumers: Option<HashMap<NodeId, Vec<NodeId>>>,
     hashes: Option<HashMap<NodeId, u64>>,
+    /// Interner generation when `hashes` started filling. A pass that
+    /// diverges a shared payload (copy-on-write re-intern) ticks the
+    /// store generation, so a mismatch here means some memoized digest
+    /// may describe a payload the node no longer points at — even if the
+    /// pass forgot to declare `PAYLOADS`.
+    hashes_generation: u64,
 }
 
 impl AnalysisCache {
@@ -81,6 +87,13 @@ impl AnalysisCache {
     /// The node's structural hash (see [`srdfg::node_structural_hash`]),
     /// memoized per node.
     pub fn structural_hash(&mut self, graph: &SrDfg, id: NodeId) -> u64 {
+        let generation = srdfg::store_generation();
+        if self.hashes.is_some() && self.hashes_generation != generation {
+            self.hashes = None;
+        }
+        if self.hashes.is_none() {
+            self.hashes_generation = generation;
+        }
         let map = self.hashes.get_or_insert_with(HashMap::new);
         *map.entry(id).or_insert_with(|| srdfg::node_structural_hash(graph.node(id)))
     }
@@ -162,6 +175,29 @@ mod tests {
         let mut fan_in_counts: Vec<usize> = consumers.values().map(Vec::len).collect();
         fan_in_counts.sort_unstable();
         assert_eq!(fan_in_counts, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn hashes_dropped_when_store_generation_ticks() {
+        let g = diamond();
+        let mut cache = AnalysisCache::new();
+        let id = g.node_ids().next().unwrap();
+        let h1 = cache.structural_hash(&g, id);
+        let gen_before = cache.hashes_generation;
+        // Any new interned record ticks the global generation — exactly
+        // what a pass does when it diverges a shared payload via
+        // copy-on-write. The memo must not survive that, even without a
+        // declared PAYLOADS invalidation.
+        let _probe = srdfg::intern(srdfg::EdgeMeta {
+            name: "analysis-cache-generation-probe".into(),
+            dtype: pmlang::DType::Float,
+            modifier: srdfg::Modifier::Param,
+            shape: vec![41, 43, 47],
+            span: pmlang::Span::synthetic(),
+        });
+        assert!(srdfg::store_generation() > gen_before, "probe must tick the store");
+        assert_eq!(cache.structural_hash(&g, id), h1, "digest itself is unchanged");
+        assert!(cache.hashes_generation > gen_before, "memo was rebuilt at the new generation");
     }
 
     #[test]

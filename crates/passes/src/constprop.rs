@@ -50,7 +50,7 @@ impl Pass for ConstantPropagation {
             let Some(value) = eval_if_const(graph, id) else { continue };
             let out_edge = graph.node(id).outputs[0];
             graph.remove_node(id);
-            graph.add_node("const", NodeKind::ConstTensor(value), None, vec![], vec![out_edge]);
+            graph.add_node("const", NodeKind::const_tensor(value), None, vec![], vec![out_edge]);
             stats.changed = true;
             stats.rewrites += 1;
         }

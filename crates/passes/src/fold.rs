@@ -51,25 +51,32 @@ fn rewrite_kernels(graph: &mut SrDfg, rewriter: fn(&KExpr) -> Option<(KExpr, usi
         match &mut node.kind {
             NodeKind::Map(spec) => {
                 if let Some((k, n)) = rewriter(&spec.kernel) {
-                    spec.kernel = k;
-                    node.name = map_op_name(&spec.kernel).into();
+                    // Copy-on-write: the spec may be shared with sibling
+                    // template instances, so divergence re-interns a
+                    // fresh record instead of writing through the handle.
+                    let mut owned = spec.get().clone();
+                    owned.kernel = k;
+                    node.name = map_op_name(&owned.kernel).into();
+                    *spec = srdfg::intern(owned);
                     stats.changed = true;
                     stats.rewrites += n;
                 }
             }
             NodeKind::Reduce(spec) => {
                 let mut total = 0;
-                if let Some((k, n)) = rewriter(&spec.body) {
-                    spec.body = k;
+                let mut owned = spec.get().clone();
+                if let Some((k, n)) = rewriter(&owned.body) {
+                    owned.body = k;
                     total += n;
                 }
-                if let Some(c) = &spec.cond {
+                if let Some(c) = &owned.cond {
                     if let Some((ck, cn)) = rewriter(c) {
-                        spec.cond = Some(ck);
+                        owned.cond = Some(ck);
                         total += cn;
                     }
                 }
                 if total > 0 {
+                    *spec = srdfg::intern(owned);
                     stats.changed = true;
                     stats.rewrites += total;
                 }

@@ -157,7 +157,7 @@ fn apply_fusion(graph: &mut SrDfg, c: Candidate) {
     graph.remove_node(c.map_id);
     graph.remove_node(c.red_a);
     graph.remove_node(c.red_b);
-    graph.add_node("sum", NodeKind::Reduce(spec), map_node.domain, inputs.to_vec(), vec![out_edge]);
+    graph.add_node("sum", NodeKind::reduce(spec), map_node.domain, inputs.to_vec(), vec![out_edge]);
 }
 
 fn offset_expr(base: &KExpr, offset: i64) -> KExpr {

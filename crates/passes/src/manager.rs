@@ -393,7 +393,7 @@ mod tests {
         inner.boundary_outputs.push(oe);
         inner.add_node(
             "neg",
-            NodeKind::Scalar(srdfg::ScalarKind::Un(pmlang::UnOp::Neg)),
+            NodeKind::scalar(srdfg::ScalarKind::Un(pmlang::UnOp::Neg)),
             None,
             vec![ie],
             vec![oe],
@@ -441,7 +441,7 @@ mod tests {
         g.boundary_outputs.push(b);
         g.add_node(
             "neg",
-            NodeKind::Scalar(srdfg::ScalarKind::Un(pmlang::UnOp::Neg)),
+            NodeKind::scalar(srdfg::ScalarKind::Un(pmlang::UnOp::Neg)),
             None,
             vec![a],
             vec![b],
@@ -470,7 +470,7 @@ mod tests {
                 let edges: Vec<_> = graph.edge_ids().collect();
                 for e in edges {
                     if graph.edge(e).producer.is_some() && !graph.edge(e).meta.shape.is_empty() {
-                        graph.edge_mut(e).meta.shape = vec![99];
+                        graph.edit_edge_meta(e, |m| m.shape = vec![99]);
                         return PassStats { changed: true, rewrites: 1, ..Default::default() };
                     }
                 }
@@ -485,7 +485,7 @@ mod tests {
         let space = vec![srdfg::IndexRange { name: "i".into(), lo: 0, hi: 3 }];
         g.add_node(
             "copy",
-            NodeKind::Map(srdfg::MapSpec {
+            NodeKind::map(srdfg::MapSpec {
                 out_space: space.clone(),
                 kernel: srdfg::KExpr::Operand { slot: 0, indices: vec![srdfg::KExpr::Idx(0)] },
                 write: srdfg::WriteSpec {

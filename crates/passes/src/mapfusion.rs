@@ -144,7 +144,7 @@ fn fuse(graph: &mut SrDfg, producer: NodeId, consumer: NodeId, slot: usize) {
     let domain = cnode.domain.or(pnode.domain);
     graph.remove_node(consumer);
     graph.remove_node(producer);
-    graph.add_node(name, NodeKind::Map(spec), domain, inputs, vec![out]);
+    graph.add_node(name, NodeKind::map(spec), domain, inputs, vec![out]);
 }
 
 fn remap(k: &KExpr, f: &impl Fn(usize) -> usize) -> KExpr {

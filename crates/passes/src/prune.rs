@@ -80,13 +80,21 @@ impl Pass for PruneUnusedInputs {
             }
             let node = graph.node_mut(id);
             node.inputs = new_inputs.into();
+            // Copy-on-write: re-intern the diverged payload rather than
+            // mutating a possibly shared record.
             match &mut node.kind {
-                NodeKind::Map(m) => remap_kexpr(&mut m.kernel, &remap),
+                NodeKind::Map(m) => {
+                    let mut owned = m.get().clone();
+                    remap_kexpr(&mut owned.kernel, &remap);
+                    *m = srdfg::intern(owned);
+                }
                 NodeKind::Reduce(r) => {
-                    remap_kexpr(&mut r.body, &remap);
-                    if let Some(c) = &mut r.cond {
+                    let mut owned = r.get().clone();
+                    remap_kexpr(&mut owned.body, &remap);
+                    if let Some(c) = &mut owned.cond {
                         remap_kexpr(c, &remap);
                     }
+                    *r = srdfg::intern(owned);
                 }
                 _ => unreachable!(),
             }

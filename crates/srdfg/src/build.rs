@@ -215,9 +215,10 @@ impl<'a> ComponentBuilder<'a> {
             } else {
                 Modifier::Output
             };
-            let meta = &mut self.graph.edge_mut(current).meta;
-            meta.modifier = modifier;
-            meta.name = name.clone();
+            self.graph.edit_edge_meta(current, |meta| {
+                meta.modifier = modifier;
+                meta.name = name.clone();
+            });
         }
         Ok(())
     }
@@ -417,8 +418,8 @@ impl<'a> ComponentBuilder<'a> {
 
         // If the whole RHS is one extracted reduction read back at identity
         // indices, attach the write spec to the Reduce node directly.
-        if let RhsExpr::SingleReduce(node_kind, mut node_inputs) = rhs {
-            let NodeKind::Reduce(mut spec) = *node_kind else { unreachable!() };
+        if let RhsExpr::SingleReduce(spec, mut node_inputs) = rhs {
+            let mut spec = *spec;
             spec.write = write;
             if carried {
                 let prev = self.carry_edge(target, target_dtype, &target_shape, span)?;
@@ -433,7 +434,7 @@ impl<'a> ComponentBuilder<'a> {
             let pattern = detect_pattern(&spec);
             let id = self.graph.add_node_at(
                 pattern.map_or(name, |p| p.op_name().to_string()),
-                NodeKind::Reduce(spec),
+                NodeKind::reduce(spec),
                 self.domain,
                 node_inputs,
                 vec![out],
@@ -453,7 +454,7 @@ impl<'a> ComponentBuilder<'a> {
         let out = self.new_version(target, span)?;
         let spec = MapSpec { out_space: free, kernel, write };
         let name = map_op_name(&spec.kernel);
-        self.graph.add_node_at(name, NodeKind::Map(spec), self.domain, ops.edges, vec![out], span);
+        self.graph.add_node_at(name, NodeKind::map(spec), self.domain, ops.edges, vec![out], span);
         Ok(())
     }
 
@@ -480,7 +481,7 @@ impl<'a> ComponentBuilder<'a> {
             .collect();
         let spec =
             MapSpec { out_space, kernel: KExpr::Const(0.0), write: WriteSpec::identity(shape) };
-        self.graph.add_node_at("map.fill", NodeKind::Map(spec), self.domain, vec![], vec![e], span);
+        self.graph.add_node_at("map.fill", NodeKind::map(spec), self.domain, vec![], vec![e], span);
         Ok(e)
     }
 
@@ -542,7 +543,7 @@ impl<'a> ComponentBuilder<'a> {
     ) -> Result<RhsExpr, BuildError> {
         if let ExprKind::Reduce { .. } = &value.kind {
             let (spec, inputs) = self.build_reduce(value, free, index_pos)?;
-            return Ok(RhsExpr::SingleReduce(Box::new(NodeKind::Reduce(spec)), inputs));
+            return Ok(RhsExpr::SingleReduce(Box::new(spec), inputs));
         }
         let mut ops = OperandSet::default();
         let kernel = self.kexpr(value, index_pos, &mut ops, temps)?;
@@ -716,7 +717,7 @@ impl<'a> ComponentBuilder<'a> {
                 let pattern = detect_pattern(&spec);
                 let id = self.graph.add_node_at(
                     pattern.map_or(name, |p| p.op_name().to_string()),
-                    NodeKind::Reduce(spec),
+                    NodeKind::reduce(spec),
                     self.domain,
                     inputs,
                     vec![temp],
@@ -897,7 +898,7 @@ impl<'a> ComponentBuilder<'a> {
                 };
                 self.graph.add_node_at(
                     "map.fill",
-                    NodeKind::Map(spec),
+                    NodeKind::map(spec),
                     self.domain,
                     vec![],
                     vec![e],
@@ -912,7 +913,7 @@ impl<'a> ComponentBuilder<'a> {
 /// Residual right-hand side of a statement after reduction extraction.
 enum RhsExpr {
     /// The RHS was exactly one reduction (not yet emitted).
-    SingleReduce(Box<NodeKind>, Vec<EdgeId>),
+    SingleReduce(Box<ReduceSpec>, Vec<EdgeId>),
     /// A kernel over the registered operands.
     Kernel(KExpr, OperandSet),
 }

@@ -25,8 +25,10 @@ use crate::graph::{
     ReduceSpec, ScalarKind, SrDfg, WriteSpec,
 };
 use crate::hash::FxBuildHasher;
+use crate::ident::Ident;
 use crate::interp::for_each_point;
 use crate::kernel::KExpr;
+use crate::store::{intern, sharing_disabled, Consed};
 use pmlang::{BinOp, BuiltinReduction, DType, ScalarFunc, Span};
 use std::collections::HashMap;
 use std::fmt;
@@ -97,8 +99,9 @@ pub fn refine(
     opts: &ExpandOptions,
 ) -> Result<SrDfg, RefineError> {
     let node = graph.node(id);
-    let in_metas: Vec<EdgeMeta> = node.inputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
-    let out_metas: Vec<EdgeMeta> =
+    let in_metas: Vec<Consed<EdgeMeta>> =
+        node.inputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
+    let out_metas: Vec<Consed<EdgeMeta>> =
         node.outputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
     refine_node(node, &in_metas, &out_metas, opts)
 }
@@ -123,8 +126,8 @@ pub fn refine_many(
 /// [`refine`] on a detached node (metadata supplied explicitly).
 pub fn refine_node(
     node: &Node,
-    in_metas: &[EdgeMeta],
-    out_metas: &[EdgeMeta],
+    in_metas: &[Consed<EdgeMeta>],
+    out_metas: &[Consed<EdgeMeta>],
     opts: &ExpandOptions,
 ) -> Result<SrDfg, RefineError> {
     match &node.kind {
@@ -174,8 +177,8 @@ pub fn scalar_expansion_eligible(node: &Node) -> bool {
 /// produced after splicing.
 pub fn refine_node_canonical(
     node: &Node,
-    in_metas: &[EdgeMeta],
-    out_metas: &[EdgeMeta],
+    in_metas: &[Consed<EdgeMeta>],
+    out_metas: &[Consed<EdgeMeta>],
     opts: &ExpandOptions,
 ) -> Result<SrDfg, RefineError> {
     debug_assert!(scalar_expansion_eligible(node));
@@ -198,9 +201,9 @@ pub fn refine_for_splice(
 ) -> Result<SrDfg, RefineError> {
     let node = graph.node(id);
     if scalar_expansion_eligible(node) {
-        let in_metas: Vec<EdgeMeta> =
+        let in_metas: Vec<Consed<EdgeMeta>> =
             node.inputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
-        let out_metas: Vec<EdgeMeta> =
+        let out_metas: Vec<Consed<EdgeMeta>> =
             node.outputs.iter().map(|&e| graph.edge(e).meta.clone()).collect();
         refine_node_canonical(node, &in_metas, &out_metas, opts)
     } else {
@@ -213,8 +216,8 @@ pub fn refine_for_splice(
 fn decompose_reduce(
     node: &Node,
     spec: &ReduceSpec,
-    in_metas: &[EdgeMeta],
-    out_metas: &[EdgeMeta],
+    in_metas: &[Consed<EdgeMeta>],
+    out_metas: &[Consed<EdgeMeta>],
 ) -> SrDfg {
     let mut g = SrDfg::new(format!("{}.decomposed", node.name));
     g.domain = node.domain;
@@ -259,7 +262,7 @@ fn decompose_reduce(
     let map_name = map_op_name(&map_spec.kernel);
     g.add_node_at(
         map_name,
-        NodeKind::Map(map_spec),
+        NodeKind::map(map_spec),
         node.domain,
         ins.clone(),
         vec![temp],
@@ -281,7 +284,7 @@ fn decompose_reduce(
     red_inputs.push(temp);
     g.add_node_at(
         spec.op.name().to_string(),
-        NodeKind::Reduce(red_spec),
+        NodeKind::reduce(red_spec),
         node.domain,
         red_inputs,
         vec![out],
@@ -298,7 +301,12 @@ fn decompose_reduce(
 /// ternary to guard out-of-range accesses should use reduction conditions
 /// instead (as the conv/pooling generators do); the interpreter's lazy
 /// ternary is a convenience of the reference semantics.
-fn split_map(node: &Node, spec: &MapSpec, in_metas: &[EdgeMeta], out_metas: &[EdgeMeta]) -> SrDfg {
+fn split_map(
+    node: &Node,
+    spec: &MapSpec,
+    in_metas: &[Consed<EdgeMeta>],
+    out_metas: &[Consed<EdgeMeta>],
+) -> SrDfg {
     let mut g = SrDfg::new(format!("{}.split", node.name));
     g.domain = node.domain;
     let ins: Vec<EdgeId> = in_metas.iter().map(|m| g.add_edge(m.clone())).collect();
@@ -387,7 +395,7 @@ fn split_map(node: &Node, spec: &MapSpec, in_metas: &[EdgeMeta], out_metas: &[Ed
             },
         };
         let name = map_op_name(&ms.kernel);
-        ctx.g.add_node_at(name, NodeKind::Map(ms), ctx.domain, node_inputs, vec![temp], ctx.span);
+        ctx.g.add_node_at(name, NodeKind::map(ms), ctx.domain, node_inputs, vec![temp], ctx.span);
         extra.push(temp);
         // Read the temp back at zero-based identity positions.
         KExpr::Operand { slot: ctx.ins.len() + extra.len() - 1, indices: lhs }
@@ -430,12 +438,12 @@ fn split_map(node: &Node, spec: &MapSpec, in_metas: &[EdgeMeta], out_metas: &[Ed
         write: spec.write.clone(),
     };
     let name = map_op_name(&ms.kernel);
-    g.add_node_at(name, NodeKind::Map(ms), node.domain, node_inputs, vec![out], node.span);
+    g.add_node_at(name, NodeKind::map(ms), node.domain, node_inputs, vec![out], node.span);
     g
 }
 
 /// Infers the element dtype for reduce decomposition temporaries.
-fn element_dtype(in_metas: &[EdgeMeta]) -> DType {
+fn element_dtype(in_metas: &[Consed<EdgeMeta>]) -> DType {
     if in_metas.iter().any(|m| m.dtype == DType::Complex) {
         DType::Complex
     } else {
@@ -448,7 +456,7 @@ fn element_dtype(in_metas: &[EdgeMeta]) -> DType {
 struct Expander<'a> {
     g: SrDfg,
     ins: Vec<EdgeId>,
-    in_metas: &'a [EdgeMeta],
+    in_metas: &'a [Consed<EdgeMeta>],
     /// Per-slot unpacked element edges (created lazily).
     unpacked: Vec<Option<Vec<EdgeId>>>,
     domain: Option<pmlang::Domain>,
@@ -466,10 +474,26 @@ struct Expander<'a> {
     /// single wired constant, and sharing them shrinks the expansion by
     /// up to a third.
     consts: HashMap<u64, EdgeId, FxBuildHasher>,
+    /// Interned unnamed-scalar-temp metadata per dtype. Every scalar temp
+    /// this expansion creates has identical content (empty name, `Temp`,
+    /// scalar shape, the expansion's span), so a million-edge expansion
+    /// touches the global [`crate::store`] interner once per dtype instead
+    /// of once per edge — expansions run in parallel during cold lowering
+    /// and must not serialize on the store lock.
+    scalar_meta: HashMap<DType, Consed<EdgeMeta>, FxBuildHasher>,
+    /// Interned scalar-op payloads keyed by structural hash (with an `==`
+    /// confirmation), for the same lock-avoidance reason: an adder tree
+    /// interns `Bin(Add)` once, not once per adder.
+    scalar_kinds: HashMap<u64, Consed<ScalarKind>, FxBuildHasher>,
+    /// Shared node-name `Ident`s: all `mul` nodes of one expansion alias
+    /// a single string allocation. Downstream sweeps (the lowering scan,
+    /// `fully_lowered`) memoize per allocation, so a fabric answers a
+    /// handful of support questions instead of one per node.
+    names: HashMap<String, Ident, FxBuildHasher>,
 }
 
 impl<'a> Expander<'a> {
-    fn new(node: &Node, in_metas: &'a [EdgeMeta], limit: usize) -> Self {
+    fn new(node: &Node, in_metas: &'a [Consed<EdgeMeta>], limit: usize) -> Self {
         let mut g = SrDfg::new(format!("{}.scalar", node.name));
         g.domain = node.domain;
         let ins: Vec<EdgeId> = in_metas.iter().map(|m| g.add_edge(m.clone())).collect();
@@ -485,7 +509,38 @@ impl<'a> Expander<'a> {
             name: node.name.to_string(),
             span: node.span,
             consts: HashMap::default(),
+            scalar_meta: HashMap::default(),
+            scalar_kinds: HashMap::default(),
+            names: HashMap::default(),
         }
+    }
+
+    /// The shared metadata record for an unnamed scalar temp of `dtype`
+    /// (see the `scalar_meta` field). In unshared mode every call interns
+    /// fresh, mirroring the flat representation's one-value-per-edge.
+    fn scalar_temp_meta(&mut self, dtype: DType) -> Consed<EdgeMeta> {
+        let span = self.span;
+        let make = || intern(EdgeMeta::new(String::new(), dtype, Modifier::Temp, vec![]).at(span));
+        if sharing_disabled() {
+            return make();
+        }
+        self.scalar_meta.entry(dtype).or_insert_with(make).clone()
+    }
+
+    /// Per-expander interning of scalar-op payloads (see `scalar_kinds`).
+    fn intern_scalar(&mut self, kind: ScalarKind) -> Consed<ScalarKind> {
+        if sharing_disabled() {
+            return intern(kind);
+        }
+        let h = crate::hash::scalar_kind_hash(&kind);
+        if let Some(c) = self.scalar_kinds.get(&h) {
+            if **c == kind {
+                return c.clone();
+            }
+        }
+        let c = intern(kind);
+        self.scalar_kinds.insert(h, c.clone());
+        c
     }
 
     fn budget(&mut self, n: usize) -> Result<(), RefineError> {
@@ -501,8 +556,23 @@ impl<'a> Expander<'a> {
         }
     }
 
+    /// The shared `Ident` for a node name (bypassed in unshared mode so
+    /// every node carries its own allocation, like the flat path).
+    fn name_ident(&mut self, name: &str) -> Ident {
+        if sharing_disabled() {
+            return Ident::from(name);
+        }
+        if let Some(i) = self.names.get(name) {
+            return i.clone();
+        }
+        let id = Ident::from(name);
+        self.names.insert(name.to_string(), id.clone());
+        id
+    }
+
     fn scalar_edge(&mut self, _label: &str, dtype: DType) -> EdgeId {
-        self.g.add_edge(EdgeMeta::new(String::new(), dtype, Modifier::Temp, vec![]).at(self.span))
+        let meta = self.scalar_temp_meta(dtype);
+        self.g.add_edge(meta)
     }
 
     /// Element edge `flat` of operand `slot`, materializing its Unpack node
@@ -513,18 +583,15 @@ impl<'a> Expander<'a> {
             let n = meta.volume();
             self.budget(1)?;
             // Element edges are unnamed: at FFT-scale expansions (10⁶+
-            // edges) per-element name strings would dominate memory.
+            // edges) per-element name strings would dominate memory —
+            // and interned, they all share one metadata record.
             let span = self.span;
             let dtype = meta.dtype;
-            let elems: Vec<EdgeId> = (0..n)
-                .map(|_| {
-                    self.g.add_edge(
-                        EdgeMeta::new(String::new(), dtype, Modifier::Temp, vec![]).at(span),
-                    )
-                })
-                .collect();
+            let elem_meta = self.scalar_temp_meta(dtype);
+            let elems: Vec<EdgeId> = (0..n).map(|_| self.g.add_edge(elem_meta.clone())).collect();
+            let unpack_name = self.name_ident("unpack");
             self.g.add_node_at(
-                "unpack",
+                unpack_name,
                 NodeKind::Unpack,
                 self.domain,
                 vec![self.ins[slot]],
@@ -544,9 +611,10 @@ impl<'a> Expander<'a> {
         }
         self.budget(1)?;
         let e = self.scalar_edge("c", DType::Float);
+        let const_name = self.name_ident("const");
         self.g.add_node_at(
-            "const",
-            NodeKind::Scalar(ScalarKind::Const(v)),
+            const_name,
+            NodeKind::scalar(ScalarKind::Const(v)),
             self.domain,
             vec![],
             vec![e],
@@ -593,44 +661,47 @@ impl<'a> Expander<'a> {
             }
             KExpr::Unary(op, e) => {
                 let a = self.expand_expr(e, point)?;
-                self.op_node(NodeKind::Scalar(ScalarKind::Un(*op)), &op_label(k), vec![a])
+                self.op_node(ScalarKind::Un(*op), &op_label(k), vec![a])
             }
             KExpr::Binary(op, a, b) => {
                 let ea = self.expand_expr(a, point)?;
                 let eb = self.expand_expr(b, point)?;
-                self.op_node(NodeKind::Scalar(ScalarKind::Bin(*op)), &op_label(k), vec![ea, eb])
+                self.op_node(ScalarKind::Bin(*op), &op_label(k), vec![ea, eb])
             }
             KExpr::Select(c, a, b) => {
                 let ec = self.expand_expr(c, point)?;
                 let ea = self.expand_expr(a, point)?;
                 let eb = self.expand_expr(b, point)?;
-                self.op_node(NodeKind::Scalar(ScalarKind::Select), "select", vec![ec, ea, eb])
+                self.op_node(ScalarKind::Select, "select", vec![ec, ea, eb])
             }
             KExpr::Call(f, args) => {
                 let es: Vec<EdgeId> =
                     args.iter().map(|a| self.expand_expr(a, point)).collect::<Result<_, _>>()?;
-                self.op_node(NodeKind::Scalar(ScalarKind::Func(*f)), f.name(), es)
+                self.op_node(ScalarKind::Func(*f), f.name(), es)
             }
         }
     }
 
     fn op_node(
         &mut self,
-        kind: NodeKind,
+        kind: ScalarKind,
         name: &str,
         inputs: Vec<EdgeId>,
     ) -> Result<EdgeId, RefineError> {
         self.budget(1)?;
+        let kind = NodeKind::Scalar(self.intern_scalar(kind));
         let out = self.scalar_edge(name, DType::Float);
-        self.g.add_node_at(name.to_string(), kind, self.domain, inputs, vec![out], self.span);
+        let name = self.name_ident(name);
+        self.g.add_node_at(name, kind, self.domain, inputs, vec![out], self.span);
         Ok(out)
     }
 
     /// Finishes the graph: packs `elements` (row-major over `out_meta.shape`)
     /// into the boundary output.
-    fn finish(mut self, out_meta: &EdgeMeta, elements: Vec<EdgeId>) -> SrDfg {
+    fn finish(mut self, out_meta: &Consed<EdgeMeta>, elements: Vec<EdgeId>) -> SrDfg {
         let out = self.g.add_edge(out_meta.clone());
-        self.g.add_node_at("pack", NodeKind::Pack, self.domain, elements, vec![out], self.span);
+        let pack_name = self.name_ident("pack");
+        self.g.add_node_at(pack_name, NodeKind::Pack, self.domain, elements, vec![out], self.span);
         self.g.boundary_outputs = vec![out];
         self.g
     }
@@ -672,8 +743,8 @@ fn op_label(k: &KExpr) -> String {
 fn expand_map(
     node: &Node,
     spec: &MapSpec,
-    in_metas: &[EdgeMeta],
-    out_metas: &[EdgeMeta],
+    in_metas: &[Consed<EdgeMeta>],
+    out_metas: &[Consed<EdgeMeta>],
     opts: &ExpandOptions,
 ) -> Result<SrDfg, RefineError> {
     let points = crate::graph::space_size(&spec.out_space);
@@ -730,8 +801,8 @@ fn expand_map(
 fn expand_reduce(
     node: &Node,
     spec: &ReduceSpec,
-    in_metas: &[EdgeMeta],
-    out_metas: &[EdgeMeta],
+    in_metas: &[Consed<EdgeMeta>],
+    out_metas: &[Consed<EdgeMeta>],
     opts: &ExpandOptions,
 ) -> Result<SrDfg, RefineError> {
     if let ReduceOp::Builtin(b) = &spec.op {
@@ -862,26 +933,22 @@ impl Expander<'_> {
     fn combine_pair(&mut self, op: &ReduceOp, a: EdgeId, b: EdgeId) -> Result<EdgeId, RefineError> {
         match op {
             ReduceOp::Builtin(BuiltinReduction::Sum) => {
-                self.op_node(NodeKind::Scalar(ScalarKind::Bin(BinOp::Add)), "add", vec![a, b])
+                self.op_node(ScalarKind::Bin(BinOp::Add), "add", vec![a, b])
             }
             ReduceOp::Builtin(BuiltinReduction::Prod) => {
-                self.op_node(NodeKind::Scalar(ScalarKind::Bin(BinOp::Mul)), "mul", vec![a, b])
+                self.op_node(ScalarKind::Bin(BinOp::Mul), "mul", vec![a, b])
             }
-            ReduceOp::Builtin(BuiltinReduction::Max) => self.op_node(
-                NodeKind::Scalar(ScalarKind::Func(ScalarFunc::Max2)),
-                "max2",
-                vec![a, b],
-            ),
-            ReduceOp::Builtin(BuiltinReduction::Min) => self.op_node(
-                NodeKind::Scalar(ScalarKind::Func(ScalarFunc::Min2)),
-                "min2",
-                vec![a, b],
-            ),
+            ReduceOp::Builtin(BuiltinReduction::Max) => {
+                self.op_node(ScalarKind::Func(ScalarFunc::Max2), "max2", vec![a, b])
+            }
+            ReduceOp::Builtin(BuiltinReduction::Min) => {
+                self.op_node(ScalarKind::Func(ScalarFunc::Min2), "min2", vec![a, b])
+            }
             ReduceOp::Builtin(BuiltinReduction::Any) => {
-                self.op_node(NodeKind::Scalar(ScalarKind::Bin(BinOp::Or)), "or", vec![a, b])
+                self.op_node(ScalarKind::Bin(BinOp::Or), "or", vec![a, b])
             }
             ReduceOp::Builtin(BuiltinReduction::All) => {
-                self.op_node(NodeKind::Scalar(ScalarKind::Bin(BinOp::And)), "and", vec![a, b])
+                self.op_node(ScalarKind::Bin(BinOp::And), "and", vec![a, b])
             }
             ReduceOp::Builtin(_) => Err(RefineError::Unsupported(self.name.clone())),
             ReduceOp::Custom { combiner, .. } => {
@@ -904,23 +971,23 @@ impl Expander<'_> {
             }
             KExpr::Unary(op, e) => {
                 let ea = self.expand_combiner(e, a, b)?;
-                self.op_node(NodeKind::Scalar(ScalarKind::Un(*op)), "un", vec![ea])
+                self.op_node(ScalarKind::Un(*op), "un", vec![ea])
             }
             KExpr::Binary(op, x, y) => {
                 let ex_ = self.expand_combiner(x, a, b)?;
                 let ey = self.expand_combiner(y, a, b)?;
-                self.op_node(NodeKind::Scalar(ScalarKind::Bin(*op)), &op_label(k), vec![ex_, ey])
+                self.op_node(ScalarKind::Bin(*op), &op_label(k), vec![ex_, ey])
             }
             KExpr::Select(c, x, y) => {
                 let ec = self.expand_combiner(c, a, b)?;
                 let ex_ = self.expand_combiner(x, a, b)?;
                 let ey = self.expand_combiner(y, a, b)?;
-                self.op_node(NodeKind::Scalar(ScalarKind::Select), "select", vec![ec, ex_, ey])
+                self.op_node(ScalarKind::Select, "select", vec![ec, ex_, ey])
             }
             KExpr::Call(f, args) => {
                 let es: Vec<EdgeId> =
                     args.iter().map(|x| self.expand_combiner(x, a, b)).collect::<Result<_, _>>()?;
-                self.op_node(NodeKind::Scalar(ScalarKind::Func(*f)), f.name(), es)
+                self.op_node(ScalarKind::Func(*f), f.name(), es)
             }
         }
     }
@@ -1012,7 +1079,7 @@ mod tests {
         let scal = refine(&sub, rid, &ExpandOptions::default()).unwrap();
         let adds = scal
             .iter_nodes()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::Scalar(ScalarKind::Bin(BinOp::Add))))
+            .filter(|(_, n)| matches!(&n.kind, NodeKind::Scalar(s) if **s == ScalarKind::Bin(BinOp::Add)))
             .count();
         assert_eq!(adds, 4, "3-wide sums per output, 2 outputs → 2·(3-1) adds");
     }

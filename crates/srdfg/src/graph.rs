@@ -20,6 +20,7 @@
 use crate::ident::Ident;
 use crate::kernel::KExpr;
 use crate::smallids::SmallIds;
+use crate::store::{intern, sharing_disabled, Consed};
 use crate::value::Tensor;
 use pmlang::{BinOp, BuiltinReduction, DType, Domain, ScalarFunc, Span, UnOp};
 use std::fmt;
@@ -272,6 +273,15 @@ impl Pattern {
 }
 
 /// The behavioural payload of a node.
+///
+/// Tensor/scalar payloads are *interned* ([`Consed`], see [`crate::store`]):
+/// the variant holds a shared handle into the process-global arena rather
+/// than an owned value, so cloning a `NodeKind` during template splicing is
+/// a refcount bump and payload equality gets a pointer fast path. Handles
+/// deref to the payload, keeping read sites unchanged; construction goes
+/// through [`NodeKind::map`]/[`NodeKind::reduce`]/[`NodeKind::scalar`]/
+/// [`NodeKind::const_tensor`], which intern. `Component` stays an owned
+/// `Box` — instantiations are unique and mutated in place by lowering.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NodeKind {
     /// An inlined component instantiation: the node's sub-srDFG is the
@@ -279,13 +289,13 @@ pub enum NodeKind {
     /// node's inputs/outputs.
     Component(Box<SrDfg>),
     /// Elementwise tensor operation.
-    Map(MapSpec),
+    Map(Consed<MapSpec>),
     /// Group reduction.
-    Reduce(ReduceSpec),
+    Reduce(Consed<ReduceSpec>),
     /// Scalar primitive (expanded graphs only).
-    Scalar(ScalarKind),
+    Scalar(Consed<ScalarKind>),
     /// A compile-time constant tensor baked into the graph (params).
-    ConstTensor(Tensor),
+    ConstTensor(Consed<Tensor>),
     /// DMA load from another domain's accelerator (inserted by Algorithm 2).
     Load,
     /// DMA store toward another domain's accelerator.
@@ -298,6 +308,29 @@ pub enum NodeKind {
     /// Marshalling: gathers per-element scalar edges (row-major) into one
     /// tensor edge.
     Pack,
+}
+
+impl NodeKind {
+    /// A [`NodeKind::Map`], interning the spec (or reusing a handle).
+    pub fn map(spec: impl Into<Consed<MapSpec>>) -> NodeKind {
+        NodeKind::Map(spec.into())
+    }
+
+    /// A [`NodeKind::Reduce`], interning the spec (or reusing a handle).
+    pub fn reduce(spec: impl Into<Consed<ReduceSpec>>) -> NodeKind {
+        NodeKind::Reduce(spec.into())
+    }
+
+    /// A [`NodeKind::Scalar`], interning the kind (or reusing a handle).
+    pub fn scalar(kind: impl Into<Consed<ScalarKind>>) -> NodeKind {
+        NodeKind::Scalar(kind.into())
+    }
+
+    /// A [`NodeKind::ConstTensor`], interning the tensor (or reusing a
+    /// handle).
+    pub fn const_tensor(t: impl Into<Consed<Tensor>>) -> NodeKind {
+        NodeKind::ConstTensor(t.into())
+    }
 }
 
 /// A node of the srDFG: `(name, kind, domain, operands, results)`.
@@ -335,8 +368,34 @@ pub struct Edge {
     pub producer: Option<(NodeId, usize)>,
     /// Consuming `(node, input slot)` pairs.
     pub consumers: SmallIds<(NodeId, usize), 2>,
-    /// The paper's edge metadata.
-    pub meta: EdgeMeta,
+    /// The paper's edge metadata, interned (see [`crate::store`]): field
+    /// reads auto-deref (`edge.meta.dtype`); mutation goes through
+    /// [`SrDfg::edit_edge_meta`], which re-interns copy-on-write.
+    pub meta: Consed<EdgeMeta>,
+}
+
+impl Edge {
+    /// The paper's `(type, type-modifier, shape)` metadata (plus name).
+    pub fn meta(&self) -> &EdgeMeta {
+        self.meta.get()
+    }
+
+    /// PMLang source location of the value's declaration.
+    pub fn span(&self) -> Span {
+        self.meta.span
+    }
+}
+
+impl Node {
+    /// The node's behavioural payload.
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// Recognized compute pattern, if any.
+    pub fn pattern(&self) -> Option<Pattern> {
+        self.pattern
+    }
 }
 
 /// A simultaneous-recursive dataflow graph.
@@ -369,11 +428,26 @@ impl SrDfg {
         }
     }
 
-    /// Adds an edge with no producer or consumers yet.
-    pub fn add_edge(&mut self, meta: EdgeMeta) -> EdgeId {
+    /// Adds an edge with no producer or consumers yet. Accepts an owned
+    /// [`EdgeMeta`] (interned here) or an already-interned handle.
+    pub fn add_edge(&mut self, meta: impl Into<Consed<EdgeMeta>>) -> EdgeId {
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Edge { producer: None, consumers: SmallIds::new(), meta });
+        self.edges.push(Edge { producer: None, consumers: SmallIds::new(), meta: meta.into() });
         id
+    }
+
+    /// Copy-on-write edit of an edge's metadata: the current value is
+    /// cloned, `f` rewrites the copy, and — if it changed — the copy is
+    /// re-interned and the edge rewired to the new handle. The shared
+    /// record is never written through, so other edges (in this graph or
+    /// any other) referencing the same metadata are unaffected.
+    pub fn edit_edge_meta(&mut self, id: EdgeId, f: impl FnOnce(&mut EdgeMeta)) {
+        let edge = &mut self.edges[id.0 as usize];
+        let mut meta = edge.meta.get().clone();
+        f(&mut meta);
+        if meta != *edge.meta.get() {
+            edge.meta = intern(meta);
+        }
     }
 
     /// Adds a node, wiring its input/output edges' use lists.
@@ -475,6 +549,15 @@ impl SrDfg {
         (0..self.edges.len() as u32).map(EdgeId)
     }
 
+    /// Pre-allocates room for `nodes` node slots and `edges` edges.
+    /// Splicing many templates in one round grows the tables to tens of
+    /// megabytes; reserving the round's total once avoids re-copying the
+    /// whole graph on every doubling.
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.nodes.reserve(nodes);
+        self.edges.reserve(edges);
+    }
+
     /// Number of live nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.iter().filter(|n| n.is_some()).count()
@@ -571,19 +654,74 @@ impl SrDfg {
             }
             indeg[id.0 as usize] = d;
         }
-        // Min-heap on node id keeps the order deterministic: among ready
-        // nodes the smallest id always retires first.
-        let mut ready: BinaryHeap<Reverse<u32>> = self
-            .iter_nodes()
-            .filter(|(id, _)| indeg[id.0 as usize] == 0)
-            .map(|(id, _)| Reverse(id.0))
-            .collect();
+        // Min-id Kahn: among ready nodes the smallest id always retires
+        // first, keeping the order deterministic. The ready set is a
+        // bitset scanned from a cursor rather than a heap: splicing
+        // appends expansions, so successors almost always have *larger*
+        // ids than the node that readies them — the cursor (an exact
+        // lower bound on the smallest ready id) then only moves forward,
+        // and the whole sort is a near-linear word scan with no per-node
+        // heap traffic. A smaller id becoming ready rewinds the cursor;
+        // if an adversarial edge structure forces enough rewinding to
+        // blow the scan budget, the remaining ready bits are drained into
+        // a min-heap mid-run — both pop exactly the minimum ready id, so
+        // the produced order is identical either way.
+        let words = self.nodes.len().div_ceil(64);
+        let mut ready_bits = vec![0u64; words];
+        let mut nready = 0usize;
+        let mut cursor = usize::MAX; // exact lower bound of the min ready id
+        for (id, _) in self.iter_nodes() {
+            let raw = id.0 as usize;
+            if indeg[raw] == 0 {
+                ready_bits[raw / 64] |= 1u64 << (raw % 64);
+                nready += 1;
+                cursor = cursor.min(raw);
+            }
+        }
+        let scan_budget = 16 * words + live;
+        let mut scanned = 0usize;
+        let mut heap: Option<BinaryHeap<Reverse<u32>>> = None;
         let mut order = Vec::with_capacity(live);
         let mut done = vec![false; self.nodes.len()];
-        while let Some(Reverse(raw)) = ready.pop() {
-            let id = NodeId(raw);
+        loop {
+            let raw = if let Some(h) = heap.as_mut() {
+                match h.pop() {
+                    Some(Reverse(r)) => r as usize,
+                    None => break,
+                }
+            } else {
+                if nready == 0 {
+                    break;
+                }
+                let mut w = cursor / 64;
+                // Bits below the cursor are clear, but its own word may
+                // hold them conceptually — mask them off on the first word.
+                let mut word = ready_bits[w] & (u64::MAX << (cursor % 64));
+                while word == 0 {
+                    w += 1;
+                    scanned += 1;
+                    word = ready_bits[w];
+                }
+                let pos = w * 64 + word.trailing_zeros() as usize;
+                ready_bits[w] &= !(1u64 << (pos % 64));
+                nready -= 1;
+                cursor = pos + 1;
+                if scanned > scan_budget {
+                    let mut h = BinaryHeap::with_capacity(nready);
+                    for (wi, &bits) in ready_bits.iter().enumerate() {
+                        let mut bits = bits;
+                        while bits != 0 {
+                            h.push(Reverse((wi * 64) as u32 + bits.trailing_zeros()));
+                            bits &= bits - 1;
+                        }
+                    }
+                    heap = Some(h);
+                }
+                pos
+            };
+            let id = NodeId(raw as u32);
             order.push(id);
-            done[raw as usize] = true;
+            done[raw] = true;
             for e in &self.node(id).outputs {
                 for &(succ, _) in &self.edges[e.0 as usize].consumers {
                     if succ == id || done[succ.0 as usize] {
@@ -592,7 +730,14 @@ impl SrDfg {
                     let d = &mut indeg[succ.0 as usize];
                     *d = d.saturating_sub(1);
                     if *d == 0 {
-                        ready.push(Reverse(succ.0));
+                        if let Some(h) = heap.as_mut() {
+                            h.push(Reverse(succ.0));
+                        } else {
+                            let s = succ.0 as usize;
+                            ready_bits[s / 64] |= 1u64 << (s % 64);
+                            nready += 1;
+                            cursor = cursor.min(s);
+                        }
                     }
                 }
             }
@@ -672,13 +817,39 @@ impl SrDfg {
                 edge_map[be.0 as usize] = Some(node.outputs[i]);
             }
         }
+        // Interior-edge metadata: in the common case the handle is cloned
+        // (a refcount bump — the paper's 78k duplicated metas collapse to
+        // reference rewires). Only template splicing of a synthetic-span
+        // meta needs a distinct value (the span stamp), and `node.span` is
+        // fixed for this whole call, so a stamped source meta always maps
+        // to the same stamped result — a tiny per-splice memo keyed on the
+        // source handle's address avoids re-interning per edge. In
+        // unshared mode the memo is bypassed so every edge still gets its
+        // own record, exactly like the flat representation it emulates.
+        let mut stamped: Vec<(usize, Consed<EdgeMeta>)> = Vec::new();
+        let mut splice_meta = |meta: &Consed<EdgeMeta>| -> Consed<EdgeMeta> {
+            if !(stamp_edge_spans && meta.span.is_synthetic()) {
+                return meta.clone();
+            }
+            let key = meta.ptr_id();
+            if !sharing_disabled() {
+                if let Some((_, m)) = stamped.iter().find(|(k, _)| *k == key) {
+                    return m.clone();
+                }
+            }
+            let mut content = meta.get().clone();
+            content.span = node.span;
+            let interned = intern(content);
+            stamped.push((key, interned.clone()));
+            interned
+        };
         // Fast path (always taken for freshly expanded sub-graphs, which
         // have no removed-node slots): sub node ids are dense, so every
         // spliced node's id is `node_base + its sub id` — producer and
         // consumer lists can then be copied wholesale with a fixed offset
         // instead of being re-grown push-by-push through `add_node`. This
         // is the instantiation step of the lowering template cache, so it
-        // is deliberately nothing but id-remapped memcpy-style copies.
+        // is deliberately nothing but id-remapped reference rewires.
         if sub.nodes.iter().all(Option::is_some) {
             let node_base = self.nodes.len() as u32;
             let shift = |&(n, slot): &(NodeId, usize)| (NodeId(n.0 + node_base), slot);
@@ -697,14 +868,11 @@ impl SrDfg {
             self.edges.reserve(sub.edges.len());
             for (i, sedge) in sub.edges.iter().enumerate() {
                 if edge_map[i].is_none() {
-                    let mut meta = sedge.meta.clone();
-                    if stamp_edge_spans && meta.span.is_synthetic() {
-                        meta.span = node.span;
-                    }
+                    let meta = splice_meta(&sedge.meta);
                     let id = EdgeId(self.edges.len() as u32);
                     self.edges.push(Edge {
                         producer: sedge.producer.as_ref().map(&shift),
-                        consumers: sedge.consumers.iter().map(shift).collect(),
+                        consumers: SmallIds::map_from(&sedge.consumers, |c| shift(&c)),
                         meta,
                     });
                     edge_map[i] = Some(id);
@@ -713,9 +881,9 @@ impl SrDfg {
             self.nodes.reserve(sub.nodes.len());
             for snode in sub.nodes.iter().flatten() {
                 let inputs: SmallIds<EdgeId, 3> =
-                    snode.inputs.iter().map(|e| edge_map[e.0 as usize].unwrap()).collect();
+                    SmallIds::map_from(&snode.inputs, |e| edge_map[e.0 as usize].unwrap());
                 let outputs: SmallIds<EdgeId, 2> =
-                    snode.outputs.iter().map(|e| edge_map[e.0 as usize].unwrap()).collect();
+                    SmallIds::map_from(&snode.outputs, |e| edge_map[e.0 as usize].unwrap());
                 self.nodes.push(Some(Node {
                     name: snode.name.clone(),
                     kind: snode.kind.clone(),
@@ -736,10 +904,7 @@ impl SrDfg {
         self.edges.reserve(sub.edges.len());
         for (i, sedge) in sub.edges.iter().enumerate() {
             if edge_map[i].is_none() {
-                let mut meta = sedge.meta.clone();
-                if stamp_edge_spans && meta.span.is_synthetic() {
-                    meta.span = node.span;
-                }
+                let meta = splice_meta(&sedge.meta);
                 edge_map[i] = Some(self.add_edge(meta));
             }
         }
@@ -909,8 +1074,8 @@ mod tests {
         let c = g.add_edge(meta("c", vec![4]));
         g.boundary_inputs.push(a);
         g.boundary_outputs.push(c);
-        let n1 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![a], vec![b]);
-        let n2 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![b], vec![c]);
+        let n1 = g.add_node("add", NodeKind::map(simple_map(4)), None, vec![a], vec![b]);
+        let n2 = g.add_node("add", NodeKind::map(simple_map(4)), None, vec![b], vec![c]);
         assert_eq!(g.topo_order(), vec![n1, n2]);
         assert_eq!(g.edge(b).producer, Some((n1, 0)));
         assert_eq!(g.edge(b).consumers, vec![(n2, 0)]);
@@ -921,7 +1086,7 @@ mod tests {
         let mut g = SrDfg::new("t");
         let a = g.add_edge(meta("a", vec![4]));
         let b = g.add_edge(meta("b", vec![4]));
-        let n1 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![a], vec![b]);
+        let n1 = g.add_node("add", NodeKind::map(simple_map(4)), None, vec![a], vec![b]);
         g.remove_node(n1);
         assert!(!g.is_live(n1));
         assert!(g.edge(a).consumers.is_empty());
@@ -950,7 +1115,7 @@ mod tests {
         let pout = parent.add_edge(meta("out", vec![2]));
         parent.boundary_inputs.push(pin);
         parent.boundary_outputs.push(pout);
-        let f = parent.add_node("f", NodeKind::Map(simple_map(2)), None, vec![pin], vec![pout]);
+        let f = parent.add_node("f", NodeKind::map(simple_map(2)), None, vec![pin], vec![pout]);
 
         let mut sub = SrDfg::new("f");
         let sin = sub.add_edge(meta("in", vec![2]));
@@ -958,8 +1123,8 @@ mod tests {
         let sout = sub.add_edge(meta("out", vec![2]));
         sub.boundary_inputs.push(sin);
         sub.boundary_outputs.push(sout);
-        sub.add_node("g", NodeKind::Map(simple_map(2)), None, vec![sin], vec![st]);
-        sub.add_node("h", NodeKind::Map(simple_map(2)), None, vec![st], vec![sout]);
+        sub.add_node("g", NodeKind::map(simple_map(2)), None, vec![sin], vec![st]);
+        sub.add_node("h", NodeKind::map(simple_map(2)), None, vec![st], vec![sout]);
 
         parent.splice(f, &sub);
         assert_eq!(parent.node_count(), 2);
@@ -982,7 +1147,7 @@ mod tests {
         let pout = parent.add_edge(meta("out", vec![2]));
         let f = parent.add_node(
             "f",
-            NodeKind::Map(simple_map(2)),
+            NodeKind::map(simple_map(2)),
             Some(Domain::Dsp),
             vec![pin],
             vec![pout],
@@ -992,7 +1157,7 @@ mod tests {
         let sout = sub.add_edge(meta("out", vec![2]));
         sub.boundary_inputs.push(sin);
         sub.boundary_outputs.push(sout);
-        sub.add_node("g", NodeKind::Map(simple_map(2)), None, vec![sin], vec![sout]);
+        sub.add_node("g", NodeKind::map(simple_map(2)), None, vec![sin], vec![sout]);
         parent.splice(f, &sub);
         let (_, g) = parent.iter_nodes().next().unwrap();
         assert_eq!(g.domain, Some(Domain::Dsp));
@@ -1004,7 +1169,7 @@ mod tests {
         let mut g = SrDfg::new("t");
         let a = g.add_edge(meta("a", vec![10]));
         let b = g.add_edge(meta("b", vec![10]));
-        g.add_node("add", NodeKind::Map(spec), None, vec![a], vec![b]);
+        g.add_node("add", NodeKind::map(spec), None, vec![a], vec![b]);
         assert_eq!(g.scalar_op_count(), 10); // 10 points × 1 add
     }
 
@@ -1044,8 +1209,8 @@ mod tests {
         let a = g.add_edge(meta("a", vec![4]));
         let b = g.add_edge(meta("b", vec![4]));
         g.boundary_inputs.push(x);
-        let n1 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![x], vec![a]);
-        let n2 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![x], vec![b]);
+        let n1 = g.add_node("add", NodeKind::map(simple_map(4)), None, vec![x], vec![a]);
+        let n2 = g.add_node("add", NodeKind::map(simple_map(4)), None, vec![x], vec![b]);
         (g, x, n1, n2, a, b)
     }
 
@@ -1053,7 +1218,7 @@ mod tests {
     fn merge_nodes_rewires_consumers() {
         let (mut g, _, n1, n2, a, b) = duplicate_pair();
         let y = g.add_edge(meta("y", vec![4]));
-        let n3 = g.add_node("add", NodeKind::Map(simple_map(4)), None, vec![b], vec![y]);
+        let n3 = g.add_node("add", NodeKind::map(simple_map(4)), None, vec![b], vec![y]);
         assert_eq!(g.merge_nodes(n1, n2), Some(n1));
         assert!(!g.is_live(n2));
         assert_eq!(g.node(n3).inputs, vec![a], "consumer rewired to kept output");
@@ -1091,8 +1256,8 @@ mod tests {
         let mut g = SrDfg::new("t");
         let a = g.add_edge(meta("a", vec![1]));
         let b = g.add_edge(meta("b", vec![1]));
-        g.add_node("f", NodeKind::Map(simple_map(1)), None, vec![a], vec![b]);
-        g.add_node("g", NodeKind::Map(simple_map(1)), None, vec![b], vec![a]);
+        g.add_node("f", NodeKind::map(simple_map(1)), None, vec![a], vec![b]);
+        g.add_node("g", NodeKind::map(simple_map(1)), None, vec![b], vec![a]);
         g.topo_order();
     }
 }

@@ -12,7 +12,9 @@
 //! opportunity (the confirming `==` still decides), never create a wrong
 //! one.
 
-use crate::graph::{IndexRange, Node, NodeKind, ReduceOp, ScalarKind, WriteSpec};
+use crate::graph::{
+    EdgeMeta, IndexRange, MapSpec, Node, NodeKind, ReduceOp, ReduceSpec, ScalarKind, WriteSpec,
+};
 use crate::kernel::KExpr;
 use crate::value::Tensor;
 use std::hash::{Hash, Hasher};
@@ -90,6 +92,10 @@ pub fn node_structural_hash(node: &Node) -> u64 {
 /// lowering template cache, whose key must be position-independent: two
 /// structurally equal expansions in different graph regions have
 /// different input edge ids but must fingerprint identically.
+///
+/// Interned payloads ([`crate::store::Consed`]) carry their content hash,
+/// so each arm is a single cached-u64 write — node hashing and template
+/// fingerprinting are O(1) in kernel size instead of walking the tree.
 pub(crate) fn hash_kind<H: Hasher>(kind: &NodeKind, h: &mut H) {
     std::mem::discriminant(kind).hash(h);
     match kind {
@@ -101,45 +107,80 @@ pub(crate) fn hash_kind<H: Hasher>(kind: &NodeKind, h: &mut H) {
             sub.node_count().hash(h);
             sub.edge_count().hash(h);
         }
-        NodeKind::Map(m) => {
-            hash_space(&m.out_space, h);
-            hash_kexpr(&m.kernel, h);
-            hash_write(&m.write, h);
-        }
-        NodeKind::Reduce(r) => {
-            match &r.op {
-                ReduceOp::Builtin(b) => {
-                    0u8.hash(h);
-                    b.hash(h);
-                }
-                ReduceOp::Custom { name, combiner } => {
-                    1u8.hash(h);
-                    name.hash(h);
-                    hash_kexpr(combiner, h);
-                }
-            }
-            hash_space(&r.out_space, h);
-            hash_space(&r.red_space, h);
-            r.cond.is_some().hash(h);
-            if let Some(c) = &r.cond {
-                hash_kexpr(c, h);
-            }
-            hash_kexpr(&r.body, h);
-            hash_write(&r.write, h);
-        }
-        NodeKind::Scalar(s) => {
-            std::mem::discriminant(s).hash(h);
-            match s {
-                ScalarKind::Bin(op) => op.hash(h),
-                ScalarKind::Un(op) => op.hash(h),
-                ScalarKind::Func(f) => f.hash(h),
-                ScalarKind::Select => {}
-                ScalarKind::Const(c) => c.to_bits().hash(h),
-            }
-        }
-        NodeKind::ConstTensor(t) => hash_tensor(t, h),
+        NodeKind::Map(m) => h.write_u64(m.structural_hash()),
+        NodeKind::Reduce(r) => h.write_u64(r.structural_hash()),
+        NodeKind::Scalar(s) => h.write_u64(s.structural_hash()),
+        NodeKind::ConstTensor(t) => h.write_u64(t.structural_hash()),
         NodeKind::Load | NodeKind::Store | NodeKind::Unpack | NodeKind::Pack => {}
     }
+}
+
+/// Content hash of a [`MapSpec`] (the interner key for `NodeKind::Map`).
+pub(crate) fn map_spec_hash(m: &MapSpec) -> u64 {
+    let mut h = FxHasher(0);
+    hash_space(&m.out_space, &mut h);
+    hash_kexpr(&m.kernel, &mut h);
+    hash_write(&m.write, &mut h);
+    h.finish()
+}
+
+/// Content hash of a [`ReduceSpec`] (the interner key for `NodeKind::Reduce`).
+pub(crate) fn reduce_spec_hash(r: &ReduceSpec) -> u64 {
+    let mut h = FxHasher(0);
+    match &r.op {
+        ReduceOp::Builtin(b) => {
+            0u8.hash(&mut h);
+            b.hash(&mut h);
+        }
+        ReduceOp::Custom { name, combiner } => {
+            1u8.hash(&mut h);
+            name.hash(&mut h);
+            hash_kexpr(combiner, &mut h);
+        }
+    }
+    hash_space(&r.out_space, &mut h);
+    hash_space(&r.red_space, &mut h);
+    r.cond.is_some().hash(&mut h);
+    if let Some(c) = &r.cond {
+        hash_kexpr(c, &mut h);
+    }
+    hash_kexpr(&r.body, &mut h);
+    hash_write(&r.write, &mut h);
+    h.finish()
+}
+
+/// Content hash of a [`ScalarKind`] (the interner key for `NodeKind::Scalar`).
+pub(crate) fn scalar_kind_hash(s: &ScalarKind) -> u64 {
+    let mut h = FxHasher(0);
+    std::mem::discriminant(s).hash(&mut h);
+    match s {
+        ScalarKind::Bin(op) => op.hash(&mut h),
+        ScalarKind::Un(op) => op.hash(&mut h),
+        ScalarKind::Func(f) => f.hash(&mut h),
+        ScalarKind::Select => {}
+        ScalarKind::Const(c) => c.to_bits().hash(&mut h),
+    }
+    h.finish()
+}
+
+/// Content hash of a [`Tensor`] (the interner key for `NodeKind::ConstTensor`).
+pub(crate) fn tensor_hash(t: &Tensor) -> u64 {
+    let mut h = FxHasher(0);
+    hash_tensor(t, &mut h);
+    h.finish()
+}
+
+/// Content hash of an [`EdgeMeta`] — the *full* metadata including the
+/// provenance span, so interning can never conflate two metas that any
+/// diagnostic or digest could tell apart.
+pub(crate) fn edge_meta_hash(m: &EdgeMeta) -> u64 {
+    let mut h = FxHasher(0);
+    m.name.hash(&mut h);
+    m.dtype.hash(&mut h);
+    m.modifier.hash(&mut h);
+    m.shape.hash(&mut h);
+    m.span.hash(&mut h);
+    h.finish()
 }
 
 fn hash_space<H: Hasher>(space: &[IndexRange], h: &mut H) {
@@ -219,7 +260,7 @@ mod tests {
     use pmlang::{BinOp, DType};
 
     fn map_times(c: f64, n: usize) -> NodeKind {
-        NodeKind::Map(MapSpec {
+        NodeKind::map(MapSpec {
             out_space: vec![IndexRange { name: "i".into(), lo: 0, hi: n as i64 - 1 }],
             kernel: KExpr::Binary(
                 BinOp::Mul,
@@ -264,8 +305,8 @@ mod tests {
         let mut g = SrDfg::new("t");
         let a = g.add_edge(EdgeMeta::new("a", DType::Float, Modifier::Temp, vec![2]));
         let b = g.add_edge(EdgeMeta::new("b", DType::Float, Modifier::Temp, vec![2]));
-        let n1 = g.add_node("const", NodeKind::ConstTensor(t1), None, vec![], vec![a]);
-        let n2 = g.add_node("const", NodeKind::ConstTensor(t2), None, vec![], vec![b]);
+        let n1 = g.add_node("const", NodeKind::const_tensor(t1), None, vec![], vec![a]);
+        let n2 = g.add_node("const", NodeKind::const_tensor(t2), None, vec![], vec![b]);
         assert_ne!(node_structural_hash(g.node(n1)), node_structural_hash(g.node(n2)));
     }
 }

@@ -23,6 +23,14 @@ impl Ident {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Address identity of the shared string — equal exactly for clones of
+    /// one allocation. Usable as a cheap memo key (resolver caches key off
+    /// it instead of re-hashing the text); *not* a content identity, since
+    /// two independently built `Ident`s with equal text have distinct ids.
+    pub fn ptr_id(&self) -> usize {
+        Arc::as_ptr(&self.0) as *const u8 as usize
+    }
 }
 
 impl Deref for Ident {

@@ -176,7 +176,7 @@ fn exec_node(
             values[node.outputs[0].0 as usize] = Some(result);
         }
         NodeKind::ConstTensor(t) => {
-            values[node.outputs[0].0 as usize] = Some(t.clone());
+            values[node.outputs[0].0 as usize] = Some((**t).clone());
         }
         NodeKind::Load | NodeKind::Store => {
             // Pure data movement: forward the value.

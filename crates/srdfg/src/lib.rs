@@ -62,6 +62,7 @@ pub mod interp;
 pub mod kernel;
 pub mod pattern;
 pub mod smallids;
+pub mod store;
 pub mod template;
 pub mod validate;
 pub mod value;
@@ -81,6 +82,10 @@ pub use ident::Ident;
 pub use interp::Machine;
 pub use kernel::KExpr;
 pub use smallids::SmallIds;
+pub use store::{
+    generation as store_generation, intern, sharing_disabled, sharing_stats, store_stats, Consed,
+    SharingStats, StoreStats,
+};
 pub use template::{TemplateCache, TemplateCacheStats, TemplateKey};
 pub use validate::{validate, validate_all, ValidateError};
 pub use value::{Scalar, Tensor, ValueError};

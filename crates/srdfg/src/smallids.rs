@@ -77,6 +77,27 @@ impl<T: Copy + Default, const N: usize> SmallIds<T, N> {
         self.spill.clear();
     }
 
+    /// Builds a list by mapping `f` over a slice — the [`SrDfg::splice`]
+    /// hot path. The inline/spill decision is taken once from the source
+    /// length instead of being re-checked on every push.
+    ///
+    /// [`SrDfg::splice`]: ../graph/struct.SrDfg.html#method.splice
+    pub fn map_from<U: Copy>(src: &[U], mut f: impl FnMut(U) -> T) -> Self {
+        if src.len() <= N {
+            let mut inline = [T::default(); N];
+            for (d, &v) in inline.iter_mut().zip(src) {
+                *d = f(v);
+            }
+            SmallIds { len: src.len() as u8, inline, spill: Vec::new() }
+        } else {
+            SmallIds {
+                len: 0,
+                inline: [T::default(); N],
+                spill: src.iter().map(|&v| f(v)).collect(),
+            }
+        }
+    }
+
     fn as_slice(&self) -> &[T] {
         if self.spill.is_empty() {
             &self.inline[..self.len as usize]

@@ -49,6 +49,7 @@
 use crate::expand::ExpandOptions;
 use crate::graph::{EdgeMeta, Modifier, Node, NodeKind, SrDfg};
 use crate::hash::{hash_kind, FxBuildHasher, FxHasher};
+use crate::store::Consed;
 use pmlang::DType;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -83,14 +84,14 @@ impl TemplateKey {
     /// metadata under `opts`.
     pub fn new(
         node: &Node,
-        in_metas: &[EdgeMeta],
-        out_metas: &[EdgeMeta],
+        in_metas: &[Consed<EdgeMeta>],
+        out_metas: &[Consed<EdgeMeta>],
         opts: &ExpandOptions,
     ) -> TemplateKey {
         TemplateKey {
             kind: node.kind.clone(),
-            ins: in_metas.iter().map(meta_key).collect(),
-            outs: out_metas.iter().map(meta_key).collect(),
+            ins: in_metas.iter().map(|m| meta_key(m)).collect(),
+            outs: out_metas.iter().map(|m| meta_key(m)).collect(),
             max_nodes: opts.max_nodes,
         }
     }
@@ -125,6 +126,7 @@ struct Inner {
     misses: u64,
     inserts: u64,
     evictions: u64,
+    bypassed: u64,
 }
 
 /// Counter snapshot of a [`TemplateCache`] (see [`TemplateCache::stats`]).
@@ -144,6 +146,13 @@ pub struct TemplateCacheStats {
     pub units: usize,
     /// Configured capacity in the same units.
     pub capacity_units: usize,
+    /// Nodes the planner never consulted the cache for (not
+    /// scalar-expansion eligible — e.g. component-flattening refinements
+    /// such as the MPC benchmark's, which splice a whole sub-graph rather
+    /// than instantiate a scalar template). A warm run showing
+    /// `0 hits / 0 misses` with a non-zero `bypassed` count is healthy:
+    /// nothing was cacheable, so nothing was looked up.
+    pub bypassed: u64,
 }
 
 impl TemplateCacheStats {
@@ -165,6 +174,7 @@ impl TemplateCacheStats {
             misses: self.misses - earlier.misses,
             inserts: self.inserts - earlier.inserts,
             evictions: self.evictions - earlier.evictions,
+            bypassed: self.bypassed - earlier.bypassed,
             entries: self.entries,
             units: self.units,
             capacity_units: self.capacity_units,
@@ -246,6 +256,13 @@ impl TemplateCache {
         }
     }
 
+    /// Records that the lowering planner skipped the cache for a node
+    /// because its refinement is not template-shaped (see
+    /// [`TemplateCacheStats::bypassed`]).
+    pub fn record_bypass(&self) {
+        self.inner.lock().unwrap().bypassed += 1;
+    }
+
     /// Current counter snapshot.
     pub fn stats(&self) -> TemplateCacheStats {
         let inner = self.inner.lock().unwrap();
@@ -254,6 +271,7 @@ impl TemplateCache {
             misses: inner.misses,
             inserts: inner.inserts,
             evictions: inner.evictions,
+            bypassed: inner.bypassed,
             entries: inner.map.len(),
             units: inner.units,
             capacity_units: inner.capacity_units,
@@ -271,8 +289,8 @@ mod tests {
 
     /// An expansion-eligible `x * c` map over `n` elements, detached from
     /// any graph (metadata supplied explicitly).
-    fn mul_map(c: f64, n: usize) -> (Node, Vec<EdgeMeta>, Vec<EdgeMeta>) {
-        let kind = NodeKind::Map(MapSpec {
+    fn mul_map(c: f64, n: usize) -> (Node, Vec<Consed<EdgeMeta>>, Vec<Consed<EdgeMeta>>) {
+        let kind = NodeKind::map(MapSpec {
             out_space: vec![IndexRange { name: "i".into(), lo: 0, hi: n as i64 - 1 }],
             kernel: KExpr::Binary(
                 BinOp::Mul,
@@ -304,7 +322,9 @@ mod tests {
         let (n1, i1, o1) = mul_map(2.0, 4);
         let (mut n2, mut i2, o2) = mul_map(2.0, 4);
         n2.name = "renamed".into();
-        i2[0].name = "other_input".into();
+        let mut renamed_meta = i2[0].get().clone();
+        renamed_meta.name = "other_input".into();
+        i2[0] = crate::store::intern(renamed_meta);
         let k1 = TemplateKey::new(&n1, &i1, &o1, &opts);
         let k2 = TemplateKey::new(&n2, &i2, &o2, &opts);
         assert_eq!(k1, k2, "names are provenance, not content");

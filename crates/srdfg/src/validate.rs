@@ -216,14 +216,14 @@ mod tests {
         let e2 = g.add_edge(EdgeMeta::new("e2", pmlang::DType::Float, Modifier::Temp, vec![]));
         g.add_node(
             "a",
-            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            NodeKind::scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
             None,
             vec![e2],
             vec![e1],
         );
         g.add_node(
             "b",
-            NodeKind::Scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
+            NodeKind::scalar(ScalarKind::Un(pmlang::UnOp::Neg)),
             None,
             vec![e1],
             vec![e2],

@@ -16,45 +16,70 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo fmt --check"
 cargo fmt --check
 
-echo "== pm-bench smoke (--quick) + perf-regression gate"
-# --threads must be explicit: --quick fails loudly if the count silently
-# resolves to 1, and CI runners are single-core-ish anyway.
-#
-# The template cache is a perf feature; guard its headline win. Warm
-# lower+post_lower+compile on fft-256 must stay within 1.25x of the
-# committed BENCH_compiler.json. A --quick run is a single warm rep, so
-# one scheduler hiccup can push a healthy build past the limit — retry
-# once before calling it a regression.
+echo "== pm-bench smoke (--quick) + perf-regression gates"
+# The template cache and the hash-consed store are perf features; guard
+# their headline wins. Warm lower+post_lower+compile on a workload must
+# stay within 1.25x of the committed BENCH_compiler.json. A smoke run
+# keeps few warm reps, so one scheduler hiccup can push a healthy build
+# past the limit — retry each gate once before calling it a regression.
 perf_gate() {
-    python3 - <<'EOF'
-import json, sys
+    PM_GATE_WORKLOAD="$1" PM_GATE_JSON="$2" python3 - <<'EOF'
+import json, os, sys
 
-def warm_fft(path):
+name = os.environ["PM_GATE_WORKLOAD"]
+
+def warm(path):
     doc = json.load(open(path))
     for w in doc["workloads"]:
-        if w["name"] == "fft-256":
+        if w["name"] == name:
             s = w["stages_s"]
             return s["lower"] + s["post_lower"] + s["compile"]
-    sys.exit(f"{path}: no fft-256 entry")
+    sys.exit(f"{path}: no {name} entry")
 
-base = warm_fft("BENCH_compiler.json")
-now = warm_fft("target/BENCH_smoke.json")
+base = warm("BENCH_compiler.json")
+now = warm(os.environ["PM_GATE_JSON"])
 ratio = now / base
-print(f"fft-256 warm lower+compile: {now*1e3:.1f} ms vs committed {base*1e3:.1f} ms ({ratio:.2f}x, limit 1.25x)")
+print(f"{name} warm lower+compile: {now*1e3:.1f} ms vs committed {base*1e3:.1f} ms ({ratio:.2f}x, limit 1.25x)")
 sys.exit(1 if ratio > 1.25 else 0)
 EOF
 }
 for attempt in 1 2; do
     cargo run --release -p pm-bench --bin pm-bench -- --quick --threads 1 \
         --out target/BENCH_smoke.json
-    if perf_gate; then
+    if perf_gate fft-256 target/BENCH_smoke.json; then
         break
     elif [ "$attempt" = 2 ]; then
         echo "perf regression: fft-256 lower+compile exceeded 1.25x of the committed baseline twice" >&2
         exit 1
     fi
-    echo "perf gate over limit on attempt 1; re-running smoke once to rule out noise"
+    echo "fft-256 gate over limit on attempt 1; re-running smoke once to rule out noise"
 done
+
+echo "== pm-bench kmeans-784 warm perf gate (hash-consed store headline)"
+for attempt in 1 2; do
+    cargo run --release -p pm-bench --bin pm-bench -- --threads 1 --only kmeans-784 \
+        --out target/BENCH_kmeans.json
+    if perf_gate kmeans-784 target/BENCH_kmeans.json; then
+        break
+    elif [ "$attempt" = 2 ]; then
+        echo "perf regression: kmeans-784 lower+compile exceeded 1.25x of the committed baseline twice" >&2
+        exit 1
+    fi
+    echo "kmeans-784 gate over limit on attempt 1; re-running once to rule out noise"
+done
+
+echo "== structural-sharing differential suite (shared vs PM_SRDFG_UNSHARED=1)"
+# The hash-consed store must be unobservable except through speed and
+# memory: the committed goldens (captured from the flat pre-arena store)
+# must hold at benchmark scale in both modes, and the fuzz/chaos routes
+# (including the chaos transient-fault re-lowering path) must survive
+# with sharing disabled.
+cargo test --release -q -p pm-tests --test structural_sharing -- --include-ignored
+PM_SRDFG_UNSHARED=1 cargo test --release -q -p pm-tests --test structural_sharing -- --include-ignored
+PM_SRDFG_UNSHARED=1 cargo test --release -q -p pm-tests --test store_props
+PM_SRDFG_UNSHARED=1 cargo run --release -p polymath --bin pmc -- fuzz --smoke
+PM_SRDFG_UNSHARED=1 cargo run --release -p polymath --bin pmc -- fuzz --seed 0xC0FFEE \
+    --cases 300 --chaos-profile transient --chaos-seed 0xC0FFEE
 
 echo "== pmc analyze smoke"
 # A clean example must pass, and the checked-in hazard demo must fail

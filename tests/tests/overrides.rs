@@ -106,7 +106,7 @@ fn cross_target_edge_stays_packed() {
     let tabla = compiled.partition_by_target("TABLA").unwrap();
     let loads: Vec<_> = tabla.fragments.iter().filter(|f| f.kind == FragmentKind::Load).collect();
     assert_eq!(loads.len(), 1, "expected one packed load, got {}", loads.len());
-    assert_eq!(loads[0].inputs[0].shape, vec![16]);
+    assert_eq!(loads[0].inputs[0].shape(), vec![16]);
 }
 
 #[test]

@@ -1,0 +1,104 @@
+//! Property tests for the hash-consed srDFG store (DESIGN.md §13).
+//!
+//! Two invariants hold for every internable payload:
+//!
+//! 1. **Interning is canonical** — re-interning an equal value returns a
+//!    handle with the same structural hash *and* the same arena id (one
+//!    physical record per distinct content), unless sharing is disabled
+//!    via `PM_SRDFG_UNSHARED=1`, in which case only the hash agreement
+//!    survives.
+//! 2. **Copy-on-write never aliases** — the divergence idiom passes use
+//!    (`get().clone()`, mutate, re-intern) must leave every existing
+//!    handle reading the original content; the mutated value lands in a
+//!    distinct record.
+//!
+//! These complement `structural_sharing.rs`: that suite checks the store
+//! is unobservable end-to-end, this one checks the store's own contract
+//! on adversarial inputs.
+
+use proptest::prelude::*;
+use srdfg::{intern, sharing_disabled, Consed, EdgeMeta, Modifier, ScalarKind};
+
+fn arb_dtype() -> impl Strategy<Value = pmlang::DType> {
+    prop_oneof![Just(pmlang::DType::Bool), Just(pmlang::DType::Int), Just(pmlang::DType::Float),]
+}
+
+fn arb_modifier() -> impl Strategy<Value = Modifier> {
+    prop_oneof![
+        Just(Modifier::Input),
+        Just(Modifier::Output),
+        Just(Modifier::State),
+        Just(Modifier::Param),
+    ]
+}
+
+fn arb_meta() -> impl Strategy<Value = EdgeMeta> {
+    (
+        "[a-z][a-z0-9_.]{0,11}",
+        arb_dtype(),
+        arb_modifier(),
+        proptest::collection::vec(1usize..64, 0..4),
+    )
+        .prop_map(|(name, dtype, modifier, shape)| EdgeMeta {
+            name,
+            dtype,
+            modifier,
+            shape,
+            span: pmlang::Span::synthetic(),
+        })
+}
+
+fn arb_scalar_kind() -> impl Strategy<Value = ScalarKind> {
+    prop_oneof![Just(ScalarKind::Select), any::<f64>().prop_map(ScalarKind::Const),]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Invariant 1 for `EdgeMeta`: equal content interns to one record.
+    #[test]
+    fn equal_meta_interns_to_same_arena_id(meta in arb_meta()) {
+        let a: Consed<EdgeMeta> = intern(meta.clone());
+        let b: Consed<EdgeMeta> = intern(meta.clone());
+        prop_assert_eq!(a.structural_hash(), b.structural_hash());
+        prop_assert_eq!(a.get(), &meta);
+        prop_assert_eq!(b.get(), &meta);
+        if !sharing_disabled() {
+            prop_assert_eq!(a.arena_id(), b.arena_id());
+            prop_assert_eq!(a.ptr_id(), b.ptr_id(), "one physical record per content");
+        }
+    }
+
+    /// Invariant 1 for `ScalarKind` payloads.
+    #[test]
+    fn equal_scalar_kind_interns_to_same_arena_id(kind in arb_scalar_kind()) {
+        let a: Consed<ScalarKind> = intern(kind.clone());
+        let b: Consed<ScalarKind> = intern(kind.clone());
+        prop_assert_eq!(a.structural_hash(), b.structural_hash());
+        if !sharing_disabled() {
+            prop_assert_eq!(a.arena_id(), b.arena_id());
+        }
+    }
+
+    /// Invariant 2: the copy-on-write idiom diverges into a fresh record
+    /// and never writes through a shared handle.
+    #[test]
+    fn cow_mutation_never_aliases(meta in arb_meta(), extra_dim in 64usize..128) {
+        let original: Consed<EdgeMeta> = intern(meta.clone());
+        let alias = original.clone();
+
+        // The divergence idiom every pass uses (fold, prune, sabotage).
+        let mut owned = original.get().clone();
+        owned.shape.push(extra_dim); // extra_dim >= 64 > any generated dim
+        let diverged: Consed<EdgeMeta> = intern(owned.clone());
+
+        prop_assert_eq!(alias.get(), &meta, "shared handle still reads the original");
+        prop_assert_eq!(original.get(), &meta, "source handle untouched");
+        prop_assert_eq!(diverged.get(), &owned, "new handle reads the mutation");
+        // ptr inequality: the mutated content lives in a distinct record
+        prop_assert_ne!(diverged.ptr_id(), original.ptr_id());
+        if !sharing_disabled() {
+            prop_assert_ne!(diverged.arena_id(), original.arena_id());
+        }
+    }
+}
