@@ -51,6 +51,7 @@ pub mod gpu;
 pub mod graphicionado;
 pub mod hyperstreams;
 pub mod model;
+pub mod pool;
 pub mod robox;
 pub mod runtime;
 pub mod soc;
@@ -70,6 +71,7 @@ pub use gpu::Gpu;
 pub use graphicionado::Graphicionado;
 pub use hyperstreams::HyperStreams;
 pub use model::{HwConfig, PerfEstimate, WorkloadHints};
+pub use pool::{PoolReport, ShardStats, SocPool};
 pub use robox::Robox;
 pub use runtime::{TrajectoryInputs, TrajectoryOutcome};
 pub use soc::{ChaosOutcome, FallbackRecord, PartitionReport, Soc, SocReport};

@@ -33,10 +33,17 @@
 //! The parallel Algorithm-2 path is additionally checked fragment-for-
 //! fragment against the serial path on every workload; a mismatch is a
 //! hard error (the determinism guarantee of DESIGN.md §8).
+//!
+//! The account also carries a `serve` section: the five-program serve
+//! family pushed through the real `pmc serve` admission queue + worker
+//! pool (one cold pass, then warm passes that must all hit the
+//! content-addressed program cache), reported as programs/s and
+//! invocations/s together with both cache hit rates.
 
 use pm_workloads::programs;
-use polymath::{CompileTimings, Compiler};
+use polymath::{CompileTimings, Compiler, Json, ServeConfig, ServeEngine, ServeServer};
 use srdfg::{Bindings, TemplateCacheStats};
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 struct WorkloadReport {
@@ -156,7 +163,29 @@ fn main() {
         }
     }
 
-    let json = render_json(&reports, quick, threads, threads_explicit);
+    // Serve throughput: the same five-program bench family pushed through
+    // the real admission queue + worker pool, cold then warm.
+    let serve = match bench_serve(quick, threads) {
+        Ok(s) => {
+            println!(
+                "serve          {} programs x (1 cold + {} warm)  {:>7.1} req/s  {:>8.1} inv/s  \
+                 (program cache {:>5.1}% hit, template cache {:>5.1}% hit)",
+                s.programs,
+                s.reps,
+                s.programs_per_s,
+                s.invocations_per_s,
+                s.program_cache.hit_rate() * 100.0,
+                s.template_cache.hit_rate() * 100.0,
+            );
+            s
+        }
+        Err(e) => {
+            eprintln!("pm-bench: serve benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let json = render_json(&reports, &serve, quick, threads, threads_explicit);
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("pm-bench: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -235,6 +264,184 @@ fn bench_workload(
     })
 }
 
+/// Serve-throughput account: the bench family pushed through the real
+/// `ServeServer` admission queue + worker pool, one cold pass then `reps`
+/// warm passes.
+struct ServeReport {
+    programs: usize,
+    reps: usize,
+    requests: u64,
+    invocations: u64,
+    cold_s: f64,
+    warm_s: f64,
+    programs_per_s: f64,
+    invocations_per_s: f64,
+    program_cache: pm_lower::ProgramCacheStats,
+    template_cache: TemplateCacheStats,
+}
+
+fn serve_tensor(dims: &[usize], values: Vec<f64>) -> Json {
+    Json::Obj(vec![
+        ("dims".into(), Json::Arr(dims.iter().map(|&d| Json::Num(d as f64)).collect())),
+        ("values".into(), Json::Arr(values.into_iter().map(Json::Num).collect())),
+    ])
+}
+
+/// One serve-family entry: `(name, source, feeds, state seeds)`.
+type ServeWorkload = (String, String, Vec<(String, Json)>, Vec<(String, Json)>);
+
+/// The five-program serve family, with deterministic feed values so the
+/// warm-pass byte-identity check in verify.sh has fixed expectations.
+fn serve_workloads() -> Vec<ServeWorkload> {
+    let ramp = |n: usize, scale: f64| (0..n).map(|i| scale * (i + 1) as f64).collect::<Vec<_>>();
+    let scalar = |v: f64| serve_tensor(&[], vec![v]);
+    vec![
+        (
+            "logistic-64".into(),
+            programs::logistic(64),
+            vec![("x".into(), serve_tensor(&[64], ramp(64, 0.01))), ("label".into(), scalar(1.0))],
+            vec![("w".into(), serve_tensor(&[64], vec![0.0; 64]))],
+        ),
+        (
+            "logistic-256".into(),
+            programs::logistic(256),
+            vec![
+                ("x".into(), serve_tensor(&[256], ramp(256, 0.003))),
+                ("label".into(), scalar(0.0)),
+            ],
+            vec![("w".into(), serve_tensor(&[256], vec![0.0; 256]))],
+        ),
+        (
+            "kmeans-16x4".into(),
+            programs::kmeans(16, 4),
+            vec![("x".into(), serve_tensor(&[16], ramp(16, 0.1)))],
+            vec![("c".into(), serve_tensor(&[4, 16], ramp(64, 0.05)))],
+        ),
+        (
+            "dct-block".into(),
+            programs::dct_block(),
+            vec![
+                ("blk".into(), serve_tensor(&[8, 8], ramp(64, 1.0))),
+                ("ck".into(), serve_tensor(&[8, 8], ramp(64, 0.01))),
+            ],
+            Vec::new(),
+        ),
+        (
+            "blackscholes-32".into(),
+            programs::black_scholes(32),
+            vec![
+                ("spot".into(), serve_tensor(&[32], vec![100.0; 32])),
+                (
+                    "strike".into(),
+                    serve_tensor(&[32], ramp(32, 1.0).iter().map(|v| 90.0 + v).collect()),
+                ),
+                ("vol".into(), serve_tensor(&[32], vec![0.2; 32])),
+                ("rate".into(), scalar(0.03)),
+                ("tte".into(), scalar(1.0)),
+            ],
+            Vec::new(),
+        ),
+    ]
+}
+
+/// Renders one serve-family run request line (shared with the cold/warm
+/// passes so identical submissions stay byte-identical).
+fn serve_request_line(
+    id: &str,
+    tenant: &str,
+    workload: &ServeWorkload,
+    invocations: u64,
+) -> String {
+    let (_, src, feeds, state) = workload;
+    let mut obj = vec![
+        ("op".to_string(), Json::Str("run".into())),
+        ("id".to_string(), Json::Str(id.into())),
+        ("tenant".to_string(), Json::Str(tenant.into())),
+        ("program".to_string(), Json::Str(src.clone())),
+        ("invocations".to_string(), Json::Num(invocations as f64)),
+        ("feeds".to_string(), Json::Obj(feeds.clone())),
+    ];
+    if !state.is_empty() {
+        obj.push(("state".to_string(), Json::Obj(state.clone())));
+    }
+    Json::Obj(obj).render()
+}
+
+/// Pushes the serve family through a real server: one cold pass (every
+/// program misses), then `reps` warm passes (every program must hit the
+/// content-addressed cache). Throughput figures come from the warm
+/// passes — the compile-once/serve-many steady state.
+fn bench_serve(quick: bool, threads: usize) -> Result<ServeReport, String> {
+    let reps = if quick { 2 } else { 5 };
+    let invocations = 3u64;
+    let workloads = serve_workloads();
+    let cfg = ServeConfig {
+        shards: 2,
+        workers: threads.clamp(1, 4),
+        queue_depth: 1024,
+        ..Default::default()
+    };
+    let engine = Arc::new(ServeEngine::new(&cfg));
+    let server = ServeServer::start(Arc::clone(&engine), &cfg);
+
+    let run_pass = |pass: usize| -> Result<f64, String> {
+        let (tx, rx) = mpsc::channel();
+        let t = Instant::now();
+        for (i, w) in workloads.iter().enumerate() {
+            let line = serve_request_line(
+                &format!("p{pass}-{}", w.0),
+                &format!("bench-{i}"),
+                w,
+                invocations,
+            );
+            server.submit(line, tx.clone()).map_err(|e| format!("{}: {e}", w.0))?;
+        }
+        drop(tx);
+        let mut answered = 0usize;
+        for resp in rx {
+            if !resp.contains("\"ok\":true") {
+                return Err(format!("request failed: {resp}"));
+            }
+            answered += 1;
+        }
+        if answered != workloads.len() {
+            return Err(format!("pass {pass}: {answered}/{} responses", workloads.len()));
+        }
+        Ok(t.elapsed().as_secs_f64())
+    };
+
+    let cold_s = run_pass(0)?;
+    let mut warm_s = 0.0;
+    for pass in 1..=reps {
+        warm_s += run_pass(pass)?;
+    }
+    let program_cache = engine.compiler().program_cache_stats();
+    let template_cache = engine.compiler().cache_stats();
+    server.shutdown();
+
+    let programs = workloads.len();
+    let expect_hits = (programs * reps) as u64;
+    if program_cache.hits != expect_hits {
+        return Err(format!(
+            "warm passes must hit the program cache: {} hits, expected {expect_hits}",
+            program_cache.hits
+        ));
+    }
+    let warm_requests = programs * reps;
+    Ok(ServeReport {
+        programs,
+        reps,
+        requests: (programs * (reps + 1)) as u64,
+        invocations: (programs * (reps + 1)) as u64 * invocations,
+        cold_s,
+        warm_s,
+        programs_per_s: warm_requests as f64 / warm_s.max(1e-12),
+        invocations_per_s: (warm_requests as u64 * invocations) as f64 / warm_s.max(1e-12),
+        program_cache,
+        template_cache,
+    })
+}
+
 fn render_stages(out: &mut String, label: &str, t: &CompileTimings, trailing_comma: bool) {
     let sec = |d: std::time::Duration| format!("{:.9}", d.as_secs_f64());
     out.push_str(&format!("      \"{label}\": {{\n"));
@@ -266,6 +473,7 @@ fn render_cache(out: &mut String, label: &str, c: &TemplateCacheStats) {
 /// Hand-rolled JSON (the workspace carries no serializer dependency).
 fn render_json(
     reports: &[WorkloadReport],
+    serve: &ServeReport,
     quick: bool,
     threads: usize,
     threads_explicit: bool,
@@ -329,6 +537,38 @@ fn render_json(
         }
         out.push_str(if i + 1 < reports.len() { "    },\n" } else { "    }\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // Serve throughput: warm-pass (cache-hit steady state) figures.
+    let (pc, tc) = (&serve.program_cache, &serve.template_cache);
+    out.push_str("  \"serve\": {\n");
+    out.push_str(&format!("    \"programs\": {},\n", serve.programs));
+    out.push_str(&format!("    \"reps\": {},\n", serve.reps));
+    out.push_str(&format!("    \"requests\": {},\n", serve.requests));
+    out.push_str(&format!("    \"invocations\": {},\n", serve.invocations));
+    out.push_str(&format!("    \"cold_s\": {:.9},\n", serve.cold_s));
+    out.push_str(&format!("    \"warm_s\": {:.9},\n", serve.warm_s));
+    out.push_str(&format!("    \"programs_per_s\": {:.4},\n", serve.programs_per_s));
+    out.push_str(&format!("    \"invocations_per_s\": {:.4},\n", serve.invocations_per_s));
+    out.push_str(&format!(
+        "    \"program_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+         \"inserts\": {}, \"evictions\": {}, \"entries\": {}}},\n",
+        pc.hits,
+        pc.misses,
+        pc.hit_rate(),
+        pc.inserts,
+        pc.evictions,
+        pc.entries
+    ));
+    out.push_str(&format!(
+        "    \"template_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \
+         \"inserts\": {}, \"evictions\": {}, \"bypassed\": {}}}\n",
+        tc.hits,
+        tc.misses,
+        tc.hit_rate(),
+        tc.inserts,
+        tc.evictions,
+        tc.bypassed
+    ));
+    out.push_str("  }\n}\n");
     out
 }

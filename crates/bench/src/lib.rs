@@ -11,3 +11,4 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod summary;

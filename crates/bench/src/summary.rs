@@ -1,0 +1,239 @@
+//! Consumer for the tracked `BENCH_compiler.json` account.
+//!
+//! `pm-bench` writes the benchmark JSON; this module reads it back and
+//! renders the human summary (`figures --bench-summary`). The reader is
+//! deliberately tolerant of the one legitimate hole in the schema:
+//! `parallel_speedup` is JSON `null` when the run resolved a single
+//! worker thread (a 1.0× "speedup" at one thread would be an artifact,
+//! not a measurement), and it must render as `n/a` — never unwrap.
+
+use polymath::Json;
+
+/// One workload row of the benchmark account.
+#[derive(Debug, Clone)]
+pub struct SummaryRow {
+    /// Workload name (e.g. `fft-256`).
+    pub name: String,
+    /// Cold (fresh-driver) end-to-end seconds.
+    pub cold_total_s: f64,
+    /// Warm (template-cached) end-to-end seconds.
+    pub warm_total_s: f64,
+    /// Warm template-cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Serial/parallel Algorithm-2 speedup; `None` when the run had a
+    /// single worker thread and the figure was emitted as `null`.
+    pub parallel_speedup: Option<f64>,
+}
+
+/// The serve-throughput section (absent in accounts written before the
+/// service existed).
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Distinct programs submitted.
+    pub programs: u64,
+    /// Total run requests answered.
+    pub requests: u64,
+    /// Warm-pass request throughput.
+    pub programs_per_s: f64,
+    /// Warm-pass invocation throughput.
+    pub invocations_per_s: f64,
+    /// Program-cache hit rate over the whole run.
+    pub program_cache_hit_rate: f64,
+    /// Template-cache hit rate over the whole run.
+    pub template_cache_hit_rate: f64,
+}
+
+/// The parsed benchmark account.
+#[derive(Debug, Clone)]
+pub struct BenchSummary {
+    /// Worker threads the run resolved.
+    pub threads: u64,
+    /// Whether this was a `--quick` smoke run.
+    pub quick: bool,
+    /// Per-workload rows.
+    pub rows: Vec<SummaryRow>,
+    /// Serve throughput, when the account carries it.
+    pub serve: Option<ServeSummary>,
+}
+
+/// Renders an optional speedup figure: `null` (single-thread run) is a
+/// legitimate value and renders as `n/a`.
+pub fn speedup_cell(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}x"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// Parses a `BENCH_compiler.json` document.
+///
+/// # Errors
+///
+/// A description of the first malformed or missing field.
+pub fn parse_summary(text: &str) -> Result<BenchSummary, String> {
+    let v = Json::parse(text).map_err(|e| e.to_string())?;
+    let num = |v: &Json, key: &str| -> Result<f64, String> {
+        v.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing number `{key}`"))
+    };
+    let threads = num(&v, "threads")? as u64;
+    let quick = v.get("quick").and_then(Json::as_bool).ok_or("missing `quick`")?;
+    let workloads = v.get("workloads").and_then(Json::as_array).ok_or("missing `workloads`")?;
+    let mut rows = Vec::new();
+    for w in workloads {
+        let total = |stages: &str| -> Result<f64, String> {
+            let s = w.get(stages).ok_or_else(|| format!("missing `{stages}`"))?;
+            num(s, "total")
+        };
+        let cache = w.get("cache_warm").ok_or("missing `cache_warm`")?;
+        // The one nullable figure: single-thread runs write `null`.
+        let parallel_speedup = match w.get("parallel_speedup") {
+            None | Some(Json::Null) => None,
+            Some(x) => Some(x.as_f64().ok_or("bad `parallel_speedup`")?),
+        };
+        rows.push(SummaryRow {
+            name: w.get("name").and_then(Json::as_str).ok_or("missing `name`")?.to_string(),
+            cold_total_s: total("stages_cold_s")?,
+            warm_total_s: total("stages_s")?,
+            cache_hit_rate: num(cache, "hit_rate")?,
+            parallel_speedup,
+        });
+    }
+    let serve = match v.get("serve") {
+        None => None,
+        Some(s) => {
+            let pc = s.get("program_cache").ok_or("serve: missing `program_cache`")?;
+            let tc = s.get("template_cache").ok_or("serve: missing `template_cache`")?;
+            Some(ServeSummary {
+                programs: num(s, "programs")? as u64,
+                requests: num(s, "requests")? as u64,
+                programs_per_s: num(s, "programs_per_s")?,
+                invocations_per_s: num(s, "invocations_per_s")?,
+                program_cache_hit_rate: num(pc, "hit_rate")?,
+                template_cache_hit_rate: num(tc, "hit_rate")?,
+            })
+        }
+    };
+    Ok(BenchSummary { threads, quick, rows, serve })
+}
+
+/// Renders the summary table `figures --bench-summary` prints.
+pub fn render_summary(s: &BenchSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Compiler benchmark ({} thread{}{})\n",
+        s.threads,
+        if s.threads == 1 { "" } else { "s" },
+        if s.quick { ", quick set" } else { "" }
+    ));
+    out.push_str(&format!(
+        "  {:<14} {:>10} {:>10} {:>7} {:>8}\n",
+        "workload", "cold ms", "warm ms", "cache", "alg2 spd"
+    ));
+    for r in &s.rows {
+        out.push_str(&format!(
+            "  {:<14} {:>10.3} {:>10.3} {:>6.1}% {:>8}\n",
+            r.name,
+            r.cold_total_s * 1e3,
+            r.warm_total_s * 1e3,
+            r.cache_hit_rate * 100.0,
+            speedup_cell(r.parallel_speedup),
+        ));
+    }
+    if let Some(sv) = &s.serve {
+        out.push_str(&format!(
+            "  serve: {} program(s), {} request(s), {:.1} req/s, {:.1} inv/s, \
+             program cache {:.1}% hit, template cache {:.1}% hit\n",
+            sv.programs,
+            sv.requests,
+            sv.programs_per_s,
+            sv.invocations_per_s,
+            sv.program_cache_hit_rate * 100.0,
+            sv.template_cache_hit_rate * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal account as written by a single-threaded run: the
+    /// regression fixture for the `parallel_speedup: null` hole.
+    const ONE_THREAD_FIXTURE: &str = r#"{
+      "quick": true,
+      "threads": 1,
+      "threads_explicit": false,
+      "workloads": [
+        {
+          "name": "fft-64",
+          "nodes_initial": 100,
+          "nodes_final": 90,
+          "partitions": 2,
+          "stages_cold_s": {"frontend": 0.001, "total": 0.030},
+          "stages_s": {"frontend": 0.001, "total": 0.010},
+          "cache_warm": {"hits": 8, "misses": 2, "hit_rate": 0.8},
+          "compile_serial_s": 0.005,
+          "compile_parallel_s": 0.005,
+          "parallel_threads": 1,
+          "parallel_speedup": null
+        }
+      ]
+    }"#;
+
+    #[test]
+    fn null_parallel_speedup_parses_and_renders_as_na() {
+        let s = parse_summary(ONE_THREAD_FIXTURE).unwrap();
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.rows.len(), 1);
+        assert_eq!(s.rows[0].parallel_speedup, None);
+        let text = render_summary(&s);
+        assert!(text.contains("n/a"), "{text}");
+        assert!(text.contains("fft-64"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn numeric_parallel_speedup_renders_with_two_decimals() {
+        let fixed = ONE_THREAD_FIXTURE
+            .replace("\"parallel_speedup\": null", "\"parallel_speedup\": 1.8462")
+            .replace("\"threads\": 1", "\"threads\": 8");
+        let s = parse_summary(&fixed).unwrap();
+        assert_eq!(s.rows[0].parallel_speedup, Some(1.8462));
+        assert!(render_summary(&s).contains("1.85x"));
+    }
+
+    #[test]
+    fn serve_section_is_optional_but_renders_when_present() {
+        let s = parse_summary(ONE_THREAD_FIXTURE).unwrap();
+        assert!(s.serve.is_none());
+        let with_serve = ONE_THREAD_FIXTURE.replace(
+            "      ]\n    }",
+            "      ],\n      \"serve\": {\
+               \"programs\": 5, \"requests\": 15, \"invocations\": 45,\
+               \"programs_per_s\": 120.5, \"invocations_per_s\": 361.5,\
+               \"program_cache\": {\"hits\": 10, \"misses\": 5, \"hit_rate\": 0.6667},\
+               \"template_cache\": {\"hits\": 40, \"misses\": 10, \"hit_rate\": 0.8}}\n    }",
+        );
+        let s = parse_summary(&with_serve).unwrap();
+        let sv = s.serve.as_ref().expect("serve section");
+        assert_eq!(sv.requests, 15);
+        let text = render_summary(&s);
+        assert!(text.contains("120.5 req/s"), "{text}");
+        assert!(text.contains("program cache 66.7% hit"), "{text}");
+    }
+
+    #[test]
+    fn committed_account_round_trips() {
+        // The repo's committed BENCH_compiler.json must always be readable
+        // by its own consumer.
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_compiler.json"
+        ))
+        .expect("committed BENCH_compiler.json");
+        let s = parse_summary(&text).unwrap();
+        assert!(!s.rows.is_empty());
+        render_summary(&s);
+    }
+}

@@ -59,6 +59,18 @@
 //!     output is byte-identical to a run without chaos flags. With
 //!     `--format json` the chaos run prints a single JSON report
 //!     (profile, fault/retry counters, fallbacks, partitions, outputs).
+//! pmc serve [--addr host:port] [--shards N] [--workers N] [--queue N]
+//!           [--batch N] [--host-only]
+//!     Long-lived compile-and-run service. Admits line-delimited JSON
+//!     requests (PMLang program + feeds + chaos config) over stdin/stdout
+//!     (default) or TCP (`--addr`), compiles each through a
+//!     content-addressed program cache (repeat submissions skip lowering
+//!     and Algorithm 2 entirely), and executes on a sharded pool of
+//!     simulated SoCs with per-tenant shard affinity. A full admission
+//!     queue rejects with a typed `overloaded` error. The `stats` op
+//!     reports cache hit rates and pool-level execution counters; the
+//!     `shutdown` op drains and exits. See `polymath::serve` for the
+//!     full wire protocol.
 //! pmc fuzz [--seed N] [--cases N] [--smoke] [--minimize] [--corpus DIR]
 //!          [--chaos-profile P] [--chaos-seed N]
 //!     Differentially fuzz the whole stack: generate seeded random PMLang
@@ -98,6 +110,10 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "fuzz" {
         // `fuzz` takes no source file; everything after the command is flags.
         return fuzz_cmd(&args[1..]);
+    }
+    if cmd == "serve" {
+        // `serve` takes no source file either; programs arrive over the wire.
+        return serve_cmd(&args[1..]);
     }
     let Some(path) = args.get(1) else {
         return Err(usage());
@@ -438,6 +454,36 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
             }
             Err(format!("differential mismatch after {} case(s) ({elapsed:.1}s)", report.executed))
         }
+    }
+}
+
+/// The `pmc serve` subcommand: a long-lived compile-and-run service
+/// speaking line-delimited JSON over stdin/stdout (default) or TCP
+/// (`--addr host:port`). See `polymath::serve` for the wire protocol.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let flag_value = |name: &str| -> Result<Option<u64>, String> {
+        match args.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(pos) => {
+                let v = args.get(pos + 1).ok_or_else(|| format!("{name} expects a number"))?;
+                v.parse().map(Some).map_err(|_| format!("bad {name} value `{v}`"))
+            }
+        }
+    };
+    let defaults = polymath::ServeConfig::default();
+    let cfg = polymath::ServeConfig {
+        shards: flag_value("--shards")?.unwrap_or(defaults.shards as u64) as usize,
+        workers: flag_value("--workers")?.unwrap_or(defaults.workers as u64) as usize,
+        queue_depth: flag_value("--queue")?.unwrap_or(defaults.queue_depth as u64) as usize,
+        batch: flag_value("--batch")?.unwrap_or(defaults.batch as u64) as usize,
+        host_only: args.iter().any(|a| a == "--host-only"),
+    };
+    match args.iter().position(|a| a == "--addr") {
+        Some(pos) => {
+            let addr = args.get(pos + 1).ok_or_else(|| "--addr expects host:port".to_string())?;
+            polymath::serve_tcp(&cfg, addr)
+        }
+        None => polymath::serve_stdio(&cfg),
     }
 }
 
@@ -864,6 +910,8 @@ fn usage() -> String {
 [--size name=value ...] [--host-only] [--pin comp=TARGET ...] [--iters N] \
 [--deny-warnings] [--timings] [--format json] [--chaos-seed N] \
 [--chaos-profile off|transient|hostile] [--max-retries K]\n\
+       pmc serve [--addr host:port] [--shards N] [--workers N] [--queue N] [--batch N] \
+[--host-only]\n\
        pmc fuzz [--seed N] [--cases N] [--smoke] [--minimize] [--corpus DIR] \
 [--chaos-profile P] [--chaos-seed N]"
         .to_string()

@@ -5,7 +5,10 @@
 use pm_accel::{
     Backend, Cpu, Deco, DnnWeaver, Graphicionado, HyperStreams, Robox, Soc, Tabla, Vta,
 };
-use pm_lower::{compile_program_shared, lower_with, CompiledProgram, TargetMap};
+use pm_lower::{
+    compile_program_shared, lower_with, CompiledProgram, ProgramCache, ProgramCacheStats,
+    ProgramKey, TargetMap,
+};
 use pm_passes::{Pass, PassManager, PassTiming};
 use pmlang::Domain;
 use srdfg::{Bindings, SrDfg, TemplateCache, TemplateCacheStats};
@@ -74,8 +77,13 @@ pub struct Compiler {
     /// driver: the second compilation of a structurally similar program
     /// (or a re-lowering after a device fault) instantiates templates
     /// instead of re-expanding them. Cloning the handle aliases one store,
-    /// which is the seam a future `pmc serve` would share between requests.
+    /// which is the seam `pmc serve` shares between requests.
     template_cache: TemplateCache,
+    /// Content-addressed whole-program cache consulted by
+    /// [`Compiler::compile_cached`]: a repeat compile of a structurally
+    /// identical program against the same target map skips lowering and
+    /// Algorithm 2 entirely and returns the stored artifact.
+    program_cache: ProgramCache,
 }
 
 impl fmt::Debug for Compiler {
@@ -101,6 +109,7 @@ impl Compiler {
             optimize: true,
             fuse: false,
             template_cache: TemplateCache::new(),
+            program_cache: ProgramCache::new(),
         }
     }
 
@@ -158,6 +167,19 @@ impl Compiler {
     /// Lifetime hit/miss/insert/eviction counters of the template cache.
     pub fn cache_stats(&self) -> TemplateCacheStats {
         self.template_cache.stats()
+    }
+
+    /// The driver's content-addressed compiled-program cache. The returned
+    /// handle aliases the compiler's store (it is `Arc`-backed), so every
+    /// [`Compiler::compile_cached`] hit/insert is reflected in
+    /// [`Compiler::program_cache_stats`].
+    pub fn program_cache(&self) -> ProgramCache {
+        self.program_cache.clone()
+    }
+
+    /// Lifetime hit/miss/insert/eviction counters of the program cache.
+    pub fn program_cache_stats(&self) -> ProgramCacheStats {
+        self.program_cache.stats()
     }
 
     /// Pins every instantiation of `component` to a specific accelerator,
@@ -276,6 +298,102 @@ impl Compiler {
         };
         Ok((compiled, timings))
     }
+
+    /// [`Compiler::compile`] through the content-addressed program cache.
+    ///
+    /// The frontend, srDFG build, and mid-end always run — they produce
+    /// the post-midend graph whose [`srdfg::graph_fingerprint`] (paired
+    /// with the target map's fingerprint) addresses the cache. On a hit,
+    /// lowering and Algorithm 2 are skipped entirely and the stored
+    /// artifact is returned; `timings.lower` and `timings.compile` stay
+    /// zero, which is how callers (and the serve differential tests)
+    /// verify the stages were skipped. On a miss, the full pipeline runs
+    /// and the result is inserted before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pipeline error (never caches failures).
+    pub fn compile_cached(
+        &self,
+        source: &str,
+        bindings: &Bindings,
+    ) -> Result<CachedCompile, PolyMathError> {
+        let t0 = Instant::now();
+        let t = Instant::now();
+        let (program, _) = pmlang::frontend(source)?;
+        let frontend = t.elapsed();
+
+        let t = Instant::now();
+        let mut graph = srdfg::build(&program, bindings)?;
+        let build = t.elapsed();
+
+        let t = Instant::now();
+        if self.optimize {
+            PassManager::standard().run(&mut graph);
+        }
+        if self.fuse {
+            pm_passes::AlgebraicCombination.run(&mut graph);
+        }
+        let midend = t.elapsed();
+
+        let key = ProgramKey::new(&graph, &self.targets);
+        if let Some(program) = self.program_cache.lookup(&key) {
+            let timings = CompileTimings {
+                frontend,
+                build,
+                midend,
+                total: t0.elapsed(),
+                ..CompileTimings::default()
+            };
+            return Ok(CachedCompile { program, cache_hit: true, key, timings });
+        }
+
+        let cache_before = self.template_cache.stats();
+        let t = Instant::now();
+        lower_with(&mut graph, &self.targets, Some(&self.template_cache))?;
+        let lower_d = t.elapsed();
+        let cache = self.template_cache.stats().since(&cache_before);
+
+        let t = Instant::now();
+        pm_passes::ElideMarshalling.run(&mut graph);
+        pm_passes::PruneUnusedInputs.run(&mut graph);
+        let post_lower = t.elapsed();
+
+        let t = Instant::now();
+        let compiled = Arc::new(compile_program_shared(Arc::new(graph), &self.targets, true)?);
+        let compile = t.elapsed();
+
+        self.program_cache.insert(key, Arc::clone(&compiled));
+        let timings = CompileTimings {
+            frontend,
+            build,
+            midend,
+            lower: lower_d,
+            post_lower,
+            compile,
+            cache,
+            total: t0.elapsed(),
+            ..CompileTimings::default()
+        };
+        Ok(CachedCompile { program: compiled, cache_hit: false, key, timings })
+    }
+}
+
+/// Result of one [`Compiler::compile_cached`] invocation.
+#[derive(Debug, Clone)]
+pub struct CachedCompile {
+    /// The compiled artifact — shared with the cache, never cloned per
+    /// request (partitions can carry tens of thousands of fragments).
+    pub program: Arc<CompiledProgram>,
+    /// Whether the program cache served the artifact (lower+compile
+    /// skipped).
+    pub cache_hit: bool,
+    /// The content address the artifact was stored/found under.
+    pub key: ProgramKey,
+    /// Stage timings: on a hit, `lower`/`post_lower`/`compile` are zero
+    /// and `cache` is empty; `analyze`/`hazards`/`passes` are never
+    /// populated by this entry point.
+    pub timings: CompileTimings,
 }
 
 /// Wall-clock account of one [`Compiler::compile_timed`] invocation.
@@ -383,6 +501,29 @@ mod tests {
         let da = compiled.partition(Some(Domain::DataAnalytics)).unwrap();
         assert_eq!(dsp.target, "DECO");
         assert_eq!(da.target, "CPU");
+    }
+
+    #[test]
+    fn compile_cached_hits_on_repeat_and_skips_lowering() {
+        let c = Compiler::cross_domain();
+        let cold = c.compile_cached(TWO_DOMAIN, &Bindings::default()).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(cold.timings.lower > Duration::ZERO);
+        let warm = c.compile_cached(TWO_DOMAIN, &Bindings::default()).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(cold.key, warm.key);
+        assert!(Arc::ptr_eq(&cold.program, &warm.program), "hit returns the stored Arc");
+        assert_eq!(warm.timings.lower, Duration::ZERO, "lowering skipped on hit");
+        assert_eq!(warm.timings.compile, Duration::ZERO, "Algorithm 2 skipped on hit");
+        let stats = c.program_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+
+        // A host-only driver compiles a different artifact: its key must
+        // not collide with the cross-domain one.
+        let host = Compiler::host_only();
+        let host_cold = host.compile_cached(TWO_DOMAIN, &Bindings::default()).unwrap();
+        assert!(!host_cold.cache_hit);
+        assert_ne!(host_cold.key, cold.key);
     }
 
     #[test]

@@ -54,6 +54,12 @@
 
 pub mod compiler;
 pub mod evaluate;
+pub mod json;
+pub mod serve;
 
-pub use compiler::{standard_soc, CompileTimings, Compiler, PolyMathError};
+pub use compiler::{standard_soc, CachedCompile, CompileTimings, Compiler, PolyMathError};
 pub use evaluate::{evaluate, geomean, PlatformResults};
+pub use json::{Json, JsonError};
+pub use serve::{
+    serve_stdio, serve_tcp, Request, RunRequest, ServeConfig, ServeEngine, ServeError, ServeServer,
+};

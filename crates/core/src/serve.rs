@@ -1,0 +1,904 @@
+//! `pmc serve` — the long-lived compile-and-run service.
+//!
+//! The ROADMAP's north star is serving the PolyMath pipeline to many
+//! users; this module is that serving layer. It admits line-delimited
+//! JSON requests (PMLang program + invocation feeds), compiles each
+//! through the driver's **content-addressed program cache** (see
+//! [`crate::Compiler::compile_cached`] and `pm_lower::progcache`), and
+//! executes it on a **sharded pool of simulated SoCs**
+//! ([`pm_accel::SocPool`]) with per-tenant shard affinity. Three layers:
+//!
+//! * [`ServeEngine`] — stateless-per-request processing: parse → compile
+//!   (cached) → route to the tenant's shard → `run_trajectory` → render
+//!   the response. Shared across worker threads behind an `Arc`; every
+//!   piece of shared state (template cache, program cache, pool ledgers)
+//!   is internally synchronized.
+//! * [`ServeServer`] — admission control: a bounded queue plus a
+//!   hand-rolled worker thread pool (matching the vendored `rayon`
+//!   stand-in idiom — no async runtime dependency). A full queue rejects
+//!   with a typed `overloaded` error instead of blocking or panicking.
+//!   Workers drain requests in small batches to amortize lock traffic,
+//!   which also lets repeat programs within one batch hit the cache
+//!   entry their predecessor just inserted.
+//! * [`serve_stdio`] / [`serve_tcp`] — the transports: newline-delimited
+//!   JSON over stdin/stdout (robust for scripts and tests — no port
+//!   races) or over TCP connections.
+//!
+//! ## Wire protocol
+//!
+//! One JSON object per line in, one per line out. Requests:
+//!
+//! ```json
+//! {"op":"run","id":"r1","tenant":"alice","program":"main(...){...}",
+//!  "feeds":{"x":{"dims":[4],"values":[1,2,3,4]}},
+//!  "state":{"z":{"dims":[],"values":[0]}},
+//!  "invocations":3,"sizes":{"n":64},
+//!  "chaos":{"profile":"transient","seed":7,"max_retries":3,"down":["DECO"]}}
+//! {"op":"stats","id":"s1"}
+//! {"op":"shutdown","id":"bye"}
+//! ```
+//!
+//! A `run` response echoes the request id, names the shard and whether
+//! the program cache served the compile, and carries the outputs of the
+//! final invocation plus the deterministic execution counters:
+//!
+//! ```json
+//! {"id":"r1","op":"run","ok":true,"tenant":"alice","shard":1,
+//!  "program_cache":"hit","outputs":{"y":{"dims":[],"values":[30]}},
+//!  "invocations":3,"replayed_invocations":0,"faults_injected":0,
+//!  "retries":0,"fallbacks":0,"virtual_ns":6000,
+//!  "frontend_us":812,"lower_us":0,"compile_us":0,"execute_us":95}
+//! ```
+//!
+//! Failures are typed, never panics:
+//! `{"id":"r1","op":"run","ok":false,"error":{"kind":"overloaded","detail":"..."}}`
+//! with kinds `bad_request` | `overloaded` | `compile` | `execution`.
+//!
+//! Responses are emitted in completion order; match them to requests by
+//! `id`. All tensors are `float`; outputs render with names sorted, so a
+//! cache hit's response bytes are identical to the cold compile's.
+
+use crate::compiler::{standard_soc, Compiler};
+use crate::json::Json;
+use pm_accel::{ChaosConfig, ChaosProfile, SocPool, TrajectoryInputs};
+use srdfg::{Bindings, Tensor};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Configuration of one serve instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of SoC shards (tenants are pinned to shards by name hash).
+    pub shards: usize,
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it are rejected with a
+    /// typed `overloaded` error.
+    pub queue_depth: usize,
+    /// Requests a worker drains per queue lock acquisition.
+    pub batch: usize,
+    /// Compile against the host-only target map instead of the
+    /// cross-domain one.
+    pub host_only: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { shards: 2, workers: 2, queue_depth: 64, batch: 8, host_only: false }
+    }
+}
+
+/// Typed request-level failure. The service returns these on the wire;
+/// it never panics or drops a request silently.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request line was not a valid protocol object.
+    BadRequest(String),
+    /// The admission queue is full.
+    Overloaded {
+        /// The configured queue depth that was exceeded.
+        depth: usize,
+    },
+    /// The compile pipeline rejected the program.
+    Compile(String),
+    /// The SoC runtime could not execute the compiled program.
+    Execution(String),
+}
+
+impl ServeError {
+    /// The wire `error.kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Compile(_) => "compile",
+            ServeError::Execution(_) => "execution",
+        }
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            ServeError::BadRequest(d) | ServeError::Compile(d) | ServeError::Execution(d) => {
+                d.clone()
+            }
+            ServeError::Overloaded { depth } => format!("queue full (depth {depth})"),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.detail())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A parsed `run` request.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Request id, echoed in the response (`""` when omitted).
+    pub id: String,
+    /// Tenant name — decides the SoC shard (`"default"` when omitted).
+    pub tenant: String,
+    /// PMLang source.
+    pub program: String,
+    /// Boundary `input`/`param` feeds.
+    pub feeds: HashMap<String, Tensor>,
+    /// Initial values for `state` variables.
+    pub state: Vec<(String, Tensor)>,
+    /// Invocations to run (defaults to 1).
+    pub invocations: u64,
+    /// Size bindings for symbolic dimensions.
+    pub sizes: Bindings,
+    /// Fault-injection configuration (defaults to chaos off).
+    pub chaos: ChaosConfig,
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile (through the program cache) and execute.
+    Run(Box<RunRequest>),
+    /// Report cache and pool statistics.
+    Stats {
+        /// Request id.
+        id: String,
+    },
+    /// Acknowledge and stop serving.
+    Shutdown {
+        /// Request id.
+        id: String,
+    },
+}
+
+impl Request {
+    /// The request id (echoed in responses).
+    pub fn id(&self) -> &str {
+        match self {
+            Request::Run(r) => &r.id,
+            Request::Stats { id } | Request::Shutdown { id } => id,
+        }
+    }
+
+    /// The wire `op` tag.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Run(_) => "run",
+            Request::Stats { .. } => "stats",
+            Request::Shutdown { .. } => "shutdown",
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] with a description of the first
+    /// malformed field.
+    pub fn parse(line: &str) -> Result<Request, ServeError> {
+        let bad = |d: &str| ServeError::BadRequest(d.to_string());
+        let v = Json::parse(line).map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        let id = v.get("id").and_then(Json::as_str).unwrap_or("").to_string();
+        let op = v.get("op").and_then(Json::as_str).ok_or_else(|| bad("missing `op`"))?;
+        match op {
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            "run" => {
+                let program = v
+                    .get("program")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("run: missing `program`"))?
+                    .to_string();
+                let tenant =
+                    v.get("tenant").and_then(Json::as_str).unwrap_or("default").to_string();
+                let invocations = match v.get("invocations") {
+                    None => 1,
+                    Some(n) => n.as_u64().ok_or_else(|| bad("run: bad `invocations`"))?,
+                };
+                let mut feeds = HashMap::new();
+                if let Some(obj) = v.get("feeds") {
+                    for (name, t) in
+                        obj.members().ok_or_else(|| bad("run: `feeds` must be an object"))?
+                    {
+                        feeds.insert(name.clone(), parse_tensor(name, t)?);
+                    }
+                }
+                let mut state = Vec::new();
+                if let Some(obj) = v.get("state") {
+                    for (name, t) in
+                        obj.members().ok_or_else(|| bad("run: `state` must be an object"))?
+                    {
+                        state.push((name.clone(), parse_tensor(name, t)?));
+                    }
+                }
+                let mut sizes = Bindings::default();
+                if let Some(obj) = v.get("sizes") {
+                    for (name, n) in
+                        obj.members().ok_or_else(|| bad("run: `sizes` must be an object"))?
+                    {
+                        let val = n
+                            .as_f64()
+                            .filter(|x| x.fract() == 0.0)
+                            .ok_or_else(|| bad("run: bad size value"))?;
+                        sizes.sizes.insert(name.clone(), val as i64);
+                    }
+                }
+                let chaos = parse_chaos(v.get("chaos"))?;
+                Ok(Request::Run(Box::new(RunRequest {
+                    id,
+                    tenant,
+                    program,
+                    feeds,
+                    state,
+                    invocations,
+                    sizes,
+                    chaos,
+                })))
+            }
+            other => Err(bad(&format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+fn parse_tensor(name: &str, v: &Json) -> Result<Tensor, ServeError> {
+    let bad = |d: String| ServeError::BadRequest(d);
+    let dims: Vec<usize> = v
+        .get("dims")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad(format!("tensor `{name}`: missing `dims`")))?
+        .iter()
+        .map(|d| d.as_u64().map(|u| u as usize))
+        .collect::<Option<_>>()
+        .ok_or_else(|| bad(format!("tensor `{name}`: bad dims")))?;
+    let values: Vec<f64> = v
+        .get("values")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad(format!("tensor `{name}`: missing `values`")))?
+        .iter()
+        .map(Json::as_f64)
+        .collect::<Option<_>>()
+        .ok_or_else(|| bad(format!("tensor `{name}`: bad values")))?;
+    Tensor::from_vec(pmlang::DType::Float, dims, values)
+        .map_err(|e| bad(format!("tensor `{name}`: {e}")))
+}
+
+fn parse_chaos(v: Option<&Json>) -> Result<ChaosConfig, ServeError> {
+    let bad = |d: &str| ServeError::BadRequest(d.to_string());
+    let Some(v) = v else {
+        return Ok(ChaosConfig::off());
+    };
+    let seed = match v.get("seed") {
+        None => 0,
+        Some(n) => n.as_u64().ok_or_else(|| bad("chaos: bad `seed`"))?,
+    };
+    let profile = match v.get("profile").and_then(Json::as_str) {
+        None => ChaosProfile::Off,
+        Some(p) => p.parse().map_err(|e: String| ServeError::BadRequest(e))?,
+    };
+    let mut cfg = ChaosConfig::new(seed, profile);
+    if let Some(n) = v.get("max_retries") {
+        let retries = n.as_u64().ok_or_else(|| bad("chaos: bad `max_retries`"))?;
+        cfg = cfg.with_max_retries(retries as u32);
+    }
+    if let Some(down) = v.get("down") {
+        for d in down.as_array().ok_or_else(|| bad("chaos: `down` must be an array"))? {
+            cfg = cfg.with_down(d.as_str().ok_or_else(|| bad("chaos: bad `down` entry"))?);
+        }
+    }
+    Ok(cfg)
+}
+
+fn tensor_json(t: &Tensor) -> Json {
+    let dims = Json::Arr(t.shape().iter().map(|&d| Json::Num(d as f64)).collect());
+    let values = match t.as_real_slice() {
+        Some(s) => Json::Arr(s.iter().map(|&v| Json::Num(v)).collect()),
+        None => Json::Null,
+    };
+    Json::Obj(vec![("dims".into(), dims), ("values".into(), values)])
+}
+
+fn error_response(id: &str, op: &str, e: &ServeError) -> String {
+    Json::Obj(vec![
+        ("id".into(), Json::Str(id.into())),
+        ("op".into(), Json::Str(op.into())),
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str(e.kind().into())),
+                ("detail".into(), Json::Str(e.detail())),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// Renders the typed rejection for a line that could not be admitted
+/// (best-effort id/op echo — the line may itself be malformed).
+pub fn reject_line(line: &str, e: &ServeError) -> String {
+    let (id, op) = match Request::parse(line) {
+        Ok(req) => (req.id().to_string(), req.op().to_string()),
+        Err(_) => (String::new(), String::new()),
+    };
+    error_response(&id, &op, e)
+}
+
+/// The per-request processing core: compile through the program cache,
+/// route to the tenant's shard, execute, render. Shared by every worker
+/// thread and transport.
+pub struct ServeEngine {
+    compiler: Compiler,
+    pool: SocPool,
+}
+
+impl fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeEngine").field("shards", &self.pool.len()).finish()
+    }
+}
+
+impl ServeEngine {
+    /// Builds the engine: one compiler (host-only or cross-domain) whose
+    /// template and program caches are shared by all shards, and a
+    /// [`SocPool`] whose every shard carries the standard accelerator
+    /// complement plus the compiler's template cache (so device-down
+    /// re-lowering under chaos reuses the templates the original compile
+    /// populated).
+    pub fn new(cfg: &ServeConfig) -> ServeEngine {
+        let compiler = if cfg.host_only { Compiler::host_only() } else { Compiler::cross_domain() };
+        let template_cache = compiler.template_cache();
+        let pool = SocPool::new(cfg.shards, |_| {
+            let mut soc = standard_soc();
+            soc.with_template_cache(template_cache.clone());
+            soc
+        });
+        ServeEngine { compiler, pool }
+    }
+
+    /// The engine's compiler (cache handles, target map).
+    pub fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
+    /// The engine's SoC pool (shard routing, ledgers).
+    pub fn pool(&self) -> &SocPool {
+        &self.pool
+    }
+
+    /// Processes one request line and renders the response line.
+    pub fn handle_line(&self, line: &str) -> String {
+        match Request::parse(line) {
+            Err(e) => error_response("", "", &e),
+            Ok(req) => self.handle(&req),
+        }
+    }
+
+    /// Processes one parsed request and renders the response line.
+    pub fn handle(&self, req: &Request) -> String {
+        match req {
+            Request::Run(r) => match self.run(r) {
+                Ok(resp) => resp,
+                Err(e) => error_response(&r.id, "run", &e),
+            },
+            Request::Stats { id } => self.stats_response(id),
+            Request::Shutdown { id } => Json::Obj(vec![
+                ("id".into(), Json::Str(id.clone())),
+                ("op".into(), Json::Str("shutdown".into())),
+                ("ok".into(), Json::Bool(true)),
+            ])
+            .render(),
+        }
+    }
+
+    /// Executes one `run` request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Compile`] when the pipeline rejects the program,
+    /// [`ServeError::Execution`] when the SoC runtime fails.
+    fn run(&self, req: &RunRequest) -> Result<String, ServeError> {
+        let cc = self
+            .compiler
+            .compile_cached(&req.program, &req.sizes)
+            .map_err(|e| ServeError::Compile(e.to_string()))?;
+        let shard = self.pool.shard_for(&req.tenant);
+        let inputs = TrajectoryInputs {
+            feeds: &req.feeds,
+            state_seeds: &req.state,
+            invocations: req.invocations,
+        };
+        let t = Instant::now();
+        let outcome = self
+            .pool
+            .shard(shard)
+            .run_trajectory(
+                &cc.program,
+                &HashMap::new(),
+                &req.chaos,
+                Some(self.compiler.targets()),
+                &inputs,
+            )
+            .map_err(|e| ServeError::Execution(e.to_string()))?;
+        let execute_us = t.elapsed().as_micros() as f64;
+        self.pool.record(shard, &outcome);
+
+        let mut names: Vec<&String> = outcome.outputs.keys().collect();
+        names.sort();
+        let outputs = Json::Obj(
+            names.iter().map(|n| ((*n).clone(), tensor_json(&outcome.outputs[*n]))).collect(),
+        );
+        let us = |d: std::time::Duration| Json::Num(d.as_micros() as f64);
+        let frontend = cc.timings.frontend + cc.timings.build + cc.timings.midend;
+        Ok(Json::Obj(vec![
+            ("id".into(), Json::Str(req.id.clone())),
+            ("op".into(), Json::Str("run".into())),
+            ("ok".into(), Json::Bool(true)),
+            ("tenant".into(), Json::Str(req.tenant.clone())),
+            ("shard".into(), Json::Num(shard as f64)),
+            ("program_cache".into(), Json::Str(if cc.cache_hit { "hit" } else { "miss" }.into())),
+            ("outputs".into(), outputs),
+            ("invocations".into(), Json::Num(outcome.invocations as f64)),
+            ("replayed_invocations".into(), Json::Num(outcome.replayed_invocations as f64)),
+            ("faults_injected".into(), Json::Num(outcome.faults_injected as f64)),
+            ("retries".into(), Json::Num(outcome.retries as f64)),
+            ("fallbacks".into(), Json::Num(outcome.fallbacks.len() as f64)),
+            ("virtual_ns".into(), Json::Num(outcome.virtual_ns as f64)),
+            ("frontend_us".into(), us(frontend)),
+            ("lower_us".into(), us(cc.timings.lower + cc.timings.post_lower)),
+            ("compile_us".into(), us(cc.timings.compile)),
+            ("execute_us".into(), Json::Num(execute_us)),
+        ])
+        .render())
+    }
+
+    /// Renders the `stats` response: program-cache, template-cache, and
+    /// pool-level counters.
+    pub fn stats_response(&self, id: &str) -> String {
+        let pc = self.compiler.program_cache_stats();
+        let tc = self.compiler.cache_stats();
+        let pool = self.pool.report();
+        Json::Obj(vec![
+            ("id".into(), Json::Str(id.into())),
+            ("op".into(), Json::Str("stats".into())),
+            ("ok".into(), Json::Bool(true)),
+            (
+                "program_cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::Num(pc.hits as f64)),
+                    ("misses".into(), Json::Num(pc.misses as f64)),
+                    ("inserts".into(), Json::Num(pc.inserts as f64)),
+                    ("evictions".into(), Json::Num(pc.evictions as f64)),
+                    ("entries".into(), Json::Num(pc.entries as f64)),
+                    ("hit_rate".into(), Json::Num(pc.hit_rate())),
+                ]),
+            ),
+            (
+                "template_cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::Num(tc.hits as f64)),
+                    ("misses".into(), Json::Num(tc.misses as f64)),
+                    ("inserts".into(), Json::Num(tc.inserts as f64)),
+                    ("evictions".into(), Json::Num(tc.evictions as f64)),
+                    ("hit_rate".into(), Json::Num(tc.hit_rate())),
+                ]),
+            ),
+            (
+                "pool".into(),
+                Json::Obj(vec![
+                    ("shards".into(), Json::Num(self.pool.len() as f64)),
+                    ("requests".into(), Json::Num(pool.total.requests as f64)),
+                    ("invocations".into(), Json::Num(pool.total.invocations as f64)),
+                    (
+                        "replayed_invocations".into(),
+                        Json::Num(pool.total.replayed_invocations as f64),
+                    ),
+                    ("faults_injected".into(), Json::Num(pool.total.faults_injected as f64)),
+                    ("retries".into(), Json::Num(pool.total.retries as f64)),
+                    ("fallbacks".into(), Json::Num(pool.total.fallbacks as f64)),
+                    ("virtual_ns".into(), Json::Num(pool.total.virtual_ns as f64)),
+                ]),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// One admitted request: the raw line plus where its response goes.
+struct Job {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+/// Queue state shared between submitters and workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    depth: usize,
+    /// Once set, no further submissions are admitted; workers drain the
+    /// queue and exit.
+    stopping: AtomicBool,
+}
+
+/// Admission control + worker pool around a [`ServeEngine`].
+pub struct ServeServer {
+    engine: Arc<ServeEngine>,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    worker_count: usize,
+    batch: usize,
+}
+
+impl fmt::Debug for ServeServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeServer")
+            .field("workers", &self.workers.len())
+            .field("depth", &self.shared.depth)
+            .finish()
+    }
+}
+
+impl ServeServer {
+    /// Starts the worker pool immediately.
+    pub fn start(engine: Arc<ServeEngine>, cfg: &ServeConfig) -> ServeServer {
+        let mut server = ServeServer::paused(engine, cfg);
+        server.resume();
+        server
+    }
+
+    /// Builds the server without starting workers — submissions queue up
+    /// (and overflow deterministically), which is how the overload test
+    /// fills the queue without racing the drain. Call
+    /// [`ServeServer::resume`] to start processing.
+    pub fn paused(engine: Arc<ServeEngine>, cfg: &ServeConfig) -> ServeServer {
+        ServeServer {
+            engine,
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                not_empty: Condvar::new(),
+                depth: cfg.queue_depth.max(1),
+                stopping: AtomicBool::new(false),
+            }),
+            workers: Vec::new(),
+            worker_count: cfg.workers.max(1),
+            batch: cfg.batch.max(1),
+        }
+    }
+
+    /// Spawns the worker threads (idempotent after the first call).
+    pub fn resume(&mut self) {
+        if !self.workers.is_empty() {
+            return;
+        }
+        for _ in 0..self.worker_count {
+            let engine = Arc::clone(&self.engine);
+            let shared = Arc::clone(&self.shared);
+            let batch = self.batch;
+            self.workers.push(std::thread::spawn(move || loop {
+                let jobs: Vec<Job> = {
+                    let mut q = shared.queue.lock().unwrap();
+                    loop {
+                        if !q.is_empty() {
+                            let take = batch.min(q.len());
+                            break q.drain(..take).collect();
+                        }
+                        if shared.stopping.load(Ordering::Acquire) {
+                            return;
+                        }
+                        q = shared.not_empty.wait(q).unwrap();
+                    }
+                };
+                for job in jobs {
+                    // A dropped receiver (client went away) is not an error.
+                    let _ = job.reply.send(engine.handle_line(&job.line));
+                }
+            }));
+        }
+    }
+
+    /// Admits one request line; its response will be sent to `reply`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is at capacity or the
+    /// server is shutting down.
+    pub fn submit(&self, line: String, reply: mpsc::Sender<String>) -> Result<(), ServeError> {
+        let depth = self.shared.depth;
+        if self.shared.stopping.load(Ordering::Acquire) {
+            return Err(ServeError::Overloaded { depth });
+        }
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.len() >= depth {
+                return Err(ServeError::Overloaded { depth });
+            }
+            q.push_back(Job { line, reply });
+        }
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Currently queued (admitted, not yet drained) requests.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// Stops admitting, drains the queue, and joins every worker.
+    pub fn shutdown(mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        self.shared.not_empty.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Serves newline-delimited JSON over stdin/stdout until EOF or a
+/// `shutdown` request. Responses are written in completion order by a
+/// dedicated writer thread; queued requests are drained before exit.
+///
+/// # Errors
+///
+/// Only transport failures (stdin read errors); request-level failures
+/// go on the wire as typed error responses.
+pub fn serve_stdio(cfg: &ServeConfig) -> Result<(), String> {
+    use std::io::BufRead;
+    let engine = Arc::new(ServeEngine::new(cfg));
+    let server = ServeServer::start(Arc::clone(&engine), cfg);
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || {
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        for line in rx {
+            let mut out = stdout.lock();
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+    });
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let is_shutdown = matches!(Request::parse(&line), Ok(Request::Shutdown { .. }));
+        if let Err(e) = server.submit(line.clone(), tx.clone()) {
+            let _ = tx.send(reject_line(&line, &e));
+        }
+        if is_shutdown {
+            break;
+        }
+    }
+    server.shutdown();
+    drop(tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+/// Serves newline-delimited JSON over TCP. Each connection gets its own
+/// reader thread and response channel; all connections share one engine,
+/// admission queue, and worker pool. A `shutdown` request from any
+/// client stops the listener after its acknowledgement is sent.
+///
+/// # Errors
+///
+/// Binding failures; per-connection I/O errors only end that connection.
+pub fn serve_tcp(cfg: &ServeConfig, addr: &str) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("pmc serve: listening on {local}");
+    let engine = Arc::new(ServeEngine::new(cfg));
+    let server = Arc::new(ServeServer::start(Arc::clone(&engine), cfg));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut conns = Vec::new();
+
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let server = Arc::clone(&server);
+        let conn_stop = Arc::clone(&stop);
+        conns.push(std::thread::spawn(move || {
+            let stop = conn_stop;
+            let (tx, rx) = mpsc::channel::<String>();
+            let Ok(write_half) = stream.try_clone() else { return };
+            let writer = std::thread::spawn(move || {
+                let mut out = write_half;
+                for line in rx {
+                    if writeln!(out, "{line}").is_err() {
+                        break;
+                    }
+                    let _ = out.flush();
+                }
+            });
+            let reader = BufReader::new(stream);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let is_shutdown = matches!(Request::parse(&line), Ok(Request::Shutdown { .. }));
+                if let Err(e) = server.submit(line.clone(), tx.clone()) {
+                    let _ = tx.send(reject_line(&line, &e));
+                }
+                if is_shutdown {
+                    stop.store(true, Ordering::Release);
+                    break;
+                }
+            }
+            drop(tx);
+            let _ = writer.join();
+        }));
+        if stop.load(Ordering::Acquire) {
+            // Unblock the accept loop so the listener can close.
+            let _ = std::net::TcpStream::connect(local);
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    if let Ok(s) = Arc::try_unwrap(server) {
+        s.shutdown();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOT: &str = "main(input float x[4], output float y) {
+         index i[0:3];
+         y = sum[i](x[i]*x[i]);
+     }";
+
+    fn run_line(id: &str, program: &str) -> String {
+        Json::Obj(vec![
+            ("op".into(), Json::Str("run".into())),
+            ("id".into(), Json::Str(id.into())),
+            ("tenant".into(), Json::Str("t0".into())),
+            ("program".into(), Json::Str(program.into())),
+            (
+                "feeds".into(),
+                Json::Obj(vec![(
+                    "x".into(),
+                    Json::Obj(vec![
+                        ("dims".into(), Json::Arr(vec![Json::Num(4.0)])),
+                        (
+                            "values".into(),
+                            Json::Arr(vec![
+                                Json::Num(1.0),
+                                Json::Num(2.0),
+                                Json::Num(3.0),
+                                Json::Num(4.0),
+                            ]),
+                        ),
+                    ]),
+                )]),
+            ),
+        ])
+        .render()
+    }
+
+    #[test]
+    fn run_request_round_trips() {
+        let engine = ServeEngine::new(&ServeConfig { host_only: true, ..Default::default() });
+        let resp = engine.handle_line(&run_line("r1", DOT));
+        let v = Json::parse(&resp).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("r1"));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("program_cache").and_then(Json::as_str), Some("miss"));
+        let y = v.get("outputs").and_then(|o| o.get("y")).unwrap();
+        assert_eq!(y.get("values").and_then(Json::as_array), Some(&[Json::Num(30.0)][..]));
+    }
+
+    #[test]
+    fn warm_response_hits_and_outputs_match_cold_byte_for_byte() {
+        let engine = ServeEngine::new(&ServeConfig { host_only: true, ..Default::default() });
+        let cold = engine.handle_line(&run_line("c", DOT));
+        let warm = engine.handle_line(&run_line("w", DOT));
+        let cv = Json::parse(&cold).unwrap();
+        let wv = Json::parse(&warm).unwrap();
+        assert_eq!(cv.get("program_cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(wv.get("program_cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(
+            cv.get("outputs").unwrap().render(),
+            wv.get("outputs").unwrap().render(),
+            "cache hit must be byte-identical to the cold compile"
+        );
+        assert_eq!(wv.get("lower_us").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(wv.get("compile_us").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_errors() {
+        let engine = ServeEngine::new(&ServeConfig { host_only: true, ..Default::default() });
+        for (line, kind) in [
+            ("not json", "bad_request"),
+            ("{\"id\":\"x\"}", "bad_request"),
+            ("{\"op\":\"run\",\"id\":\"x\"}", "bad_request"),
+            ("{\"op\":\"warp\",\"id\":\"x\"}", "bad_request"),
+            ("{\"op\":\"run\",\"id\":\"x\",\"program\":\"main(\"}", "compile"),
+        ] {
+            let v = Json::parse(&engine.handle_line(line)).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+            let k = v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str);
+            assert_eq!(k, Some(kind), "{line}");
+        }
+    }
+
+    #[test]
+    fn overload_rejects_with_typed_error() {
+        let cfg = ServeConfig { queue_depth: 2, host_only: true, ..Default::default() };
+        let engine = Arc::new(ServeEngine::new(&cfg));
+        // Paused server: the queue fills deterministically.
+        let mut server = ServeServer::paused(Arc::clone(&engine), &cfg);
+        let (tx, rx) = mpsc::channel();
+        assert!(server.submit(run_line("a", DOT), tx.clone()).is_ok());
+        assert!(server.submit(run_line("b", DOT), tx.clone()).is_ok());
+        let err = server.submit(run_line("c", DOT), tx.clone()).unwrap_err();
+        assert_eq!(err, ServeError::Overloaded { depth: 2 });
+        assert_eq!(err.kind(), "overloaded");
+        // The rejection renders as a response, echoing the request id.
+        let rejection = reject_line(&run_line("c", DOT), &err);
+        let v = Json::parse(&rejection).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("c"));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+            Some("overloaded")
+        );
+        // Resume: both admitted requests complete.
+        server.resume();
+        drop(tx);
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            got.push(rx.recv().expect("admitted requests must complete"));
+        }
+        server.shutdown();
+        for resp in got {
+            let v = Json::parse(&resp).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        }
+    }
+
+    #[test]
+    fn stats_reports_cache_and_pool_counters() {
+        let engine = ServeEngine::new(&ServeConfig { host_only: true, ..Default::default() });
+        engine.handle_line(&run_line("a", DOT));
+        engine.handle_line(&run_line("b", DOT));
+        let v = Json::parse(&engine.handle_line("{\"op\":\"stats\",\"id\":\"s\"}")).unwrap();
+        let pc = v.get("program_cache").unwrap();
+        assert_eq!(pc.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(pc.get("misses").and_then(Json::as_u64), Some(1));
+        let pool = v.get("pool").unwrap();
+        assert_eq!(pool.get("requests").and_then(Json::as_u64), Some(2));
+    }
+}

@@ -438,6 +438,156 @@ fn fuzz_rejects_bad_flags() {
     assert!(stderr(&out).contains("bad --cases value"), "{}", stderr(&out));
 }
 
+/// Golden schema test for the `pmc serve` wire protocol: the service
+/// speaks line-delimited JSON to remote clients, so the response field
+/// names and emission order are a machine-readable interface and are
+/// pinned here, exactly like the `--timings`/chaos JSON schemas above.
+#[test]
+fn serve_json_schema_is_stable() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pmc"))
+        .args(["serve", "--host-only", "--workers", "1", "--shards", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    let run_req = concat!(
+        r#"{"op":"run","id":"r1","tenant":"alice","#,
+        r#""program":"main(input float x[4], param float w[4], output float y) {"#,
+        r#" index i[0:3]; y = sum[i](w[i]*x[i]); }","#,
+        r#""feeds":{"x":{"dims":[4],"values":[1,2,3,4]},"w":{"dims":[4],"values":[2,2,2,2]}}}"#
+    );
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, "{run_req}").unwrap();
+        writeln!(stdin, "{}", run_req.replace("\"id\":\"r1\"", "\"id\":\"r2\"")).unwrap();
+        writeln!(stdin, r#"{{"op":"stats","id":"s1"}}"#).unwrap();
+        writeln!(stdin, r#"{{"op":"shutdown","id":"bye"}}"#).unwrap();
+    }
+
+    let reader = BufReader::new(child.stdout.take().unwrap());
+    let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exited non-zero");
+    assert_eq!(lines.len(), 4, "one response line per request: {lines:?}");
+    let find = |id: &str| {
+        lines
+            .iter()
+            .find(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .unwrap_or_else(|| panic!("no response for id {id}: {lines:?}"))
+    };
+    let (cold, warm, stats, bye) = (find("r1"), find("r2"), find("s1"), find("bye"));
+
+    // Run response: single-line JSON object, fields in pinned order.
+    for json in [cold, warm] {
+        assert!(json.starts_with('{') && json.ends_with('}'), "not a JSON object: {json}");
+        let fields = [
+            "id",
+            "op",
+            "ok",
+            "tenant",
+            "shard",
+            "program_cache",
+            "outputs",
+            "invocations",
+            "replayed_invocations",
+            "faults_injected",
+            "retries",
+            "fallbacks",
+            "virtual_ns",
+            "frontend_us",
+            "lower_us",
+            "compile_us",
+            "execute_us",
+        ];
+        let mut last = 0;
+        for field in fields {
+            let key = format!("\"{field}\":");
+            let pos = json.find(&key).unwrap_or_else(|| panic!("missing field `{field}`: {json}"));
+            assert!(pos > last || field == "id", "field `{field}` out of order: {json}");
+            last = pos;
+        }
+        assert!(json.contains("\"ok\":true"), "{json}");
+        assert!(json.contains("\"tenant\":\"alice\""), "{json}");
+        // dot(w, x) with w = 2: y = 2*(1+2+3+4) = 20.
+        assert!(json.contains("\"y\":{\"dims\":[],\"values\":[20]}"), "{json}");
+    }
+    assert!(cold.contains("\"program_cache\":\"miss\""), "{cold}");
+    assert!(warm.contains("\"program_cache\":\"hit\""), "{warm}");
+    // A cache hit skips lowering and compilation entirely.
+    assert!(warm.contains("\"lower_us\":0,\"compile_us\":0"), "{warm}");
+
+    // Outputs must be byte-identical between the cold and warm runs.
+    let outputs = |json: &str| {
+        let start = json.find("\"outputs\":").unwrap();
+        json[start..json.find(",\"invocations\"").unwrap()].to_string()
+    };
+    assert_eq!(outputs(cold), outputs(warm), "warm outputs differ from cold");
+
+    // Stats response: the three counter groups, each with pinned keys.
+    let mut last = 0;
+    for field in ["id", "op", "ok", "program_cache", "template_cache", "pool"] {
+        let key = format!("\"{field}\":");
+        let pos = stats.find(&key).unwrap_or_else(|| panic!("missing field `{field}`: {stats}"));
+        assert!(pos > last || field == "id", "field `{field}` out of order: {stats}");
+        last = pos;
+    }
+    for key in ["\"hits\":1", "\"misses\":1", "\"inserts\":1", "\"hit_rate\":0.5"] {
+        assert!(stats.contains(key), "program cache counters wrong: {stats}");
+    }
+    assert!(stats.contains("\"shards\":2"), "{stats}");
+    assert!(stats.contains("\"requests\":2"), "{stats}");
+
+    assert!(bye.contains("\"op\":\"shutdown\"") && bye.contains("\"ok\":true"), "{bye}");
+}
+
+/// Malformed serve requests get typed, non-fatal error responses: the
+/// service answers the bad line and keeps serving the good ones.
+#[test]
+fn serve_rejects_malformed_requests_without_dying() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pmc"))
+        .args(["serve", "--host-only", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, "this is not json").unwrap();
+        writeln!(stdin, r#"{{"op":"warp","id":"w1"}}"#).unwrap();
+        writeln!(stdin, r#"{{"op":"run","id":"r1","program":"main(input float x, output float y) {{ y = q; }}"}}"#)
+            .unwrap();
+        writeln!(stdin, r#"{{"op":"shutdown","id":"bye"}}"#).unwrap();
+    }
+    let reader = BufReader::new(child.stdout.take().unwrap());
+    let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    assert!(child.wait().unwrap().success());
+    assert_eq!(lines.len(), 4, "{lines:?}");
+    let of_kind =
+        |kind: &str| lines.iter().filter(|l| l.contains(&format!("\"kind\":\"{kind}\""))).count();
+    assert_eq!(of_kind("bad_request"), 2, "{lines:?}");
+    assert_eq!(of_kind("compile"), 1, "{lines:?}");
+    for l in lines.iter().filter(|l| !l.contains("shutdown")) {
+        assert!(l.contains("\"ok\":false"), "{l}");
+        assert!(l.contains("\"error\":{"), "{l}");
+    }
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = pmc(&["serve", "--workers", "many"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--workers"), "{}", stderr(&out));
+}
+
 #[test]
 fn size_parameters_bind_from_the_command_line() {
     let f = temp_file(

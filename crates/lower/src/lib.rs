@@ -43,6 +43,7 @@
 pub mod compile;
 pub mod fallback;
 pub mod lower;
+pub mod progcache;
 pub mod spec;
 
 pub use compile::{
@@ -51,4 +52,5 @@ pub use compile::{
 };
 pub use fallback::{relower_without, relower_without_cached};
 pub use lower::{fully_lowered, lower, lower_with, LowerError};
+pub use progcache::{ProgramCache, ProgramCacheStats, ProgramKey};
 pub use spec::{AcceleratorSpec, SupportMemo, TargetMap};

@@ -173,6 +173,43 @@ impl TargetMap {
         self.per_domain.remove(&domain)
     }
 
+    /// A content fingerprint of the whole map: equal target assignments,
+    /// overrides, and host ⇒ equal value, independent of `HashMap`
+    /// iteration order. The serve program cache combines this with
+    /// [`srdfg::graph_fingerprint`] to key compiled programs — the same
+    /// source lowered against different maps yields different partitions,
+    /// so the map must be part of the cache key.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        fn hash_spec<H: Hasher>(s: &AcceleratorSpec, h: &mut H) {
+            s.name.hash(h);
+            s.domain.hash(h);
+            s.supports_all.hash(h);
+            s.supported.len().hash(h);
+            for op in &s.supported {
+                op.hash(h);
+            }
+            s.expand.max_nodes.hash(h);
+        }
+        let mut h = srdfg::FxHasher::default();
+        let mut domains: Vec<&Domain> = self.per_domain.keys().collect();
+        domains.sort();
+        domains.len().hash(&mut h);
+        for d in domains {
+            d.hash(&mut h);
+            hash_spec(&self.per_domain[d], &mut h);
+        }
+        let mut components: Vec<&String> = self.overrides.keys().collect();
+        components.sort();
+        components.len().hash(&mut h);
+        for c in components {
+            c.hash(&mut h);
+            hash_spec(&self.overrides[c], &mut h);
+        }
+        hash_spec(&self.host, &mut h);
+        h.finish()
+    }
+
     /// A copy of this map with every target named in `down` removed: their
     /// domains (and any component overrides pointing at them) fall back to
     /// the host. The resilient SoC runtime uses this to re-lower the

@@ -76,6 +76,58 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Content fingerprint of an entire srDFG — the program-cache key.
+///
+/// Digests every node (kind content, domain, operand wiring), every
+/// edge (full metadata, producer/consumer wiring) and the boundary
+/// lists, recursing fully into `Component` sub-graphs (unlike the
+/// shallow per-node digest, which only needs to distinguish siblings).
+/// Two structurally identical graphs — in particular, the post-mid-end
+/// graphs of two submissions of the same source under the same size
+/// bindings — fingerprint identically, in both the shared and the
+/// `PM_SRDFG_UNSHARED=1` store modes: the digest reads the *content*
+/// hashes cached on the interned payloads, never arena ids, so it is
+/// O(nodes + edges) yet store-layout independent.
+///
+/// This is what `pm-serve` keys its content-addressed compiled-program
+/// cache on: equal fingerprint ⇒ skip lowering + Algorithm 2 entirely.
+pub fn graph_fingerprint(g: &crate::graph::SrDfg) -> u64 {
+    let mut h = FxHasher(0);
+    hash_graph(g, &mut h);
+    h.finish()
+}
+
+fn hash_graph<H: Hasher>(g: &crate::graph::SrDfg, h: &mut H) {
+    g.name.hash(h);
+    g.domain.hash(h);
+    g.node_count().hash(h);
+    g.edge_count().hash(h);
+    for (id, node) in g.iter_nodes() {
+        id.hash(h);
+        node.name.hash(h);
+        node.domain.hash(h);
+        node.inputs.hash(h);
+        node.outputs.hash(h);
+        if let NodeKind::Component(sub) = &node.kind {
+            // Full recursion: the cache key must see the whole program,
+            // not the sibling-disambiguation digest `hash_kind` uses.
+            0xC0u8.hash(h);
+            hash_graph(sub, h);
+        } else {
+            hash_kind(&node.kind, h);
+        }
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        e.hash(h);
+        h.write_u64(edge.meta.structural_hash());
+        edge.producer.hash(h);
+        edge.consumers.hash(h);
+    }
+    g.boundary_inputs.hash(h);
+    g.boundary_outputs.hash(h);
+}
+
 /// The structural hash of `(node.kind, node.inputs)`.
 ///
 /// Two nodes for which CSE's merge equality holds are guaranteed to
@@ -296,6 +348,27 @@ mod tests {
         let n3 = g.add_node("mul", map_times(2.0, 4), None, vec![y], vec![c]);
         assert_ne!(node_structural_hash(g.node(n1)), node_structural_hash(g.node(n2)));
         assert_ne!(node_structural_hash(g.node(n1)), node_structural_hash(g.node(n3)));
+    }
+
+    #[test]
+    fn graph_fingerprint_is_content_addressed() {
+        let build = |c: f64| {
+            let mut g = SrDfg::new("fp");
+            let x = g.add_edge(EdgeMeta::new("x", DType::Float, Modifier::Input, vec![4]));
+            let a = g.add_edge(EdgeMeta::new("a", DType::Float, Modifier::Output, vec![4]));
+            g.add_node("mul", map_times(c, 4), None, vec![x], vec![a]);
+            g.boundary_inputs.push(x);
+            g.boundary_outputs.push(a);
+            g
+        };
+        // Two independent builds of the same content agree (the serve
+        // program-cache contract), and a payload change is visible.
+        assert_eq!(graph_fingerprint(&build(2.0)), graph_fingerprint(&build(2.0)));
+        assert_ne!(graph_fingerprint(&build(2.0)), graph_fingerprint(&build(3.0)));
+        // Wiring matters even when the node set is unchanged.
+        let mut g = build(2.0);
+        g.boundary_outputs.clear();
+        assert_ne!(graph_fingerprint(&g), graph_fingerprint(&build(2.0)));
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub use graph::{
     Edge, EdgeId, EdgeMeta, IndexRange, MapSpec, Modifier, Node, NodeId, NodeKind, Pattern,
     ReduceOp, ReduceSpec, ScalarKind, SrDfg, WriteSpec,
 };
-pub use hash::{node_structural_hash, FxBuildHasher, FxHasher};
+pub use hash::{graph_fingerprint, node_structural_hash, FxBuildHasher, FxHasher};
 pub use ident::Ident;
 pub use interp::Machine;
 pub use kernel::KExpr;

@@ -81,6 +81,137 @@ PM_SRDFG_UNSHARED=1 cargo run --release -p polymath --bin pmc -- fuzz --smoke
 PM_SRDFG_UNSHARED=1 cargo run --release -p polymath --bin pmc -- fuzz --seed 0xC0FFEE \
     --cases 300 --chaos-profile transient --chaos-seed 0xC0FFEE
 
+echo "== pmc serve smoke (5 bench-family programs twice: cache + throughput gate)"
+# The compile-once/serve-many contract end-to-end through the real
+# binary: five bench-family programs submitted cold then resubmitted
+# byte-identically. Every second-pass request must hit the
+# content-addressed program cache (100%), warm outputs must be
+# byte-identical to cold, and overall throughput must clear a lenient
+# floor (catches deadlocks/hangs, not scheduler noise — and the gate
+# retries once before failing, like the perf gates above).
+serve_smoke() {
+    python3 - <<'EOF'
+import json, subprocess, sys, time
+
+def t(dims, vals):
+    return {"dims": dims, "values": vals}
+
+def logistic(n):
+    return ("main(input float x[%d], input float label, state float w[%d], output float prob) {"
+            " index i[0:%d]; float mu;"
+            " DA: prob = sigmoid(sum[i](w[i]*x[i]));"
+            " DA: mu = (prob - label) * 0.1;"
+            " DA: w[i] = w[i] - mu * x[i]; }" % (n, n, n - 1))
+
+def kmeans(f, k):
+    return ("main(input float x[%d], state float c[%d][%d], output float assign) {"
+            " index i[0:%d], j[0:%d]; float dist[%d], best;"
+            " DA: dist[j] = sum[i]((x[i] - c[j][i]) * (x[i] - c[j][i]));"
+            " DA: assign = argmin[j](dist[j]);"
+            " DA: best = min[j](dist[j]);"
+            " DA: c[j][i] = c[j][i] + 0.05 * (dist[j] == best ? 1.0 : 0.0) * (x[i] - c[j][i]); }"
+            % (f, k, f, f - 1, k - 1, k))
+
+dct = ("main(input float blk[8][8], param float ck[8][8], output float out[8][8]) {"
+       " index u[0:7], v[0:7], x[0:7], y[0:7];"
+       " DSP: out[u][v] = sum[x][y](blk[x][y]*ck[u][x]*ck[v][y]); }")
+
+blks = ("main(input float spot[32], input float strike[32], input float vol[32],"
+        " param float rate, param float tte, output float call[32]) {"
+        " index i[0:31]; float d1[32], d2[32];"
+        " DA: d1[i] = (ln(spot[i]/strike[i]) + (rate + vol[i]*vol[i]*0.5)*tte) / (vol[i]*sqrt(tte));"
+        " DA: d2[i] = d1[i] - vol[i]*sqrt(tte);"
+        " DA: call[i] = spot[i]*phi(d1[i]) - strike[i]*exp(0.0 - rate*tte)*phi(d2[i]); }")
+
+ramp = lambda n, s: [s * (i + 1) for i in range(n)]
+programs = {
+    "logistic-64": (logistic(64),
+                    {"x": t([64], ramp(64, 0.01)), "label": t([], [1])},
+                    {"w": t([64], [0.0] * 64)}),
+    "logistic-256": (logistic(256),
+                     {"x": t([256], ramp(256, 0.003)), "label": t([], [0])},
+                     {"w": t([256], [0.0] * 256)}),
+    "kmeans-16x4": (kmeans(16, 4),
+                    {"x": t([16], ramp(16, 0.1))},
+                    {"c": t([4, 16], ramp(64, 0.05))}),
+    "dct-block": (dct,
+                  {"blk": t([8, 8], ramp(64, 1.0)), "ck": t([8, 8], ramp(64, 0.01))},
+                  None),
+    "blackscholes-32": (blks,
+                        {"spot": t([32], [100.0] * 32), "strike": t([32], ramp(32, 1.0)),
+                         "vol": t([32], [0.2] * 32), "rate": t([], [0.03]), "tte": t([], [1])},
+                        None),
+}
+
+lines = []
+for pass_no in (1, 2):
+    for name, (src, feeds, state) in programs.items():
+        req = {"op": "run", "id": "%s#%d" % (name, pass_no), "tenant": name,
+               "program": src, "invocations": 3, "feeds": feeds}
+        if state:
+            req["state"] = state
+        lines.append(json.dumps(req))
+lines.append(json.dumps({"op": "stats", "id": "stats"}))
+lines.append(json.dumps({"op": "shutdown", "id": "bye"}))
+
+start = time.monotonic()
+out = subprocess.run(["target/release/pmc", "serve", "--workers", "1", "--shards", "2"],
+                     input="\n".join(lines) + "\n", capture_output=True, text=True, timeout=300)
+elapsed = time.monotonic() - start
+if out.returncode != 0:
+    sys.exit("serve exited %d: %s" % (out.returncode, out.stderr))
+
+raw = {}
+for line in out.stdout.splitlines():
+    raw[json.loads(line)["id"]] = line
+if len(raw) != len(lines):
+    sys.exit("expected %d responses, got %d" % (len(lines), len(raw)))
+
+def outputs_bytes(line):
+    # Byte-identity over the rendered outputs member, not re-serialized.
+    start = line.index('"outputs":')
+    return line[start:line.index(',"invocations"')]
+
+hits = 0
+for name in programs:
+    cold, warm = raw["%s#1" % name], raw["%s#2" % name]
+    for r in (cold, warm):
+        if '"ok":true' not in r:
+            sys.exit("%s failed: %s" % (name, r))
+    if '"program_cache":"miss"' not in cold:
+        sys.exit("%s: first pass unexpectedly hit: %s" % (name, cold))
+    if '"program_cache":"hit"' in warm:
+        hits += 1
+    else:
+        sys.exit("%s: second pass missed the program cache: %s" % (name, warm))
+    if outputs_bytes(cold) != outputs_bytes(warm):
+        sys.exit("%s: warm outputs differ from cold" % name)
+
+stats = json.loads(raw["stats"])
+pc = stats["program_cache"]
+if (pc["hits"], pc["misses"]) != (5, 5):
+    sys.exit("program cache counters off: %s" % pc)
+
+reqs = 2 * len(programs)
+throughput = reqs / elapsed
+print("serve smoke: %d/%d second-pass hits, %.1f req/s (floor 1.0)" % (hits, len(programs), throughput))
+sys.exit(0 if throughput >= 1.0 else 1)
+EOF
+}
+for attempt in 1 2; do
+    if serve_smoke; then
+        break
+    elif [ "$attempt" = 2 ]; then
+        echo "serve smoke failed twice (cache miss or throughput floor)" >&2
+        exit 1
+    fi
+    echo "serve smoke below throughput floor on attempt 1; retrying once to rule out noise"
+done
+
+echo "== serve differential suite (shared vs PM_SRDFG_UNSHARED=1)"
+cargo test --release -q -p pm-tests --test serve
+PM_SRDFG_UNSHARED=1 cargo test --release -q -p pm-tests --test serve
+
 echo "== pmc analyze smoke"
 # A clean example must pass, and the checked-in hazard demo must fail
 # under --deny-warnings (it exists to exhibit a WAR DMA hazard) — an

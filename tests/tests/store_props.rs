@@ -18,6 +18,7 @@
 
 use proptest::prelude::*;
 use srdfg::{intern, sharing_disabled, Consed, EdgeMeta, Modifier, ScalarKind};
+use std::sync::Arc;
 
 fn arb_dtype() -> impl Strategy<Value = pmlang::DType> {
     prop_oneof![Just(pmlang::DType::Bool), Just(pmlang::DType::Int), Just(pmlang::DType::Float),]
@@ -100,5 +101,138 @@ proptest! {
         if !sharing_disabled() {
             prop_assert_ne!(diverged.arena_id(), original.arena_id());
         }
+    }
+}
+
+/// Concurrency stress: the store is process-global, so a serve pool
+/// compiling on worker threads shares its intern tables with every other
+/// thread in the process. N interning/CoW threads hammer the `EdgeMeta`
+/// table with overlapping content while a `ServeServer` compiles and
+/// executes concurrently; both invariants must hold under contention and
+/// the table counters must stay coherent.
+#[test]
+fn store_invariants_hold_under_concurrent_serve_traffic() {
+    use polymath::{ServeConfig, ServeEngine, ServeServer};
+    use std::sync::mpsc;
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 200;
+
+    let before = srdfg::store_stats();
+
+    // A serve pool compiling the same cross-domain program from four
+    // tenants on two workers: steady intern traffic from the compile and
+    // program-cache paths.
+    let cfg = ServeConfig { shards: 2, workers: 2, queue_depth: 256, ..Default::default() };
+    let engine = Arc::new(ServeEngine::new(&cfg));
+    let server = Arc::new(ServeServer::start(Arc::clone(&engine), &cfg));
+    let (tx, rx) = mpsc::channel();
+    let submitted: usize = (0..4)
+        .map(|t| {
+            let line = format!(
+                "{{\"op\":\"run\",\"id\":\"s{t}\",\"tenant\":\"t{t}\",\
+                 \"program\":\"main(input float x[4], param float w[4], output float y) {{ \
+                 index i[0:3]; DA: y = sum[i](w[i]*x[i]); }}\",\
+                 \"feeds\":{{\"x\":{{\"dims\":[4],\"values\":[1,2,3,4]}},\
+                 \"w\":{{\"dims\":[4],\"values\":[2,2,2,2]}}}}}}"
+            );
+            server.submit(line, tx.clone()).expect("queue has room");
+        })
+        .count();
+    drop(tx);
+
+    // Meanwhile: N threads intern the same shared payload set (equal
+    // content across threads) plus thread-unique divergences.
+    let shared_payloads: Arc<Vec<EdgeMeta>> = Arc::new(
+        (0..16)
+            .map(|i| EdgeMeta {
+                name: format!("stress_{i}"),
+                dtype: pmlang::DType::Float,
+                modifier: Modifier::Input,
+                shape: vec![i + 1, 2],
+                span: pmlang::Span::synthetic(),
+            })
+            .collect(),
+    );
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let payloads = Arc::clone(&shared_payloads);
+            std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for round in 0..ROUNDS {
+                    for (i, p) in payloads.iter().enumerate() {
+                        let a: Consed<EdgeMeta> = intern(p.clone());
+                        assert_eq!(a.get(), p, "interned handle must read its content");
+                        if round == 0 {
+                            ids.push((i, a.structural_hash(), a.arena_id()));
+                        }
+                        // CoW divergence unique to this thread: must never
+                        // write through the shared record.
+                        let mut owned = a.get().clone();
+                        owned.shape.push(1000 + t);
+                        let d: Consed<EdgeMeta> = intern(owned);
+                        assert_ne!(d.ptr_id(), a.ptr_id());
+                        assert_eq!(a.get(), p, "CoW wrote through a shared handle");
+                    }
+                }
+                ids
+            })
+        })
+        .collect();
+
+    let per_thread: Vec<Vec<(usize, u64, u32)>> =
+        handles.into_iter().map(|h| h.join().expect("stress thread panicked")).collect();
+
+    // Serve traffic all completed underneath the interning storm.
+    let responses: Vec<String> = rx.into_iter().collect();
+    assert_eq!(responses.len(), submitted);
+    for r in &responses {
+        assert!(r.contains("\"ok\":true"), "{r}");
+        assert!(r.contains("\"values\":[20]"), "{r}");
+    }
+
+    // Equal content ⇒ same hash on every thread; in shared mode, also the
+    // same arena id (one record per content, no duplicate admissions
+    // under contention).
+    for (i, hash, id) in &per_thread[0] {
+        for other in &per_thread[1..] {
+            let (oi, ohash, oid) = other[*i];
+            assert_eq!((*i, *hash), (oi, ohash));
+            if !sharing_disabled() {
+                assert_eq!(*id, oid, "payload {i} admitted twice under contention");
+            }
+        }
+    }
+
+    // Table counters stay coherent: monotone records/bytes, and the
+    // re-interned shared payloads counted as hits (shared mode).
+    let after = srdfg::store_stats();
+    assert!(after.records() >= before.records());
+    assert!(after.bytes() >= before.bytes());
+    if !sharing_disabled() {
+        let expect = (THREADS * ROUNDS * 16 - 16) as u64;
+        assert!(
+            after.edge_metas.hits >= before.edge_metas.hits + expect,
+            "shared re-interns must count as hits: {} -> {}",
+            before.edge_metas.hits,
+            after.edge_metas.hits
+        );
+    }
+
+    // The compiled graph's sharing ledger is internally consistent.
+    let compiled = engine
+        .compiler()
+        .compile("main(input float x[4], param float w[4], output float y) { index i[0:3]; DA: y = sum[i](w[i]*x[i]); }", &srdfg::Bindings::default())
+        .expect("compile");
+    let sh = srdfg::sharing_stats(&compiled.graph);
+    assert!(sh.physical_nodes <= sh.logical_nodes);
+    assert!(sh.physical_edges <= sh.logical_edges);
+    assert!(sh.physical_bytes <= sh.logical_bytes);
+    if sharing_disabled() {
+        assert_eq!(sh.physical_edges, sh.logical_edges, "unshared mode shares nothing");
+    }
+    match Arc::try_unwrap(server) {
+        Ok(s) => s.shutdown(),
+        Err(_) => panic!("server still referenced"),
     }
 }
