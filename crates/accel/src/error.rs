@@ -9,6 +9,7 @@
 
 use crate::fault::FaultKind;
 use pmlang::Domain;
+use srdfg::BudgetExceeded;
 use std::fmt;
 
 /// Why a SoC run could not complete.
@@ -84,6 +85,9 @@ pub enum SocError {
         /// The interpreter error message.
         detail: String,
     },
+    /// The request-level budget ([`srdfg::Budget`]) ran out mid-run;
+    /// the dispatch loop unwound cooperatively at its next checkpoint.
+    BudgetExhausted(BudgetExceeded),
 }
 
 impl SocError {
@@ -145,6 +149,7 @@ impl fmt::Display for SocError {
             SocError::Execution { invocation, detail } => {
                 write!(f, "invocation {invocation}: execution failed: {detail}")
             }
+            SocError::BudgetExhausted(e) => e.fmt(f),
         }
     }
 }

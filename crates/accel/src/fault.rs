@@ -14,6 +14,7 @@
 //! retry tests exact and CI free of timing flakiness.
 
 use pm_lower::FragmentKind;
+use srdfg::Budget;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::str::FromStr;
@@ -330,8 +331,13 @@ pub struct ChaosConfig {
     /// exhausted.
     pub fragment_budget_ns: u64,
     /// Targets forced persistently down regardless of the fault draw —
-    /// the sentinel tests use this to kill every accelerator at once.
+    /// the sentinel tests use this to kill every accelerator at once, and
+    /// the serve pool uses it to steer traffic away from open breakers.
     pub force_down: BTreeSet<String>,
+    /// Request-level cooperative-cancellation budget, charged per
+    /// dispatch attempt and per invocation. Compares (and defaults to)
+    /// unlimited, so existing chaos configs are unchanged.
+    pub budget: Budget,
 }
 
 impl ChaosConfig {
@@ -354,6 +360,7 @@ impl ChaosConfig {
             fragment_deadline_ns,
             fragment_budget_ns: fragment_deadline_ns * (max_retries as u64 + 2),
             force_down: BTreeSet::new(),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -368,6 +375,13 @@ impl ChaosConfig {
     /// Forces `target` persistently down.
     pub fn with_down(mut self, target: impl Into<String>) -> Self {
         self.force_down.insert(target.into());
+        self
+    }
+
+    /// Attaches a request budget; dispatch unwinds with
+    /// [`crate::SocError::BudgetExhausted`] when it runs out.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 

@@ -41,6 +41,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod backend;
+pub mod breaker;
 pub mod classify;
 pub mod cpu;
 pub mod deco;
@@ -59,6 +60,7 @@ pub mod tabla;
 pub mod vta;
 
 pub use backend::{Backend, DmaModel};
+pub use breaker::{BreakerBoard, BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker};
 pub use classify::{profile, WorkProfile};
 pub use cpu::Cpu;
 pub use deco::Deco;

@@ -18,8 +18,11 @@
 //! The serve layer brings its own workers and calls
 //! [`SocPool::shard_for`] → [`SocPool::shard`] → [`SocPool::record`].
 
+use crate::breaker::{BreakerBoard, BreakerConfig, BreakerSnapshot};
+use crate::fault::FaultKind;
 use crate::runtime::TrajectoryOutcome;
 use crate::soc::Soc;
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
@@ -84,6 +87,13 @@ pub struct PoolReport {
     pub shards: Vec<ShardStats>,
     /// All shard ledgers folded together.
     pub total: ShardStats,
+    /// Per-tenant ledgers (tenant order), so retry/fallback attribution
+    /// survives aggregation and the soak report can prove tenant
+    /// isolation numerically.
+    pub tenants: Vec<(String, ShardStats)>,
+    /// Per-shard breaker snapshots, in shard order (empty inner vectors
+    /// for shards whose backends have never failed).
+    pub breakers: Vec<Vec<BreakerSnapshot>>,
 }
 
 /// A fixed set of [`Soc`] shards with tenant-affinity routing and
@@ -92,6 +102,8 @@ pub struct PoolReport {
 pub struct SocPool {
     shards: Vec<Soc>,
     ledgers: Mutex<Vec<ShardStats>>,
+    tenants: Mutex<BTreeMap<String, ShardStats>>,
+    boards: Mutex<Vec<BreakerBoard>>,
 }
 
 impl std::fmt::Debug for SocPool {
@@ -108,6 +120,8 @@ impl SocPool {
         SocPool {
             shards: (0..n).map(build).collect(),
             ledgers: Mutex::new(vec![ShardStats::default(); n]),
+            tenants: Mutex::new(BTreeMap::new()),
+            boards: Mutex::new(vec![BreakerBoard::new(BreakerConfig::default()); n]),
         }
     }
 
@@ -143,14 +157,90 @@ impl SocPool {
         ledgers[shard % n].absorb(outcome);
     }
 
-    /// Snapshot of every shard ledger plus the pool-level fold.
+    /// Replaces every shard's breaker board with a fresh one under `cfg`.
+    /// Tests and the soak harness use this to shrink the (virtual-time)
+    /// cool-down so open→half-open→closed cycles happen within a short
+    /// deterministic run; calling it mid-flight discards breaker state.
+    pub fn set_breaker_config(&self, cfg: BreakerConfig) {
+        let mut boards = self.boards.lock().unwrap_or_else(|e| e.into_inner());
+        for b in boards.iter_mut() {
+            *b = BreakerBoard::new(cfg);
+        }
+    }
+
+    /// The targets an admitted request on `shard` must steer away from:
+    /// every backend whose breaker is open. The caller merges the set
+    /// into its [`crate::fault::ChaosConfig::force_down`], which routes
+    /// those backends' fragments through the same host-fallback
+    /// re-lowering a mid-run outage uses — outputs stay byte-identical
+    /// to the healthy path.
+    pub fn breaker_guard(&self, shard: usize) -> BTreeSet<String> {
+        let mut boards = self.boards.lock().unwrap_or_else(|e| e.into_inner());
+        let n = boards.len();
+        boards[shard % n].guard()
+    }
+
+    /// Folds a served request into the shard *and* tenant ledgers, and
+    /// drives `shard`'s breakers from the outcome.
+    ///
+    /// `forced` is the set [`SocPool::breaker_guard`] returned when the
+    /// request was admitted: fallbacks the guard itself forced are *not*
+    /// counted as fresh failures (an open breaker steering traffic must
+    /// not keep itself open), and their targets report no success either
+    /// — only organic dispatches carry breaker information.
+    pub fn record_served(
+        &self,
+        shard: usize,
+        tenant: &str,
+        outcome: &TrajectoryOutcome,
+        forced: &BTreeSet<String>,
+    ) {
+        self.record(shard, outcome);
+        {
+            let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+            tenants.entry(tenant.to_string()).or_default().absorb(outcome);
+        }
+        let mut boards = self.boards.lock().unwrap_or_else(|e| e.into_inner());
+        let n = boards.len();
+        let board = &mut boards[shard % n];
+        board.advance(outcome.virtual_ns.max(1));
+        for f in &outcome.fallbacks {
+            if !forced.contains(&f.target) {
+                let persistent = matches!(f.fault, FaultKind::DeviceDown { persistent: true });
+                board.on_failure(&f.target, persistent);
+            }
+        }
+        for p in &outcome.last.partitions {
+            let fell_back = outcome.fallbacks.iter().any(|f| f.target == p.target);
+            if !forced.contains(&p.target) && !fell_back {
+                board.on_success(&p.target);
+            }
+        }
+    }
+
+    /// Snapshot of every shard ledger plus the pool-level fold, tenant
+    /// attribution, and breaker states.
     pub fn report(&self) -> PoolReport {
         let shards = self.ledgers.lock().unwrap_or_else(|e| e.into_inner()).clone();
         let mut total = ShardStats::default();
         for s in &shards {
             total.merge(s);
         }
-        PoolReport { shards, total }
+        let tenants = self
+            .tenants
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, stats)| (name.clone(), *stats))
+            .collect();
+        let breakers = self
+            .boards
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(BreakerBoard::snapshot)
+            .collect();
+        PoolReport { shards, total, tenants, breakers }
     }
 }
 

@@ -134,6 +134,7 @@ impl Soc {
         let mut fallbacks: Vec<FallbackRecord> = Vec::new();
 
         for k in 0..invocations {
+            cfg.budget.charge("invoke", 1).map_err(SocError::BudgetExhausted)?;
             // Checkpoint the state edges at the domain boundary before
             // dispatching, so a faulted invocation can be rolled back and
             // replayed deterministically.

@@ -387,6 +387,7 @@ impl Soc {
         // down, so the loop is bounded by the number of backends; the
         // counter is a defensive backstop.
         for _ in 0..=self.backends.len() + 1 {
+            cfg.budget.charge("dispatch", 1).map_err(SocError::BudgetExhausted)?;
             let prog = relowered.as_ref().unwrap_or(compiled);
             match self.dispatch(prog, hints, false, cfg)? {
                 Round::Done(parts) => {
@@ -606,6 +607,10 @@ impl Soc {
             let mut attempt: u32 = 1;
             let mut spent: u64 = 0;
             loop {
+                // All parallel charge sites share the `dispatch` stage so
+                // the wire error stays byte-stable whichever partition's
+                // charge crosses the limit first.
+                cfg.budget.charge("dispatch", 1).map_err(SocError::BudgetExhausted)?;
                 r.attempts += 1;
                 let Some(kind) = backend.inject_fault(&cfg.plan, idx, frag.kind, attempt) else {
                     clock.advance(transfer_ns);

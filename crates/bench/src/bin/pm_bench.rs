@@ -38,7 +38,10 @@
 //! family pushed through the real `pmc serve` admission queue + worker
 //! pool (one cold pass, then warm passes that must all hit the
 //! content-addressed program cache), reported as programs/s and
-//! invocations/s together with both cache hit rates.
+//! invocations/s together with both cache hit rates — and a `soak`
+//! section: the deterministic chaos harness (`pmc soak`) at a fixed
+//! seed, recording the typed-response census, breaker trips, steered
+//! requests, contained panics, and the byte-identical-replay verdict.
 
 use pm_workloads::programs;
 use polymath::{CompileTimings, Compiler, Json, ServeConfig, ServeEngine, ServeServer};
@@ -185,7 +188,41 @@ fn main() {
         }
     };
 
-    let json = render_json(&reports, &serve, quick, threads, threads_explicit);
+    // Resilience soak: the deterministic chaos harness (DESIGN.md §15)
+    // at a fixed seed, so breaker/shed/quarantine behavior diffs across
+    // commits like any other figure. The harness injects one poison
+    // request whose contained worker panic would otherwise spray a
+    // backtrace into the bench log; silence the hook around the run.
+    let soak_cfg = polymath::SoakConfig {
+        seed: 0xC0FFEE,
+        requests: if quick { 60 } else { 200 },
+        tenants: 4,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let soak = polymath::run_soak(&soak_cfg);
+    std::panic::set_hook(prev_hook);
+    let soak = match soak {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pm-bench: soak invariant failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let soak_wall_s = t.elapsed().as_secs_f64();
+    println!(
+        "soak           {} responses ({} ok)  {} breaker trip(s), {} steered  \
+         replay byte-identical  {:.2}s",
+        soak.responses,
+        soak.kinds.get("ok").copied().unwrap_or(0),
+        soak.breaker_trips,
+        soak.breaker_steered,
+        soak_wall_s,
+    );
+
+    let json = render_json(&reports, &serve, &soak, soak_wall_s, quick, threads, threads_explicit);
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("pm-bench: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -474,6 +511,8 @@ fn render_cache(out: &mut String, label: &str, c: &TemplateCacheStats) {
 fn render_json(
     reports: &[WorkloadReport],
     serve: &ServeReport,
+    soak: &polymath::SoakReport,
+    soak_wall_s: f64,
     quick: bool,
     threads: usize,
     threads_explicit: bool,
@@ -569,6 +608,14 @@ fn render_json(
         tc.evictions,
         tc.bypassed
     ));
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n");
+    // Resilience soak account: the full typed-response census plus the
+    // wall time; everything but wall_s is deterministic at a fixed seed.
+    let mut soak_json = soak.to_json();
+    if let Json::Obj(fields) = &mut soak_json {
+        fields.push(("wall_s".to_string(), Json::Num(soak_wall_s)));
+    }
+    out.push_str(&format!("  \"soak\": {}\n", soak_json.render()));
+    out.push_str("}\n");
     out
 }

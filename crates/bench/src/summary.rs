@@ -43,6 +43,24 @@ pub struct ServeSummary {
     pub template_cache_hit_rate: f64,
 }
 
+/// The resilience-soak section (absent in accounts written before the
+/// chaos harness existed).
+#[derive(Debug, Clone)]
+pub struct SoakSummary {
+    /// Responses collected (requests plus admission-phase probes).
+    pub responses: u64,
+    /// Responses with `ok: true`.
+    pub ok: u64,
+    /// Contained worker panics (the injected poison).
+    pub worker_panics: u64,
+    /// Circuit-breaker trips over the run.
+    pub breaker_trips: u64,
+    /// Requests the open breakers steered to host fallback.
+    pub breaker_steered: u64,
+    /// Whether the second pass replayed byte-identically.
+    pub replay_identical: bool,
+}
+
 /// The parsed benchmark account.
 #[derive(Debug, Clone)]
 pub struct BenchSummary {
@@ -54,6 +72,8 @@ pub struct BenchSummary {
     pub rows: Vec<SummaryRow>,
     /// Serve throughput, when the account carries it.
     pub serve: Option<ServeSummary>,
+    /// Resilience soak, when the account carries it.
+    pub soak: Option<SoakSummary>,
 }
 
 /// Renders an optional speedup figure: `null` (single-thread run) is a
@@ -113,7 +133,24 @@ pub fn parse_summary(text: &str) -> Result<BenchSummary, String> {
             })
         }
     };
-    Ok(BenchSummary { threads, quick, rows, serve })
+    let soak = match v.get("soak") {
+        None => None,
+        Some(s) => {
+            let kinds = s.get("kinds").ok_or("soak: missing `kinds`")?;
+            Some(SoakSummary {
+                responses: num(s, "responses")? as u64,
+                ok: num(kinds, "ok")? as u64,
+                worker_panics: num(s, "worker_panics")? as u64,
+                breaker_trips: num(s, "breaker_trips")? as u64,
+                breaker_steered: num(s, "breaker_steered")? as u64,
+                replay_identical: s
+                    .get("replay_identical")
+                    .and_then(Json::as_bool)
+                    .ok_or("soak: missing `replay_identical`")?,
+            })
+        }
+    };
+    Ok(BenchSummary { threads, quick, rows, serve, soak })
 }
 
 /// Renders the summary table `figures --bench-summary` prints.
@@ -149,6 +186,18 @@ pub fn render_summary(s: &BenchSummary) -> String {
             sv.invocations_per_s,
             sv.program_cache_hit_rate * 100.0,
             sv.template_cache_hit_rate * 100.0,
+        ));
+    }
+    if let Some(sk) = &s.soak {
+        out.push_str(&format!(
+            "  soak: {} response(s) ({} ok), {} breaker trip(s), {} steered, \
+             {} contained panic(s), replay {}\n",
+            sk.responses,
+            sk.ok,
+            sk.breaker_trips,
+            sk.breaker_steered,
+            sk.worker_panics,
+            if sk.replay_identical { "byte-identical" } else { "DIVERGED" },
         ));
     }
     out
@@ -221,6 +270,31 @@ mod tests {
         let text = render_summary(&s);
         assert!(text.contains("120.5 req/s"), "{text}");
         assert!(text.contains("program cache 66.7% hit"), "{text}");
+    }
+
+    #[test]
+    fn soak_section_is_optional_but_renders_when_present() {
+        let s = parse_summary(ONE_THREAD_FIXTURE).unwrap();
+        assert!(s.soak.is_none());
+        let with_soak = ONE_THREAD_FIXTURE.replace(
+            "      ]\n    }",
+            "      ],\n      \"soak\": {\
+               \"seed\": 12648430, \"profile\": \"hostile\", \"responses\": 207,\
+               \"tenants\": 4,\
+               \"kinds\": {\"deadline_exceeded\": 12, \"ok\": 184, \"overloaded\": 1,\
+                 \"quarantined\": 8, \"shedding\": 1, \"shutting_down\": 1},\
+               \"worker_panics\": 1, \"quarantined_sources\": 1, \"quarantined_graphs\": 0,\
+               \"breaker_trips\": 9, \"breaker_steered\": 498,\
+               \"replay_identical\": true, \"wall_s\": 0.06}\n    }",
+        );
+        let s = parse_summary(&with_soak).unwrap();
+        let sk = s.soak.as_ref().expect("soak section");
+        assert_eq!(sk.responses, 207);
+        assert_eq!(sk.ok, 184);
+        assert!(sk.replay_identical);
+        let text = render_summary(&s);
+        assert!(text.contains("soak: 207 response(s) (184 ok)"), "{text}");
+        assert!(text.contains("replay byte-identical"), "{text}");
     }
 
     #[test]

@@ -71,8 +71,19 @@
 //!     reports cache hit rates and pool-level execution counters; the
 //!     `shutdown` op drains and exits. See `polymath::serve` for the
 //!     full wire protocol.
+//! pmc soak [--seed N] [--profile off|transient|hostile] [--requests N]
+//!          [--tenants N] [--host-only] [--format json]
+//!     Deterministic chaos soak of the serving layer: drive a live serve
+//!     stack through a seed-derived multi-tenant workload (per-request
+//!     chaos, deadline/fuel jitter, poison programs that panic a worker,
+//!     admission storms), assert the resilience invariants (no worker
+//!     death, every response typed, breaker convergence, quarantine
+//!     stops repeat poisons), and run the whole workload twice to prove
+//!     the transcript is byte-identical at the same seed. Exits non-zero
+//!     on the first violated invariant. `--format json` prints the soak
+//!     report as one JSON object (consumed by the benchmark harness).
 //! pmc fuzz [--seed N] [--cases N] [--smoke] [--minimize] [--corpus DIR]
-//!          [--chaos-profile P] [--chaos-seed N]
+//!          [--chaos-profile P] [--chaos-seed N] [--wire]
 //!     Differentially fuzz the whole stack: generate seeded random PMLang
 //!     programs and run each through every route (interpreter at opt
 //!     levels 0/1/2 with and without fusion, lowered + partitioned
@@ -84,7 +95,10 @@
 //!     (replayed forever after by the regression suite). `--chaos-profile`
 //!     adds the chaos route: every case also executes under fault
 //!     injection and must match the oracle (or fail with a structured,
-//!     minimizable diagnostic — never a panic).
+//!     minimizable diagnostic — never a panic). `--wire` switches to the
+//!     serve@wire route instead: seeded byte mutations of valid request
+//!     lines are fed to a live serve engine, and every one must yield a
+//!     typed response — never a panic, never malformed output.
 //! ```
 
 use polymath::{standard_soc, Compiler};
@@ -114,6 +128,10 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "serve" {
         // `serve` takes no source file either; programs arrive over the wire.
         return serve_cmd(&args[1..]);
+    }
+    if cmd == "soak" {
+        // `soak` generates its own workload from the seed.
+        return soak_cmd(&args[1..]);
     }
     let Some(path) = args.get(1) else {
         return Err(usage());
@@ -384,6 +402,9 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
     };
     let seed = flag_value("--seed")?.unwrap_or(if smoke { 0xC0FFEE } else { 0 });
     let cases = flag_value("--cases")?.unwrap_or(if smoke { 10_000 } else { 1000 }) as usize;
+    if args.iter().any(|a| a == "--wire") {
+        return wire_fuzz_cmd(seed, cases);
+    }
     let chaos = match args.iter().position(|a| a == "--chaos-profile") {
         None => None,
         Some(pos) => {
@@ -457,6 +478,113 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// The `pmc fuzz --wire` route: seeded byte-mutation fuzzing of the
+/// serve wire protocol. Every mutated line must yield a typed response
+/// from a live engine — never a panic, never malformed output.
+fn wire_fuzz_cmd(seed: u64, cases: usize) -> Result<(), String> {
+    let engine = polymath::ServeEngine::new(&polymath::ServeConfig {
+        host_only: true,
+        ..Default::default()
+    });
+    let corpus = polymath::serve::wire_corpus();
+    let cfg = pm_fuzz::WireFuzzConfig { seed, cases };
+    let start = std::time::Instant::now();
+    // The checker panics are an expected campaign event (that is what the
+    // oracle is hunting); keep the default hook from spamming stderr.
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = pm_fuzz::run_wire_fuzz(
+        &cfg,
+        &corpus,
+        |line| polymath::Request::parse(line).is_err(),
+        |line| polymath::serve::check_wire_line(&engine, line),
+    );
+    let _ = std::panic::take_hook();
+    let elapsed = start.elapsed().as_secs_f64();
+    match report.failure {
+        None => {
+            println!(
+                "fuzz: serve@wire: {} mutated line(s) all yielded typed responses \
+                 ({} no longer parseable; seed {seed:#x}, {elapsed:.1}s)",
+                report.executed, report.mangled
+            );
+            Ok(())
+        }
+        Some(f) => {
+            eprintln!("fuzz: serve@wire: FAILURE at case {} (seed {seed:#x})", f.case);
+            eprintln!("  detail: {}", f.detail);
+            eprintln!("--- mutated line ---");
+            eprintln!("{}", f.line);
+            eprintln!("--------------------");
+            Err(format!("wire hardening violation after {} case(s)", report.executed))
+        }
+    }
+}
+
+/// The `pmc soak` subcommand: the deterministic chaos soak harness.
+/// Drives a live serve stack through a seed-derived multi-tenant
+/// workload (chaos, deadline jitter, poison programs, admission storms),
+/// asserts the resilience invariants, and replays the whole run to prove
+/// byte-identical determinism. See `polymath::soak`.
+fn soak_cmd(args: &[String]) -> Result<(), String> {
+    let flag_value = |name: &str| -> Result<Option<u64>, String> {
+        match args.iter().position(|a| a == name) {
+            None => Ok(None),
+            Some(pos) => {
+                let v = args.get(pos + 1).ok_or_else(|| format!("{name} expects a number"))?;
+                match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                }
+                .map(Some)
+                .map_err(|_| format!("bad {name} value `{v}`"))
+            }
+        }
+    };
+    let defaults = polymath::SoakConfig::default();
+    let mut cfg = polymath::SoakConfig {
+        seed: flag_value("--seed")?.unwrap_or(defaults.seed),
+        requests: flag_value("--requests")?.unwrap_or(defaults.requests as u64) as usize,
+        tenants: flag_value("--tenants")?.unwrap_or(defaults.tenants as u64) as usize,
+        host_only: args.iter().any(|a| a == "--host-only"),
+        ..defaults
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--profile") {
+        let p = args.get(pos + 1).ok_or_else(|| "--profile expects a value".to_string())?;
+        cfg.profile = p.parse()?;
+    }
+    let json = matches!(
+        args.iter().position(|a| a == "--format").and_then(|p| args.get(p + 1)),
+        Some(f) if f == "json"
+    );
+    // Worker panics are an expected part of the soak (poison programs);
+    // silence the default hook so the report is the only output.
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = polymath::run_soak(&cfg);
+    let _ = std::panic::take_hook();
+    let report = result?;
+    if json {
+        println!("{}", report.to_json().render());
+    } else {
+        println!(
+            "soak: {} responses over {} tenant(s), seed {:#x}, profile {}",
+            report.responses, report.tenants, report.seed, report.profile
+        );
+        for (kind, n) in &report.kinds {
+            println!("  {kind:>18}  {n}");
+        }
+        println!(
+            "  worker panics contained: {} (quarantined {} source(s), {} graph(s))",
+            report.worker_panics, report.quarantined_sources, report.quarantined_graphs
+        );
+        println!(
+            "  breakers: {} trip(s), {} request(s) steered to host fallback",
+            report.breaker_trips, report.breaker_steered
+        );
+        println!("  replay: byte-identical");
+    }
+    Ok(())
+}
+
 /// The `pmc serve` subcommand: a long-lived compile-and-run service
 /// speaking line-delimited JSON over stdin/stdout (default) or TCP
 /// (`--addr host:port`). See `polymath::serve` for the wire protocol.
@@ -477,6 +605,8 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         queue_depth: flag_value("--queue")?.unwrap_or(defaults.queue_depth as u64) as usize,
         batch: flag_value("--batch")?.unwrap_or(defaults.batch as u64) as usize,
         host_only: args.iter().any(|a| a == "--host-only"),
+        max_inflight_cost: flag_value("--max-inflight-cost")?.unwrap_or(defaults.max_inflight_cost),
+        poison_marker: None,
     };
     match args.iter().position(|a| a == "--addr") {
         Some(pos) => {

@@ -6,12 +6,12 @@ use pm_accel::{
     Backend, Cpu, Deco, DnnWeaver, Graphicionado, HyperStreams, Robox, Soc, Tabla, Vta,
 };
 use pm_lower::{
-    compile_program_shared, lower_with, CompiledProgram, ProgramCache, ProgramCacheStats,
+    compile_program_budgeted, lower_budgeted, CompiledProgram, ProgramCache, ProgramCacheStats,
     ProgramKey, TargetMap,
 };
 use pm_passes::{Pass, PassManager, PassTiming};
 use pmlang::Domain;
-use srdfg::{Bindings, SrDfg, TemplateCache, TemplateCacheStats};
+use srdfg::{Bindings, Budget, BudgetExceeded, SrDfg, TemplateCache, TemplateCacheStats};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -28,6 +28,16 @@ pub enum PolyMathError {
     /// The SoC runtime could not execute the compiled program (missing
     /// backend, exhausted retries, failed host fallback, …).
     Soc(pm_accel::SocError),
+    /// The request's budget (deadline or fuel) ran out before the
+    /// pipeline stage in question could start or finish.
+    Budget(BudgetExceeded),
+    /// The program's content address is quarantined: a structurally
+    /// identical program previously took down a worker, so the request
+    /// is rejected before lowering can run.
+    Quarantined {
+        /// The [`srdfg::graph_fingerprint`] of the post-midend graph.
+        fingerprint: u64,
+    },
 }
 
 impl fmt::Display for PolyMathError {
@@ -37,6 +47,10 @@ impl fmt::Display for PolyMathError {
             PolyMathError::Build(e) => e.fmt(f),
             PolyMathError::Lower(e) => e.fmt(f),
             PolyMathError::Soc(e) => e.fmt(f),
+            PolyMathError::Budget(e) => e.fmt(f),
+            PolyMathError::Quarantined { fingerprint } => {
+                write!(f, "program fingerprint {fingerprint:016x} is quarantined after a prior worker panic")
+            }
         }
     }
 }
@@ -57,13 +71,27 @@ impl From<srdfg::BuildError> for PolyMathError {
 
 impl From<pm_lower::LowerError> for PolyMathError {
     fn from(e: pm_lower::LowerError) -> Self {
-        PolyMathError::Lower(e)
+        // A budget-tagged lowering error is a cancellation, not a compile
+        // failure — surface it as such so the wire layer can type it.
+        match e.budget {
+            Some(b) => PolyMathError::Budget(b),
+            None => PolyMathError::Lower(e),
+        }
     }
 }
 
 impl From<pm_accel::SocError> for PolyMathError {
     fn from(e: pm_accel::SocError) -> Self {
-        PolyMathError::Soc(e)
+        match e {
+            pm_accel::SocError::BudgetExhausted(b) => PolyMathError::Budget(b),
+            other => PolyMathError::Soc(other),
+        }
+    }
+}
+
+impl From<BudgetExceeded> for PolyMathError {
+    fn from(e: BudgetExceeded) -> Self {
+        PolyMathError::Budget(e)
     }
 }
 
@@ -222,10 +250,11 @@ impl Compiler {
         bindings: &Bindings,
     ) -> Result<CompiledProgram, PolyMathError> {
         let mut graph = self.build_graph(source, bindings)?;
-        lower_with(&mut graph, &self.targets, Some(&self.template_cache))?;
+        let unlimited = Budget::unlimited();
+        lower_budgeted(&mut graph, &self.targets, Some(&self.template_cache), &unlimited)?;
         pm_passes::ElideMarshalling.run(&mut graph);
         pm_passes::PruneUnusedInputs.run(&mut graph);
-        Ok(compile_program_shared(Arc::new(graph), &self.targets, true)?)
+        Ok(compile_program_budgeted(Arc::new(graph), &self.targets, true, &unlimited)?)
     }
 
     /// [`Compiler::compile`] with per-stage and per-pass wall-clock timing
@@ -264,9 +293,10 @@ impl Compiler {
         let _ = pm_analyze::analyze_graph(&graph);
         let analyze = t.elapsed();
 
+        let unlimited = Budget::unlimited();
         let cache_before = self.template_cache.stats();
         let t = Instant::now();
-        lower_with(&mut graph, &self.targets, Some(&self.template_cache))?;
+        lower_budgeted(&mut graph, &self.targets, Some(&self.template_cache), &unlimited)?;
         let lower_d = t.elapsed();
         let cache = self.template_cache.stats().since(&cache_before);
 
@@ -276,7 +306,7 @@ impl Compiler {
         let post_lower = t.elapsed();
 
         let t = Instant::now();
-        let compiled = compile_program_shared(Arc::new(graph), &self.targets, true)?;
+        let compiled = compile_program_budgeted(Arc::new(graph), &self.targets, true, &unlimited)?;
         let compile = t.elapsed();
 
         let t = Instant::now();
@@ -318,6 +348,33 @@ impl Compiler {
         source: &str,
         bindings: &Bindings,
     ) -> Result<CachedCompile, PolyMathError> {
+        self.compile_cached_checked(source, bindings, &Budget::unlimited(), None)
+    }
+
+    /// [`Compiler::compile_cached`] under a request [`Budget`] and an
+    /// optional admission gate over the content address.
+    ///
+    /// The budget is checked *before* the frontend runs — a request whose
+    /// deadline has already passed never executes any pipeline stage —
+    /// and charged inside Algorithm 1's round loop and at Algorithm 2's
+    /// entry, so an in-flight request past its budget unwinds at the next
+    /// loop boundary. The `gate`, when provided, is consulted with the
+    /// post-midend [`ProgramKey`]; returning `false` rejects the request
+    /// as [`PolyMathError::Quarantined`] before lowering can run (this is
+    /// the serve layer's poison-quarantine hook).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Compiler::compile_cached`] returns, plus
+    /// [`PolyMathError::Budget`] and [`PolyMathError::Quarantined`].
+    pub fn compile_cached_checked(
+        &self,
+        source: &str,
+        bindings: &Bindings,
+        budget: &Budget,
+        gate: Option<&dyn Fn(&ProgramKey) -> bool>,
+    ) -> Result<CachedCompile, PolyMathError> {
+        budget.check("compile")?;
         let t0 = Instant::now();
         let t = Instant::now();
         let (program, _) = pmlang::frontend(source)?;
@@ -337,6 +394,11 @@ impl Compiler {
         let midend = t.elapsed();
 
         let key = ProgramKey::new(&graph, &self.targets);
+        if let Some(gate) = gate {
+            if !gate(&key) {
+                return Err(PolyMathError::Quarantined { fingerprint: key.graph });
+            }
+        }
         if let Some(program) = self.program_cache.lookup(&key) {
             let timings = CompileTimings {
                 frontend,
@@ -350,7 +412,7 @@ impl Compiler {
 
         let cache_before = self.template_cache.stats();
         let t = Instant::now();
-        lower_with(&mut graph, &self.targets, Some(&self.template_cache))?;
+        lower_budgeted(&mut graph, &self.targets, Some(&self.template_cache), budget)?;
         let lower_d = t.elapsed();
         let cache = self.template_cache.stats().since(&cache_before);
 
@@ -360,7 +422,8 @@ impl Compiler {
         let post_lower = t.elapsed();
 
         let t = Instant::now();
-        let compiled = Arc::new(compile_program_shared(Arc::new(graph), &self.targets, true)?);
+        let compiled =
+            Arc::new(compile_program_budgeted(Arc::new(graph), &self.targets, true, budget)?);
         let compile = t.elapsed();
 
         self.program_cache.insert(key, Arc::clone(&compiled));

@@ -56,10 +56,13 @@ pub mod compiler;
 pub mod evaluate;
 pub mod json;
 pub mod serve;
+pub mod soak;
 
 pub use compiler::{standard_soc, CachedCompile, CompileTimings, Compiler, PolyMathError};
 pub use evaluate::{evaluate, geomean, PlatformResults};
 pub use json::{Json, JsonError};
 pub use serve::{
-    serve_stdio, serve_tcp, Request, RunRequest, ServeConfig, ServeEngine, ServeError, ServeServer,
+    serve_stdio, serve_tcp, Quarantine, Request, RunRequest, ServeConfig, ServeEngine, ServeError,
+    ServeServer,
 };
+pub use soak::{run_soak, SoakConfig, SoakReport};

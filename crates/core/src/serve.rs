@@ -52,21 +52,48 @@
 //!
 //! Failures are typed, never panics:
 //! `{"id":"r1","op":"run","ok":false,"error":{"kind":"overloaded","detail":"..."}}`
-//! with kinds `bad_request` | `overloaded` | `compile` | `execution`.
+//! with kinds `bad_request` | `overloaded` | `shedding` | `deadline_exceeded`
+//! | `quarantined` | `shutting_down` | `panic` | `compile` | `execution`.
 //!
 //! Responses are emitted in completion order; match them to requests by
 //! `id`. All tensors are `float`; outputs render with names sorted, so a
 //! cache hit's response bytes are identical to the cold compile's.
+//!
+//! ## Resilience (`pm-resilience`, DESIGN.md §15)
+//!
+//! The service contains faults at four layers:
+//!
+//! * **deadlines** — a request may carry `deadline_ms` (wall clock) and
+//!   `fuel` (deterministic work units); the resulting [`srdfg::Budget`]
+//!   is threaded through Algorithm 1's round loop, Algorithm 2's entry,
+//!   and every SoC dispatch/retry/invocation loop. Exhaustion returns a
+//!   typed `deadline_exceeded` error at the next loop boundary — no
+//!   thread is ever killed, and an already-expired deadline is rejected
+//!   before the frontend runs.
+//! * **circuit breakers** — each shard tracks per-backend breakers
+//!   ([`pm_accel::BreakerBoard`]); an admitted request steers away from
+//!   open breakers by merging them into its chaos `force_down` set,
+//!   which reuses the byte-identical host-fallback re-lowering path.
+//! * **admission control** — beyond the bounded queue (`overloaded`),
+//!   submissions are load-shed with a distinct `shedding` error when the
+//!   total in-flight request cost passes `max_inflight_cost`, and
+//!   requests whose content address is quarantined after a prior panic
+//!   are rejected (`quarantined`) without reaching a worker.
+//! * **panic isolation** — each request runs under `catch_unwind`; a
+//!   panic is caught, counted, its program's source hash and graph
+//!   fingerprint quarantined, and a typed error returned while the
+//!   worker lives on.
 
-use crate::compiler::{standard_soc, Compiler};
+use crate::compiler::{standard_soc, Compiler, PolyMathError};
 use crate::json::Json;
-use pm_accel::{ChaosConfig, ChaosProfile, SocPool, TrajectoryInputs};
-use srdfg::{Bindings, Tensor};
-use std::collections::{HashMap, VecDeque};
+use pm_accel::{ChaosConfig, ChaosProfile, SocError, SocPool, TrajectoryInputs};
+use pm_lower::ProgramKey;
+use srdfg::{Bindings, Budget, Tensor};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of one serve instance.
 #[derive(Debug, Clone)]
@@ -83,11 +110,29 @@ pub struct ServeConfig {
     /// Compile against the host-only target map instead of the
     /// cross-domain one.
     pub host_only: bool,
+    /// Total in-flight request cost (admitted line bytes, queued or
+    /// executing) beyond which submissions are load-shed with a typed
+    /// `shedding` error — distinct from the queue-depth `overloaded`
+    /// rejection, so operators can tell "too many requests" from "too
+    /// much work".
+    pub max_inflight_cost: u64,
+    /// Programs containing this marker panic inside the worker's
+    /// `catch_unwind` region — the deterministic poison-program hook the
+    /// chaos soak and the quarantine tests use. `None` in production.
+    pub poison_marker: Option<String>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { shards: 2, workers: 2, queue_depth: 64, batch: 8, host_only: false }
+        ServeConfig {
+            shards: 2,
+            workers: 2,
+            queue_depth: 64,
+            batch: 8,
+            host_only: false,
+            max_inflight_cost: 4 << 20,
+            poison_marker: None,
+        }
     }
 }
 
@@ -102,6 +147,24 @@ pub enum ServeError {
         /// The configured queue depth that was exceeded.
         depth: usize,
     },
+    /// The in-flight cost limit was exceeded (load shedding).
+    Shedding {
+        /// In-flight cost the submission would have reached.
+        cost: u64,
+        /// The configured in-flight cost limit.
+        limit: u64,
+    },
+    /// The request's budget (wall-clock deadline or deterministic fuel)
+    /// ran out; the pipeline unwound cooperatively.
+    DeadlineExceeded(String),
+    /// The program's content address is quarantined after a prior
+    /// worker panic.
+    Quarantined(String),
+    /// The server has stopped admitting requests.
+    ShuttingDown,
+    /// Request processing panicked outside the engine's isolation region
+    /// (worker-level backstop; the worker thread survives).
+    Panic(String),
     /// The compile pipeline rejected the program.
     Compile(String),
     /// The SoC runtime could not execute the compiled program.
@@ -114,6 +177,11 @@ impl ServeError {
         match self {
             ServeError::BadRequest(_) => "bad_request",
             ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Shedding { .. } => "shedding",
+            ServeError::DeadlineExceeded(_) => "deadline_exceeded",
+            ServeError::Quarantined(_) => "quarantined",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::Panic(_) => "panic",
             ServeError::Compile(_) => "compile",
             ServeError::Execution(_) => "execution",
         }
@@ -121,10 +189,17 @@ impl ServeError {
 
     fn detail(&self) -> String {
         match self {
-            ServeError::BadRequest(d) | ServeError::Compile(d) | ServeError::Execution(d) => {
-                d.clone()
-            }
+            ServeError::BadRequest(d)
+            | ServeError::DeadlineExceeded(d)
+            | ServeError::Quarantined(d)
+            | ServeError::Panic(d)
+            | ServeError::Compile(d)
+            | ServeError::Execution(d) => d.clone(),
             ServeError::Overloaded { depth } => format!("queue full (depth {depth})"),
+            ServeError::Shedding { cost, limit } => {
+                format!("in-flight cost {cost} exceeds limit {limit}")
+            }
+            ServeError::ShuttingDown => "server is shutting down; request not admitted".to_string(),
         }
     }
 }
@@ -156,6 +231,16 @@ pub struct RunRequest {
     pub sizes: Bindings,
     /// Fault-injection configuration (defaults to chaos off).
     pub chaos: ChaosConfig,
+    /// Wall-clock deadline in milliseconds (measured from the moment a
+    /// worker picks the request up; `None` = no deadline).
+    pub deadline_ms: Option<u64>,
+    /// Deterministic work-unit budget (`None` = unlimited). Exhaustion
+    /// is bit-for-bit reproducible, unlike the wall-clock deadline.
+    pub fuel: Option<u64>,
+    /// Whether the response carries the wall-clock `*_us` timing fields
+    /// (`true` by default; the soak harness turns them off so replays
+    /// compare byte-for-byte).
+    pub timings: bool,
 }
 
 /// A parsed protocol request.
@@ -248,6 +333,18 @@ impl Request {
                     }
                 }
                 let chaos = parse_chaos(v.get("chaos"))?;
+                let deadline_ms = match v.get("deadline_ms") {
+                    None => None,
+                    Some(n) => Some(n.as_u64().ok_or_else(|| bad("run: bad `deadline_ms`"))?),
+                };
+                let fuel = match v.get("fuel") {
+                    None => None,
+                    Some(n) => Some(n.as_u64().ok_or_else(|| bad("run: bad `fuel`"))?),
+                };
+                let timings = match v.get("timings") {
+                    None => true,
+                    Some(b) => b.as_bool().ok_or_else(|| bad("run: bad `timings`"))?,
+                };
                 Ok(Request::Run(Box::new(RunRequest {
                     id,
                     tenant,
@@ -257,6 +354,9 @@ impl Request {
                     invocations,
                     sizes,
                     chaos,
+                    deadline_ms,
+                    fuel,
+                    timings,
                 })))
             }
             other => Err(bad(&format!("unknown op `{other}`"))),
@@ -347,12 +447,141 @@ pub fn reject_line(line: &str, e: &ServeError) -> String {
     error_response(&id, &op, e)
 }
 
+/// A representative corpus of valid wire requests, used as the seed set
+/// for the `serve@wire` byte-mutation fuzz route (`pmc fuzz --wire` and
+/// the resilience integration tests). Covers every op and every optional
+/// `run` field, so mutations reach all parser states.
+pub fn wire_corpus() -> Vec<String> {
+    vec![
+        concat!(
+            r#"{"op":"run","id":"w0","tenant":"alice","program":"main(input float x[4], "#,
+            r#"output float y) { index i[0:3]; y = sum[i](x[i]*x[i]); }","feeds":{"x":"#,
+            r#"{"dims":[4],"values":[1,2,3,4]}},"invocations":2,"timings":false}"#
+        )
+        .to_string(),
+        concat!(
+            r#"{"op":"run","id":"w1","tenant":"bob","program":"main(input float x[n], "#,
+            r#"output float y) { index i[0:n-1]; y = sum[i](x[i]); }","sizes":{"n":4},"#,
+            r#""feeds":{"x":{"dims":[4],"values":[1,1,1,1]}},"state":{"z":{"dims":[],"#,
+            r#""values":[0]}},"chaos":{"profile":"transient","seed":7,"max_retries":2,"#,
+            r#""down":["DECO"]},"deadline_ms":1000,"fuel":100000}"#
+        )
+        .to_string(),
+        r#"{"op":"stats","id":"w2"}"#.to_string(),
+        r#"{"op":"shutdown","id":"w3"}"#.to_string(),
+    ]
+}
+
+/// The wire-hardening oracle: feeds one (possibly mutated) line through
+/// the engine under `catch_unwind` and demands a typed response — valid
+/// JSON carrying either `ok:true` or a non-empty `error.kind`. Any
+/// panic or malformed output is a hardening failure.
+///
+/// # Errors
+///
+/// A description of the violation (panic payload or the malformed
+/// response), for the fuzz report.
+pub fn check_wire_line(engine: &ServeEngine, line: &str) -> Result<(), String> {
+    let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.handle_line(line)))
+        .map_err(|p| format!("panicked: {}", panic_message(p.as_ref())))?;
+    let v = Json::parse(&resp).map_err(|e| format!("response is not JSON ({e}): {resp}"))?;
+    if v.get("ok").and_then(Json::as_bool) == Some(true) {
+        return Ok(());
+    }
+    let kind = v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str).unwrap_or("");
+    if kind.is_empty() {
+        return Err(format!("response has neither ok:true nor error.kind: {resp}"));
+    }
+    Ok(())
+}
+
+/// Content hash of a request's compile inputs (program source plus size
+/// bindings) — the cheap admission-level quarantine key. The graph
+/// fingerprint is the precise content address, but computing it requires
+/// running the frontend and mid-end; this hash lets [`ServeServer::submit`]
+/// reject known-poison requests without any pipeline work.
+pub fn source_hash(program: &str, sizes: &Bindings) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = srdfg::FxHasher::default();
+    program.hash(&mut h);
+    let mut entries: Vec<_> = sizes.sizes.iter().collect();
+    entries.sort();
+    for (name, value) in entries {
+        name.hash(&mut h);
+        value.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The poison-program quarantine: content addresses of requests that
+/// panicked a worker. Dual-keyed — the cheap [`source_hash`] is checked
+/// at admission (before the request reaches a worker), the precise
+/// [`srdfg::graph_fingerprint`] is checked by the compile gate (catching
+/// re-encodings of the same graph) — so a repeat offender is rejected
+/// with a typed `quarantined` error instead of re-panicking a worker.
+#[derive(Debug, Default)]
+pub struct Quarantine {
+    sources: Mutex<BTreeSet<u64>>,
+    graphs: Mutex<BTreeSet<u64>>,
+    populated: AtomicBool,
+}
+
+impl Quarantine {
+    /// Fast emptiness probe (lock-free), so the admission path pays
+    /// nothing until the first panic has actually happened.
+    pub fn is_empty(&self) -> bool {
+        !self.populated.load(Ordering::Acquire)
+    }
+
+    /// Quarantines a request's source hash, and its graph fingerprint
+    /// when the pipeline got far enough to compute one.
+    pub fn record(&self, source: u64, graph: Option<u64>) {
+        self.sources.lock().unwrap_or_else(|e| e.into_inner()).insert(source);
+        if let Some(g) = graph {
+            self.graphs.lock().unwrap_or_else(|e| e.into_inner()).insert(g);
+        }
+        self.populated.store(true, Ordering::Release);
+    }
+
+    /// Whether a source hash is quarantined.
+    pub fn has_source(&self, source: u64) -> bool {
+        !self.is_empty() && self.sources.lock().unwrap_or_else(|e| e.into_inner()).contains(&source)
+    }
+
+    /// Whether a graph fingerprint is quarantined.
+    pub fn has_graph(&self, graph: u64) -> bool {
+        !self.is_empty() && self.graphs.lock().unwrap_or_else(|e| e.into_inner()).contains(&graph)
+    }
+
+    /// `(source hashes, graph fingerprints)` currently quarantined.
+    pub fn counts(&self) -> (usize, usize) {
+        (
+            self.sources.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            self.graphs.lock().unwrap_or_else(|e| e.into_inner()).len(),
+        )
+    }
+}
+
+/// Best-effort panic payload rendering for the typed wire error.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The per-request processing core: compile through the program cache,
 /// route to the tenant's shard, execute, render. Shared by every worker
 /// thread and transport.
 pub struct ServeEngine {
     compiler: Compiler,
     pool: SocPool,
+    quarantine: Quarantine,
+    worker_panics: AtomicU64,
+    poison_marker: Option<String>,
 }
 
 impl fmt::Debug for ServeEngine {
@@ -376,7 +605,13 @@ impl ServeEngine {
             soc.with_template_cache(template_cache.clone());
             soc
         });
-        ServeEngine { compiler, pool }
+        ServeEngine {
+            compiler,
+            pool,
+            quarantine: Quarantine::default(),
+            worker_panics: AtomicU64::new(0),
+            poison_marker: cfg.poison_marker.clone(),
+        }
     }
 
     /// The engine's compiler (cache handles, target map).
@@ -387,6 +622,24 @@ impl ServeEngine {
     /// The engine's SoC pool (shard routing, ledgers).
     pub fn pool(&self) -> &SocPool {
         &self.pool
+    }
+
+    /// The engine's poison quarantine.
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// Panics caught (and contained) across the engine's lifetime. The
+    /// soak harness asserts its workers all survived by checking this
+    /// equals the number of poison requests it injected.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Counts a panic the worker-level backstop caught (outside the
+    /// engine's own isolation region).
+    pub fn note_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Processes one request line and renders the response line.
@@ -414,18 +667,68 @@ impl ServeEngine {
         }
     }
 
-    /// Executes one `run` request.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::Compile`] when the pipeline rejects the program,
-    /// [`ServeError::Execution`] when the SoC runtime fails.
+    /// Executes one `run` request under panic isolation: a panic anywhere
+    /// in the pipeline is caught, counted, and quarantines the program's
+    /// content address — the worker thread survives and the client gets a
+    /// typed `quarantined` error.
     fn run(&self, req: &RunRequest) -> Result<String, ServeError> {
+        // Side-slot the compile gate populates with the graph fingerprint
+        // once the mid-end has computed it, so a panic *after* that point
+        // quarantines the precise content address too.
+        let graph_fp: Mutex<Option<u64>> = Mutex::new(None);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_inner(req, &graph_fp)
+        }));
+        match result {
+            Ok(r) => r,
+            Err(payload) => {
+                self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let source = source_hash(&req.program, &req.sizes);
+                let graph = *graph_fp.lock().unwrap_or_else(|e| e.into_inner());
+                self.quarantine.record(source, graph);
+                Err(ServeError::Quarantined(format!(
+                    "request panicked ({}); program quarantined",
+                    panic_message(payload.as_ref())
+                )))
+            }
+        }
+    }
+
+    fn run_inner(
+        &self,
+        req: &RunRequest,
+        graph_fp: &Mutex<Option<u64>>,
+    ) -> Result<String, ServeError> {
+        if let Some(marker) = &self.poison_marker {
+            if !marker.is_empty() && req.program.contains(marker.as_str()) {
+                panic!("poison marker tripped");
+            }
+        }
+        let budget = Budget::new(req.deadline_ms.map(Duration::from_millis), req.fuel);
+        let gate = |key: &ProgramKey| {
+            *graph_fp.lock().unwrap_or_else(|e| e.into_inner()) = Some(key.graph);
+            !self.quarantine.has_graph(key.graph)
+        };
         let cc = self
             .compiler
-            .compile_cached(&req.program, &req.sizes)
-            .map_err(|e| ServeError::Compile(e.to_string()))?;
+            .compile_cached_checked(&req.program, &req.sizes, &budget, Some(&gate))
+            .map_err(|e| match e {
+                PolyMathError::Budget(b) => ServeError::DeadlineExceeded(b.to_string()),
+                PolyMathError::Quarantined { fingerprint } => ServeError::Quarantined(format!(
+                    "graph fingerprint {fingerprint:016x} is quarantined"
+                )),
+                other => ServeError::Compile(other.to_string()),
+            })?;
         let shard = self.pool.shard_for(&req.tenant);
+        // Steer away from open breakers through the same force-down path
+        // a declared outage uses: fragments re-lower onto the host, so
+        // outputs stay byte-identical to the healthy path.
+        let forced = self.pool.breaker_guard(shard);
+        let mut chaos = req.chaos.clone();
+        chaos.budget = budget.clone();
+        for t in &forced {
+            chaos.force_down.insert(t.clone());
+        }
         let inputs = TrajectoryInputs {
             feeds: &req.feeds,
             state_seeds: &req.state,
@@ -438,13 +741,16 @@ impl ServeEngine {
             .run_trajectory(
                 &cc.program,
                 &HashMap::new(),
-                &req.chaos,
+                &chaos,
                 Some(self.compiler.targets()),
                 &inputs,
             )
-            .map_err(|e| ServeError::Execution(e.to_string()))?;
+            .map_err(|e| match e {
+                SocError::BudgetExhausted(b) => ServeError::DeadlineExceeded(b.to_string()),
+                other => ServeError::Execution(other.to_string()),
+            })?;
         let execute_us = t.elapsed().as_micros() as f64;
-        self.pool.record(shard, &outcome);
+        self.pool.record_served(shard, &req.tenant, &outcome, &forced);
 
         let mut names: Vec<&String> = outcome.outputs.keys().collect();
         names.sort();
@@ -453,7 +759,7 @@ impl ServeEngine {
         );
         let us = |d: std::time::Duration| Json::Num(d.as_micros() as f64);
         let frontend = cc.timings.frontend + cc.timings.build + cc.timings.midend;
-        Ok(Json::Obj(vec![
+        let mut fields = vec![
             ("id".into(), Json::Str(req.id.clone())),
             ("op".into(), Json::Str("run".into())),
             ("ok".into(), Json::Bool(true)),
@@ -466,13 +772,16 @@ impl ServeEngine {
             ("faults_injected".into(), Json::Num(outcome.faults_injected as f64)),
             ("retries".into(), Json::Num(outcome.retries as f64)),
             ("fallbacks".into(), Json::Num(outcome.fallbacks.len() as f64)),
+            ("breaker_steered".into(), Json::Num(forced.len() as f64)),
             ("virtual_ns".into(), Json::Num(outcome.virtual_ns as f64)),
-            ("frontend_us".into(), us(frontend)),
-            ("lower_us".into(), us(cc.timings.lower + cc.timings.post_lower)),
-            ("compile_us".into(), us(cc.timings.compile)),
-            ("execute_us".into(), Json::Num(execute_us)),
-        ])
-        .render())
+        ];
+        if req.timings {
+            fields.push(("frontend_us".into(), us(frontend)));
+            fields.push(("lower_us".into(), us(cc.timings.lower + cc.timings.post_lower)));
+            fields.push(("compile_us".into(), us(cc.timings.compile)));
+            fields.push(("execute_us".into(), Json::Num(execute_us)));
+        }
+        Ok(Json::Obj(fields).render())
     }
 
     /// Renders the `stats` response: program-cache, template-cache, and
@@ -522,14 +831,71 @@ impl ServeEngine {
                     ("virtual_ns".into(), Json::Num(pool.total.virtual_ns as f64)),
                 ]),
             ),
+            (
+                "tenants".into(),
+                Json::Obj(
+                    pool.tenants
+                        .iter()
+                        .map(|(name, s)| {
+                            (
+                                name.clone(),
+                                Json::Obj(vec![
+                                    ("requests".into(), Json::Num(s.requests as f64)),
+                                    ("invocations".into(), Json::Num(s.invocations as f64)),
+                                    (
+                                        "replayed_invocations".into(),
+                                        Json::Num(s.replayed_invocations as f64),
+                                    ),
+                                    ("faults_injected".into(), Json::Num(s.faults_injected as f64)),
+                                    ("retries".into(), Json::Num(s.retries as f64)),
+                                    ("fallbacks".into(), Json::Num(s.fallbacks as f64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "breakers".into(),
+                Json::Arr(
+                    pool.breakers
+                        .iter()
+                        .map(|shard| {
+                            Json::Arr(
+                                shard
+                                    .iter()
+                                    .map(|b| {
+                                        Json::Obj(vec![
+                                            ("target".into(), Json::Str(b.target.clone())),
+                                            ("state".into(), Json::Str(b.state.to_string())),
+                                            ("trips".into(), Json::Num(b.trips as f64)),
+                                            ("steered".into(), Json::Num(b.steered as f64)),
+                                        ])
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "resilience".into(),
+                Json::Obj(vec![
+                    ("worker_panics".into(), Json::Num(self.worker_panics() as f64)),
+                    ("quarantined_sources".into(), Json::Num(self.quarantine.counts().0 as f64)),
+                    ("quarantined_graphs".into(), Json::Num(self.quarantine.counts().1 as f64)),
+                ]),
+            ),
         ])
         .render()
     }
 }
 
-/// One admitted request: the raw line plus where its response goes.
+/// One admitted request: the raw line, its admission cost, and where its
+/// response goes.
 struct Job {
     line: String,
+    cost: u64,
     reply: mpsc::Sender<String>,
 }
 
@@ -538,6 +904,11 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     not_empty: Condvar,
     depth: usize,
+    /// Cost (line bytes) of every admitted request not yet fully
+    /// processed — queued or executing. Charged at admission, released
+    /// by the worker after the response is sent.
+    inflight_cost: AtomicU64,
+    max_inflight_cost: u64,
     /// Once set, no further submissions are admitted; workers drain the
     /// queue and exit.
     stopping: AtomicBool,
@@ -580,6 +951,8 @@ impl ServeServer {
                 queue: Mutex::new(VecDeque::new()),
                 not_empty: Condvar::new(),
                 depth: cfg.queue_depth.max(1),
+                inflight_cost: AtomicU64::new(0),
+                max_inflight_cost: cfg.max_inflight_cost.max(1),
                 stopping: AtomicBool::new(false),
             }),
             workers: Vec::new(),
@@ -612,8 +985,22 @@ impl ServeServer {
                     }
                 };
                 for job in jobs {
+                    // The engine isolates request panics itself; this
+                    // backstop guarantees the worker survives even a
+                    // panic outside that region (parse, stats, render).
+                    let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        engine.handle_line(&job.line)
+                    }))
+                    .unwrap_or_else(|_| {
+                        engine.note_worker_panic();
+                        reject_line(
+                            &job.line,
+                            &ServeError::Panic("request processing panicked".into()),
+                        )
+                    });
                     // A dropped receiver (client went away) is not an error.
-                    let _ = job.reply.send(engine.handle_line(&job.line));
+                    let _ = job.reply.send(resp);
+                    shared.inflight_cost.fetch_sub(job.cost, Ordering::Relaxed);
                 }
             }));
         }
@@ -623,19 +1010,47 @@ impl ServeServer {
     ///
     /// # Errors
     ///
-    /// [`ServeError::Overloaded`] when the queue is at capacity or the
-    /// server is shutting down.
+    /// In check order: [`ServeError::ShuttingDown`] once admission has
+    /// stopped, [`ServeError::Quarantined`] when the request's source
+    /// hash is quarantined (rejected before reaching a worker),
+    /// [`ServeError::Overloaded`] when the queue is at capacity, and
+    /// [`ServeError::Shedding`] when the in-flight cost limit would be
+    /// exceeded.
     pub fn submit(&self, line: String, reply: mpsc::Sender<String>) -> Result<(), ServeError> {
         let depth = self.shared.depth;
         if self.shared.stopping.load(Ordering::Acquire) {
-            return Err(ServeError::Overloaded { depth });
+            return Err(ServeError::ShuttingDown);
         }
+        // Admission-level quarantine: the parse is paid only once a panic
+        // has actually populated the quarantine.
+        if !self.engine.quarantine().is_empty() {
+            if let Ok(Request::Run(r)) = Request::parse(&line) {
+                if self.engine.quarantine().has_source(source_hash(&r.program, &r.sizes)) {
+                    return Err(ServeError::Quarantined(
+                        "program source is quarantined after a prior worker panic".into(),
+                    ));
+                }
+            }
+        }
+        let cost = line.len() as u64;
         {
             let mut q = self.shared.queue.lock().unwrap();
             if q.len() >= depth {
                 return Err(ServeError::Overloaded { depth });
             }
-            q.push_back(Job { line, reply });
+            // The in-flight counter only moves under the queue lock on
+            // the admission side, so the check-then-charge is atomic
+            // against other submitters; workers decrement lock-free.
+            let inflight = self.shared.inflight_cost.load(Ordering::Relaxed);
+            let would_be = inflight.saturating_add(cost);
+            if would_be > self.shared.max_inflight_cost {
+                return Err(ServeError::Shedding {
+                    cost: would_be,
+                    limit: self.shared.max_inflight_cost,
+                });
+            }
+            self.shared.inflight_cost.fetch_add(cost, Ordering::Relaxed);
+            q.push_back(Job { line, cost, reply });
         }
         self.shared.not_empty.notify_one();
         Ok(())
@@ -646,10 +1061,23 @@ impl ServeServer {
         self.shared.queue.lock().unwrap().len()
     }
 
-    /// Stops admitting, drains the queue, and joins every worker.
-    pub fn shutdown(mut self) {
+    /// Cost (line bytes) of admitted requests not yet fully processed.
+    pub fn inflight_cost(&self) -> u64 {
+        self.shared.inflight_cost.load(Ordering::Relaxed)
+    }
+
+    /// Stops admitting new requests without joining the workers: late
+    /// submissions get a typed `shutting_down` rejection while already
+    /// admitted requests keep draining. The graceful-drain half of
+    /// [`ServeServer::shutdown`].
+    pub fn stop_admitting(&self) {
         self.shared.stopping.store(true, Ordering::Release);
         self.shared.not_empty.notify_all();
+    }
+
+    /// Stops admitting, drains the queue, and joins every worker.
+    pub fn shutdown(mut self) {
+        self.stop_admitting();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }

@@ -29,11 +29,13 @@ pub mod diff;
 pub mod gen;
 pub mod minimize;
 pub mod model;
+pub mod wire;
 
 pub use diff::{check_case, check_source, CaseResult, DiffConfig, Failure, SabotagePass};
 pub use gen::{gen_inputs, gen_program, palette, GenConfig, Palette, WordSource};
 pub use minimize::{minimize, minimize_with, Minimized};
 pub use model::{EvalStep, NonLin, PExpr, PProgram, PStmt, RedKind};
+pub use wire::{run_wire_fuzz, WireFailure, WireFuzzConfig, WireReport};
 
 use rand::{rngs::StdRng, SeedableRng};
 use std::path::PathBuf;

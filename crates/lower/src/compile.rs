@@ -26,6 +26,7 @@
 use crate::lower::{fully_lowered, LowerError};
 use crate::spec::TargetMap;
 use pmlang::{DType, Domain};
+use srdfg::budget::Budget;
 use srdfg::{Consed, EdgeId, EdgeMeta, Ident, Modifier, NodeId, SrDfg};
 use std::sync::Arc;
 
@@ -175,7 +176,7 @@ impl CompiledProgram {
 /// Returns a [`LowerError`] if the graph still contains operations its
 /// targets do not support (run [`crate::lower::lower`] first).
 pub fn compile_program(graph: &SrDfg, targets: &TargetMap) -> Result<CompiledProgram, LowerError> {
-    compile_partitions(&Arc::new(graph.clone()), targets, true)
+    compile_partitions(&Arc::new(graph.clone()), targets, true, &Budget::unlimited())
 }
 
 /// [`compile_program`] with parallelism disabled (one fragment chunk at a
@@ -185,7 +186,7 @@ pub fn compile_program_serial(
     graph: &SrDfg,
     targets: &TargetMap,
 ) -> Result<CompiledProgram, LowerError> {
-    compile_partitions(&Arc::new(graph.clone()), targets, false)
+    compile_partitions(&Arc::new(graph.clone()), targets, false, &Budget::unlimited())
 }
 
 /// [`compile_program`] over an already-shared graph: no graph clone at
@@ -196,7 +197,25 @@ pub fn compile_program_shared(
     targets: &TargetMap,
     parallel: bool,
 ) -> Result<CompiledProgram, LowerError> {
-    compile_partitions(&graph, targets, parallel)
+    compile_partitions(&graph, targets, parallel, &Budget::unlimited())
+}
+
+/// [`compile_program_shared`] under a cooperative-cancellation
+/// [`Budget`]: an expired request is turned away at entry (one fuel unit
+/// per graph node) before any fragment is built, with a budget-tagged
+/// [`LowerError`].
+///
+/// # Errors
+///
+/// Everything [`compile_program_shared`] returns, plus a [`LowerError`]
+/// carrying [`LowerError::budget`] on cancellation.
+pub fn compile_program_budgeted(
+    graph: Arc<SrDfg>,
+    targets: &TargetMap,
+    parallel: bool,
+    budget: &Budget,
+) -> Result<CompiledProgram, LowerError> {
+    compile_partitions(&graph, targets, parallel, budget)
 }
 
 /// One size-binned slice of a partition's node list — the unit of
@@ -213,12 +232,15 @@ fn compile_partitions(
     graph: &Arc<SrDfg>,
     targets: &TargetMap,
     parallel: bool,
+    budget: &Budget,
 ) -> Result<CompiledProgram, LowerError> {
     if !fully_lowered(graph, targets) {
-        return Err(LowerError {
-            message: "graph contains unsupported operations; lower it first".into(),
-        });
+        return Err(LowerError::msg("graph contains unsupported operations; lower it first"));
     }
+    // One fuel unit per node: Algorithm 2 is a single sweep, so the entry
+    // charge both prices the work about to happen and turns an expired
+    // request away before any fragment is built.
+    budget.charge("compile", graph.node_slots() as u64)?;
     let order = graph.topo_order();
     let n_nodes = graph.node_slots();
     let n_edges = graph.edge_count();

@@ -20,6 +20,7 @@
 //! fails for that accelerator").
 
 use crate::spec::{SupportMemo, TargetMap};
+use srdfg::budget::{Budget, BudgetExceeded};
 use srdfg::expand::{refine_for_splice, scalar_expansion_eligible, RefineError};
 use srdfg::template::{TemplateCache, TemplateKey};
 use srdfg::{Consed, EdgeMeta, FxBuildHasher, SrDfg};
@@ -32,11 +33,26 @@ use std::sync::Arc;
 pub struct LowerError {
     /// Human-readable description.
     pub message: String,
+    /// Set when the failure is a cooperative-cancellation unwind (the
+    /// request's [`Budget`] ran out mid-lowering) rather than a real
+    /// lowering defect. The serve layer maps this to a typed
+    /// `deadline_exceeded` wire error instead of `compile`.
+    pub budget: Option<BudgetExceeded>,
+}
+
+impl LowerError {
+    /// A plain lowering failure.
+    pub fn msg(message: impl Into<String>) -> Self {
+        LowerError { message: message.into(), budget: None }
+    }
 }
 
 impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lowering failed: {}", self.message)
+        match &self.budget {
+            Some(b) => b.fmt(f),
+            None => write!(f, "lowering failed: {}", self.message),
+        }
     }
 }
 
@@ -44,7 +60,13 @@ impl std::error::Error for LowerError {}
 
 impl From<RefineError> for LowerError {
     fn from(e: RefineError) -> Self {
-        LowerError { message: e.to_string() }
+        LowerError::msg(e.to_string())
+    }
+}
+
+impl From<BudgetExceeded> for LowerError {
+    fn from(e: BudgetExceeded) -> Self {
+        LowerError { message: e.to_string(), budget: Some(e) }
     }
 }
 
@@ -87,6 +109,27 @@ pub fn lower_with(
     targets: &TargetMap,
     cache: Option<&TemplateCache>,
 ) -> Result<(), LowerError> {
+    lower_budgeted(graph, targets, cache, &Budget::unlimited())
+}
+
+/// [`lower_with`] under a cooperative-cancellation [`Budget`]: the splice
+/// loop charges one fuel unit per pending refinement at every round
+/// boundary and unwinds with a budget-tagged [`LowerError`] the moment
+/// the request's deadline or fuel runs out. Charges happen only at round
+/// granularity — an in-flight round always completes, no thread is ever
+/// killed — so a cancelled lowering leaves the template cache coherent.
+///
+/// # Errors
+///
+/// Everything [`lower_with`] returns, plus a [`LowerError`] carrying
+/// [`LowerError::budget`] on cancellation.
+pub fn lower_budgeted(
+    graph: &mut SrDfg,
+    targets: &TargetMap,
+    cache: Option<&TemplateCache>,
+    budget: &Budget,
+) -> Result<(), LowerError> {
+    budget.check("lower")?;
     stamp_overrides(graph, targets);
     // A node's support status depends only on its own fields, which never
     // change after creation, and splicing only *appends* node slots — so
@@ -117,6 +160,10 @@ pub fn lower_with(
         if pending.is_empty() {
             return Ok(());
         }
+        // One fuel unit per refinement this round: the charge total is a
+        // pure function of the program, so fuel-driven cancellation is
+        // deterministic (the chaos soak relies on this).
+        budget.charge("lower", pending.len() as u64)?;
         scan_from = slots_before;
 
         // Plan each job against the cache: template hits skip expansion
@@ -205,12 +252,10 @@ pub fn lower_with(
             let (id, opts) = pending[i];
             let refine_err = |e: RefineError| {
                 let (name, domain, target) = &labels[i];
-                LowerError {
-                    message: format!(
-                        "`{name}` (domain {domain:?}) is unsupported by {target} \
-                         and cannot refine: {e}"
-                    ),
-                }
+                LowerError::msg(format!(
+                    "`{name}` (domain {domain:?}) is unsupported by {target} \
+                     and cannot refine: {e}"
+                ))
             };
             match plan {
                 Plan::Expand(key) => {
@@ -244,7 +289,7 @@ pub fn lower_with(
             }
         }
     }
-    Err(LowerError { message: "lowering did not converge".into() })
+    Err(LowerError::msg("lowering did not converge"))
 }
 
 /// Stamps per-component target overrides onto component nodes (and,

@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod build;
 pub mod dot;
 pub mod error;
@@ -67,6 +68,7 @@ pub mod template;
 pub mod validate;
 pub mod value;
 
+pub use budget::{Budget, BudgetExceeded};
 pub use build::{build, Bindings};
 pub use error::{BuildError, ExecError};
 pub use expand::{

